@@ -1,0 +1,105 @@
+"""E5 / Fig. 2 + Section 5: Tensix core-count scaling and the crossover.
+
+The paper distributes the outer force loop across Tensix cores (Fig. 2)
+and plans card-level parallelism studies as future work.  This bench
+quantifies the decomposition:
+
+* analytic strong scaling of the device force evaluation over 1..64 cores
+  at paper-scale N — near-linear until tile granularity bites;
+* functional verification of the scaling at small N (the simulated
+  kernels really distribute the work);
+* the device-vs-CPU crossover: below a few tens of thousands of
+  particles, the single-threaded host phases make the CPU reference
+  faster — the regime above the crossover is where the paper operates.
+"""
+
+import pytest
+
+from repro import plummer
+from repro.bench import ExperimentReport
+from repro.config import PAPER_N_PARTICLES
+from repro.cpuref import OpenMPModel
+from repro.metalium import CreateDevice
+from repro.nbody_tt import DeviceTimeModel, TTForceBackend
+
+CORE_SWEEP = [1, 2, 4, 8, 16, 32, 64]
+
+
+def test_core_scaling_analytic(benchmark):
+    def sweep():
+        return {
+            c: DeviceTimeModel(n_cores=c).eval_seconds(PAPER_N_PARTICLES)
+            for c in CORE_SWEEP
+        }
+
+    times = benchmark(sweep)
+    report = ExperimentReport(
+        "E5a", f"device force-eval strong scaling, N={PAPER_N_PARTICLES}"
+    )
+    base = times[1]
+    for c in CORE_SWEEP:
+        report.add(f"{c:>2} cores", "near-linear",
+                   f"{times[c]:.2f} s (speedup {base / times[c]:.1f}x)")
+    report.note("100 i-tiles over 64 cores leaves a 2-tile worst core: the "
+                "last doubling gains less than 2x (tile granularity)")
+    report.print()
+
+    # near-linear until granularity: 1->32 cores
+    assert base / times[32] == pytest.approx(100 / 4, rel=0.05)
+    # 64 cores: ceil(100/64)=2 tiles -> speedup 50x, not 64x
+    assert base / times[64] == pytest.approx(50.0, rel=0.05)
+    for a, b in zip(CORE_SWEEP, CORE_SWEEP[1:]):
+        assert times[b] < times[a]
+
+
+def test_core_scaling_functional(benchmark):
+    """The kernels really spread the tiles: functional times match the
+    analytic model across core counts."""
+    system = plummer(4096, seed=7)
+    device = CreateDevice(0)
+
+    def device_seconds(n_cores):
+        backend = TTForceBackend(device, n_cores=n_cores)
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        return sum(s.seconds for s in ev.segments if s.tag == "device")
+
+    results = benchmark.pedantic(
+        lambda: {c: device_seconds(c) for c in (1, 2, 4)},
+        rounds=1, iterations=1,
+    )
+    for c, functional in results.items():
+        analytic = DeviceTimeModel(n_cores=c).eval_seconds(4096)
+        assert functional == pytest.approx(analytic, rel=0.03), c
+    assert results[1] / results[4] == pytest.approx(4.0, rel=0.05)
+
+
+def test_device_cpu_crossover(benchmark):
+    """Find the N where the accelerated job starts winning end to end."""
+
+    def find_crossover():
+        device = DeviceTimeModel(n_cores=64)
+        cpu = OpenMPModel(32)
+        crossover = None
+        sweep = {}
+        for k in range(3, 104, 4):
+            n = k * 1024
+            t_dev = device.job_seconds(n, 10)
+            t_cpu = cpu.job_seconds(n, 10)
+            sweep[n] = (t_dev, t_cpu)
+            if crossover is None and t_dev < t_cpu:
+                crossover = n
+        return crossover, sweep
+
+    crossover, sweep = benchmark(find_crossover)
+    report = ExperimentReport("E5b", "device vs CPU crossover (10 cycles)")
+    for n in list(sweep)[::6]:
+        t_dev, t_cpu = sweep[n]
+        report.add(f"N={n}", "-", f"device {t_dev:7.1f} s vs cpu {t_cpu:7.1f} s")
+    report.add("crossover N", "below the paper's 102400", crossover)
+    report.print()
+
+    assert crossover is not None
+    # the paper's operating point sits clearly above the crossover
+    assert 10_000 < crossover < 70_000
+    t_dev, t_cpu = sweep[103 * 1024]
+    assert t_cpu / t_dev > 2.0

@@ -1,0 +1,101 @@
+"""E13 (precision ablation): double-single arithmetic on the SFPU.
+
+The counterfactual behind the paper's mixed-precision choice: had FP32
+missed the validation gates, the classic remedy (from GPU N-body codes)
+is double-single arithmetic — float32 pairs with error-free transforms,
+~48 mantissa bits on FP32 hardware.  This bench measures the full trade:
+
+* accuracy: the DS force/jerk chain tracks the float64 golden reference
+  to ~1e-13 of the typical magnitude — float64-grade, >8 orders inside
+  the gates;
+* cost: ~11 FP32 SFPU ops per plain-FP32 op; the projected paper-scale
+  DS force evaluation takes ~176 s versus FP32's 16 s — slower than the
+  32-thread CPU reference's 60.5 s, i.e. DS would have *flipped the
+  paper's headline result*.
+
+Conclusion: plain FP32 passing the 0.05%/0.2% gates is what makes the
+Wormhole port worthwhile; accuracy insurance via DS costs more than the
+accelerator delivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport, PaperValue
+from repro.core import accel_jerk_reference, plummer
+from repro.core.validation import ACC_TOLERANCE, JERK_TOLERANCE, compare_to_reference
+from repro.cpuref import OpenMPModel
+from repro.nbody_tt.ds_variant import DSCostModel, ds_accel_jerk
+from repro.nbody_tt.offload import DeviceTimeModel
+
+
+@pytest.fixture(scope="module")
+def ds_run():
+    s = plummer(512, seed=13)
+    acc, jerk = ds_accel_jerk(s.pos, s.vel, s.mass)
+    acc64, jerk64 = accel_jerk_reference(s.pos, s.vel, s.mass)
+    return s, acc, jerk, acc64, jerk64
+
+
+def test_ds_accuracy_is_float64_grade(benchmark, ds_run):
+    s, acc, jerk, acc64, jerk64 = ds_run
+    report_obj = benchmark(
+        lambda: compare_to_reference(acc, jerk, acc64, jerk64)
+    )
+    table = ExperimentReport("E13a", "double-single force accuracy, N=512")
+    table.add("acc err", PaperValue(ACC_TOLERANCE, unit="(gate)"),
+              report_obj.max_acc_error)
+    table.add("jerk err", PaperValue(JERK_TOLERANCE, unit="(gate)"),
+              report_obj.max_jerk_error)
+    table.note("plain FP32 sits at ~3e-5; DS reaches float64 territory")
+    table.print()
+    assert report_obj.passed
+    assert report_obj.max_acc_error < 1e-10
+    assert report_obj.max_jerk_error < 1e-10
+
+
+def test_ds_cost_flips_the_headline_result(benchmark):
+    model = DSCostModel()
+
+    def project():
+        return {
+            "slowdown": model.slowdown_vs_fp32(),
+            "ds_eval": model.device_eval_seconds(102_400),
+            "fp32_eval": DeviceTimeModel(n_cores=64).compute_seconds(102_400),
+            "cpu_eval": OpenMPModel(32).force_eval_seconds(102_400),
+        }
+
+    t = benchmark(project)
+    table = ExperimentReport("E13b", "double-single cost projection")
+    table.add("DS op multiplier", "~11x", t["slowdown"], "x")
+    table.add("FP32 device eval", "-", t["fp32_eval"], "s")
+    table.add("DS device eval", "-", t["ds_eval"], "s")
+    table.add("CPU (32T) eval", "-", t["cpu_eval"], "s")
+    table.note("a DS port would be slower than the CPU reference: the "
+               "paper's 2.23x win depends on FP32 being accurate enough")
+    table.print()
+
+    assert 8.0 < t["slowdown"] < 14.0
+    assert t["ds_eval"] > t["cpu_eval"] > t["fp32_eval"]
+
+
+def test_ds_dst_pressure(benchmark):
+    """DS doubles every register: the six accumulators become twelve
+    FP32 tiles, overflowing the 8-tile dst — DS would *force* CB staging
+    for the accumulators too, worsening the slowdown beyond E13b's
+    op-count estimate."""
+    from repro.wormhole.dtypes import DataFormat, dst_tile_capacity
+
+    capacity = benchmark(lambda: dst_tile_capacity(DataFormat.FLOAT32))
+    ds_accumulator_tiles = 6 * 2
+    assert ds_accumulator_tiles > capacity
+
+
+def test_ds_seed_masking_correct(benchmark):
+    """Self-interaction masking survives the DS rsqrt path (no NaN/inf
+    contamination of real lanes)."""
+    s = plummer(256, seed=14)
+    acc, jerk = benchmark.pedantic(
+        lambda: ds_accel_jerk(s.pos, s.vel, s.mass), rounds=1, iterations=1
+    )
+    assert np.all(np.isfinite(acc)) and np.all(np.isfinite(jerk))

@@ -1,0 +1,70 @@
+"""E1 / Fig. 3: time-to-solution, accelerated vs reference.
+
+Paper: accelerated runs complete in 301.40 +/- 0.24 s, reference runs in
+672.90 +/- 7.83 s — a 2.23x speedup — with the CPU histogram visibly wider
+(system-load variability the dedicated accelerator does not see).
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport, PaperValue
+from repro.telemetry.stats import histogram
+
+PAPER_ACCEL_S = 301.40
+PAPER_ACCEL_STD = 0.24
+PAPER_REF_S = 672.90
+PAPER_REF_STD = 7.83
+PAPER_SPEEDUP = 2.23
+
+
+def test_fig3_time_to_solution(benchmark, paper_campaign):
+    accel = paper_campaign["accel"]
+    ref = paper_campaign["ref"]
+
+    def summarize():
+        return (accel.time_stats.mean, ref.time_stats.mean)
+
+    accel_mean, ref_mean = benchmark(summarize)
+    speedup = ref_mean / accel_mean
+
+    report = ExperimentReport("E1/Fig3", "time-to-solution (N=102400, 10 cycles)")
+    report.add("accel mean", PaperValue(PAPER_ACCEL_S, PAPER_ACCEL_STD, "s"),
+               accel_mean, "s")
+    report.add("accel std", PaperValue(PAPER_ACCEL_STD, unit="s"),
+               accel.time_stats.std, "s")
+    report.add("ref mean", PaperValue(PAPER_REF_S, PAPER_REF_STD, "s"),
+               ref_mean, "s")
+    report.add("ref std", PaperValue(PAPER_REF_STD, unit="s"),
+               ref.time_stats.std, "s")
+    report.add("speedup", PaperValue(PAPER_SPEEDUP, unit="x"), speedup, "x")
+    report.add("accel runs", "26 completed", accel.completed)
+    report.add("ref runs", "49", ref.completed)
+    report.note("histogram (accel): "
+                + str(list(histogram([r.time_to_solution
+                                      for r in paper_campaign["accel_results"]
+                                      if r.completed], 6)[0])))
+    report.note("histogram (ref):   "
+                + str(list(histogram([r.time_to_solution
+                                      for r in paper_campaign["ref_results"]
+                                      if r.completed], 6)[0])))
+    report.print()
+
+    # shape assertions
+    assert accel_mean == pytest.approx(PAPER_ACCEL_S, rel=0.02)
+    assert ref_mean == pytest.approx(PAPER_REF_S, rel=0.03)
+    assert speedup == pytest.approx(PAPER_SPEEDUP, abs=0.12)
+
+
+def test_fig3_cpu_histogram_is_wider(benchmark, paper_campaign):
+    """The paper attributes the wider CPU spread to host-side variability."""
+    accel = paper_campaign["accel"]
+    ref = paper_campaign["ref"]
+
+    rel_widths = benchmark(
+        lambda: (accel.time_stats.std / accel.time_stats.mean,
+                 ref.time_stats.std / ref.time_stats.mean)
+    )
+    rel_accel, rel_ref = rel_widths
+    assert rel_ref > 5.0 * rel_accel
+    assert rel_accel < 0.005   # sub-0.5% like the paper's 0.08%
+    assert 0.005 < rel_ref < 0.03

@@ -1,0 +1,93 @@
+"""E2 / Fig. 4: four-card power time series during one accelerated job.
+
+Paper observations reproduced and asserted here:
+
+* idle cards draw 10-11 W before the simulation;
+* during host-only initialisation the cards stay at idle draw;
+* once the force kernel is invoked, the three unused cards rise to a
+  steady draw below 20 W;
+* the active card fluctuates between 26 and 33 W, with peaks during
+  device compute and dips during host-side phases;
+* after the run, idle draw is similar to — but not exactly equal to —
+  the pre-run level (resolved only by a reset).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport, PaperValue
+
+#: host init takes ~4.5 s at the start of the simulation window
+INIT_GUARD_S = 6.0
+
+
+@pytest.fixture(scope="module")
+def traced_job(paper_campaign):
+    return next(r for r in paper_campaign["accel_results"] if r.completed)
+
+
+def in_window(rows, t0, t1):
+    return [r for r in rows if t0 <= r.timestamp < t1]
+
+
+def test_fig4_power_trace_bands(benchmark, traced_job):
+    job = traced_job
+    active = job.spec.active_device
+
+    def extract():
+        pre = in_window(job.rows, job.rows[0].timestamp, job.sim_start)
+        init = in_window(job.rows, job.sim_start, job.sim_start + 4.0)
+        run = in_window(job.rows, job.sim_start + INIT_GUARD_S, job.sim_end)
+        post = in_window(job.rows, job.sim_end + 2.0,
+                         job.rows[-1].timestamp + 1.0)
+        return pre, init, run, post
+
+    pre, init, run, post = benchmark(extract)
+
+    pre_idle = [w for r in pre for w in r.card_w]
+    init_active = [r.card_w[active] for r in init]
+    run_active = [r.card_w[active] for r in run]
+    run_unused = [w for r in run for i, w in enumerate(r.card_w) if i != active]
+    post_active = [r.card_w[active] for r in post]
+
+    report = ExperimentReport("E2/Fig4", "card power during one job")
+    report.add("idle band", PaperValue(10.5, unit="W (10-11)"),
+               float(np.mean(pre_idle)), "W")
+    report.add("cards idle during host init", "yes",
+               "yes" if max(init_active) < 13.0 else "no")
+    report.add("active card min", PaperValue(26.0, unit="W"),
+               min(run_active), "W")
+    report.add("active card max", PaperValue(33.0, unit="W"),
+               max(run_active), "W")
+    report.add("unused cards max", PaperValue(20.0, unit="W (bound)"),
+               max(run_unused), "W")
+    report.add("post-run idle offset", "small, > 0",
+               float(np.mean(post_active) - np.mean(pre_idle)), "W")
+    report.print()
+
+    # paper's Fig. 4 bands
+    assert all(9.5 <= w <= 11.8 for w in pre_idle)
+    assert max(init_active) < 13.0
+    assert 25.0 <= min(run_active) and max(run_active) <= 34.0
+    assert all(w < 20.0 for w in run_unused)
+    assert all(w > 14.0 for w in run_unused)  # clearly above idle
+    drift = np.mean(post_active) - np.mean(pre_idle)
+    assert 0.0 < drift < 1.5
+
+
+def test_fig4_peaks_are_device_phases(benchmark, traced_job):
+    """Power peaks align with device compute; dips with host phases."""
+    job = traced_job
+    active = job.spec.active_device
+    run = in_window(job.rows, job.sim_start + INIT_GUARD_S, job.sim_end)
+    watts = np.array([r.card_w[active] for r in run])
+
+    def split_modes():
+        # the two phase populations are separated near the band middle
+        high = watts[watts >= 29.5]
+        low = watts[watts < 29.5]
+        return high, low
+
+    high, low = benchmark(split_modes)
+    assert len(high) > 5 and len(low) > 5   # both phases sampled
+    assert high.mean() - low.mean() > 3.0   # a real bimodal fluctuation

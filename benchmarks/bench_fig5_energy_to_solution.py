@@ -1,0 +1,83 @@
+"""E3 / Fig. 5: energy-to-solution, accelerated vs reference.
+
+Paper: accelerated jobs consume 71.56 +/- 0.13 kJ (range 71.23-71.81);
+reference jobs 128.89 +/- 1.52 kJ (range 127.29-131.36) — a 1.80x energy
+saving, bought with a higher peak power (~260 W vs ~210 W).
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport, PaperValue
+
+PAPER_ACCEL_KJ = 71.56
+PAPER_ACCEL_STD = 0.13
+PAPER_REF_KJ = 128.89
+PAPER_REF_STD = 1.52
+PAPER_SAVING = 1.80
+PAPER_ACCEL_PEAK_W = 260.0
+PAPER_REF_PEAK_W = 210.0
+
+
+def test_fig5_energy_to_solution(benchmark, paper_campaign):
+    accel = paper_campaign["accel"]
+    ref = paper_campaign["ref"]
+
+    saving = benchmark(lambda: ref.energy_stats.mean / accel.energy_stats.mean)
+
+    report = ExperimentReport("E3/Fig5", "energy-to-solution (cards + CPU)")
+    report.add("accel mean", PaperValue(PAPER_ACCEL_KJ, PAPER_ACCEL_STD, "kJ"),
+               accel.energy_stats.mean, "kJ")
+    report.add("accel range",
+               "71.23 - 71.81 kJ",
+               f"{accel.energy_stats.min:.2f} - {accel.energy_stats.max:.2f} kJ")
+    report.add("ref mean", PaperValue(PAPER_REF_KJ, PAPER_REF_STD, "kJ"),
+               ref.energy_stats.mean, "kJ")
+    report.add("ref range",
+               "127.29 - 131.36 kJ",
+               f"{ref.energy_stats.min:.2f} - {ref.energy_stats.max:.2f} kJ")
+    report.add("energy saving", PaperValue(PAPER_SAVING, unit="x"), saving, "x")
+    report.add("accel peak power", PaperValue(PAPER_ACCEL_PEAK_W, unit="W"),
+               accel.peak_power_stats.max, "W")
+    report.add("ref peak power", PaperValue(PAPER_REF_PEAK_W, unit="W"),
+               ref.peak_power_stats.max, "W")
+    report.print()
+
+    assert accel.energy_stats.mean == pytest.approx(PAPER_ACCEL_KJ, rel=0.02)
+    assert ref.energy_stats.mean == pytest.approx(PAPER_REF_KJ, rel=0.03)
+    assert saving == pytest.approx(PAPER_SAVING, abs=0.08)
+    # the energy saving costs peak power, as the paper notes
+    assert accel.peak_power_stats.max > ref.peak_power_stats.max
+    assert accel.peak_power_stats.max == pytest.approx(
+        PAPER_ACCEL_PEAK_W, rel=0.06
+    )
+    assert ref.peak_power_stats.max == pytest.approx(PAPER_REF_PEAK_W, rel=0.06)
+
+
+def test_fig5_reference_energy_spread_wider(benchmark, paper_campaign):
+    """The classical runs' spread tracks their runtime variability."""
+    accel = paper_campaign["accel"]
+    ref = paper_campaign["ref"]
+    stds = benchmark(lambda: (accel.energy_stats.std, ref.energy_stats.std))
+    assert stds[1] > 3.0 * stds[0]
+
+
+def test_fig5_energy_pipeline_csv_roundtrip(benchmark, paper_campaign,
+                                            tmp_path):
+    """The paper's pipeline stores samples in csv before integrating; the
+    csv round trip must not change the energy by more than float repr."""
+    from repro.telemetry.energy import (
+        energy_to_solution,
+        read_power_csv,
+        write_power_csv,
+    )
+
+    job = next(r for r in paper_campaign["accel_results"] if r.completed)
+    path = tmp_path / "job.csv"
+
+    def roundtrip():
+        write_power_csv(path, job.rows)
+        rows = read_power_csv(path)
+        return energy_to_solution(rows, job.sim_start, job.sim_end)
+
+    via_csv = benchmark(roundtrip)
+    assert via_csv.total_kj == pytest.approx(job.energy.total_kj, rel=1e-12)

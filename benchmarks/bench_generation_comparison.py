@@ -1,0 +1,84 @@
+"""E12 (hardware ablation): Wormhole n300 vs the previous-gen Grayskull.
+
+The paper's related work ([4] Brown & Barton) accelerated stencils on
+Grayskull; this bench asks what the N-body port would have seen there:
+more Tensix cores (120 vs 64) at a higher clock (1.2 vs 1.0 GHz) but
+LPDDR4 instead of GDDR6 and *no chip-to-chip Ethernet*, so no multi-card
+path at all.  It also places the kernel on both rooflines: the kernel is
+so compute-bound (~10^3 flop/byte) that Grayskull's weaker memory system
+does not matter — its extra cores win on raw eval time — but the missing
+Ethernet caps it at one card, and the paper's scalability plans (E8)
+require Wormhole.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.bench.roofline import characterise_force_kernel
+from repro.config import PAPER_N_PARTICLES
+from repro.errors import ConfigurationError
+from repro.nbody_tt import DeviceTimeModel
+from repro.wormhole.params import GRAYSKULL_E150, WORMHOLE_N300
+
+
+def test_generation_comparison(benchmark):
+    def compare():
+        wh = DeviceTimeModel(n_cores=64, chip=WORMHOLE_N300)
+        gs = DeviceTimeModel(n_cores=120, chip=GRAYSKULL_E150)
+        return {
+            "wormhole_eval": wh.eval_seconds(PAPER_N_PARTICLES),
+            "grayskull_eval": gs.eval_seconds(PAPER_N_PARTICLES),
+        }
+
+    times = benchmark(compare)
+    report = ExperimentReport("E12", "Wormhole n300 vs Grayskull e150")
+    report.add("Wormhole force eval", "-", times["wormhole_eval"], "s")
+    report.add("Grayskull force eval", "-", times["grayskull_eval"], "s")
+    report.add("chip-to-chip links", "Wormhole only",
+               "Grayskull has none (no E8 scaling path)")
+    report.print()
+
+    # 120 cores @ 1.2 GHz vs 64 @ 1.0 GHz on a compute-bound kernel:
+    # Grayskull's worst core holds ceil(100/120) = 1 tile vs Wormhole's 2,
+    # so per-eval it is ~2.4x faster despite the weaker memory system...
+    assert times["grayskull_eval"] < times["wormhole_eval"]
+
+    # ...but it cannot form a fabric at all:
+    with pytest.raises(ConfigurationError, match="no chip-to-chip"):
+        DeviceTimeModel(n_cores=120, n_devices=2, chip=GRAYSKULL_E150
+                        ).eval_seconds(PAPER_N_PARTICLES)
+    # whereas Wormhole scales to 2 cards (E8)
+    wh2 = DeviceTimeModel(n_cores=64, n_devices=2).eval_seconds(
+        PAPER_N_PARTICLES
+    )
+    assert wh2 < times["wormhole_eval"]
+
+
+def test_roofline_positions(benchmark):
+    def rooflines():
+        return {
+            "wormhole": characterise_force_kernel(WORMHOLE_N300),
+            "grayskull": characterise_force_kernel(
+                GRAYSKULL_E150, n_cores=120
+            ),
+        }
+
+    lines = benchmark(rooflines)
+    report = ExperimentReport("E12b", "force-kernel roofline positions")
+    for name, rl in lines.items():
+        report.add(f"{name} ridge", "-", rl.ridge_flops_per_byte,
+                   "flop/B")
+        report.add(f"{name} kernel intensity", "compute-bound",
+                   rl.kernel_intensity, "flop/B")
+        report.add(f"{name} verdict", "-", rl.summary())
+    report.print()
+
+    for rl in lines.values():
+        assert rl.compute_bound
+        assert rl.kernel_intensity > 100 * rl.ridge_flops_per_byte
+        # compute-bound: attainable equals the compute ceiling
+        assert rl.attainable_flops == pytest.approx(rl.peak_compute_flops)
+
+    # Grayskull's weaker memory narrows its margin but not the verdict
+    assert (lines["grayskull"].ridge_flops_per_byte
+            > lines["wormhole"].ridge_flops_per_byte * 0.5)

@@ -1,0 +1,77 @@
+"""E8c: energy-to-solution of multi-card jobs (the future-work extension).
+
+Strong-scaling the paper's workload across cards changes both sides of
+the energy product: more active cards draw more power, but the job
+finishes sooner.  At N = 102 400 the device time saturates at 2 cards
+(tile granularity, see E8a), so:
+
+* 1 -> 2 cards: energy *drops* — halved runtime beats one extra ~30 W
+  card (the ~155 W host draw dominates the integral);
+* 2 -> 4 cards: energy *rises* — no further speedup, but two more cards
+  move from <20 W powered-idle to the 26-33 W active band.
+
+A deployment-relevant conclusion the paper's future work will encounter.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.telemetry import Campaign, CampaignSummary, JobSpec
+
+DEVICES = [1, 2, 4]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    campaign = Campaign(seed=88)
+    out = {}
+    for n_devices in DEVICES:
+        spec = JobSpec.paper_accelerated(n_devices=n_devices)
+        out[n_devices] = CampaignSummary.from_results(
+            campaign.run_many(spec, 5)
+        )
+    return out
+
+
+def test_multidevice_time(benchmark, sweep):
+    times = benchmark(lambda: {d: sweep[d].time_stats.mean for d in DEVICES})
+    report = ExperimentReport("E8c-time", "multi-card time-to-solution")
+    for d in DEVICES:
+        report.add(f"{d} card(s)", "saturates at 2 (tile granularity)",
+                   times[d], "s")
+    report.print()
+    assert times[2] < times[1]
+    # device phase saturates; only its share of the job shrinks further
+    assert times[4] == pytest.approx(times[2], rel=0.01)
+
+
+def test_multidevice_energy(benchmark, sweep):
+    energies = benchmark(
+        lambda: {d: sweep[d].energy_stats.mean for d in DEVICES}
+    )
+    report = ExperimentReport("E8c-energy", "multi-card energy-to-solution")
+    for d in DEVICES:
+        report.add(f"{d} card(s)", "minimum at 2", energies[d], "kJ")
+    report.note("1->2 cards: halved device time beats one more active card;"
+                " 2->4: no speedup, two more cards in the active band")
+    report.print()
+    assert energies[2] < energies[1]
+    assert energies[4] > energies[2]
+
+
+def test_active_cards_all_in_band(benchmark):
+    """With 2 devices the trace shows two cards in the 26-33 W band."""
+    campaign = Campaign(seed=89)
+    job = campaign.run_job(JobSpec.paper_accelerated(n_devices=2))
+
+    def extract():
+        guard = job.sim_start + 6.0
+        rows = [r for r in job.rows if guard <= r.timestamp < job.sim_end]
+        per_card_max = [
+            max(r.card_w[i] for r in rows) for i in range(4)
+        ]
+        return per_card_max
+
+    per_card_max = benchmark(extract)
+    assert per_card_max[0] > 25.0 and per_card_max[1] > 25.0
+    assert per_card_max[2] < 20.0 and per_card_max[3] < 20.0

@@ -1,0 +1,68 @@
+"""E4 / Section 3 accuracy gate: device forces vs the golden reference.
+
+Paper: "each acceleration and jerk component within 0.05% and 0.2% of a
+typical force magnitude, respectively, relative to the double-precision
+result".  This bench runs the *functional* device pipeline (real FP32 tile
+math through the read/compute/write kernels) across a sweep of N and
+checks the gate at every size.
+
+Default sizes keep the functional simulation fast; set
+``REPRO_PAPER_SCALE=1`` to add a (slow) larger configuration.
+"""
+
+import pytest
+
+from repro import paper_scale_enabled, plummer, validate_forces
+from repro.bench import ExperimentReport, PaperValue
+from repro.core.validation import ACC_TOLERANCE, JERK_TOLERANCE
+from repro.metalium import CreateDevice
+from repro.nbody_tt import TTForceBackend
+
+SIZES = [1024, 2048, 4096]
+if paper_scale_enabled():
+    SIZES.append(16_384)
+
+
+def run_validation(n):
+    system = plummer(n, seed=100 + n)
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=8)
+    evaluation = backend.compute(system.pos, system.vel, system.mass)
+    return validate_forces(
+        system.pos, system.vel, system.mass,
+        evaluation.acc, evaluation.jerk,
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_accuracy_gate(benchmark, n):
+    report_obj = benchmark.pedantic(run_validation, args=(n,),
+                                    rounds=1, iterations=1)
+    report = ExperimentReport("E4", f"accuracy vs golden reference, N={n}")
+    report.add("acc max error", PaperValue(ACC_TOLERANCE, unit="(gate)"),
+               report_obj.max_acc_error)
+    report.add("jerk max error", PaperValue(JERK_TOLERANCE, unit="(gate)"),
+               report_obj.max_jerk_error)
+    report.add("verdict", "within tolerance",
+               "PASS" if report_obj.passed else "FAIL")
+    report.print()
+    assert report_obj.passed, report_obj.summary()
+
+
+def test_error_grows_slowly_with_n(benchmark):
+    """FP32 accumulation error grows ~sqrt(N): the gate holds with margin
+    at paper scale.  Verified on the sweep, projected with the sqrt law."""
+    import math
+
+    reports = benchmark.pedantic(
+        lambda: [run_validation(n) for n in (1024, 4096)],
+        rounds=1, iterations=1,
+    )
+    r1, r4 = reports
+    growth = r4.max_acc_error / r1.max_acc_error
+    assert growth < 4.0  # well below linear
+    # sqrt-law projection to the paper's N = 102400
+    projected = r4.max_acc_error * math.sqrt(102_400 / 4096)
+    print(f"\nprojected acc error at N=102400: {projected:.2e} "
+          f"(gate {ACC_TOLERANCE:.1e})")
+    assert projected < ACC_TOLERANCE

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints a paper-vs-measured report through
+``repro.bench.ExperimentReport`` and asserts the paper's *shape* claims
+(who wins, by what factor, where the bands lie).  Campaign-level benches
+(E1-E3, E7, E8) always run the full paper-scale workload — the analytic
+cost models make that cheap.  Functional benches (E4-E6) default to a
+scaled-down N and honour ``REPRO_PAPER_SCALE=1`` for the full
+configuration.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_campaign():
+    """One shared paper-scale campaign run: 50 accel + 49 ref jobs."""
+    from repro.telemetry import Campaign, CampaignSummary, JobSpec
+
+    campaign = Campaign(seed=2025, reset_failure_rate=24 / 50)
+    accel_results = campaign.run_many(JobSpec.paper_accelerated(), 50)
+    ref_results = campaign.run_many(JobSpec.paper_reference(), 49)
+    return {
+        "accel_results": accel_results,
+        "ref_results": ref_results,
+        "accel": CampaignSummary.from_results(accel_results),
+        "ref": CampaignSummary.from_results(ref_results),
+    }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""A hard black-hole binary inside a star cluster, on the Wormhole.
+
+The science case from the paper's introduction: dense stellar systems are
+"the primary environments for the formation of compact object binaries,
+such as black hole binaries", whose mergers LIGO/Virgo/KAGRA observe.
+This example embeds a hard binary (2% of the cluster mass) at the centre
+of a Plummer cluster, integrates the whole system with the offloaded
+mixed-precision force kernel, and tracks the binary's osculating orbital
+elements — semi-major axis and eccentricity — plus the conserved
+quantities of the full (binary + cluster) system.
+
+Run:  python examples/black_hole_binary.py
+"""
+
+import numpy as np
+
+from repro import Simulation, TTForceBackend, cluster_with_binary, energy_report
+from repro.core import binary_elements, hardness_ratio
+from repro.metalium import CreateDevice
+
+N_BACKGROUND = 1022            # +2 binary components = 1024 total
+BINARY_MASS_FRACTION = 0.02
+SEMI_MAJOR_AXIS = 0.002        # hard: a << cluster scale
+DT = 2.0e-5                    # resolves the binary orbit
+CYCLES_PER_SNAPSHOT = 50
+SNAPSHOTS = 8
+
+
+def orbital_elements(system):
+    """Osculating Keplerian elements of particles 0 and 1 (library call)."""
+    el = binary_elements(system)
+    return el.semi_major_axis, el.eccentricity, el.separation
+
+
+def main() -> None:
+    print(f"Plummer cluster (N = {N_BACKGROUND}) hosting a black-hole "
+          f"binary ({BINARY_MASS_FRACTION:.0%} of the mass)")
+    system = cluster_with_binary(
+        N_BACKGROUND,
+        seed=3,
+        binary_mass_fraction=BINARY_MASS_FRACTION,
+        semi_major_axis=SEMI_MAJOR_AXIS,
+    )
+    elements = binary_elements(system)
+    a0, e0 = elements.semi_major_axis, elements.eccentricity
+    period = elements.period
+    print(f"  binary: a = {a0:.5f}, e = {e0:.3f}, "
+          f"P = {period:.5f} N-body time units")
+    print(f"  Heggie hardness x = {hardness_ratio(system):.0f} "
+          "(>> 1: a hard binary)\n")
+
+    initial = energy_report(system)
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=8)
+    sim = Simulation(system, backend, dt=DT)
+
+    print(f"{'t':>9} {'orbits':>7} {'a':>9} {'e':>6} {'r12':>9} "
+          f"{'|dE/E0|':>9}")
+    for _ in range(SNAPSHOTS):
+        sim.run(CYCLES_PER_SNAPSHOT)
+        a, e, r12 = orbital_elements(system)
+        report = energy_report(system)
+        print(f"{system.time:9.5f} {system.time / period:7.2f} "
+              f"{a:9.6f} {e:6.3f} {r12:9.6f} "
+              f"{report.drift_from(initial):9.2e}")
+
+    a1, e1, _ = orbital_elements(system)
+    print("\nBinary survival summary:")
+    print(f"  semi-major axis: {a0:.6f} -> {a1:.6f} "
+          f"(relative change {abs(a1 - a0) / a0:.1e})")
+    print(f"  the binary stayed bound and hard through "
+          f"{system.time / period:.1f} orbits under the FP32 device kernel")
+    print(f"  full-system energy drift: "
+          f"{energy_report(system).drift_from(initial):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Individual block timesteps: the production-integrator extension.
+
+The paper's representative benchmark advances all particles with shared
+"time cycles", but production direct N-body codes assign each particle its
+own power-of-two timestep so that a tight binary does not force the whole
+cluster onto its microscopic step.  This example integrates the same
+binary-hosting cluster two ways:
+
+1. shared adaptive timestep (everyone steps at the binary's pace);
+2. individual block timesteps (only the binary members take tiny steps);
+
+and compares accuracy and the number of pairwise force evaluations — the
+quantity the Wormhole offload accelerates.
+
+Run:  python examples/block_timesteps.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BlockHermiteIntegrator,
+    ReferenceBackend,
+    SharedTimestep,
+    Simulation,
+    cluster_with_binary,
+    energy_report,
+)
+
+N_BACKGROUND = 254          # +2 binary members = 256 particles
+SEMI_MAJOR_AXIS = 0.005
+T_END = 0.05
+
+
+def main() -> None:
+    print(f"Cluster of {N_BACKGROUND + 2} particles hosting a hard binary "
+          f"(a = {SEMI_MAJOR_AXIS})\n")
+
+    # --- shared adaptive steps --------------------------------------------
+    shared_system = cluster_with_binary(
+        N_BACKGROUND, seed=5, semi_major_axis=SEMI_MAJOR_AXIS
+    )
+    e0 = energy_report(shared_system)
+    sim = Simulation(
+        shared_system,
+        ReferenceBackend(),
+        timestep=SharedTimestep(eta=0.01, eta_start=0.005, dt_min=1e-9),
+    )
+    shared_cycles = 0
+    while shared_system.time < T_END:
+        sim.run(1)
+        shared_cycles += 1
+    n = shared_system.n
+    shared_pairs = (shared_cycles + 1) * n * n
+    shared_drift = energy_report(shared_system).drift_from(e0)
+    print("Shared adaptive timestep:")
+    print(f"  cycles to t = {T_END}: {shared_cycles}")
+    print(f"  pairwise force evaluations: {shared_pairs:,}")
+    print(f"  energy drift: {shared_drift:.2e}\n")
+
+    # --- individual block timesteps ----------------------------------------
+    block_system = cluster_with_binary(
+        N_BACKGROUND, seed=5, semi_major_axis=SEMI_MAJOR_AXIS
+    )
+    integ = BlockHermiteIntegrator(
+        block_system, eta=0.01, eta_start=0.005, dt_max=0.0625
+    )
+    integ.run_until(T_END)
+    integ.synchronise()
+    block_drift = energy_report(block_system).drift_from(e0)
+    stats = integ.stats
+    print("Individual block timesteps:")
+    print(f"  block steps: {stats.block_steps}, particle updates: "
+          f"{stats.particle_updates:,}")
+    print(f"  pairwise force evaluations: {stats.force_pair_evaluations:,}")
+    print(f"  energy drift: {block_drift:.2e}")
+    levels = stats.level_histogram
+    deepest = max(levels)
+    print(f"  timestep hierarchy: levels {min(levels)}..{deepest} "
+          f"(dt from {0.0625 / 2**min(levels):.1e} "
+          f"down to {0.0625 / 2**deepest:.1e})\n")
+
+    saving = shared_pairs / stats.force_pair_evaluations
+    print(f"Block timesteps did the same physics with {saving:.1f}x fewer "
+          "pairwise force evaluations —")
+    print("the binary members run at the deep levels while field stars "
+          "stay shallow.")
+    print("\nTrajectory agreement (max position difference): "
+          f"{np.abs(block_system.pos - shared_system.pos).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Cold collapse of a star cluster, offloaded to the Wormhole.
+
+The workload the paper's introduction motivates: modelling dense stellar
+systems with direct (unsoftened-physics) N-body integration.  A uniform,
+initially cold sphere collapses under self-gravity, bounces, and relaxes
+towards virial equilibrium.  We integrate it with adaptive shared Aarseth
+timesteps on the simulated Wormhole backend and track:
+
+* Lagrangian radii (10%, 50%, 90% mass shells) through the collapse;
+* the virial ratio Q = -T/W approaching ~0.5;
+* energy conservation of the mixed-precision pipeline.
+
+A small Plummer softening keeps the central bounce integrable at the
+modest N used here, exactly as production cold-collapse runs do.
+
+Run:  python examples/cluster_core_collapse.py
+"""
+
+import numpy as np
+
+from repro import (
+    SharedTimestep,
+    Simulation,
+    TTForceBackend,
+    energy_report,
+    uniform_sphere,
+)
+from repro.metalium import CreateDevice
+
+N = 1024
+SOFTENING = 0.05
+CYCLES_PER_SNAPSHOT = 40
+SNAPSHOTS = 10
+
+
+def lagrangian_radii(system, fractions=(0.1, 0.5, 0.9)):
+    """Radii enclosing the given mass fractions around the barycentre."""
+    center = system.center_of_mass()
+    radii = np.linalg.norm(system.pos - center, axis=1)
+    order = np.argsort(radii)
+    cum_mass = np.cumsum(system.mass[order]) / system.total_mass
+    return [radii[order][np.searchsorted(cum_mass, f)] for f in fractions]
+
+
+def main() -> None:
+    print(f"Cold uniform sphere, N = {N}, softening eps = {SOFTENING}")
+    system = uniform_sphere(N, seed=7, radius=1.0, virial_ratio=0.0)
+    initial = energy_report(system, softening=SOFTENING)
+    print(f"  E0 = {initial.total:+.5f},  Q0 = {initial.virial_ratio:.3f} "
+          "(cold: Q = 0)\n")
+
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=8, softening=SOFTENING)
+    timestep = SharedTimestep(eta=0.01, eta_start=0.005, dt_max=0.01)
+    sim = Simulation(system, backend, timestep=timestep)
+
+    print(f"{'t':>7} {'dt':>9} {'r10%':>7} {'r50%':>7} {'r90%':>7} "
+          f"{'Q':>6} {'|dE/E0|':>9}")
+    for _ in range(SNAPSHOTS):
+        result = sim.run(CYCLES_PER_SNAPSHOT)
+        report = energy_report(system, softening=SOFTENING)
+        r10, r50, r90 = lagrangian_radii(system)
+        last_dt = result.cycles[-1].dt
+        print(f"{system.time:7.3f} {last_dt:9.2e} {r10:7.3f} {r50:7.3f} "
+              f"{r90:7.3f} {report.virial_ratio:6.3f} "
+              f"{report.drift_from(initial):9.2e}")
+
+    final = energy_report(system, softening=SOFTENING)
+    print("\nCollapse summary:")
+    print(f"  the half-mass radius contracted from ~0.79 to "
+          f"{lagrangian_radii(system)[1]:.3f}")
+    print(f"  virial ratio moved from 0 toward equilibrium: "
+          f"Q = {final.virial_ratio:.3f}")
+    print(f"  total energy drift through the bounce: "
+          f"{final.drift_from(initial):.2e}")
+    print(f"  (forces computed on the device in FP32; integration in FP64)")
+
+
+if __name__ == "__main__":
+    main()

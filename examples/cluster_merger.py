@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A minor merger of two star clusters, offloaded to the Wormhole.
+
+Two internally-virialised Plummer clusters (mass ratio 3:1) approach on a
+marginally-bound (parabolic) orbit with a small impact parameter, collide,
+and relax into a single remnant.  The run uses the simulated device
+backend with a small softening (a collisionless merger, integrated with
+the mixed-precision force kernel) and tracks each progenitor's bound
+structure through the encounter with the library's analysis tools.
+
+Run:  python examples/cluster_merger.py
+"""
+
+import numpy as np
+
+from repro import Simulation, TTForceBackend, energy_report
+from repro.core import cluster_collision, density_center, lagrangian_radii
+from repro.metalium import CreateDevice
+
+N1, N2 = 768, 256        # 3:1 merger, 1024 particles total
+SOFTENING = 0.02
+DT = 4.0e-3
+CYCLES_PER_SNAPSHOT = 60
+SNAPSHOTS = 12
+
+
+def progenitor_separation(system):
+    """Distance between the two progenitors' density centres."""
+    first = system.copy()
+    first.mass = system.mass[:N1].copy()
+    first.pos = system.pos[:N1].copy()
+    first.vel = system.vel[:N1].copy()
+    second = system.copy()
+    second.mass = system.mass[N1:].copy()
+    second.pos = system.pos[N1:].copy()
+    second.vel = system.vel[N1:].copy()
+    return np.linalg.norm(density_center(first) - density_center(second))
+
+
+def main() -> None:
+    print(f"3:1 cluster merger: N = {N1} + {N2}, parabolic approach, "
+          f"softening {SOFTENING}")
+    system = cluster_collision(
+        N1, N2, seed=11, mass_ratio=3.0,
+        separation=2.5, impact_parameter=0.4,
+    )
+    initial = energy_report(system, softening=SOFTENING)
+    print(f"  E0 = {initial.total:+.5f}\n")
+
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=8, softening=SOFTENING)
+    sim = Simulation(system, backend, dt=DT)
+
+    print(f"{'t':>7} {'separation':>11} {'r50 (all)':>10} {'|dE/E0|':>9}")
+    separations = []
+    for _ in range(SNAPSHOTS):
+        sim.run(CYCLES_PER_SNAPSHOT)
+        sep = progenitor_separation(system)
+        separations.append(sep)
+        r50 = lagrangian_radii(system, (0.5,))[0]
+        drift = energy_report(system, softening=SOFTENING).drift_from(initial)
+        print(f"{system.time:7.3f} {sep:11.3f} {r50:10.3f} {drift:9.2e}")
+
+    print("\nMerger summary:")
+    print(f"  progenitor separation: {separations[0]:.2f} -> "
+          f"{separations[-1]:.2f}")
+    closest = min(separations)
+    print(f"  closest approach sampled: {closest:.3f}")
+    if separations[-1] < 1.0:
+        print("  the secondary has sunk into the primary (merger underway)")
+    print(f"  energy drift through the encounter: "
+          f"{energy_report(system, softening=SOFTENING).drift_from(initial):.2e}")
+
+
+if __name__ == "__main__":
+    main()

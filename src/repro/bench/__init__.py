@@ -1,0 +1,6 @@
+"""Benchmark harness utilities: reporting and figure-data generation."""
+
+from .figures import generate_figure_data
+from .report import ExperimentReport, PaperValue
+
+__all__ = ["ExperimentReport", "PaperValue", "generate_figure_data"]

@@ -1,0 +1,145 @@
+"""Regenerate the paper's figure data as csv files.
+
+For each figure of the evaluation section this module produces a
+plot-ready csv (no plotting library is required or used):
+
+* ``fig3a_time_accel.csv`` / ``fig3b_time_ref.csv`` — histogram counts and
+  bin edges of time-to-solution (Fig. 3);
+* ``fig4_power_trace.csv`` — the four-card power trace of one accelerated
+  job with the simulation window marked (Fig. 4);
+* ``fig5a_energy_accel.csv`` / ``fig5b_energy_ref.csv`` — energy histogram
+  data (Fig. 5);
+* ``summary.csv`` — the headline paper-vs-measured numbers.
+
+Use :func:`generate_figure_data` directly or through
+``python -m repro.cli campaign`` followed by this module's writer.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import TelemetryError
+from ..telemetry.campaign import Campaign, CampaignSummary, JobResult, JobSpec
+from ..telemetry.stats import histogram
+
+__all__ = ["generate_figure_data"]
+
+PAPER_REFERENCE_VALUES = {
+    "accel_time_s": 301.40,
+    "accel_time_std_s": 0.24,
+    "ref_time_s": 672.90,
+    "ref_time_std_s": 7.83,
+    "speedup": 2.23,
+    "accel_energy_kj": 71.56,
+    "ref_energy_kj": 128.89,
+    "energy_saving": 1.80,
+}
+
+
+def _write_histogram_csv(path: Path, values: list[float], unit: str,
+                         n_bins: int = 10) -> None:
+    counts, edges = histogram(values, n_bins=n_bins)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([f"bin_low_{unit}", f"bin_high_{unit}", "count"])
+        for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+            writer.writerow([repr(float(lo)), repr(float(hi)), int(count)])
+
+
+def _write_trace_csv(path: Path, job: JobResult) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        n_cards = len(job.rows[0].card_w)
+        writer.writerow(
+            ["timestamp_s"]
+            + [f"card{i}_w" for i in range(n_cards)]
+            + ["in_simulation_window"]
+        )
+        for row in job.rows:
+            in_sim = int(job.sim_start <= row.timestamp < job.sim_end)
+            writer.writerow(
+                [repr(row.timestamp)]
+                + [repr(w) for w in row.card_w]
+                + [in_sim]
+            )
+
+
+def _write_summary_csv(path: Path, accel: CampaignSummary,
+                       ref: CampaignSummary) -> None:
+    p = PAPER_REFERENCE_VALUES
+    rows = [
+        ("accel_time_s", p["accel_time_s"], accel.time_stats.mean),
+        ("accel_time_std_s", p["accel_time_std_s"], accel.time_stats.std),
+        ("ref_time_s", p["ref_time_s"], ref.time_stats.mean),
+        ("ref_time_std_s", p["ref_time_std_s"], ref.time_stats.std),
+        ("speedup", p["speedup"],
+         ref.time_stats.mean / accel.time_stats.mean),
+        ("accel_energy_kj", p["accel_energy_kj"], accel.energy_stats.mean),
+        ("ref_energy_kj", p["ref_energy_kj"], ref.energy_stats.mean),
+        ("energy_saving", p["energy_saving"],
+         ref.energy_stats.mean / accel.energy_stats.mean),
+    ]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "paper", "measured"])
+        for name, paper, measured in rows:
+            writer.writerow([name, repr(float(paper)), repr(float(measured))])
+
+
+def generate_figure_data(
+    out_dir: str | Path,
+    *,
+    seed: int = 2025,
+    accel_jobs: int = 50,
+    ref_jobs: int = 49,
+    reset_failure_rate: float = 24 / 50,
+) -> dict[str, Path]:
+    """Run the paper-scale campaign and write every figure's data csv.
+
+    Returns a mapping of figure id to the written path.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    campaign = Campaign(seed=seed, reset_failure_rate=reset_failure_rate)
+    accel_results = campaign.run_many(JobSpec.paper_accelerated(), accel_jobs)
+    ref_results = campaign.run_many(JobSpec.paper_reference(), ref_jobs)
+    accel = CampaignSummary.from_results(accel_results)
+    ref = CampaignSummary.from_results(ref_results)
+    if accel.completed == 0 or ref.completed == 0:
+        raise TelemetryError("campaign produced no completed jobs")
+
+    paths: dict[str, Path] = {}
+
+    paths["fig3a"] = out / "fig3a_time_accel.csv"
+    _write_histogram_csv(
+        paths["fig3a"],
+        [r.time_to_solution for r in accel_results if r.completed], "s",
+    )
+    paths["fig3b"] = out / "fig3b_time_ref.csv"
+    _write_histogram_csv(
+        paths["fig3b"],
+        [r.time_to_solution for r in ref_results if r.completed], "s",
+    )
+
+    paths["fig4"] = out / "fig4_power_trace.csv"
+    _write_trace_csv(
+        paths["fig4"], next(r for r in accel_results if r.completed)
+    )
+
+    paths["fig5a"] = out / "fig5a_energy_accel.csv"
+    _write_histogram_csv(
+        paths["fig5a"],
+        [r.energy.total_kj for r in accel_results if r.completed], "kJ",
+    )
+    paths["fig5b"] = out / "fig5b_energy_ref.csv"
+    _write_histogram_csv(
+        paths["fig5b"],
+        [r.energy.total_kj for r in ref_results if r.completed], "kJ",
+    )
+
+    paths["summary"] = out / "summary.csv"
+    _write_summary_csv(paths["summary"], accel, ref)
+    return paths

@@ -1,0 +1,72 @@
+"""Benchmark reporting: paper-vs-measured rows for every experiment.
+
+Every benchmark in ``benchmarks/`` funnels its results through
+:class:`ExperimentReport`, which prints the same quantities the paper
+reports next to what the reproduction measured, and the ratio/shape checks
+that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PaperValue", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One quantity the paper reports, with optional spread."""
+
+    value: float
+    std: float | None = None
+    unit: str = ""
+
+    def format(self) -> str:
+        if self.std is not None:
+            return f"{self.value:g} +/- {self.std:g} {self.unit}".strip()
+        return f"{self.value:g} {self.unit}".strip()
+
+
+@dataclass
+class ExperimentReport:
+    """Collects paper-vs-measured rows and renders them as a table."""
+
+    experiment_id: str
+    title: str
+    rows: list[tuple[str, str, str, str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, metric: str, paper: PaperValue | str,
+            measured: float | str, unit: str = "") -> None:
+        paper_text = paper.format() if isinstance(paper, PaperValue) else paper
+        measured_text = (
+            f"{measured:.4g} {unit}".strip()
+            if isinstance(measured, (int, float))
+            else str(measured)
+        )
+        verdict = ""
+        if isinstance(paper, PaperValue) and isinstance(measured, (int, float)):
+            if paper.value != 0:
+                rel = abs(measured - paper.value) / abs(paper.value)
+                verdict = f"{rel * 100:.1f}% off"
+        self.rows.append((metric, paper_text, measured_text, verdict))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        cols = ("metric", "paper", "measured", "delta")
+        table = [cols] + [tuple(r) for r in self.rows]
+        widths = [max(len(row[i]) for row in table) for i in range(4)]
+        lines = [header]
+        for row in table:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,102 @@
+"""Roofline characterisation of the force kernel on the device model.
+
+Places the ported kernel on the classic roofline: effective compute
+ceiling (from the calibrated SFPU throughput), memory ceiling (GDDR6
+bandwidth), the ridge point, and the kernel's arithmetic intensity given
+its replicated j-stream traffic.  The result quantifies *why* the paper's
+workload suits this device: at ~10^3 flop/byte the kernel sits far to the
+right of the ridge — overwhelmingly compute-bound — so the architecture's
+"efficient data movement" is never the constraint at N = 102 400, and
+performance scales with compute (cores), exactly what E5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nbody_tt.force_kernel import ops_per_j_iteration
+from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from ..wormhole.tile import TILE_ELEMENTS
+
+__all__ = ["KernelRoofline", "characterise_force_kernel"]
+
+#: Real floating-point operations per pairwise interaction (counting a MAC
+#: as two and rsqrt as one), independent of the cost model's issue weights.
+FLOPS_PER_PAIR = {
+    "sub": 1, "add": 1, "mul": 1, "square": 1, "scalar": 1,
+    "mac": 2, "rsqrt": 1, "where": 0,
+}
+
+
+@dataclass(frozen=True)
+class KernelRoofline:
+    """The kernel's position on the device's roofline."""
+
+    peak_compute_flops: float        # effective ceiling, whole device
+    peak_memory_bytes_per_s: float
+    ridge_flops_per_byte: float      # intensity where the roofs meet
+    kernel_flops_per_pair: float
+    kernel_bytes_per_pair: float
+    kernel_intensity: float          # flops / DRAM byte
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.kernel_intensity > self.ridge_flops_per_byte
+
+    @property
+    def attainable_flops(self) -> float:
+        """min(peak, intensity * bandwidth): the roofline evaluation."""
+        return min(
+            self.peak_compute_flops,
+            self.kernel_intensity * self.peak_memory_bytes_per_s,
+        )
+
+    def summary(self) -> str:
+        bound = "compute" if self.compute_bound else "memory"
+        return (
+            f"intensity {self.kernel_intensity:.0f} flop/B vs ridge "
+            f"{self.ridge_flops_per_byte:.1f} flop/B: {bound}-bound; "
+            f"attainable {self.attainable_flops / 1e9:.1f} Gflop/s of "
+            f"{self.peak_compute_flops / 1e9:.1f} Gflop/s ceiling"
+        )
+
+
+def characterise_force_kernel(
+    chip: ChipParams = WORMHOLE_N300,
+    costs: CostParams = DEFAULT_COSTS,
+    *,
+    n_cores: int | None = None,
+    softened: bool = False,
+) -> KernelRoofline:
+    """Roofline position of the N-body force kernel on a chip model."""
+    cores = n_cores if n_cores is not None else chip.n_tensix_cores
+
+    # Effective compute ceiling: how fast the modelled pipeline retires
+    # real flops when running flat out (the calibrated issue cost already
+    # folds unpack/pack serialisation, so this is an *effective* roof).
+    ops = ops_per_j_iteration(softened=softened, diagonal=False)
+    flops_per_pair = float(
+        sum(FLOPS_PER_PAIR.get(op, 1) * n for op, n in ops.items())
+    )
+    weighted_units_per_pair = sum(
+        n * costs.sfpu_weight(op) for op, n in ops.items()
+    )
+    seconds_per_pair_per_core = (
+        weighted_units_per_pair * costs.sfpu_cycles_per_tile_op
+        / TILE_ELEMENTS / chip.clock_hz
+    )
+    peak_compute = cores * flops_per_pair / seconds_per_pair_per_core
+
+    # Memory traffic: the replicated j-stream — 7 pages of 4 KiB per
+    # (i-tile x j-tile) block, i.e. per 1024*1024 pairs.
+    bytes_per_pair = 7 * TILE_ELEMENTS * 4 / (TILE_ELEMENTS * TILE_ELEMENTS)
+
+    bandwidth = chip.dram_bandwidth_bytes_per_s
+    return KernelRoofline(
+        peak_compute_flops=peak_compute,
+        peak_memory_bytes_per_s=bandwidth,
+        ridge_flops_per_byte=peak_compute / bandwidth,
+        kernel_flops_per_pair=flops_per_pair,
+        kernel_bytes_per_pair=bytes_per_pair,
+        kernel_intensity=flops_per_pair / bytes_per_pair,
+    )

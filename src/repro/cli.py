@@ -1,0 +1,269 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands mirror the workflows a user of the paper's artifact would run:
+
+* ``repro info`` — the simulated hardware and host configuration;
+* ``repro simulate`` — integrate a Plummer cluster on a chosen backend,
+  reporting energy conservation and the modelled timeline;
+* ``repro validate`` — the paper's Section 3 accuracy gate (device vs
+  double-precision golden reference);
+* ``repro campaign`` — the Section 4 measurement campaign, printing the
+  Fig. 3/5 statistics and optionally writing the power csv files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wormhole N-body reproduction (SC 2025)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print simulated hardware parameters")
+
+    sim = sub.add_parser("simulate", help="integrate a Plummer cluster")
+    sim.add_argument("--n", type=int, default=2048, help="particle count")
+    sim.add_argument("--cycles", type=int, default=10, help="Hermite cycles")
+    sim.add_argument("--dt", type=float, default=1e-3, help="fixed timestep")
+    sim.add_argument("--adaptive", action="store_true",
+                     help="use the adaptive Aarseth shared timestep")
+    sim.add_argument("--backend", choices=("reference", "cpu", "device"),
+                     default="device")
+    sim.add_argument("--cores", type=int, default=8,
+                     help="Tensix cores (device backend)")
+    sim.add_argument("--threads", type=int, default=8,
+                     help="OpenMP threads (cpu backend)")
+    sim.add_argument("--softening", type=float, default=0.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--snapshot", type=str, default=None,
+                     help="write the final state to this .npz path")
+    sim.add_argument("--profile", action="store_true",
+                     help="print per-core device occupancy (device backend)")
+
+    val = sub.add_parser("validate",
+                         help="device accuracy vs the golden reference")
+    val.add_argument("--n", type=int, default=2048)
+    val.add_argument("--cores", type=int, default=8)
+    val.add_argument("--format", choices=("float32", "bfloat16", "float16"),
+                     default="float32")
+    val.add_argument("--seed", type=int, default=0)
+
+    camp = sub.add_parser("campaign",
+                          help="run the paper's measurement campaign")
+    camp.add_argument("--accel-jobs", type=int, default=10)
+    camp.add_argument("--ref-jobs", type=int, default=10)
+    camp.add_argument("--n", type=int, default=102_400)
+    camp.add_argument("--cycles", type=int, default=10)
+    camp.add_argument("--reset-failure-rate", type=float, default=0.0)
+    camp.add_argument("--csv-dir", type=str, default=None)
+    camp.add_argument("--seed", type=int, default=2025)
+    camp.add_argument("--report", type=str, default=None,
+                      help="write a markdown campaign report to this path")
+
+    figs = sub.add_parser(
+        "figures",
+        help="regenerate the paper's figure data (csv) from a campaign",
+    )
+    figs.add_argument("out_dir", type=str)
+    figs.add_argument("--accel-jobs", type=int, default=50)
+    figs.add_argument("--ref-jobs", type=int, default=49)
+    figs.add_argument("--seed", type=int, default=2025)
+
+    smi = sub.add_parser("smi", help="tt-smi-style card status table")
+    smi.add_argument("--cards", type=int, default=4)
+    smi.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_info() -> int:
+    from .cpuref.params import EPYC_9124_DUAL
+    from .wormhole.params import DEFAULT_COSTS, WORMHOLE_N300
+
+    chip = WORMHOLE_N300
+    host = EPYC_9124_DUAL
+    print("Simulated Tenstorrent Wormhole n300:")
+    print(f"  Tensix cores: {chip.n_tensix_cores} "
+          f"({chip.n_riscv_per_tensix} baby RISC-V each) @ "
+          f"{chip.clock_hz / 1e9:.1f} GHz")
+    print(f"  L1 SRAM per core: {chip.l1_bytes // 1024} KiB; "
+          f"srcA/srcB: {chip.src_register_fp32_capacity} FP32 values; "
+          f"dst: {chip.dst_register_segments} segments")
+    print(f"  DRAM: {chip.dram_bytes / 1024**3:.0f} GiB GDDR6, "
+          f"{chip.dram_bus_bits}-bit bus, "
+          f"{chip.dram_bandwidth_bytes_per_s / 1e9:.0f} GB/s effective")
+    print(f"  links: {chip.n_nocs} NoCs, 2x QSFP-DD @ {chip.qsfp_gbps:.0f} "
+          f"Gbps, PCIe {chip.pcie_bandwidth_bytes_per_s / 1e9:.0f} GB/s")
+    print(f"  board power budget: {chip.board_power_max_w:.0f} W")
+    print(f"  calibrated SFPU tile-op cost: "
+          f"{DEFAULT_COSTS.sfpu_cycles_per_tile_op:.0f} cycles")
+    print("Simulated host (reference platform):")
+    print(f"  {host.sockets}x EPYC 9124: {host.physical_cores} cores / "
+          f"{host.hardware_threads} threads @ "
+          f"{host.max_clock_hz / 1e9:.2f} GHz, AVX-512 "
+          f"({host.simd_width_fp32} FP32 lanes)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core import (
+        ReferenceBackend,
+        SharedTimestep,
+        Simulation,
+        energy_report,
+        plummer,
+        save_npz,
+    )
+
+    system = plummer(args.n, seed=args.seed)
+    initial = energy_report(system, softening=args.softening)
+
+    if args.backend == "reference":
+        backend = ReferenceBackend(softening=args.softening)
+    elif args.backend == "cpu":
+        from .cpuref import CPUForceBackend
+
+        backend = CPUForceBackend(
+            args.threads, softening=args.softening, noisy=False
+        )
+    else:
+        from .metalium import CreateDevice
+        from .nbody_tt import TTForceBackend
+
+        device = CreateDevice(0)
+        backend = TTForceBackend(
+            device, n_cores=args.cores, softening=args.softening
+        )
+
+    kwargs = (
+        {"timestep": SharedTimestep()} if args.adaptive else {"dt": args.dt}
+    )
+    sim = Simulation(system, backend, **kwargs)
+    result = sim.run(args.cycles)
+    final = energy_report(system, softening=args.softening)
+
+    print(f"backend: {backend.name}")
+    print(f"N = {args.n}, cycles = {args.cycles}, t = {system.time:.6f}")
+    print(f"energy drift |dE/E0| = {final.drift_from(initial):.3e}")
+    if result.model_seconds > 0:
+        for tag, seconds in sorted(result.seconds_by_tag().items()):
+            print(f"  modelled {tag}: {seconds:.4f} s")
+        print(f"  modelled total: {result.model_seconds:.4f} s")
+    if args.snapshot:
+        save_npz(args.snapshot, system)
+        print(f"snapshot written to {args.snapshot}")
+    if getattr(args, "profile", False):
+        if args.backend != "device":
+            print("--profile requires the device backend; ignoring")
+        else:
+            from .wormhole.profiler import profile_device
+
+            print("\nDevice occupancy (last force evaluation):")
+            print(profile_device(device).table())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core import plummer, validate_forces
+    from .metalium import CreateDevice
+    from .nbody_tt import TTForceBackend
+    from .wormhole import DataFormat
+
+    system = plummer(args.n, seed=args.seed)
+    device = CreateDevice(0)
+    backend = TTForceBackend(
+        device, n_cores=args.cores, fmt=DataFormat(args.format)
+    )
+    ev = backend.compute(system.pos, system.vel, system.mass)
+    report = validate_forces(
+        system.pos, system.vel, system.mass, ev.acc, ev.jerk
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .telemetry import Campaign, CampaignSummary, JobSpec
+
+    campaign = Campaign(
+        seed=args.seed,
+        reset_failure_rate=args.reset_failure_rate,
+        csv_dir=args.csv_dir,
+    )
+    accel_results = campaign.run_many(
+        JobSpec.paper_accelerated(n_particles=args.n, n_cycles=args.cycles),
+        args.accel_jobs,
+    )
+    ref_results = campaign.run_many(
+        JobSpec.paper_reference(n_particles=args.n, n_cycles=args.cycles),
+        args.ref_jobs,
+    )
+    accel = CampaignSummary.from_results(accel_results)
+    ref = CampaignSummary.from_results(ref_results)
+    print(f"accelerated: {accel.completed}/{accel.submitted} completed")
+    if accel.time_stats:
+        print(f"  time-to-solution:   {accel.time_stats.format('s')}")
+        print(f"  energy-to-solution: {accel.energy_stats.format('kJ')}")
+    print(f"reference: {ref.completed}/{ref.submitted} completed")
+    if ref.time_stats:
+        print(f"  time-to-solution:   {ref.time_stats.format('s')}")
+        print(f"  energy-to-solution: {ref.energy_stats.format('kJ')}")
+    if accel.time_stats and ref.time_stats:
+        print(f"speedup: {ref.time_stats.mean / accel.time_stats.mean:.2f}x, "
+              f"energy saving: "
+              f"{ref.energy_stats.mean / accel.energy_stats.mean:.2f}x")
+    if args.csv_dir:
+        print(f"power csv files in {args.csv_dir}")
+    if args.report:
+        from .telemetry.report import write_campaign_report
+
+        path = write_campaign_report(args.report, accel_results, ref_results)
+        print(f"campaign report written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=6, suppress=True)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "figures":
+        from .bench.figures import generate_figure_data
+
+        paths = generate_figure_data(
+            args.out_dir,
+            seed=args.seed,
+            accel_jobs=args.accel_jobs,
+            ref_jobs=args.ref_jobs,
+        )
+        for fig_id, path in sorted(paths.items()):
+            print(f"{fig_id}: {path}")
+        return 0
+    if args.command == "smi":
+        import numpy as np_mod
+
+        from .telemetry.tt_smi import TTSMI
+
+        smi = TTSMI(args.cards, np_mod.random.default_rng(args.seed))
+        print(smi.format_table())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

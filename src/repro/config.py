@@ -1,0 +1,68 @@
+"""Global configuration knobs shared across the repro package.
+
+Only genuinely cross-cutting switches live here; subsystem parameters live
+next to the subsystem (``repro.wormhole.params``, ``repro.cpuref.params``,
+``repro.telemetry.params``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "paper_scale_enabled",
+    "PAPER_N_PARTICLES",
+    "PAPER_N_CYCLES",
+    "DEFAULT_BENCH_N_PARTICLES",
+    "DEFAULT_BENCH_N_CYCLES",
+    "WorkloadScale",
+    "select_workload_scale",
+]
+
+#: Representative simulation from the paper's experimental campaign
+#: (Section 4): "the representative simulation models 102400 particles
+#: evolving over ten time cycles".
+PAPER_N_PARTICLES = 102_400
+PAPER_N_CYCLES = 10
+
+#: Scaled-down defaults used by the benchmark suite so the full harness runs
+#: in minutes.  8192 particles is 8 column-tiles of 1024 — large enough to
+#: exercise multi-tile distribution across Tensix cores.
+DEFAULT_BENCH_N_PARTICLES = 8_192
+DEFAULT_BENCH_N_CYCLES = 4
+
+
+def paper_scale_enabled() -> bool:
+    """True when the benchmark suite should run the full paper workload.
+
+    Controlled by the ``REPRO_PAPER_SCALE`` environment variable; any value
+    other than the empty string or ``0`` enables paper scale.
+    """
+    value = os.environ.get("REPRO_PAPER_SCALE", "")
+    return value not in ("", "0", "false", "False")
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """The particle count and cycle count a benchmark should run."""
+
+    n_particles: int
+    n_cycles: int
+    is_paper_scale: bool
+
+    @property
+    def label(self) -> str:
+        tag = "paper-scale" if self.is_paper_scale else "bench-scale"
+        return f"{tag} N={self.n_particles} cycles={self.n_cycles}"
+
+
+def select_workload_scale(
+    *,
+    bench_n: int = DEFAULT_BENCH_N_PARTICLES,
+    bench_cycles: int = DEFAULT_BENCH_N_CYCLES,
+) -> WorkloadScale:
+    """Pick bench-scale or paper-scale workload based on the environment."""
+    if paper_scale_enabled():
+        return WorkloadScale(PAPER_N_PARTICLES, PAPER_N_CYCLES, True)
+    return WorkloadScale(bench_n, bench_cycles, False)

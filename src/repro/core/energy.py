@@ -1,0 +1,71 @@
+"""Conserved-quantity diagnostics: energy, momentum, angular momentum.
+
+These are the invariants the test suite's property tests lean on: a
+correct force kernel plus a correct Hermite integrator conserve total
+energy to O(dt^4) per step and linear/angular momentum to round-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .forces import potential_reference
+from .particles import ParticleSystem
+from .units import G_NBODY
+
+__all__ = ["EnergyReport", "kinetic_energy", "energy_report"]
+
+
+def kinetic_energy(mass: np.ndarray, vel: np.ndarray) -> float:
+    """Total kinetic energy sum(m v^2 / 2)."""
+    v2 = np.einsum("ij,ij->i", vel, vel)
+    return float(0.5 * np.sum(mass * v2))
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Snapshot of the system's conserved quantities."""
+
+    kinetic: float
+    potential: float
+    momentum: np.ndarray          # (3,)
+    angular_momentum: np.ndarray  # (3,)
+    time: float
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.potential
+
+    @property
+    def virial_ratio(self) -> float:
+        """Q = -T/W; 0.5 for a virialised system."""
+        return -self.kinetic / self.potential
+
+    def drift_from(self, other: "EnergyReport") -> float:
+        """Relative energy drift |dE / E0| versus a reference report."""
+        return abs((self.total - other.total) / other.total)
+
+
+def energy_report(
+    system: ParticleSystem,
+    *,
+    softening: float = 0.0,
+    G: float = G_NBODY,
+) -> EnergyReport:
+    """Compute all conserved quantities of a particle system."""
+    potential = potential_reference(
+        system.pos, system.mass, softening=softening, G=G
+    )
+    momentum = (system.mass[:, None] * system.vel).sum(axis=0)
+    angular = (
+        system.mass[:, None] * np.cross(system.pos, system.vel)
+    ).sum(axis=0)
+    return EnergyReport(
+        kinetic=kinetic_energy(system.mass, system.vel),
+        potential=potential,
+        momentum=momentum,
+        angular_momentum=angular,
+        time=system.time,
+    )

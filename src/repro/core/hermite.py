@@ -1,0 +1,109 @@
+"""Fourth-order Hermite predictor-corrector integrator.
+
+The integration scheme of the paper's N-body code: each cycle predicts
+positions and velocities with the current acceleration and jerk, evaluates
+new forces at the predicted state (the O(N^2) kernel that gets offloaded to
+the Wormhole), and corrects with the reconstructed higher derivatives
+(Makino & Aarseth 1992):
+
+predict:   x_p = x + v dt + a dt^2/2 + j dt^3/6
+           v_p = v + a dt + j dt^2/2
+evaluate:  (a1, j1) at (x_p, v_p)            <- offloaded, mixed precision
+correct:   v1  = v + dt (a0+a1)/2 + dt^2 (j0-j1)/12
+           x1  = x + dt (v+v1)/2  + dt^2 (a0-a1)/12
+
+All predictor/corrector arithmetic is float64 on the host, matching the
+paper's mixed-precision split.  The corrector also reconstructs the second
+and third acceleration derivatives used by the Aarseth timestep criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IntegratorError
+
+__all__ = ["predict", "correct", "HermiteStepResult", "hermite_step"]
+
+
+def predict(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    acc: np.ndarray,
+    jerk: np.ndarray,
+    dt: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hermite predictor: Taylor expansion through the jerk term."""
+    if dt <= 0 or not np.isfinite(dt):
+        raise IntegratorError(f"dt must be positive and finite, got {dt}")
+    dt2 = dt * dt / 2.0
+    dt3 = dt * dt * dt / 6.0
+    pos_p = pos + dt * vel + dt2 * acc + dt3 * jerk
+    vel_p = vel + dt * acc + dt2 * jerk
+    return pos_p, vel_p
+
+
+@dataclass(frozen=True)
+class HermiteStepResult:
+    """Corrected state plus the reconstructed higher derivatives."""
+
+    pos: np.ndarray
+    vel: np.ndarray
+    acc: np.ndarray
+    jerk: np.ndarray
+    snap: np.ndarray      # a^(2) at the new time
+    crackle: np.ndarray   # a^(3) (constant over the step in this order)
+
+
+def correct(
+    pos0: np.ndarray,
+    vel0: np.ndarray,
+    acc0: np.ndarray,
+    jerk0: np.ndarray,
+    acc1: np.ndarray,
+    jerk1: np.ndarray,
+    dt: float,
+) -> HermiteStepResult:
+    """Hermite corrector, returning the new state and a^(2), a^(3).
+
+    The derivative reconstruction (at the *start* of the step):
+
+        a2_0 = (-6 (a0 - a1) - dt (4 j0 + 2 j1)) / dt^2
+        a3_0 = ( 12 (a0 - a1) + 6 dt (j0 + j1)) / dt^3
+
+    and a2 at the end of the step is a2_1 = a2_0 + dt a3_0, which is what
+    the next step's timestep criterion needs.
+    """
+    if dt <= 0 or not np.isfinite(dt):
+        raise IntegratorError(f"dt must be positive and finite, got {dt}")
+    dt2 = dt * dt
+    dt3 = dt2 * dt
+
+    vel1 = vel0 + (dt / 2.0) * (acc0 + acc1) + (dt2 / 12.0) * (jerk0 - jerk1)
+    pos1 = pos0 + (dt / 2.0) * (vel0 + vel1) + (dt2 / 12.0) * (acc0 - acc1)
+
+    a2_0 = (-6.0 * (acc0 - acc1) - dt * (4.0 * jerk0 + 2.0 * jerk1)) / dt2
+    a3_0 = (12.0 * (acc0 - acc1) + 6.0 * dt * (jerk0 + jerk1)) / dt3
+    a2_1 = a2_0 + dt * a3_0
+
+    return HermiteStepResult(pos1, vel1, acc1, jerk1, a2_1, a3_0)
+
+
+def hermite_step(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    acc: np.ndarray,
+    jerk: np.ndarray,
+    dt: float,
+    evaluate,
+) -> HermiteStepResult:
+    """One full predict-evaluate-correct cycle.
+
+    ``evaluate(pos_p, vel_p) -> (acc1, jerk1)`` is the force backend —
+    either the CPU reference or the Wormhole offload.
+    """
+    pos_p, vel_p = predict(pos, vel, acc, jerk, dt)
+    acc1, jerk1 = evaluate(pos_p, vel_p)
+    return correct(pos, vel, acc, jerk, acc1, jerk1, dt)

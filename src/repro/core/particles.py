@@ -1,0 +1,103 @@
+"""The particle system: the master double-precision state.
+
+Per the paper's mixed-precision scheme, "acceleration, jerk, and other
+intermediate values within the force calculation are computed in single
+precision, while all remaining calculations are performed in double
+precision on the CPU" — so the system of record is always float64; force
+backends may internally degrade precision, but what they return is merged
+into this state.
+
+Layout is structure-of-arrays: contiguous (N, 3) float64 arrays for
+positions/velocities/acceleration/jerk and an (N,) mass vector, which is
+both the cache-friendly layout the optimization guide prescribes and the
+layout the tilizer consumes column-by-column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NBodyError
+
+__all__ = ["ParticleSystem"]
+
+
+@dataclass
+class ParticleSystem:
+    """State of an N-particle gravitational system in N-body units."""
+
+    mass: np.ndarray
+    pos: np.ndarray
+    vel: np.ndarray
+    acc: np.ndarray = field(default=None)  # type: ignore[assignment]
+    jerk: np.ndarray = field(default=None)  # type: ignore[assignment]
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.mass = np.ascontiguousarray(self.mass, dtype=np.float64)
+        self.pos = np.ascontiguousarray(self.pos, dtype=np.float64)
+        self.vel = np.ascontiguousarray(self.vel, dtype=np.float64)
+        n = self.mass.shape[0]
+        if self.mass.ndim != 1 or n == 0:
+            raise NBodyError(f"mass must be a non-empty vector, got {self.mass.shape}")
+        for name, arr in (("pos", self.pos), ("vel", self.vel)):
+            if arr.shape != (n, 3):
+                raise NBodyError(
+                    f"{name} must have shape ({n}, 3), got {arr.shape}"
+                )
+        if np.any(self.mass < 0):
+            raise NBodyError("negative masses are not physical")
+        if not (np.all(np.isfinite(self.pos)) and np.all(np.isfinite(self.vel))
+                and np.all(np.isfinite(self.mass))):
+            raise NBodyError("non-finite values in initial state")
+        if self.acc is None:
+            self.acc = np.zeros((n, 3))
+        if self.jerk is None:
+            self.jerk = np.zeros((n, 3))
+        self.acc = np.ascontiguousarray(self.acc, dtype=np.float64)
+        self.jerk = np.ascontiguousarray(self.jerk, dtype=np.float64)
+        if self.acc.shape != (n, 3) or self.jerk.shape != (n, 3):
+            raise NBodyError("acc/jerk must have shape (n, 3)")
+
+    @property
+    def n(self) -> int:
+        return self.mass.shape[0]
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.mass.sum())
+
+    def copy(self) -> "ParticleSystem":
+        return ParticleSystem(
+            self.mass.copy(), self.pos.copy(), self.vel.copy(),
+            self.acc.copy(), self.jerk.copy(), self.time,
+        )
+
+    # -- frame utilities ----------------------------------------------------
+
+    def center_of_mass(self) -> np.ndarray:
+        return (self.mass[:, None] * self.pos).sum(axis=0) / self.total_mass
+
+    def center_of_mass_velocity(self) -> np.ndarray:
+        return (self.mass[:, None] * self.vel).sum(axis=0) / self.total_mass
+
+    def to_center_of_mass_frame(self) -> None:
+        """Shift to the barycentric frame, in place."""
+        self.pos -= self.center_of_mass()
+        self.vel -= self.center_of_mass_velocity()
+
+    def check_finite(self) -> None:
+        """Raise if the dynamical state has gone non-finite."""
+        if not (
+            np.all(np.isfinite(self.pos))
+            and np.all(np.isfinite(self.vel))
+            and np.all(np.isfinite(self.acc))
+            and np.all(np.isfinite(self.jerk))
+        ):
+            raise NBodyError(
+                f"non-finite dynamical state at t={self.time}; the timestep "
+                "is likely too large or two particles collided without "
+                "softening"
+            )

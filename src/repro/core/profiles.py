@@ -1,0 +1,158 @@
+"""Analytic cluster profiles: density, mass, potential, dispersions.
+
+Closed-form theory for the models the IC generators sample — the ground
+truth the test suite compares Monte-Carlo realisations against, and the
+toolbox for setting up physically scaled experiments (e.g. choosing a
+softening as a fraction of the theoretical core radius).
+
+All profiles are in Henon units with total mass M and G = 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["PlummerProfile", "HernquistProfile", "UniformSphereProfile"]
+
+
+def _check_radius(r) -> np.ndarray:
+    arr = np.asarray(r, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ConfigurationError("radius must be non-negative")
+    return arr
+
+
+@dataclass(frozen=True)
+class PlummerProfile:
+    """Plummer (1911) sphere: rho ~ (1 + (r/a)^2)^(-5/2)."""
+
+    scale_radius: float = 3.0 * np.pi / 16.0  # virial radius 1 in Henon units
+    total_mass: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale_radius <= 0 or self.total_mass <= 0:
+            raise ConfigurationError("profile parameters must be positive")
+
+    def density(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        a = self.scale_radius
+        return (
+            3.0 * self.total_mass / (4.0 * np.pi * a**3)
+            * (1.0 + (r / a) ** 2) ** -2.5
+        )
+
+    def enclosed_mass(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        a = self.scale_radius
+        return self.total_mass * r**3 / (r**2 + a**2) ** 1.5
+
+    def potential(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        return -self.total_mass / np.sqrt(r**2 + self.scale_radius**2)
+
+    def velocity_dispersion_1d(self, r) -> np.ndarray:
+        """Isotropic Jeans solution: sigma^2 = -phi / 6."""
+        return np.sqrt(-self.potential(r) / 6.0)
+
+    @property
+    def half_mass_radius(self) -> float:
+        """r_h = a / sqrt(2^(2/3) - 1) ~ 1.305 a."""
+        return self.scale_radius / np.sqrt(2.0 ** (2.0 / 3.0) - 1.0)
+
+    @property
+    def total_energy(self) -> float:
+        """E = -3 pi M^2 / (64 a); equals -1/4 at the Henon scale radius."""
+        return -3.0 * np.pi * self.total_mass**2 / (64.0 * self.scale_radius)
+
+    @property
+    def core_radius_theoretical(self) -> float:
+        """King-style core radius where surface density halves: ~0.64 a."""
+        return 0.64 * self.scale_radius
+
+
+@dataclass(frozen=True)
+class HernquistProfile:
+    """Hernquist (1990) sphere: rho ~ 1 / [(r/a)(1 + r/a)^3]."""
+
+    scale_radius: float = 0.55
+    total_mass: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale_radius <= 0 or self.total_mass <= 0:
+            raise ConfigurationError("profile parameters must be positive")
+
+    def density(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        a = self.scale_radius
+        with np.errstate(divide="ignore"):
+            return (
+                self.total_mass / (2.0 * np.pi)
+                * a / (r * (r + a) ** 3)
+            )
+
+    def enclosed_mass(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        a = self.scale_radius
+        return self.total_mass * r**2 / (r + a) ** 2
+
+    def potential(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        return -self.total_mass / (r + self.scale_radius)
+
+    @property
+    def half_mass_radius(self) -> float:
+        """M(r) = M/2 at r = a (1 + sqrt(2))."""
+        return self.scale_radius * (1.0 + np.sqrt(2.0))
+
+    @property
+    def total_energy(self) -> float:
+        """E = -M^2 / (12 a)."""
+        return -self.total_mass**2 / (12.0 * self.scale_radius)
+
+
+@dataclass(frozen=True)
+class UniformSphereProfile:
+    """Homogeneous sphere of radius R."""
+
+    radius: float = 1.0
+    total_mass: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0 or self.total_mass <= 0:
+            raise ConfigurationError("profile parameters must be positive")
+
+    def density(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        rho0 = 3.0 * self.total_mass / (4.0 * np.pi * self.radius**3)
+        return np.where(r <= self.radius, rho0, 0.0)
+
+    def enclosed_mass(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        inside = self.total_mass * (r / self.radius) ** 3
+        return np.where(r <= self.radius, inside, self.total_mass)
+
+    def potential(self, r) -> np.ndarray:
+        r = _check_radius(r)
+        R, M = self.radius, self.total_mass
+        inside = -M * (3.0 * R**2 - r**2) / (2.0 * R**3)
+        with np.errstate(divide="ignore"):
+            outside = -M / r
+        return np.where(r <= R, inside, outside)
+
+    @property
+    def potential_energy(self) -> float:
+        """W = -3 M^2 / (5 R)."""
+        return -0.6 * self.total_mass**2 / self.radius
+
+    @property
+    def free_fall_time(self) -> float:
+        """Cold-collapse time to the centre: pi/2 sqrt(R^3 / (2 M))."""
+        return 0.5 * np.pi * np.sqrt(self.radius**3 / (2.0 * self.total_mass))
+
+    @property
+    def half_mass_radius(self) -> float:
+        return self.radius * 2.0 ** (-1.0 / 3.0)

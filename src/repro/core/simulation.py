@@ -1,0 +1,268 @@
+"""The simulation driver: predict-evaluate-correct cycles over a backend.
+
+The driver is backend-agnostic: a :class:`ForceBackend` is anything with a
+``compute(pos, vel, mass) -> ForceEvaluation``.  The repository provides
+three: the double-precision golden reference (:class:`ReferenceBackend`
+here), the mixed-precision CPU model (:mod:`repro.cpuref`), and the
+Wormhole offload (:mod:`repro.nbody_tt`).
+
+Besides physics, the driver assembles the job's *timeline*: each cycle
+contributes host phases (the double-precision predictor/corrector the
+paper keeps on the CPU) and whatever phases the backend reports (device
+compute, PCIe, kernel launches).  The telemetry stack replays this timeline
+at 1 Hz to produce the power traces of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import ConfigurationError, IntegratorError
+from .hermite import correct, predict
+from .particles import ParticleSystem
+from .timestep import SharedTimestep
+from .units import G_NBODY
+
+__all__ = [
+    "TimelineSegment",
+    "ForceEvaluation",
+    "ForceBackend",
+    "ReferenceBackend",
+    "HostCostModel",
+    "CycleRecord",
+    "SimulationResult",
+    "Simulation",
+]
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One phase of modelled job time: tag in {host, device, pcie, launch}."""
+
+    tag: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ForceEvaluation:
+    """Result of one force evaluation by a backend."""
+
+    acc: np.ndarray
+    jerk: np.ndarray
+    segments: tuple[TimelineSegment, ...] = ()
+
+    @property
+    def model_seconds(self) -> float:
+        return sum(s.seconds for s in self.segments)
+
+
+class ForceBackend(Protocol):
+    """Anything that can evaluate accelerations and jerks."""
+
+    name: str
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation: ...
+
+
+class ReferenceBackend:
+    """The golden reference as a backend: float64, no modelled time."""
+
+    name = "reference-f64"
+
+    def __init__(self, softening: float = 0.0, G: float = G_NBODY) -> None:
+        self.softening = softening
+        self.G = G
+
+    def compute(self, pos, vel, mass) -> ForceEvaluation:
+        from .forces import accel_jerk_reference
+
+        acc, jerk = accel_jerk_reference(
+            pos, vel, mass, softening=self.softening, G=self.G
+        )
+        return ForceEvaluation(acc, jerk)
+
+
+@dataclass(frozen=True)
+class HostCostModel:
+    """Modelled cost of the host-resident double-precision work.
+
+    ``seconds_per_particle_cycle`` covers the predictor, corrector, and
+    FP64<->FP32 marshalling per particle per cycle; ``init_seconds`` is the
+    one-time host initialisation the paper's Fig. 4 shows at job start
+    (cards stay at idle power while it runs).
+    """
+
+    seconds_per_particle_cycle: float = 0.0
+    init_seconds: float = 0.0
+
+    def cycle_segments(self, n: int) -> tuple[TimelineSegment, ...]:
+        if self.seconds_per_particle_cycle <= 0.0:
+            return ()
+        half = 0.5 * self.seconds_per_particle_cycle * n
+        return (
+            TimelineSegment("host", half, "predict"),
+            TimelineSegment("host", half, "correct"),
+        )
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """Per-cycle diagnostics."""
+
+    index: int
+    time: float
+    dt: float
+    model_seconds: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a campaign needs from one simulation run."""
+
+    system: ParticleSystem
+    cycles: list[CycleRecord]
+    timeline: list[TimelineSegment]
+    backend_name: str
+
+    @property
+    def model_seconds(self) -> float:
+        """Total modelled wall time of the job (the MPI_Wtime window)."""
+        return sum(s.seconds for s in self.timeline)
+
+    def seconds_by_tag(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for seg in self.timeline:
+            out[seg.tag] = out.get(seg.tag, 0.0) + seg.seconds
+        return out
+
+
+class Simulation:
+    """Hermite integration of a particle system over a force backend.
+
+    Parameters
+    ----------
+    system:
+        Initial conditions; mutated in place as the run advances.
+    backend:
+        Force backend (reference, CPU model, or Wormhole offload).
+    dt:
+        Fixed shared timestep; mutually exclusive with ``timestep``.
+    timestep:
+        Adaptive :class:`SharedTimestep` scheme.
+    host_cost:
+        Modelled cost of host-resident work (zero for pure-physics runs).
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        backend: ForceBackend,
+        *,
+        dt: float | None = None,
+        timestep: SharedTimestep | None = None,
+        host_cost: HostCostModel = HostCostModel(),
+    ) -> None:
+        if (dt is None) == (timestep is None):
+            raise ConfigurationError(
+                "exactly one of dt= or timestep= must be given"
+            )
+        if dt is not None and (dt <= 0 or not np.isfinite(dt)):
+            raise ConfigurationError(f"dt must be positive and finite, got {dt}")
+        self.system = system
+        self.backend = backend
+        self.fixed_dt = dt
+        self.timestep = timestep
+        self.host_cost = host_cost
+        self._initialised = False
+        self._snap = np.zeros_like(system.pos)
+        self._crackle = np.zeros_like(system.pos)
+
+    def initialise(self) -> list[TimelineSegment]:
+        """Initial force evaluation (and host init cost)."""
+        segments: list[TimelineSegment] = []
+        if self.host_cost.init_seconds > 0.0:
+            segments.append(
+                TimelineSegment("host", self.host_cost.init_seconds, "init")
+            )
+        evaluation = self.backend.compute(
+            self.system.pos, self.system.vel, self.system.mass
+        )
+        self.system.acc = evaluation.acc
+        self.system.jerk = evaluation.jerk
+        segments.extend(evaluation.segments)
+        self._initialised = True
+        return segments
+
+    def _choose_dt(self, first: bool) -> float:
+        if self.fixed_dt is not None:
+            return self.fixed_dt
+        assert self.timestep is not None
+        if first:
+            return self.timestep.first(self.system.acc, self.system.jerk)
+        return self.timestep.next(
+            self.system.acc, self.system.jerk, self._snap, self._crackle
+        )
+
+    def run(self, n_cycles: int) -> SimulationResult:
+        """Advance ``n_cycles`` Hermite cycles and return the result."""
+        if n_cycles <= 0:
+            raise ConfigurationError(f"n_cycles must be positive, got {n_cycles}")
+        timeline: list[TimelineSegment] = []
+        if not self._initialised:
+            timeline.extend(self.initialise())
+        records: list[CycleRecord] = []
+
+        for index in range(n_cycles):
+            dt = self._choose_dt(first=(index == 0 and self.fixed_dt is None))
+            cycle_segments = list(self.host_cost.cycle_segments(self.system.n))
+            # predictor (host, float64)
+            pos_p, vel_p = predict(
+                self.system.pos, self.system.vel,
+                self.system.acc, self.system.jerk, dt,
+            )
+            # force evaluation (backend; the offloaded part)
+            evaluation = self.backend.compute(pos_p, vel_p, self.system.mass)
+            # corrector (host, float64)
+            step = correct(
+                self.system.pos, self.system.vel,
+                self.system.acc, self.system.jerk,
+                evaluation.acc, evaluation.jerk, dt,
+            )
+            self.system.pos = step.pos
+            self.system.vel = step.vel
+            self.system.acc = step.acc
+            self.system.jerk = step.jerk
+            self._snap = step.snap
+            self._crackle = step.crackle
+            self.system.time += dt
+            self.system.check_finite()
+
+            # interleave host halves around the backend segments
+            if cycle_segments:
+                segments = (
+                    [cycle_segments[0]]
+                    + list(evaluation.segments)
+                    + [cycle_segments[1]]
+                )
+            else:
+                segments = list(evaluation.segments)
+            timeline.extend(segments)
+            records.append(
+                CycleRecord(
+                    index=index,
+                    time=self.system.time,
+                    dt=dt,
+                    model_seconds=sum(s.seconds for s in segments),
+                )
+            )
+        return SimulationResult(
+            system=self.system,
+            cycles=records,
+            timeline=timeline,
+            backend_name=self.backend.name,
+        )

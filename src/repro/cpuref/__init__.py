@@ -1,0 +1,35 @@
+"""Model of the paper's optimized CPU reference implementation.
+
+The baseline the Wormhole port is measured against: a mixed-precision
+C++ code parallelised with MPI + OpenMP and vectorised with AVX-512
+(paper Section 3).  Here: a float32-pairwise/float64-accumulate kernel
+(:mod:`~repro.cpuref.simd`), an OpenMP static-scheduling wall-time model
+(:mod:`~repro.cpuref.openmp`), an in-process MPI-like communicator
+(:mod:`~repro.cpuref.mpi`), and the assembled
+:class:`~repro.cpuref.reference.CPUForceBackend`.
+"""
+
+from .mpi import FakeComm, split_counts
+from .openmp import OpenMPModel, chunk_ranges
+from .params import (
+    DEFAULT_CPU_COSTS,
+    EPYC_9124_DUAL,
+    CpuCostParams,
+    HostParams,
+)
+from .reference import CPUForceBackend
+from .simd import interactions_count, simd_accel_jerk
+
+__all__ = [
+    "FakeComm",
+    "split_counts",
+    "OpenMPModel",
+    "chunk_ranges",
+    "DEFAULT_CPU_COSTS",
+    "EPYC_9124_DUAL",
+    "CpuCostParams",
+    "HostParams",
+    "CPUForceBackend",
+    "interactions_count",
+    "simd_accel_jerk",
+]

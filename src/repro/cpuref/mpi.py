@@ -1,0 +1,90 @@
+"""In-process MPI-like communicator for rank-level decomposition.
+
+The reference code is "parallelized using ... the Message Passing Interface
+(MPI) and OpenMP"; the paper's runs use a single MPI task, but the code
+structure supports more, and the multi-device extension (experiment E8)
+decomposes over ranks.  This module provides the needed subset with mpi4py
+naming: a communicator with ``Get_rank``/``Get_size``, buffer-based
+``Allgatherv`` for force exchange, and ``Bcast``/``Barrier``.
+
+Ranks execute sequentially in-process (deterministic, dependency-free);
+the *cost model* accounts what the collective would have cost on the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["FakeComm", "split_counts"]
+
+#: Shared-memory collective constants: latency per rank, bandwidth.
+LATENCY_S = 5.0e-7
+BANDWIDTH_BYTES_PER_S = 20.0e9
+
+
+def split_counts(n: int, size: int) -> list[int]:
+    """Balanced element counts per rank (MPI-style block distribution)."""
+    if n < 0 or size <= 0:
+        raise ConfigurationError(f"need n >= 0, size > 0; got {n}, {size}")
+    base, extra = divmod(n, size)
+    return [base + (1 if r < extra else 0) for r in range(size)]
+
+
+class FakeComm:
+    """A COMM_WORLD-like communicator over in-process "ranks"."""
+
+    def __init__(self, size: int = 1, rank: int = 0) -> None:
+        if size <= 0 or not (0 <= rank < size):
+            raise ConfigurationError(
+                f"invalid communicator size={size}, rank={rank}"
+            )
+        self._size = size
+        self._rank = rank
+        self.collective_seconds = 0.0  # accumulated modelled comm time
+
+    def Get_size(self) -> int:
+        return self._size
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    # -- collectives -----------------------------------------------------------
+
+    def Allgatherv(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                   counts: list[int]) -> None:
+        """Gather variable-size contributions from every rank into recvbuf.
+
+        In-process there is a single rank's data to place; the cost model
+        charges the full ring-allgather the real communicator would run.
+        """
+        if sum(counts) != recvbuf.shape[0]:
+            raise ConfigurationError(
+                f"recvbuf rows {recvbuf.shape[0]} != sum of counts {sum(counts)}"
+            )
+        offset = sum(counts[: self._rank])
+        if sendbuf.shape[0] != counts[self._rank]:
+            raise ConfigurationError(
+                f"sendbuf rows {sendbuf.shape[0]} != this rank's count "
+                f"{counts[self._rank]}"
+            )
+        recvbuf[offset : offset + counts[self._rank]] = sendbuf
+        self.collective_seconds += self._allgather_cost(recvbuf.nbytes)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        if not (0 <= root < self._size):
+            raise ConfigurationError(f"invalid root {root}")
+        self.collective_seconds += self._allgather_cost(buf.nbytes) / max(
+            self._size - 1, 1
+        )
+
+    def Barrier(self) -> None:
+        self.collective_seconds += LATENCY_S * max(self._size - 1, 0)
+
+    def _allgather_cost(self, total_bytes: int) -> float:
+        if self._size == 1:
+            return 0.0
+        steps = self._size - 1
+        per_step_bytes = total_bytes / self._size
+        return steps * (LATENCY_S + per_step_bytes / BANDWIDTH_BYTES_PER_S)

@@ -1,0 +1,98 @@
+"""OpenMP-like execution model: threads, chunking, and wall-time.
+
+The paper's reference runs "32 OpenMP threads and one MPI task", with all
+physical cores utilised via ``OMP_PLACES=cores`` and the observation that
+"using all hardware threads did not yield any significant performance
+improvement" (SMT gives nothing on this kernel).  The model captures:
+
+* static scheduling: the outer particle loop is split into one contiguous
+  chunk per thread;
+* wall time = slowest chunk (they run concurrently) + a per-thread
+  synchronisation overhead;
+* SMT saturation: threads beyond the physical core count contribute no
+  additional throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .params import CpuCostParams, DEFAULT_CPU_COSTS, EPYC_9124_DUAL, HostParams
+
+__all__ = ["chunk_ranges", "OpenMPModel"]
+
+
+def chunk_ranges(n: int, n_chunks: int) -> list[slice]:
+    """Split ``range(n)`` into ``n_chunks`` contiguous, balanced slices.
+
+    The first ``n % n_chunks`` chunks get one extra element, as OpenMP
+    static scheduling does.  Chunks may be empty when n < n_chunks.
+    """
+    if n < 0 or n_chunks <= 0:
+        raise ConfigurationError(
+            f"need n >= 0 and n_chunks > 0, got {n}, {n_chunks}"
+        )
+    base, extra = divmod(n, n_chunks)
+    out = []
+    start = 0
+    for k in range(n_chunks):
+        size = base + (1 if k < extra else 0)
+        out.append(slice(start, start + size))
+        start += size
+    return out
+
+
+@dataclass(frozen=True)
+class OpenMPModel:
+    """Thread-level wall-time model for the blocked force kernel."""
+
+    n_threads: int
+    host: HostParams = EPYC_9124_DUAL
+    costs: CpuCostParams = DEFAULT_CPU_COSTS
+    places_cores: bool = True   # OMP_PLACES=cores
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ConfigurationError(
+                f"thread count must be positive, got {self.n_threads}"
+            )
+        if self.n_threads > self.host.hardware_threads:
+            raise ConfigurationError(
+                f"{self.n_threads} threads exceed the host's "
+                f"{self.host.hardware_threads} hardware threads"
+            )
+
+    @property
+    def effective_threads(self) -> int:
+        """Throughput-carrying threads: SMT adds nothing to this kernel."""
+        return min(self.n_threads, self.host.physical_cores)
+
+    def force_eval_seconds(self, n: int) -> float:
+        """Wall time of one full O(N^2) force evaluation."""
+        chunks = chunk_ranges(n, self.effective_threads)
+        # each interaction with every source particle, including the cheap
+        # masked self term, costs the effective per-interaction rate
+        worst = max((c.stop - c.start) for c in chunks) * n
+        return (
+            worst * self.costs.seconds_per_interaction
+            + self.n_threads * self.costs.sync_seconds_per_thread
+        )
+
+    def serial_seconds(self, n: int) -> float:
+        """Per-cycle serial section (predictor/corrector, bookkeeping)."""
+        return (
+            self.costs.serial_seconds_per_cycle
+            + n * self.costs.serial_seconds_per_particle
+        )
+
+    def cycle_seconds(self, n: int) -> float:
+        return self.force_eval_seconds(n) + self.serial_seconds(n)
+
+    def job_seconds(self, n: int, n_cycles: int) -> float:
+        """Modelled time-to-solution (init + initial eval + n cycles)."""
+        return (
+            self.costs.init_seconds
+            + self.force_eval_seconds(n)  # initial force evaluation
+            + n_cycles * self.cycle_seconds(n)
+        )

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  The device
+layer distinguishes *transient* hardware-like faults (reset failures, which
+the paper's campaign hit on 24 of 50 jobs) from *usage* errors (invalid
+buffer sizes, protocol violations on circular buffers), because the campaign
+driver retries the former and aborts on the latter.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value or combination of parameters."""
+
+
+# --------------------------------------------------------------------------
+# Device / simulator faults
+# --------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for simulated Wormhole device failures."""
+
+
+class DeviceResetError(DeviceError):
+    """Raised when a device reset fails.
+
+    Mirrors the failure mode reported in the paper's experimental campaign,
+    where 24 of 50 accelerated jobs "failed to start due to errors occurring
+    during the device reset phase".
+    """
+
+
+class DeviceNotOpenError(DeviceError):
+    """Operation attempted on a device that is closed or unreset."""
+
+
+class AllocationError(DeviceError):
+    """On-device memory (DRAM or L1 SRAM) allocation failure."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Out-of-range or misaligned access to simulated device memory."""
+
+
+# --------------------------------------------------------------------------
+# Kernel / dataflow protocol errors
+# --------------------------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """Base class for kernel construction and execution errors."""
+
+
+class CircularBufferError(KernelError):
+    """Violation of circular-buffer protocol (wait/pop/reserve/push)."""
+
+
+class RegisterFileError(KernelError):
+    """Invalid access to srcA/srcB/dst tile registers."""
+
+
+class TileError(ReproError):
+    """Invalid tile shape, dtype, or tilize/untilize request."""
+
+
+class DataFormatError(TileError):
+    """Unsupported or inconsistent device data format."""
+
+
+# --------------------------------------------------------------------------
+# Host-side (TT-Metalium-like) API errors
+# --------------------------------------------------------------------------
+
+
+class HostApiError(ReproError):
+    """Misuse of the metalium host API (bad handles, double frees, ...)."""
+
+
+class CommandQueueError(HostApiError):
+    """Invalid command-queue operation (e.g. waiting on an empty queue)."""
+
+
+# --------------------------------------------------------------------------
+# N-body application errors
+# --------------------------------------------------------------------------
+
+
+class NBodyError(ReproError):
+    """Base class for errors raised by the N-body application layer."""
+
+
+class ValidationError(NBodyError):
+    """Accuracy validation against the golden reference failed.
+
+    Raised when acceleration or jerk components exceed the paper's
+    acceptance gates (0.05% and 0.2% of a typical force magnitude).
+    """
+
+
+class IntegratorError(NBodyError):
+    """Numerical integration failure (NaNs, non-finite timestep, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Telemetry / campaign errors
+# --------------------------------------------------------------------------
+
+
+class TelemetryError(ReproError):
+    """Base class for measurement-infrastructure failures."""
+
+
+class SamplerError(TelemetryError):
+    """Power/energy sampler misconfiguration or protocol error."""
+
+
+class CampaignError(TelemetryError):
+    """Experimental-campaign orchestration failure."""

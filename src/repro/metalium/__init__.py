@@ -1,0 +1,48 @@
+"""TT-Metalium-style host programming interface for the simulator.
+
+This layer is the substitution for the Tenstorrent SDK: the N-body port
+is written against it exactly as the paper's code is written against
+TT-Metalium — device creation, DRAM buffers, kernels bound to baby RISC-V
+roles, circular buffers, and an in-order command queue that doubles as the
+job's phase timeline for the telemetry stack.
+"""
+
+from .buffer import DramBuffer
+from .command_queue import CommandQueue, Phase
+from .host_api import (
+    CloseDevice,
+    CreateBuffer,
+    CreateCircularBuffer,
+    CreateDevice,
+    CreateKernel,
+    CreateProgram,
+    EnqueueProgram,
+    EnqueueReadBuffer,
+    EnqueueWriteBuffer,
+    Finish,
+    GetCommandQueue,
+    SetRuntimeArgs,
+)
+from .kernel import CBConfig, CoreRange, KernelSpec, Program
+
+__all__ = [
+    "DramBuffer",
+    "CommandQueue",
+    "Phase",
+    "CloseDevice",
+    "CreateBuffer",
+    "CreateCircularBuffer",
+    "CreateDevice",
+    "CreateKernel",
+    "CreateProgram",
+    "EnqueueProgram",
+    "EnqueueReadBuffer",
+    "EnqueueWriteBuffer",
+    "Finish",
+    "GetCommandQueue",
+    "SetRuntimeArgs",
+    "CBConfig",
+    "CoreRange",
+    "KernelSpec",
+    "Program",
+]

@@ -1,0 +1,137 @@
+"""The command queue: dispatch, synchronisation, and time accounting.
+
+"Kernels are enqueued for execution via a command queue, which manages
+dispatch, synchronization, and sequencing of tasks on the hardware"
+(paper Section 2).  Besides executing programs, the queue is the place
+where the simulation's *timeline* is assembled: every enqueue appends a
+phase record (host transfer, device compute, launch overhead) that the
+telemetry layer later replays to generate the power trace of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CommandQueueError
+from ..wormhole.device import WormholeDevice
+from ..wormhole.tensix import TensixCore
+from .buffer import DramBuffer
+from .kernel import Program
+
+__all__ = ["Phase", "CommandQueue"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timeline segment of a job: what ran and for how long (modelled)."""
+
+    tag: str          # "host", "pcie", "device", "launch"
+    duration_s: float
+    detail: str = ""
+
+
+@dataclass
+class CommandQueue:
+    """In-order command queue for one device."""
+
+    device: WormholeDevice
+    phases: list[Phase] = field(default_factory=list)
+    #: cooperative-scheduler rounds per core for the last enqueued program —
+    #: a pipeline-stall proxy the double-buffering ablation reads
+    last_scheduler_rounds: dict = field(default_factory=dict)
+    _pending: int = 0
+
+    # -- time accounting ------------------------------------------------------
+
+    def record_host(self, duration_s: float, detail: str = "") -> None:
+        """Record host-side (non-offloaded) work on the timeline."""
+        if duration_s < 0:
+            raise CommandQueueError(f"negative phase duration {duration_s}")
+        self.phases.append(Phase("host", duration_s, detail))
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total modelled job time across all recorded phases."""
+        return sum(p.duration_s for p in self.phases)
+
+    def device_seconds(self) -> float:
+        return sum(p.duration_s for p in self.phases if p.tag == "device")
+
+    def host_seconds(self) -> float:
+        return sum(
+            p.duration_s for p in self.phases if p.tag in ("host", "pcie", "launch")
+        )
+
+    # -- buffer traffic ---------------------------------------------------------
+
+    def enqueue_write_buffer(self, buffer: DramBuffer, tiles) -> None:
+        """Host -> device transfer (blocking; PCIe cost on the timeline)."""
+        seconds = buffer.host_write_tiles(tiles)
+        self.phases.append(Phase("pcie", seconds, "write_buffer"))
+
+    def enqueue_read_buffer(self, buffer: DramBuffer):
+        """Device -> host transfer; returns the tiles."""
+        tiles, seconds = buffer.host_read_tiles()
+        self.phases.append(Phase("pcie", seconds, "read_buffer"))
+        return tiles
+
+    # -- program execution -----------------------------------------------------
+
+    def enqueue_program(self, program: Program) -> float:
+        """Execute a program across its core range; returns device seconds.
+
+        Device time is the *maximum* busy time across participating cores
+        (they run concurrently on hardware); the one-time program build cost
+        and the per-launch dispatch overhead land on the host timeline.
+        """
+        self.device.require_open()
+        if not program.kernels:
+            raise CommandQueueError("cannot enqueue a program with no kernels")
+
+        if not program.built:
+            self.phases.append(
+                Phase("launch", self.device.costs.program_build_s, "program_build")
+            )
+            program.built = True
+        self.phases.append(
+            Phase("launch", self.device.costs.host_launch_overhead_s, "dispatch")
+        )
+
+        worst = 0.0
+        self.last_scheduler_rounds = {}
+        for core_index in program.core_range:
+            core = self.device.cores[core_index]
+            worst = max(worst, self._run_on_core(core, core_index, program))
+        self.phases.append(Phase("device", worst, "program"))
+        return worst
+
+    def _run_on_core(self, core: TensixCore, core_index: int,
+                     program: Program) -> float:
+        busy_before = core.counter.busy_cycles()
+        for cb_config in program.cbs:
+            core.create_cb(cb_config.cb_id, cb_config.capacity_pages, cb_config.fmt)
+        args = program.args_for(core_index)
+        for spec in program.kernels:
+            core.bind_kernel(
+                spec.name,
+                spec.role,
+                lambda c, _spec=spec: _spec.body(c, args),
+                kind=spec.kind,
+            )
+        self.last_scheduler_rounds[core_index] = core.run_kernels()
+        # CBs are program-scoped: tear them down so the next program can
+        # reconfigure the same ids (the L1 planner frees wholesale).
+        for cb_config in program.cbs:
+            cb = core.cbs.pop(cb_config.cb_id)
+            if cb._l1_alloc is not None:
+                core.l1.free(cb._l1_alloc)
+        busy_after = core.counter.busy_cycles()
+        return (busy_after - busy_before) / core.chip.clock_hz
+
+    def finish(self) -> float:
+        """Block until all enqueued work completes; returns elapsed seconds.
+
+        All operations in this in-order simulator are executed eagerly, so
+        finish only reports the accumulated timeline.
+        """
+        return self.elapsed_s

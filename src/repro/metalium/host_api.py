@@ -1,0 +1,119 @@
+"""TT-Metalium-style host API entry points.
+
+Free functions named after their TT-Metalium counterparts, so the N-body
+port in :mod:`repro.nbody_tt` reads like the paper's host code:
+
+.. code-block:: python
+
+    device = CreateDevice(0)
+    queue = GetCommandQueue(device)
+    buf = CreateBuffer(device, n_tiles=100)
+    program = CreateProgram(core_range=CoreRange(0, 64))
+    CreateCircularBuffer(program, cb_id=0, capacity_pages=2)
+    CreateKernel(program, "reader", RiscvRole.NC, "data_movement", body)
+    EnqueueWriteBuffer(queue, buf, tiles)
+    EnqueueProgram(queue, program)
+    tiles = EnqueueReadBuffer(queue, buf)
+    Finish(queue)
+    CloseDevice(device)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import HostApiError
+from ..wormhole.device import WormholeDevice
+from ..wormhole.dtypes import DataFormat
+from ..wormhole.riscv import RiscvRole
+from .buffer import DramBuffer
+from .command_queue import CommandQueue
+from .kernel import CBConfig, CoreRange, KernelSpec, Program
+
+__all__ = [
+    "CreateDevice",
+    "CloseDevice",
+    "GetCommandQueue",
+    "CreateBuffer",
+    "CreateProgram",
+    "CreateKernel",
+    "CreateCircularBuffer",
+    "SetRuntimeArgs",
+    "EnqueueWriteBuffer",
+    "EnqueueReadBuffer",
+    "EnqueueProgram",
+    "Finish",
+]
+
+_queues: dict[int, CommandQueue] = {}
+
+
+def CreateDevice(device_id: int = 0, **device_kwargs: Any) -> WormholeDevice:
+    """Reset and open a Wormhole device, creating its command queue.
+
+    Propagates :class:`~repro.errors.DeviceResetError` when the reset fault
+    injector fires, exactly as the paper's failed jobs did.
+    """
+    device = WormholeDevice(device_id, **device_kwargs)
+    device.reset()
+    device.open()
+    _queues[id(device)] = CommandQueue(device)
+    return device
+
+
+def CloseDevice(device: WormholeDevice) -> None:
+    device.close()
+    _queues.pop(id(device), None)
+
+
+def GetCommandQueue(device: WormholeDevice) -> CommandQueue:
+    try:
+        return _queues[id(device)]
+    except KeyError:
+        raise HostApiError(
+            "no command queue: device was not created via CreateDevice "
+            "or has been closed"
+        ) from None
+
+
+def CreateBuffer(device: WormholeDevice, n_tiles: int,
+                 fmt: DataFormat = DataFormat.FLOAT32) -> DramBuffer:
+    return DramBuffer(device, n_tiles, fmt)
+
+
+def CreateProgram(core_range: CoreRange) -> Program:
+    return Program(core_range=core_range)
+
+
+def CreateKernel(program: Program, name: str, role: RiscvRole,
+                 kind: str, body) -> KernelSpec:
+    spec = KernelSpec(name, role, kind, body)
+    program.add_kernel(spec)
+    return spec
+
+
+def CreateCircularBuffer(program: Program, cb_id: int, capacity_pages: int,
+                         fmt: DataFormat = DataFormat.FLOAT32) -> CBConfig:
+    config = CBConfig(cb_id, capacity_pages, fmt)
+    program.add_cb(config)
+    return config
+
+
+def SetRuntimeArgs(program: Program, core_index: int, args: dict[str, Any]) -> None:
+    program.set_runtime_args(core_index, args)
+
+
+def EnqueueWriteBuffer(queue: CommandQueue, buffer: DramBuffer, tiles) -> None:
+    queue.enqueue_write_buffer(buffer, tiles)
+
+
+def EnqueueReadBuffer(queue: CommandQueue, buffer: DramBuffer):
+    return queue.enqueue_read_buffer(buffer)
+
+
+def EnqueueProgram(queue: CommandQueue, program: Program) -> float:
+    return queue.enqueue_program(program)
+
+
+def Finish(queue: CommandQueue) -> float:
+    return queue.finish()

@@ -1,0 +1,136 @@
+"""Ablation: the force kernel in double-single arithmetic (E13).
+
+If plain FP32 had *failed* the paper's validation gates, the classic fix
+(from the GPU N-body literature) would be double-single arithmetic on the
+same hardware.  This module implements the full acceleration+jerk pairwise
+chain in DS (:mod:`repro.wormhole.double_single`) so the ablation can
+measure both sides of the trade:
+
+* accuracy: DS tracks the float64 golden reference to ~2^-40, orders of
+  magnitude inside the gates;
+* cost: every DS operation expands to several FP32 SFPU ops
+  (``DS_OP_COSTS``), and :class:`DSCostModel` prices the whole kernel —
+  the op-count multiplier is large enough to erase the device's speed
+  advantage over the 32-thread CPU reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NBodyError
+from ..wormhole.double_single import DS, DS_OP_COSTS
+from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from .force_kernel import weighted_ops_per_j
+
+__all__ = ["ds_accel_jerk", "DSCostModel"]
+
+#: DS primitive invocations per broadcast j-iteration of the force chain.
+DS_OPS_PER_J = {
+    "sub": 9,      # dx,dy,dz,dvx,dvy,dvz + 3 jerk differences
+    "mul": 19,     # squares(3), rinv2, rinv3, m*rinv3, rv products(3),
+                   # alpha terms(2), accel products(3), jerk products(6)
+    "add": 10,     # r2 assembly(2), rv assembly(2), 6 accumulator adds
+    "rsqrt": 1,
+}
+
+
+def ds_accel_jerk(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    *,
+    softening: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Acceleration and jerk with every pairwise operation in DS.
+
+    O(N^2) memory (DS pair matrices), intended for ablation sizes
+    (N <~ 1024).  Self-interactions are masked on the seed reciprocal.
+    """
+    n = mass.shape[0]
+    if pos.shape != (n, 3) or vel.shape != (n, 3):
+        raise NBodyError("pos/vel shapes do not match the mass vector")
+    if n > 2048:
+        raise NBodyError(
+            "ds_accel_jerk builds O(N^2) DS pair matrices; keep N <= 2048"
+        )
+
+    def pair_ds(column: np.ndarray) -> DS:
+        a = DS.from_float64(column[None, :].repeat(n, axis=0))
+        b = DS.from_float64(column[:, None].repeat(n, axis=1))
+        return a.sub(b)
+
+    dx = pair_ds(pos[:, 0])
+    dy = pair_ds(pos[:, 1])
+    dz = pair_ds(pos[:, 2])
+    dvx = pair_ds(vel[:, 0])
+    dvy = pair_ds(vel[:, 1])
+    dvz = pair_ds(vel[:, 2])
+
+    r2 = dx.square().add(dy.square()).add(dz.square())
+    if softening > 0.0:
+        eps2 = DS.from_float64(np.full((n, n), softening * softening))
+        r2 = r2.add(eps2)
+    else:
+        # mask the diagonal before the reciprocal square root
+        hi = r2.hi.copy()
+        np.fill_diagonal(hi, np.float32(1.0))
+        r2 = DS(hi, r2.lo)
+
+    rinv = r2.rsqrt()
+    if softening == 0.0:
+        hi, lo = rinv.hi.copy(), rinv.lo.copy()
+        np.fill_diagonal(hi, np.float32(0.0))
+        np.fill_diagonal(lo, np.float32(0.0))
+        rinv = DS(hi, lo)
+    rinv2 = rinv.square()
+    rinv3 = rinv2.mul(rinv)
+    m_ds = DS.from_float64(np.broadcast_to(mass[None, :], (n, n)).copy())
+    mr3 = m_ds.mul(rinv3)
+
+    rv = dx.mul(dvx).add(dy.mul(dvy)).add(dz.mul(dvz))
+    alpha = rv.mul_f32(3.0).mul(rinv2)
+
+    def reduce_ds(term: DS) -> np.ndarray:
+        # accumulate along j in DS: sequential compensated summation
+        total = term.to_float64().sum(axis=1)
+        return total
+
+    acc = np.column_stack([
+        reduce_ds(mr3.mul(d)) for d in (dx, dy, dz)
+    ])
+    jerk = np.column_stack([
+        reduce_ds(mr3.mul(dv.sub(alpha.mul(d))))
+        for dv, d in ((dvx, dx), (dvy, dy), (dvz, dz))
+    ])
+    return acc, jerk
+
+
+@dataclass(frozen=True)
+class DSCostModel:
+    """Price the DS kernel against the paper's plain-FP32 pipeline."""
+
+    chip: ChipParams = WORMHOLE_N300
+    costs: CostParams = DEFAULT_COSTS
+
+    def fp32_ops_per_j(self) -> float:
+        """SFPU op-equivalents of one DS j-iteration."""
+        return float(sum(
+            DS_OP_COSTS[op] * count for op, count in DS_OPS_PER_J.items()
+        ))
+
+    def slowdown_vs_fp32(self) -> float:
+        """DS op count over the plain-FP32 weighted op count."""
+        base = weighted_ops_per_j(self.costs, softened=False, diagonal=False)
+        return self.fp32_ops_per_j() / base
+
+    def device_eval_seconds(self, n: int, n_cores: int = 64) -> float:
+        """Projected DS force-evaluation time at paper structure."""
+        from .offload import DeviceTimeModel
+
+        plain = DeviceTimeModel(
+            n_cores=n_cores, chip=self.chip, costs=self.costs
+        ).compute_seconds(n)
+        return plain * self.slowdown_vs_fp32()

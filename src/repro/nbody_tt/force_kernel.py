@@ -1,0 +1,224 @@
+"""The ported force kernels: read, compute, write (paper Section 3).
+
+The data flow is the paper's: "The read kernel loads the original particle
+data from DRAM and formats it into tiles stored in CBs.  It is implemented
+as a double for-loop, where the outer loop reads the particle data in a
+tiled manner, and the inner loop reads the replicated tiles used in the
+subsequent computation.  The compute kernel then performs the gravitational
+force and jerk calculations by consuming the tiled data in a manner
+consistent with the read kernel.  After the computation is complete, the
+write kernel transfers the results back to DRAM."
+
+Inside the compute kernel, each resident i-tile (1024 target particles)
+interacts with the j-stream one *broadcast iteration per source particle*:
+element-wise SFPU tile ops (``sub``, ``square``, ``rsqrt``, multiplies and
+multiply-accumulates) evaluate all 1024 i-lanes against one j-value at a
+time, with the displacement intermediates staged through L1 CBs because the
+FP32 dst register holds only 8 tiles.  The simulator executes each
+(i-tile x j-tile) block as a fused macro that is *numerically identical* to
+that broadcast loop — every pairwise operation rounds once in the working
+precision — and charges the cycle model exactly the per-op mix the loop
+would have issued (:func:`ops_per_j_iteration` is the single source of
+truth for both the charge and the analytic projections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from ..wormhole.dtypes import DataFormat, quantize
+from ..wormhole.tensix import TensixCore
+from ..wormhole.tile import TILE_ELEMENTS, Tile
+
+__all__ = [
+    "ops_per_j_iteration",
+    "weighted_ops_per_j",
+    "charge_block",
+    "force_block",
+    "BlockAccumulators",
+    "CB_J_IN",
+    "CB_I_IN",
+    "CB_OUT",
+    "CB_SCRATCH",
+]
+
+#: Circular-buffer ids, following TT-Metalium's c_in / c_out convention.
+CB_J_IN = 0      # streamed j pages: m, x, y, z, vx, vy, vz
+CB_I_IN = 1      # resident i pages: x, y, z, vx, vy, vz
+CB_OUT = 16      # results: ax, ay, az, jx, jy, jz
+CB_SCRATCH = 24  # staged displacement intermediates (dx, dy, dz)
+
+J_PAGES = 7
+I_PAGES = 6
+OUT_PAGES = 6
+
+
+def ops_per_j_iteration(*, softened: bool, diagonal: bool) -> dict[str, int]:
+    """SFPU ops one broadcast j-iteration issues against one i-tile.
+
+    The op mix of the force+jerk math (Section 3's equation plus its time
+    derivative): displacement and velocity-difference subs, the squared
+    distance, ``rsqrt``, the cube factors, three acceleration MACs, the
+    r.v dot product, and the three jerk component chains.
+    """
+    ops = {
+        "sub": 9,      # dx,dy,dz, dvx,dvy,dvz, and 3 jerk (dv - alpha*dr)
+        "square": 3,   # dx^2, dy^2, dz^2
+        "add": 4,      # r^2 assembly (2) + r.v assembly (2)
+        "mul": 10,     # rinv^2, rinv^3, m*rinv^3, rv products(3),
+                       # alpha*rinv2, alpha*dr (3)
+        "mac": 6,      # 3 accel accumulates + 3 jerk accumulates
+        "rsqrt": 1,
+        "scalar": 1,   # 3 * rv
+    }
+    if softened:
+        ops["scalar"] += 1  # + eps^2
+    if diagonal:
+        ops["where"] = 1    # self-interaction mask
+    return ops
+
+
+def weighted_ops_per_j(costs, *, softened: bool, diagonal: bool) -> float:
+    """Cycle-weight units per broadcast j-iteration, per the cost model."""
+    counts = ops_per_j_iteration(softened=softened, diagonal=diagonal)
+    return sum(n * costs.sfpu_weight(op) for op, n in counts.items())
+
+
+def charge_block(core: TensixCore, n_j: int, *, softened: bool,
+                 diagonal: bool) -> None:
+    """Charge the compute cost of one (i-tile x n_j sources) block."""
+    costs = core.costs
+    counts = ops_per_j_iteration(softened=softened, diagonal=diagonal)
+    for op, per_j in counts.items():
+        cycles = (
+            per_j * n_j * costs.sfpu_cycles_per_tile_op * costs.sfpu_weight(op)
+        )
+        core.counter.add_compute(cycles, op=f"sfpu.{op}", n_ops=per_j * n_j)
+
+
+class BlockAccumulators:
+    """Running FP-format accumulators for one i-tile's results.
+
+    On hardware these live in six dst-register slots (of the eight an FP32
+    configuration provides), with the displacement intermediates staged
+    through the scratch CB; here they are six working-precision vectors.
+    """
+
+    def __init__(self, fmt: DataFormat) -> None:
+        self.fmt = fmt
+        if fmt is DataFormat.FLOAT32:
+            self._arrs = [np.zeros(TILE_ELEMENTS, dtype=np.float32)
+                          for _ in range(OUT_PAGES)]
+        else:
+            self._arrs = [np.zeros(TILE_ELEMENTS) for _ in range(OUT_PAGES)]
+
+    def add(self, index: int, values: np.ndarray) -> None:
+        if self.fmt is DataFormat.FLOAT32:
+            self._arrs[index] += values.astype(np.float32)
+        else:
+            self._arrs[index] = quantize(self._arrs[index] + values, self.fmt)
+
+    def to_tiles(self) -> list[Tile]:
+        return [Tile(np.asarray(a, dtype=np.float64), self.fmt)
+                for a in self._arrs]
+
+
+def force_block(
+    i_pages: list[Tile],
+    j_pages: list[Tile],
+    accumulators: BlockAccumulators,
+    *,
+    softening: float,
+    fmt: DataFormat,
+    diagonal: bool,
+) -> None:
+    """One (i-tile x j-tile) interaction block in device precision.
+
+    ``i_pages`` = (x, y, z, vx, vy, vz); ``j_pages`` = (m, x, y, z, vx, vy,
+    vz).  The i lanes index rows, j sources index columns.  When
+    ``diagonal`` is set the lane-equal pairs are masked (the self
+    interaction), mirroring the predicated ``where`` the broadcast loop
+    applies right after ``rsqrt``.
+    """
+    if len(i_pages) != I_PAGES or len(j_pages) != J_PAGES:
+        raise KernelError(
+            f"force_block needs {I_PAGES} i-pages and {J_PAGES} j-pages, "
+            f"got {len(i_pages)}, {len(j_pages)}"
+        )
+    if fmt is DataFormat.FLOAT32:
+        _force_block_fp32(i_pages, j_pages, accumulators, softening, diagonal)
+    else:
+        _force_block_generic(
+            i_pages, j_pages, accumulators, softening, fmt, diagonal
+        )
+
+
+def _force_block_fp32(i_pages, j_pages, accumulators, softening, diagonal):
+    """Fast path: native float32 NumPy ops round exactly like the SFPU."""
+    xi, yi, zi, vxi, vyi, vzi = (p.data.astype(np.float32) for p in i_pages)
+    mj, xj, yj, zj, vxj, vyj, vzj = (p.data.astype(np.float32) for p in j_pages)
+    eps2 = np.float32(softening * softening)
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        dx = xj[None, :] - xi[:, None]
+        dy = yj[None, :] - yi[:, None]
+        dz = zj[None, :] - zi[:, None]
+        dvx = vxj[None, :] - vxi[:, None]
+        dvy = vyj[None, :] - vyi[:, None]
+        dvz = vzj[None, :] - vzi[:, None]
+        r2 = dx * dx + dy * dy + dz * dz
+        if eps2 != np.float32(0.0):
+            r2 = r2 + eps2
+        rinv = np.float32(1.0) / np.sqrt(r2)
+        if diagonal:
+            np.fill_diagonal(rinv, np.float32(0.0))
+        rinv2 = rinv * rinv
+        rinv3 = rinv2 * rinv
+        mr3 = mj[None, :] * rinv3
+        rv = dx * dvx + dy * dvy + dz * dvz
+        alpha = (np.float32(3.0) * rv) * rinv2
+
+        # float32 tree reduction along j (NumPy pairwise summation models
+        # the dst-register reduction tree); accumulation across j-tiles is
+        # sequential in the accumulators.
+        accumulators.add(0, (mr3 * dx).sum(axis=1, dtype=np.float32))
+        accumulators.add(1, (mr3 * dy).sum(axis=1, dtype=np.float32))
+        accumulators.add(2, (mr3 * dz).sum(axis=1, dtype=np.float32))
+        accumulators.add(3, (mr3 * (dvx - alpha * dx)).sum(axis=1, dtype=np.float32))
+        accumulators.add(4, (mr3 * (dvy - alpha * dy)).sum(axis=1, dtype=np.float32))
+        accumulators.add(5, (mr3 * (dvz - alpha * dz)).sum(axis=1, dtype=np.float32))
+
+
+def _force_block_generic(i_pages, j_pages, accumulators, softening, fmt, diagonal):
+    """Ablation path: every operation re-quantised to the working format."""
+    q = lambda a: quantize(a, fmt)
+    xi, yi, zi, vxi, vyi, vzi = (p.astype(fmt).data for p in i_pages)
+    mj, xj, yj, zj, vxj, vyj, vzj = (p.astype(fmt).data for p in j_pages)
+    eps2 = float(quantize(np.asarray([softening * softening]), fmt)[0])
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        dx = q(xj[None, :] - xi[:, None])
+        dy = q(yj[None, :] - yi[:, None])
+        dz = q(zj[None, :] - zi[:, None])
+        dvx = q(vxj[None, :] - vxi[:, None])
+        dvy = q(vyj[None, :] - vyi[:, None])
+        dvz = q(vzj[None, :] - vzi[:, None])
+        r2 = q(q(q(dx * dx) + q(dy * dy)) + q(dz * dz))
+        if eps2 != 0.0:
+            r2 = q(r2 + eps2)
+        rinv = q(1.0 / np.sqrt(r2))
+        if diagonal:
+            np.fill_diagonal(rinv, 0.0)
+        rinv2 = q(rinv * rinv)
+        rinv3 = q(rinv2 * rinv)
+        mr3 = q(mj[None, :] * rinv3)
+        rv = q(q(q(dx * dvx) + q(dy * dvy)) + q(dz * dvz))
+        alpha = q(q(3.0 * rv) * rinv2)
+
+        accumulators.add(0, q(q(mr3 * dx).sum(axis=1)))
+        accumulators.add(1, q(q(mr3 * dy).sum(axis=1)))
+        accumulators.add(2, q(q(mr3 * dz).sum(axis=1)))
+        accumulators.add(3, q(q(mr3 * q(dvx - q(alpha * dx))).sum(axis=1)))
+        accumulators.add(4, q(q(mr3 * q(dvy - q(alpha * dy))).sum(axis=1)))
+        accumulators.add(5, q(q(mr3 * q(dvz - q(alpha * dz))).sum(axis=1)))

@@ -1,0 +1,159 @@
+"""Ablation: computing pairwise distances on the tensor FPU instead.
+
+The paper routes the force math through the SFPU ("the arithmetic and
+transcendental operations inherent in the force calculation are executed
+on the core SFPU").  The obvious alternative on an AI accelerator is the
+tensor FPU: pairwise squared distances decompose as a Gram product,
+
+    r2[i, j] = |x_i|^2 + |x_j|^2 - 2 * x_i . x_j,
+
+whose cross term is a matmul of coordinate blocks.  This module implements
+that variant for one (i-tile x j-tile) block — functionally on the
+simulated FPU, and as a cost model — so the ablation bench can quantify
+why the paper's choice wins:
+
+* the Gram matmul has inner dimension 3 (x, y, z) against a 32-wide
+  datapath: >90% of the FPU's multiply array idles;
+* producing the 1024x1024 pair matrix requires 32x32 = 1024 dst tiles per
+  tile pair, far beyond the 8-tile FP32 dst capacity, forcing a round trip
+  through L1 for every output tile;
+* rsqrt, the mass scaling, and the entire jerk chain still need the SFPU,
+  so the matmul path adds FPU work without removing SFPU work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+from ..wormhole.fpu import Fpu
+from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from ..wormhole.tile import TILE_COLS, TILE_ROWS, Tile
+from .force_kernel import weighted_ops_per_j
+
+__all__ = ["gram_r2_block", "MatmulVariantModel"]
+
+#: tiles per 1024x1024 pair matrix: (1024/32)^2
+PAIR_MATRIX_TILES = (1024 // TILE_ROWS) * (1024 // TILE_COLS)
+
+
+def gram_r2_block(
+    pos_i: np.ndarray,
+    pos_j: np.ndarray,
+    fpu: Fpu | None = None,
+    *,
+    softening: float = 0.0,
+) -> np.ndarray:
+    """Squared pair distances for a 1024x1024 block via FPU tile matmuls.
+
+    ``pos_i``/``pos_j`` are (1024, 3) coordinate blocks.  The cross term
+    runs through the simulated tensor FPU tile by tile (with the inner
+    dimension zero-padded from 3 to 32, exactly the waste the ablation
+    measures); the norms are rank-1 broadcasts added on the SFPU path in
+    the real kernel and with plain FP32 math here.
+    """
+    if pos_i.shape != (1024, 3) or pos_j.shape != (1024, 3):
+        raise KernelError("gram_r2_block expects (1024, 3) coordinate blocks")
+    fpu = fpu if fpu is not None else Fpu()
+
+    a = pos_i.astype(np.float32)
+    b = pos_j.astype(np.float32)
+    # pad the inner dimension to the tile width
+    a_pad = np.zeros((1024, TILE_COLS), dtype=np.float32)
+    a_pad[:, :3] = a
+    b_pad = np.zeros((1024, TILE_COLS), dtype=np.float32)
+    b_pad[:, :3] = b
+
+    gram = np.empty((1024, 1024), dtype=np.float32)
+    for bi in range(1024 // TILE_ROWS):
+        a_tile = Tile(
+            a_pad[bi * TILE_ROWS : (bi + 1) * TILE_ROWS, :].astype(np.float64).ravel()
+        )
+        for bj in range(1024 // TILE_ROWS):
+            b_tile = Tile(
+                b_pad[bj * TILE_ROWS : (bj + 1) * TILE_ROWS, :]
+                .astype(np.float64)
+                .ravel()
+            )
+            bt = fpu.transpose(b_tile)
+            out = fpu.matmul(a_tile, bt)
+            gram[
+                bi * TILE_ROWS : (bi + 1) * TILE_ROWS,
+                bj * TILE_COLS : (bj + 1) * TILE_COLS,
+            ] = out.as_matrix().astype(np.float32)
+
+    norm_i = np.einsum("ik,ik->i", a, a)
+    norm_j = np.einsum("jk,jk->j", b, b)
+    eps2 = np.float32(softening * softening)
+    r2 = norm_i[:, None] + norm_j[None, :] - np.float32(2.0) * gram + eps2
+    # catastrophic cancellation can leave tiny negatives for near-coincident
+    # points — the numerical weakness of the Gram formulation
+    return r2
+
+
+@dataclass(frozen=True)
+class MatmulVariantModel:
+    """Cycle cost of the matmul-based distance path, per tile pair.
+
+    Compared against the broadcast SFPU pipeline in the E9 bench.
+    """
+
+    chip: ChipParams = WORMHOLE_N300
+    costs: CostParams = DEFAULT_COSTS
+
+    def fpu_cycles_per_tile_pair(self) -> float:
+        """Gram cross-term: one transpose + one matmul per output tile."""
+        per_tile = (
+            self.costs.fpu_cycles_per_tile_matmul * 1.25  # matmul + transpose
+        )
+        return PAIR_MATRIX_TILES * per_tile
+
+    def sfpu_cycles_per_tile_pair(self) -> float:
+        """Everything the matmul cannot do, on the 1024-tile pair matrix.
+
+        The Gram product only replaces the r^2 *assembly* (3 squares + 2
+        adds in the broadcast pipeline).  The force direction and the whole
+        jerk chain still need dx, dy, dz, dvx, dvy, dvz element-wise, so
+        nearly the full SFPU op mix remains — per pair tile:
+        """
+        c = self.costs
+        per_pair_tile_ops = (
+            6 * c.sfpu_weight("sub")       # dx,dy,dz,dvx,dvy,dvz
+            + 2 * c.sfpu_weight("add")     # |x_i|^2 + |x_j|^2 broadcasts
+            + c.sfpu_weight("scalar")      # the -2 scale on the gram term
+            + c.sfpu_weight("rsqrt")
+            + 2 * c.sfpu_weight("mul")     # rinv^2, rinv^3
+            + c.sfpu_weight("mul")         # mass scale
+            + 6 * c.sfpu_weight("mac")     # accel + jerk accumulates
+            + 5 * c.sfpu_weight("mul")     # rv products and alpha
+            + c.sfpu_weight("scalar")      # 3 * rv
+            + 2 * c.sfpu_weight("add")     # rv assembly
+            + 3 * c.sfpu_weight("sub")     # jerk (dv - alpha dr)
+            + 3 * c.sfpu_weight("mul")     # alpha * dr per component
+        )
+        # pack/unpack round trips: each of the 1024 pair tiles must leave
+        # dst for L1 and come back (dst holds 8 FP32 tiles)
+        spill = (c.unpack_cycles_per_tile + c.pack_cycles_per_tile)
+        return PAIR_MATRIX_TILES * (
+            per_pair_tile_ops * c.sfpu_cycles_per_tile_op + spill
+        )
+
+    def total_cycles_per_tile_pair(self) -> float:
+        return self.fpu_cycles_per_tile_pair() + self.sfpu_cycles_per_tile_pair()
+
+    def broadcast_cycles_per_tile_pair(self, *, softened: bool = False) -> float:
+        """The paper's pipeline, for the same 1024x1024 pair block."""
+        w = weighted_ops_per_j(self.costs, softened=softened, diagonal=False)
+        return 1024 * w * self.costs.sfpu_cycles_per_tile_op
+
+    def slowdown_vs_broadcast(self) -> float:
+        return (
+            self.total_cycles_per_tile_pair()
+            / self.broadcast_cycles_per_tile_pair()
+        )
+
+    def fpu_utilisation(self) -> float:
+        """Useful fraction of the FPU multiply array: inner dim 3 of 32."""
+        return 3.0 / TILE_COLS

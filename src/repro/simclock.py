@@ -1,0 +1,91 @@
+"""Virtual time base for the simulated experimental campaign.
+
+The paper's measurement workflow is wall-clock driven: a device reset,
+a 120-second sleep, the simulation itself (timed with ``MPI_Wtime``),
+another 120-second sleep, with power sampled at ~1 Hz throughout.  Running
+that against the real clock would make every benchmark take minutes of
+idle sleeping, so the whole campaign runs against a :class:`VirtualClock`
+instead: "sleeping" advances virtual time instantly, and samplers observe
+virtual timestamps.  All timestamp relationships of the paper's workflow
+(reset, sleeps, run window, sampling cadence) are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+__all__ = ["VirtualClock", "Stopwatch"]
+
+
+class VirtualClock:
+    """A monotonic virtual clock measured in seconds.
+
+    The clock only moves when :meth:`advance` is called; there is no
+    background progression.  Components that need "the current time"
+    (samplers, csv writers, the campaign driver) share one instance.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if not (start >= 0.0):
+            raise ConfigurationError(f"clock start must be >= 0, got {start!r}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds since the epoch of this clock."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time.
+
+        ``dt`` must be non-negative; a virtual clock never runs backwards.
+        """
+        if not (dt >= 0.0):
+            raise ConfigurationError(f"cannot advance clock by negative dt={dt!r}")
+        self._now += float(dt)
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Virtual sleep: advances time by ``seconds`` without blocking."""
+        self.advance(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.3f}s)"
+
+
+@dataclass
+class Stopwatch:
+    """Start/stop interval timer over a :class:`VirtualClock`.
+
+    Mirrors the paper's hardcoded ``MPI_Wtime()`` pair around the simulation:
+    the elapsed window deliberately excludes the sleep phases because the
+    campaign only starts the watch after the pre-run sleep.
+    """
+
+    clock: VirtualClock
+    _start: float | None = field(default=None, init=False)
+    _elapsed: float = field(default=0.0, init=False)
+
+    def start(self) -> float:
+        if self._start is not None:
+            raise ConfigurationError("stopwatch already running")
+        self._start = self.clock.now()
+        return self._start
+
+    def stop(self) -> float:
+        """Stop the watch and return the elapsed interval in seconds."""
+        if self._start is None:
+            raise ConfigurationError("stopwatch not running")
+        self._elapsed = self.clock.now() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the most recently completed interval."""
+        return self._elapsed

@@ -1,0 +1,60 @@
+"""The measurement infrastructure of the paper's experimental campaign.
+
+Simulated equivalents of every instrument Section 4 uses — ``tt-smi`` for
+card power, RAPL (register and perf access paths) for CPU package/core
+energy, ``ipmitool dcmi`` for chassis power — driven at ~1 Hz by a
+:class:`~repro.telemetry.sampler.PowerSampler` over a virtual clock,
+persisted to timestamped csv, integrated into energy-to-solution, and
+orchestrated by :class:`~repro.telemetry.campaign.Campaign` through the
+reset / sleep / simulate / sleep workflow.
+"""
+
+from .campaign import Campaign, CampaignSummary, JobResult, JobSpec
+from .energy import (
+    EnergyToSolution,
+    SampleRow,
+    energy_to_solution,
+    integrate_power,
+    read_power_csv,
+    write_power_csv,
+)
+from .ipmi import CHASSIS_BASELINE_W, Ipmi
+from .params import DEFAULT_HOST_POWER, HostPowerParams
+from .power_models import HostPowerModel, JobKind, card_state_at
+from .rapl import ENERGY_UNIT_J, REGISTER_WRAP, Rapl, unwrap_register_series
+from .report import campaign_markdown, write_campaign_report
+from .sampler import PowerSampler
+from .stats import RunStats, histogram
+from .timeline import JobTimeline
+from .tt_smi import TTSMI
+
+__all__ = [
+    "Campaign",
+    "CampaignSummary",
+    "JobResult",
+    "JobSpec",
+    "EnergyToSolution",
+    "SampleRow",
+    "energy_to_solution",
+    "integrate_power",
+    "read_power_csv",
+    "write_power_csv",
+    "CHASSIS_BASELINE_W",
+    "Ipmi",
+    "DEFAULT_HOST_POWER",
+    "HostPowerParams",
+    "HostPowerModel",
+    "JobKind",
+    "card_state_at",
+    "ENERGY_UNIT_J",
+    "REGISTER_WRAP",
+    "Rapl",
+    "unwrap_register_series",
+    "campaign_markdown",
+    "write_campaign_report",
+    "PowerSampler",
+    "RunStats",
+    "histogram",
+    "JobTimeline",
+    "TTSMI",
+]

@@ -1,0 +1,293 @@
+"""Experimental-campaign orchestration (paper Section 4).
+
+Reproduces the measurement workflow end to end on a virtual clock:
+
+    device reset -> sleep 120 s -> simulation (MPI_Wtime window)
+                 -> sleep 120 s
+
+with ~1 Hz sampling of all power channels throughout, csv persistence,
+time-to-solution from the stopwatch around the simulation, and
+energy-to-solution as the discrete power integral over the simulation
+window only.  Device resets go through the fault injector, reproducing the
+paper's 26-of-50 completion statistic when configured with its failure
+rate.
+
+Job timing comes from the *analytic* cost models (the same ones the
+functional kernels charge), so a full paper-scale campaign runs in
+milliseconds of real time while every timestamp relationship is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.simulation import TimelineSegment
+from ..cpuref.openmp import OpenMPModel
+from ..cpuref.params import CpuCostParams, DEFAULT_CPU_COSTS
+from ..errors import CampaignError, DeviceResetError
+from ..nbody_tt.offload import DeviceTimeModel
+from ..simclock import Stopwatch, VirtualClock
+from ..wormhole.device import ResetFaultModel
+from ..wormhole.params import CostParams, DEFAULT_COSTS
+from .energy import EnergyToSolution, SampleRow, energy_to_solution, write_power_csv
+from .ipmi import Ipmi
+from .power_models import HostPowerModel, JobKind
+from .rapl import Rapl
+from .sampler import PowerSampler
+from .stats import RunStats
+from .timeline import JobTimeline
+from .tt_smi import TTSMI
+
+__all__ = ["JobSpec", "JobResult", "CampaignSummary", "Campaign"]
+
+#: Run-to-run duration noise for accelerated jobs (paper: 0.24/301.40).
+DEVICE_RUN_NOISE_SIGMA = 0.0008
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of the campaign.
+
+    The paper's accelerated jobs use one OpenMP thread, one MPI task, and
+    one of the four devices; the reference jobs use 32 threads on the CPU.
+    """
+
+    accelerated: bool
+    n_particles: int = 102_400
+    n_cycles: int = 10
+    n_threads: int = 1
+    active_device: int = 3   # the device of the paper's Fig. 4 run
+    n_cores: int = 64
+    n_devices: int = 1
+
+    @classmethod
+    def paper_accelerated(cls, **overrides) -> "JobSpec":
+        overrides.setdefault("n_threads", 1)
+        return cls(accelerated=True, **overrides)
+
+    @classmethod
+    def paper_reference(cls, **overrides) -> "JobSpec":
+        overrides.setdefault("n_threads", 32)
+        return cls(accelerated=False, **overrides)
+
+    def kind(self) -> JobKind:
+        if not self.accelerated:
+            return JobKind(accelerated=False, n_threads=self.n_threads)
+        if self.n_devices == 1:
+            active: tuple[int, ...] = (self.active_device,)
+        else:
+            # multi-card jobs occupy the first n_devices slots of the host
+            active = tuple(range(self.n_devices))
+        return JobKind(
+            accelerated=True,
+            n_threads=self.n_threads,
+            active_device=active[0],
+            active_devices=active,
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one campaign job."""
+
+    spec: JobSpec
+    completed: bool
+    failure: str | None = None
+    time_to_solution: float | None = None
+    energy: EnergyToSolution | None = None
+    peak_total_w: float | None = None
+    rows: list[SampleRow] = field(default_factory=list)
+    sim_start: float | None = None
+    sim_end: float | None = None
+    csv_path: Path | None = None
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate statistics over a set of job results."""
+
+    submitted: int
+    completed: int
+    time_stats: RunStats | None
+    energy_stats: RunStats | None
+    peak_power_stats: RunStats | None
+
+    @classmethod
+    def from_results(cls, results: list[JobResult]) -> "CampaignSummary":
+        done = [r for r in results if r.completed]
+        return cls(
+            submitted=len(results),
+            completed=len(done),
+            time_stats=(
+                RunStats.from_values([r.time_to_solution for r in done])
+                if done else None
+            ),
+            energy_stats=(
+                RunStats.from_values([r.energy.total_kj for r in done])
+                if done else None
+            ),
+            peak_power_stats=(
+                RunStats.from_values([r.peak_total_w for r in done])
+                if done else None
+            ),
+        )
+
+
+class Campaign:
+    """Runs jobs against the virtual clock with full telemetry."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        n_cards: int = 4,
+        sleep_s: float = 120.0,
+        reset_failure_rate: float = 0.0,
+        csv_dir: str | Path | None = None,
+        device_costs: CostParams = DEFAULT_COSTS,
+        cpu_costs: CpuCostParams = DEFAULT_CPU_COSTS,
+    ) -> None:
+        if sleep_s < 0:
+            raise CampaignError(f"negative sleep {sleep_s}")
+        self.rng = np.random.default_rng(seed)
+        self.clock = VirtualClock()
+        self.sleep_s = sleep_s
+        self.n_cards = n_cards
+        self.device_costs = device_costs
+        self.cpu_costs = cpu_costs
+        self.fault_model = ResetFaultModel(reset_failure_rate, self.rng)
+        self.tt_smi = TTSMI(n_cards, self.rng)
+        self.host_model = HostPowerModel(self.rng)
+        self.rapl = Rapl()
+        self.ipmi = Ipmi(self.rng)
+        self.sampler = PowerSampler(
+            self.tt_smi, self.host_model, self.rapl, self.ipmi
+        )
+        self.csv_dir = Path(csv_dir) if csv_dir is not None else None
+        if self.csv_dir is not None:
+            self.csv_dir.mkdir(parents=True, exist_ok=True)
+        self._job_counter = 0
+
+    # -- timeline construction ---------------------------------------------
+
+    def _accelerated_segments(self, spec: JobSpec,
+                              noise: float) -> list[TimelineSegment]:
+        model = DeviceTimeModel(
+            n_cores=spec.n_cores,
+            n_devices=spec.n_devices,
+            costs=self.device_costs,
+        )
+        n = spec.n_particles
+        eval_s = model.eval_seconds(n) * noise
+        pcie_s = model.pcie_seconds(n)
+        host_cycle_s = model.host_cycle_seconds(n) * noise
+        launch_s = self.device_costs.host_launch_overhead_s
+        segments = [TimelineSegment("host", model.init_seconds(), "init")]
+        segments += [
+            TimelineSegment("launch", launch_s, "dispatch"),
+            TimelineSegment("pcie", pcie_s / 2, "write"),
+            TimelineSegment("device", eval_s, "force"),
+            TimelineSegment("pcie", pcie_s / 2, "read"),
+        ]
+        for _ in range(spec.n_cycles):
+            segments += [
+                TimelineSegment("host", host_cycle_s / 2, "predict"),
+                TimelineSegment("launch", launch_s, "dispatch"),
+                TimelineSegment("pcie", pcie_s / 2, "write"),
+                TimelineSegment("device", eval_s, "force"),
+                TimelineSegment("pcie", pcie_s / 2, "read"),
+                TimelineSegment("host", host_cycle_s / 2, "correct"),
+            ]
+        return segments
+
+    def _reference_segments(self, spec: JobSpec,
+                            noise: float) -> list[TimelineSegment]:
+        model = OpenMPModel(spec.n_threads, costs=self.cpu_costs)
+        n = spec.n_particles
+        eval_s = model.force_eval_seconds(n) * noise
+        serial_s = model.serial_seconds(n) * noise
+        segments = [
+            TimelineSegment("host", self.cpu_costs.init_seconds, "init"),
+            TimelineSegment("host", eval_s, "force-omp"),
+        ]
+        for _ in range(spec.n_cycles):
+            segments += [
+                TimelineSegment("host", serial_s / 2, "predict"),
+                TimelineSegment("host", eval_s, "force-omp"),
+                TimelineSegment("host", serial_s / 2, "correct"),
+            ]
+        return segments
+
+    # -- job execution -----------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> JobResult:
+        """Run one job: reset, sleep, simulate, sleep — with sampling."""
+        self._job_counter += 1
+        job_start = self.clock.now()
+
+        if spec.accelerated:
+            try:
+                self.fault_model.check()
+            except DeviceResetError as exc:
+                # the job never starts; the clock only saw the reset attempt
+                self.clock.advance(self.device_costs.reset_duration_s)
+                return JobResult(spec=spec, completed=False, failure=str(exc))
+            self.clock.advance(self.device_costs.reset_duration_s)
+
+        self.clock.sleep(self.sleep_s)
+
+        noise_sigma = (
+            DEVICE_RUN_NOISE_SIGMA if spec.accelerated
+            else self.cpu_costs.run_noise_sigma
+        )
+        noise = float(np.clip(self.rng.normal(1.0, noise_sigma), 0.5, 1.5))
+        segments = (
+            self._accelerated_segments(spec, noise)
+            if spec.accelerated
+            else self._reference_segments(spec, noise)
+        )
+
+        watch = Stopwatch(self.clock)
+        watch.start()
+        sim_start = self.clock.now()
+        timeline = JobTimeline(sim_start, segments)
+        self.clock.advance(timeline.duration)
+        time_to_solution = watch.stop()
+
+        self.clock.sleep(self.sleep_s)
+        job_end = self.clock.now()
+
+        rows = self.sampler.sample_job(
+            job_start, job_end, spec.kind(), timeline
+        )
+        energy = energy_to_solution(rows, sim_start, timeline.end_time)
+        in_sim = [
+            r for r in rows if sim_start <= r.timestamp < timeline.end_time
+        ]
+        peak = max(r.host_w + sum(r.card_w) for r in in_sim)
+
+        csv_path = None
+        if self.csv_dir is not None:
+            tag = "accel" if spec.accelerated else "ref"
+            csv_path = self.csv_dir / f"job_{self._job_counter:03d}_{tag}.csv"
+            write_power_csv(csv_path, rows)
+
+        return JobResult(
+            spec=spec,
+            completed=True,
+            time_to_solution=time_to_solution,
+            energy=energy,
+            peak_total_w=peak,
+            rows=rows,
+            sim_start=sim_start,
+            sim_end=timeline.end_time,
+            csv_path=csv_path,
+        )
+
+    def run_many(self, spec: JobSpec, n_jobs: int) -> list[JobResult]:
+        if n_jobs <= 0:
+            raise CampaignError(f"job count must be positive, got {n_jobs}")
+        return [self.run_job(spec) for _ in range(n_jobs)]

@@ -1,0 +1,155 @@
+"""Energy integration and the power-sample csv format.
+
+The paper's pipeline: samples at ~1 Hz are stored "in csv files along with
+their corresponding timestamps"; "the energy-to-solution for each Wormhole
+card is calculated as the discrete integral of power over the simulation
+time (excluding the sleep phases)", card energies are summed, the CPU
+energy (perf/RAPL packages) over the same window is added, and the total is
+the job's energy-to-solution.  This module implements every step, csv round
+trip included.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "SampleRow",
+    "write_power_csv",
+    "read_power_csv",
+    "integrate_power",
+    "EnergyToSolution",
+    "energy_to_solution",
+]
+
+
+@dataclass(frozen=True)
+class SampleRow:
+    """One ~1 Hz sample: timestamp plus every monitored power channel."""
+
+    timestamp: float
+    card_w: tuple[float, ...]  # one column per card (tt-smi)
+    host_w: float              # RAPL packages instantaneous draw
+    ipmi_w: float              # chassis reading (recorded, excluded)
+
+
+def write_power_csv(path: str | Path, rows: list[SampleRow]) -> None:
+    if not rows:
+        raise TelemetryError("refusing to write an empty power csv")
+    n_cards = len(rows[0].card_w)
+    header = (
+        ["timestamp"]
+        + [f"card{i}_w" for i in range(n_cards)]
+        + ["host_w", "ipmi_w"]
+    )
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            if len(row.card_w) != n_cards:
+                raise TelemetryError("inconsistent card count across rows")
+            writer.writerow(
+                [repr(row.timestamp)]
+                + [repr(w) for w in row.card_w]
+                + [repr(row.host_w), repr(row.ipmi_w)]
+            )
+
+
+def read_power_csv(path: str | Path) -> list[SampleRow]:
+    path = Path(path)
+    if not path.exists():
+        raise TelemetryError(f"power csv not found: {path}")
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if not header or header[0] != "timestamp":
+            raise TelemetryError(f"{path}: not a power csv")
+        n_cards = sum(1 for h in header if h.startswith("card"))
+        rows = []
+        for raw in reader:
+            values = [float(v) for v in raw]
+            rows.append(
+                SampleRow(
+                    timestamp=values[0],
+                    card_w=tuple(values[1 : 1 + n_cards]),
+                    host_w=values[1 + n_cards],
+                    ipmi_w=values[2 + n_cards],
+                )
+            )
+    if not rows:
+        raise TelemetryError(f"{path}: no samples")
+    return rows
+
+
+def integrate_power(
+    times: np.ndarray, watts: np.ndarray, t0: float, t1: float
+) -> float:
+    """Discrete integral of a sampled power series over [t0, t1], joules.
+
+    Rectangle rule on the sampling intervals (each sample holds until the
+    next), matching the paper's "discrete integral of power over the
+    simulation time".  Samples outside the window are excluded; the last
+    in-window sample extends to t1.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    watts = np.asarray(watts, dtype=np.float64)
+    if times.shape != watts.shape or times.ndim != 1:
+        raise TelemetryError("times and watts must be matching vectors")
+    if t1 <= t0:
+        raise TelemetryError(f"empty integration window [{t0}, {t1}]")
+    if np.any(np.diff(times) <= 0):
+        raise TelemetryError("timestamps must be strictly increasing")
+    mask = (times >= t0) & (times < t1)
+    if not mask.any():
+        raise TelemetryError("no samples inside the integration window")
+    t = times[mask]
+    w = watts[mask]
+    edges = np.concatenate([t, [t1]])
+    dt = np.diff(edges)
+    return float(np.sum(w * dt))
+
+
+@dataclass(frozen=True)
+class EnergyToSolution:
+    """The paper's energy decomposition for one job."""
+
+    cards_kj: tuple[float, ...]
+    host_kj: float
+
+    @property
+    def cards_total_kj(self) -> float:
+        return sum(self.cards_kj)
+
+    @property
+    def total_kj(self) -> float:
+        """Cards + processor: the quantity of Fig. 5."""
+        return self.cards_total_kj + self.host_kj
+
+
+def energy_to_solution(
+    rows: list[SampleRow], sim_start: float, sim_end: float
+) -> EnergyToSolution:
+    """Compute a job's energy-to-solution from its sample rows."""
+    if not rows:
+        raise TelemetryError("no samples")
+    times = np.array([r.timestamp for r in rows])
+    n_cards = len(rows[0].card_w)
+    cards = tuple(
+        integrate_power(
+            times,
+            np.array([r.card_w[i] for r in rows]),
+            sim_start,
+            sim_end,
+        ) / 1.0e3
+        for i in range(n_cards)
+    )
+    host = integrate_power(
+        times, np.array([r.host_w for r in rows]), sim_start, sim_end
+    ) / 1.0e3
+    return EnergyToSolution(cards_kj=cards, host_kj=host)

@@ -1,0 +1,100 @@
+"""Host power model and the per-card state resolution for a running job.
+
+Maps "what is the machine doing at time t" (from the :class:`JobTimeline`)
+to instantaneous component draws:
+
+* :class:`HostPowerModel` — the dual EPYC packages (RAPL's view);
+* :func:`card_state_at` — which :class:`~repro.wormhole.power.CardState`
+  each of the four n300 cards is in, reproducing the Fig. 4 behaviours
+  (idle before the kernel, active card fluctuating with compute/host
+  phases, unused cards elevated but below 20 W, post-run idle offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..wormhole.power import CardState
+from .params import DEFAULT_HOST_POWER, HostPowerParams
+from .timeline import JobTimeline
+
+__all__ = ["JobKind", "HostPowerModel", "card_state_at"]
+
+
+@dataclass(frozen=True)
+class JobKind:
+    """Static description of a job for the power models."""
+
+    accelerated: bool
+    n_threads: int
+    active_device: int | None = None  # card index for accelerated jobs
+    #: for multi-card jobs: every card running the kernel; when None, the
+    #: single ``active_device`` is the whole active set
+    active_devices: tuple[int, ...] | None = None
+
+    def active_set(self) -> tuple[int, ...]:
+        if self.active_devices is not None:
+            return self.active_devices
+        if self.active_device is not None:
+            return (self.active_device,)
+        return ()
+
+
+class HostPowerModel:
+    """Instantaneous dual-package power (what RAPL integrates)."""
+
+    def __init__(self, rng: np.random.Generator,
+                 params: HostPowerParams = DEFAULT_HOST_POWER) -> None:
+        self.params = params
+        self._rng = rng
+
+    def mean_power(self, kind: JobKind, phase: str | None) -> float:
+        p = self.params
+        if phase is None:
+            return p.idle_w  # sleeping: no job running
+        core_threads = min(kind.n_threads, p.physical_cores)
+        smt_threads = max(kind.n_threads - p.physical_cores, 0)
+        power = p.idle_w + p.per_thread_w * (
+            core_threads + p.smt_power_fraction * smt_threads
+        )
+        if kind.accelerated:
+            # spin-wait + PCIe/memory during the whole offloaded job
+            power += p.offload_extra_w
+        return power
+
+    def sample_power(self, kind: JobKind, phase: str | None) -> float:
+        p = self.params
+        noise = float(
+            np.clip(self._rng.normal(0.0, p.sample_noise_w),
+                    -p.noise_clip_w, p.noise_clip_w)
+        )
+        return max(self.mean_power(kind, phase) + noise, 0.0)
+
+
+def card_state_at(
+    card_id: int,
+    t: float,
+    kind: JobKind,
+    timeline: JobTimeline,
+    *,
+    job_end_known: bool = True,
+) -> CardState:
+    """Resolve one card's state at time ``t`` for a job's sampling pass."""
+    active = kind.active_set()
+    if not kind.accelerated or not active:
+        # reference job: cards stay at idle draw throughout
+        return CardState.IDLE
+    if t >= timeline.end_time:
+        # after the run: slight idle offset until the next reset
+        return CardState.POST_RUN
+    if not timeline.kernel_invoked_by(t):
+        # before the first force kernel (sleep + host initialisation)
+        return CardState.IDLE
+    if card_id not in active:
+        return CardState.POWERED_UNUSED
+    phase = timeline.phase_at(t)
+    if phase == "device":
+        return CardState.ACTIVE_COMPUTE
+    return CardState.ACTIVE_HOST_PHASE

@@ -1,0 +1,122 @@
+"""Campaign report generation: a markdown record of one measurement run.
+
+Produces the summary document an experimentalist would attach to a
+campaign: job table, statistics vs the paper's reference values, and the
+energy decomposition — written as markdown next to the power csv files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import CampaignError
+from .campaign import CampaignSummary, JobResult
+
+__all__ = ["campaign_markdown", "write_campaign_report"]
+
+PAPER_ROWS = (
+    ("accelerated time-to-solution", "301.40 +/- 0.24 s"),
+    ("reference time-to-solution", "672.90 +/- 7.83 s"),
+    ("speedup", "2.23x"),
+    ("accelerated energy-to-solution", "71.56 +/- 0.13 kJ"),
+    ("reference energy-to-solution", "128.89 +/- 1.52 kJ"),
+    ("energy saving", "1.80x"),
+)
+
+
+def _job_rows(results: list[JobResult]) -> list[str]:
+    rows = []
+    for idx, r in enumerate(results, start=1):
+        if r.completed:
+            rows.append(
+                f"| {idx} | ok | {r.time_to_solution:.2f} | "
+                f"{r.energy.total_kj:.2f} | {r.peak_total_w:.0f} |"
+            )
+        else:
+            rows.append(f"| {idx} | reset failed | - | - | - |")
+    return rows
+
+
+def campaign_markdown(
+    accel_results: list[JobResult],
+    ref_results: list[JobResult],
+    *,
+    title: str = "Measurement campaign",
+) -> str:
+    """Render a full campaign as a markdown document."""
+    if not accel_results and not ref_results:
+        raise CampaignError("nothing to report: no jobs were run")
+    accel = CampaignSummary.from_results(accel_results) if accel_results else None
+    ref = CampaignSummary.from_results(ref_results) if ref_results else None
+
+    lines = [f"# {title}", ""]
+
+    lines += ["## Summary", "", "| metric | paper | this campaign |",
+              "|---|---|---|"]
+    measured = {}
+    if accel and accel.time_stats:
+        measured["accelerated time-to-solution"] = accel.time_stats.format("s")
+        measured["accelerated energy-to-solution"] = accel.energy_stats.format("kJ")
+    if ref and ref.time_stats:
+        measured["reference time-to-solution"] = ref.time_stats.format("s")
+        measured["reference energy-to-solution"] = ref.energy_stats.format("kJ")
+    if accel and ref and accel.time_stats and ref.time_stats:
+        measured["speedup"] = (
+            f"{ref.time_stats.mean / accel.time_stats.mean:.2f}x"
+        )
+        measured["energy saving"] = (
+            f"{ref.energy_stats.mean / accel.energy_stats.mean:.2f}x"
+        )
+    for metric, paper in PAPER_ROWS:
+        lines.append(f"| {metric} | {paper} | {measured.get(metric, '-')} |")
+    lines.append("")
+
+    if accel:
+        lines += [
+            "## Accelerated jobs "
+            f"({accel.completed} of {accel.submitted} completed)",
+            "",
+            "| job | status | time [s] | energy [kJ] | peak [W] |",
+            "|---|---|---|---|---|",
+            *_job_rows(accel_results),
+            "",
+        ]
+    if ref:
+        lines += [
+            f"## Reference jobs ({ref.completed} of {ref.submitted} completed)",
+            "",
+            "| job | status | time [s] | energy [kJ] | peak [W] |",
+            "|---|---|---|---|---|",
+            *_job_rows(ref_results),
+            "",
+        ]
+
+    done = [r for r in accel_results if r.completed]
+    if done:
+        sample = done[0]
+        lines += [
+            "## Energy decomposition (first completed accelerated job)",
+            "",
+            "| component | energy [kJ] |",
+            "|---|---|",
+        ]
+        for i, kj in enumerate(sample.energy.cards_kj):
+            lines.append(f"| card {i} | {kj:.2f} |")
+        lines += [
+            f"| CPU packages (RAPL) | {sample.energy.host_kj:.2f} |",
+            f"| **total** | **{sample.energy.total_kj:.2f}** |",
+            "",
+        ]
+    return "\n".join(lines)
+
+
+def write_campaign_report(
+    path: str | Path,
+    accel_results: list[JobResult],
+    ref_results: list[JobResult],
+    **kwargs,
+) -> Path:
+    """Write the markdown report to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(campaign_markdown(accel_results, ref_results, **kwargs))
+    return out

@@ -1,0 +1,74 @@
+"""The ~1 Hz power sampler driving every monitored channel.
+
+Walks a job's full duration (sleeps included, as in the paper's workflow
+where "data acquisition occurs ... throughout the entire duration of a
+job") in one-second steps, querying tt-smi for the cards, the host power
+model for the packages (feeding the RAPL counters), and ipmitool for the
+chassis.  Returns the rows the campaign writes to csv.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplerError
+from .energy import SampleRow
+from .ipmi import Ipmi
+from .power_models import HostPowerModel, JobKind
+from .rapl import Rapl
+from .timeline import JobTimeline
+from .tt_smi import TTSMI
+
+__all__ = ["PowerSampler"]
+
+
+class PowerSampler:
+    """Samples all power channels over a job window at 1 Hz."""
+
+    def __init__(
+        self,
+        tt_smi: TTSMI,
+        host_model: HostPowerModel,
+        rapl: Rapl,
+        ipmi: Ipmi,
+        *,
+        interval_s: float = 1.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise SamplerError(f"interval must be positive, got {interval_s}")
+        self.tt_smi = tt_smi
+        self.host_model = host_model
+        self.rapl = rapl
+        self.ipmi = ipmi
+        self.interval_s = interval_s
+
+    def sample_job(
+        self,
+        job_start: float,
+        job_end: float,
+        kind: JobKind,
+        timeline: JobTimeline,
+    ) -> list[SampleRow]:
+        """Sample [job_start, job_end) and accumulate RAPL along the way."""
+        if job_end <= job_start:
+            raise SamplerError(
+                f"empty sampling window [{job_start}, {job_end})"
+            )
+        rows: list[SampleRow] = []
+        t = float(job_start)
+        while t < job_end:
+            phase = timeline.phase_at(t)
+            host_w = self.host_model.sample_power(kind, phase)
+            card_w = self.tt_smi.read(t, kind, timeline)
+            ipmi_w = self.ipmi.dcmi_power_reading(host_w, sum(card_w))
+            self.rapl.accumulate(host_w, self.interval_s)
+            rows.append(
+                SampleRow(
+                    timestamp=t,
+                    card_w=tuple(card_w),
+                    host_w=host_w,
+                    ipmi_w=ipmi_w,
+                )
+            )
+            t += self.interval_s
+        return rows

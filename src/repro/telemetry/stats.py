@@ -1,0 +1,64 @@
+"""Campaign statistics: the numbers the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = ["RunStats", "histogram"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean +/- std summary of a metric across completed runs."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values) -> "RunStats":
+        vals = tuple(float(v) for v in values)
+        if not vals:
+            raise TelemetryError("no values to summarise")
+        return cls(vals)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1), 0 for a single value."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def format(self, unit: str = "", digits: int = 2) -> str:
+        return (
+            f"{self.mean:.{digits}f} +/- {self.std:.{digits}f} {unit} "
+            f"(n={self.n}, range {self.min:.{digits}f} - {self.max:.{digits}f})"
+        ).strip()
+
+
+def histogram(values, n_bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram counts and bin edges, as in the paper's Figs. 3 and 5."""
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        raise TelemetryError("no values to histogram")
+    if n_bins <= 0:
+        raise TelemetryError(f"bin count must be positive, got {n_bins}")
+    return np.histogram(vals, bins=n_bins)

@@ -1,0 +1,83 @@
+"""Job timelines: absolute-time phase maps for the samplers.
+
+The simulation layer produces *relative* phase sequences (host init, device
+force, host corrector, ...).  A :class:`JobTimeline` anchors one at an
+absolute virtual start time so samplers can ask "what was running at
+t = 1234.0 s?" — the question behind every column of the paper's power
+csv files.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..core.simulation import TimelineSegment
+from ..errors import TelemetryError
+
+__all__ = ["JobTimeline"]
+
+
+@dataclass(frozen=True)
+class _Span:
+    start: float
+    end: float
+    tag: str
+    detail: str
+
+
+class JobTimeline:
+    """Absolute phase spans of one job's simulation window."""
+
+    def __init__(self, start_time: float,
+                 segments: list[TimelineSegment]) -> None:
+        if start_time < 0:
+            raise TelemetryError(f"negative start time {start_time}")
+        self.start_time = float(start_time)
+        self._spans: list[_Span] = []
+        self._starts: list[float] = []
+        t = self.start_time
+        for seg in segments:
+            if seg.seconds < 0:
+                raise TelemetryError(f"negative segment duration in {seg}")
+            if seg.seconds == 0.0:
+                continue
+            self._spans.append(_Span(t, t + seg.seconds, seg.tag, seg.detail))
+            self._starts.append(t)
+            t += seg.seconds
+        self.end_time = t
+
+    @property
+    def duration(self) -> float:
+        """The MPI_Wtime window: simulation only, no sleeps."""
+        return self.end_time - self.start_time
+
+    def phase_at(self, t: float) -> str | None:
+        """Tag of the phase running at time ``t``; None outside the job."""
+        if t < self.start_time or t >= self.end_time or not self._spans:
+            return None
+        idx = bisect.bisect_right(self._starts, t) - 1
+        span = self._spans[idx]
+        return span.tag if span.start <= t < span.end else None
+
+    def device_active_at(self, t: float) -> bool:
+        """True while the offloaded force kernel is executing."""
+        return self.phase_at(t) == "device"
+
+    def kernel_invoked_by(self, t: float) -> bool:
+        """True once the first device phase has started (<= t).
+
+        Fig. 4: unused cards rise "once the kernel responsible for computing
+        the forces between particles is invoked" and stay elevated until the
+        simulation ends.
+        """
+        for span in self._spans:
+            if span.tag == "device":
+                return t >= span.start
+        return False
+
+    def seconds_by_tag(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for span in self._spans:
+            out[span.tag] = out.get(span.tag, 0.0) + (span.end - span.start)
+        return out

@@ -1,0 +1,87 @@
+"""Simulated ``tt-smi``: the manufacturer system-management interface.
+
+The paper records "the power usage of the four accelerators at roughly
+one-second intervals using the manufacturer system management interface
+tt-smi".  This class is that interface for the simulated host: it owns one
+:class:`~repro.wormhole.power.CardPowerModel` per installed card and
+returns instantaneous per-card draws for a sampling instant, given the
+job's timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SamplerError
+from ..wormhole.power import CardPowerModel, CardPowerParams, CardState
+from .power_models import JobKind, card_state_at
+from .timeline import JobTimeline
+
+__all__ = ["TTSMI"]
+
+
+class TTSMI:
+    """Per-card power readout for a host with ``n_cards`` n300 boards."""
+
+    def __init__(
+        self,
+        n_cards: int = 4,
+        rng: np.random.Generator | None = None,
+        params: CardPowerParams | None = None,
+    ) -> None:
+        if n_cards < 1:
+            raise SamplerError(f"need at least one card, got {n_cards}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.n_cards = n_cards
+        self.cards = [
+            CardPowerModel(i, rng, params or CardPowerParams())
+            for i in range(n_cards)
+        ]
+
+    def read(self, t: float, kind: JobKind,
+             timeline: JobTimeline) -> list[float]:
+        """One ``tt-smi`` sample: watts for each card at time ``t``."""
+        for device in kind.active_set():
+            if not (0 <= device < self.n_cards):
+                raise SamplerError(
+                    f"active device {device} out of range "
+                    f"[0, {self.n_cards})"
+                )
+        return [
+            card.sample_power(card_state_at(i, t, kind, timeline))
+            for i, card in enumerate(self.cards)
+        ]
+
+    def read_idle(self) -> list[float]:
+        """Sample with no job anywhere (all cards idle)."""
+        return [card.sample_power(CardState.IDLE) for card in self.cards]
+
+    def format_table(
+        self,
+        t: float | None = None,
+        kind: JobKind | None = None,
+        timeline: JobTimeline | None = None,
+    ) -> str:
+        """A ``tt-smi``-style status table for the installed cards.
+
+        With no job context every card reports idle; with a job's kind and
+        timeline the table reflects the live states at time ``t``.
+        """
+        header = (
+            f"{'card':>4} {'board':>12} {'state':>15} {'power [W]':>10} "
+            f"{'limit [W]':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for i, card in enumerate(self.cards):
+            if kind is None or timeline is None or t is None:
+                state = CardState.IDLE
+            else:
+                from .power_models import card_state_at
+
+                state = card_state_at(i, t, kind, timeline)
+            watts = card.sample_power(state)
+            lines.append(
+                f"{i:>4} {'n300 (WH)':>12} {state.value:>15} "
+                f"{watts:>10.1f} {160.0:>10.1f}"
+            )
+        return "\n".join(lines)

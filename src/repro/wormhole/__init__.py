@@ -1,0 +1,105 @@
+"""Simulator of the Tenstorrent Wormhole n300 accelerator.
+
+This subpackage is the hardware substitute mandated by the reproduction
+(see DESIGN.md section 2): a functional + performance-model simulator of
+the chip the paper runs on.  The functional layer computes real values in
+genuine device precision (FP32/BF16/BFP8 rounding); the performance layer
+accounts cycles for compute, unpack/pack, NoC and DRAM activity; the power
+layer reproduces the card draws of the paper's Fig. 4.
+
+Structure mirrors the chip (paper Fig. 1):
+
+- :mod:`~repro.wormhole.params` — published constants + calibrated costs
+- :mod:`~repro.wormhole.dtypes` / :mod:`~repro.wormhole.tile` — data formats
+  and 32x32 tilized tensors
+- :mod:`~repro.wormhole.registers` — srcA/srcB/dst register files
+- :mod:`~repro.wormhole.sfpu` / :mod:`~repro.wormhole.fpu` — the vector and
+  tensor math units
+- :mod:`~repro.wormhole.l1` / :mod:`~repro.wormhole.circular_buffer` —
+  SRAM and the CB dataflow primitives
+- :mod:`~repro.wormhole.noc` / :mod:`~repro.wormhole.dram` /
+  :mod:`~repro.wormhole.ethernet` — interconnect and memory
+- :mod:`~repro.wormhole.riscv` / :mod:`~repro.wormhole.tensix` — baby
+  RISC-V roles and the Tensix core with its kernel scheduler
+- :mod:`~repro.wormhole.device` — the assembled n300 card
+- :mod:`~repro.wormhole.power` — the card power model
+"""
+
+from .circular_buffer import CBEventCounter, CircularBuffer
+from .counters import CycleCounter, OpStats
+from .device import GRID_H, GRID_W, ResetFaultModel, WormholeDevice
+from .dram import Dram, DramAllocation
+from .dtypes import DataFormat, dst_tile_capacity, quantize, storage_bytes_per_element
+from .ethernet import EthernetFabric, EthernetLink
+from .fpu import Fpu
+from .l1 import L1Allocation, L1Allocator
+from .noc import Noc, NocCoordinate, NocTrafficStats
+from .params import DEFAULT_COSTS, WORMHOLE_N300, ChipParams, CostParams
+from .power import CardPowerModel, CardPowerParams, CardState
+from .registers import DestRegister, RegisterFile, SourceRegister
+from .riscv import COMPUTE_ROLES, DATA_MOVEMENT_ROLES, RiscvCore, RiscvRole
+from .sfpu import Sfpu
+from .tensix import KernelInstance, KernelScheduler, TensixCore
+from .tile import (
+    TILE_COLS,
+    TILE_ELEMENTS,
+    TILE_ROWS,
+    Tile,
+    tiles_needed,
+    tilize_1d,
+    tilize_2d,
+    untilize_1d,
+    untilize_2d,
+)
+
+__all__ = [
+    "CBEventCounter",
+    "CircularBuffer",
+    "CycleCounter",
+    "OpStats",
+    "GRID_H",
+    "GRID_W",
+    "ResetFaultModel",
+    "WormholeDevice",
+    "Dram",
+    "DramAllocation",
+    "DataFormat",
+    "dst_tile_capacity",
+    "quantize",
+    "storage_bytes_per_element",
+    "EthernetFabric",
+    "EthernetLink",
+    "Fpu",
+    "L1Allocation",
+    "L1Allocator",
+    "Noc",
+    "NocCoordinate",
+    "NocTrafficStats",
+    "DEFAULT_COSTS",
+    "WORMHOLE_N300",
+    "ChipParams",
+    "CostParams",
+    "CardPowerModel",
+    "CardPowerParams",
+    "CardState",
+    "DestRegister",
+    "RegisterFile",
+    "SourceRegister",
+    "COMPUTE_ROLES",
+    "DATA_MOVEMENT_ROLES",
+    "RiscvCore",
+    "RiscvRole",
+    "Sfpu",
+    "KernelInstance",
+    "KernelScheduler",
+    "TensixCore",
+    "TILE_COLS",
+    "TILE_ELEMENTS",
+    "TILE_ROWS",
+    "Tile",
+    "tiles_needed",
+    "tilize_1d",
+    "tilize_2d",
+    "untilize_1d",
+    "untilize_2d",
+]

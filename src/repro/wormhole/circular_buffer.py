@@ -1,0 +1,204 @@
+"""Software-managed circular buffers (CBs) and their synchronisation.
+
+CBs are how the paper's three kernels (read, compute, write) communicate:
+"These kernels are executed across data movement and compute cores in a
+dataflow-driven manner, communicating via software-managed circular buffers"
+(Section 2).  The synchronisation primitives modelled here are exactly the
+ones the paper names:
+
+* ``cb_wait_front`` / ``cb_pop_front`` — consumer side: wait for data,
+  consume in order;
+* ``cb_reserve_back`` — producer side: block until space is available,
+  "preventing overwrites and enforcing back-pressure";
+* ``cb_push_back`` — finalise a reserved write.
+
+Kernels in this simulator are *cooperative generators*: the blocking
+primitives are sub-generators that yield while their condition is unmet, and
+the kernel scheduler (:mod:`repro.wormhole.tensix`) round-robins kernels
+until all complete, detecting deadlock when no kernel can make progress.
+That makes back-pressure, ordering, and capacity pressure real, testable
+behaviours rather than bookkeeping.
+
+A CB page holds one tile; capacity is expressed in pages and backed by an
+L1 allocation, so over-provisioned CBs exhaust the 1.5 MB budget exactly as
+they would on hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+
+from ..errors import CircularBufferError
+from .counters import CycleCounter
+from .dtypes import DataFormat, storage_bytes_per_element
+from .l1 import L1Allocator
+from .params import CostParams, DEFAULT_COSTS
+from .tile import TILE_ELEMENTS, Tile
+
+__all__ = ["CircularBuffer", "CBEventCounter"]
+
+
+class CBEventCounter:
+    """Shared progress counter for deadlock detection.
+
+    Every state-changing CB operation bumps the counter; the kernel
+    scheduler declares deadlock when a full scheduling round completes with
+    every kernel blocked and the counter unchanged.
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+
+    def bump(self) -> None:
+        self.events += 1
+
+
+class CircularBuffer:
+    """A FIFO of tile pages with TT-Metalium synchronisation semantics."""
+
+    def __init__(
+        self,
+        cb_id: int,
+        capacity_pages: int,
+        fmt: DataFormat = DataFormat.FLOAT32,
+        *,
+        l1: L1Allocator | None = None,
+        events: CBEventCounter | None = None,
+        counter: CycleCounter | None = None,
+        costs: CostParams = DEFAULT_COSTS,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise CircularBufferError(
+                f"cb {cb_id}: capacity must be positive, got {capacity_pages}"
+            )
+        self.cb_id = cb_id
+        self.capacity_pages = int(capacity_pages)
+        self.fmt = fmt
+        self.page_bytes = storage_bytes_per_element(fmt) * TILE_ELEMENTS
+        self.events = events if events is not None else CBEventCounter()
+        self.counter = counter if counter is not None else CycleCounter()
+        self.costs = costs
+        self._l1_alloc = None
+        if l1 is not None:
+            self._l1_alloc = l1.allocate(self.capacity_pages * self.page_bytes)
+        self._pages: deque[Tile] = deque()
+        #: pages reserved by the producer but not yet pushed
+        self._reserved = 0
+        self._staged: list[Tile] = []
+
+    # -- inspection ----------------------------------------------------------
+
+    def pages_available(self) -> int:
+        """Pages visible to the consumer."""
+        return len(self._pages)
+
+    def pages_free(self) -> int:
+        """Pages the producer could still reserve."""
+        return self.capacity_pages - len(self._pages) - self._reserved - len(self._staged)
+
+    # -- producer side -------------------------------------------------------
+
+    def reserve_back(self, n_pages: int) -> Generator[None, None, None]:
+        """``cb_reserve_back``: block until ``n_pages`` of space exist.
+
+        A cooperative sub-generator: use as ``yield from cb.reserve_back(n)``
+        inside a kernel.  Yields while blocked on back-pressure.
+        """
+        self._check_pages(n_pages)
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.reserve_back")
+        while self.pages_free() < n_pages:
+            yield
+        self._reserved += n_pages
+        self.events.bump()
+
+    def try_reserve_back(self, n_pages: int) -> bool:
+        """Non-blocking reserve; True on success."""
+        self._check_pages(n_pages)
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.reserve_back")
+        if self.pages_free() < n_pages:
+            return False
+        self._reserved += n_pages
+        self.events.bump()
+        return True
+
+    def write_page(self, tile: Tile) -> None:
+        """Write one tile into previously reserved space."""
+        if self._reserved <= 0:
+            raise CircularBufferError(
+                f"cb {self.cb_id}: write without a matching reserve_back"
+            )
+        if tile.fmt is not self.fmt:
+            tile = tile.astype(self.fmt)
+        self._reserved -= 1
+        self._staged.append(tile)
+
+    def push_back(self, n_pages: int) -> None:
+        """``cb_push_back``: make ``n_pages`` staged pages visible."""
+        self._check_pages(n_pages)
+        if len(self._staged) < n_pages:
+            raise CircularBufferError(
+                f"cb {self.cb_id}: push_back({n_pages}) with only "
+                f"{len(self._staged)} staged pages written"
+            )
+        for _ in range(n_pages):
+            self._pages.append(self._staged.pop(0))
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.push_back")
+        self.events.bump()
+
+    # -- consumer side ---------------------------------------------------------
+
+    def wait_front(self, n_pages: int) -> Generator[None, None, None]:
+        """``cb_wait_front``: block until ``n_pages`` are visible."""
+        self._check_pages(n_pages)
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.wait_front")
+        while self.pages_available() < n_pages:
+            yield
+
+    def try_wait_front(self, n_pages: int) -> bool:
+        """Non-blocking wait; True when enough pages are visible."""
+        self._check_pages(n_pages)
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.wait_front")
+        return self.pages_available() >= n_pages
+
+    def get_page(self, index: int = 0) -> Tile:
+        """Peek at a visible page without consuming it."""
+        if index >= self.pages_available():
+            raise CircularBufferError(
+                f"cb {self.cb_id}: peek at page {index} with only "
+                f"{self.pages_available()} visible — call wait_front first"
+            )
+        return self._pages[index]
+
+    def pop_front(self, n_pages: int) -> list[Tile]:
+        """``cb_pop_front``: consume ``n_pages`` in FIFO order."""
+        self._check_pages(n_pages)
+        if self.pages_available() < n_pages:
+            raise CircularBufferError(
+                f"cb {self.cb_id}: pop_front({n_pages}) with only "
+                f"{self.pages_available()} visible — protocol requires a "
+                f"successful wait_front first"
+            )
+        out = [self._pages.popleft() for _ in range(n_pages)]
+        self.counter.add_compute(self.costs.cb_sync_cycles, op="cb.pop_front")
+        self.events.bump()
+        return out
+
+    # -- misc --------------------------------------------------------------
+
+    def _check_pages(self, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise CircularBufferError(
+                f"cb {self.cb_id}: page count must be positive, got {n_pages}"
+            )
+        if n_pages > self.capacity_pages:
+            raise CircularBufferError(
+                f"cb {self.cb_id}: request for {n_pages} pages exceeds "
+                f"capacity {self.capacity_pages} — this can never be satisfied"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircularBuffer(id={self.cb_id}, visible={self.pages_available()}, "
+            f"free={self.pages_free()}, capacity={self.capacity_pages})"
+        )

@@ -1,0 +1,81 @@
+"""Cycle and operation accounting for the performance model.
+
+The simulator is *functionally* exact (it computes real values in device
+precision) and *temporally* modelled: every unit that does work reports it
+to a :class:`CycleCounter`, and a program's simulated duration is derived
+from the slowest participating core.  Compute work (driven by the T0/T1/T2
+baby RISC-V cores) and data movement (NC/B cores driving NoC and DRAM)
+accumulate on separate timelines because the hardware overlaps them through
+the circular-buffer dataflow; a core's busy time is the max of the two.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["CycleCounter", "OpStats"]
+
+
+@dataclass
+class OpStats:
+    """Histogram of issued operations, by mnemonic.
+
+    Used by tests to assert the N-body compute kernel issues exactly the
+    op mix the paper describes (sub/square/rsqrt and friends), and by the
+    ablation benches to report op counts per configuration.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, op: str, n: int = 1) -> None:
+        self.counts[op] += n
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merge(self, other: "OpStats") -> None:
+        self.counts.update(other.counts)
+
+    def reset(self) -> None:
+        self.counts.clear()
+
+    def __getitem__(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+
+@dataclass
+class CycleCounter:
+    """Per-core cycle accumulators for one program execution.
+
+    ``compute_cycles`` covers the UNPACK/MATH/PACK pipeline; ``datamove_cycles``
+    covers NoC/DRAM traffic issued by the data-movement cores.  The two
+    overlap on hardware, so :meth:`busy_cycles` is their maximum — the
+    dataflow pipeline is bound by whichever side is slower.
+    """
+
+    compute_cycles: float = 0.0
+    datamove_cycles: float = 0.0
+    ops: OpStats = field(default_factory=OpStats)
+
+    def add_compute(self, cycles: float, op: str | None = None, n_ops: int = 1) -> None:
+        self.compute_cycles += float(cycles)
+        if op is not None:
+            self.ops.record(op, n_ops)
+
+    def add_datamove(self, cycles: float, op: str | None = None, n_ops: int = 1) -> None:
+        self.datamove_cycles += float(cycles)
+        if op is not None:
+            self.ops.record(op, n_ops)
+
+    def busy_cycles(self) -> float:
+        return max(self.compute_cycles, self.datamove_cycles)
+
+    def seconds(self, clock_hz: float) -> float:
+        """Busy time of this core at the given clock frequency."""
+        return self.busy_cycles() / float(clock_hz)
+
+    def reset(self) -> None:
+        self.compute_cycles = 0.0
+        self.datamove_cycles = 0.0
+        self.ops.reset()

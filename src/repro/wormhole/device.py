@@ -1,0 +1,155 @@
+"""WormholeDevice: the full n300 card.
+
+Assembles the 8x8 grid of 64 Tensix cores, the 12 GB GDDR6 pool, the two
+NoCs, and the board power model, and owns the device lifecycle:
+
+* ``reset()`` — required before use.  The paper's campaign performs "a
+  device reset" before each job and reports that 24 of 50 accelerated jobs
+  "failed to start due to errors occurring during the device reset phase";
+  the reset fault injector reproduces that behaviour for experiment E7.
+* ``open()`` / ``close()`` — host connection state.
+
+Programs execute on cores through the metalium layer; the device aggregates
+their cycle counters into a modelled busy time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, DeviceNotOpenError, DeviceResetError
+from .counters import OpStats
+from .dram import Dram
+from .dtypes import DataFormat
+from .noc import Noc, NocCoordinate
+from .params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from .power import CardPowerModel, CardPowerParams
+from .tensix import TensixCore
+
+__all__ = ["ResetFaultModel", "WormholeDevice"]
+
+#: Tensix grid dimensions for the 64-core Wormhole (paper Section 2).
+GRID_W = 8
+GRID_H = 8
+
+
+class ResetFaultModel:
+    """Bernoulli fault injector for the device reset phase.
+
+    ``failure_rate`` defaults to 0 (resets always succeed); the campaign
+    robustness experiment configures 0.48 to reproduce the paper's 26-of-50
+    completion statistic.
+    """
+
+    def __init__(self, failure_rate: float = 0.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if not (0.0 <= failure_rate <= 1.0):
+            raise ConfigurationError(
+                f"failure rate must be in [0, 1], got {failure_rate}"
+            )
+        self.failure_rate = failure_rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.attempts = 0
+        self.failures = 0
+
+    def check(self) -> None:
+        """Raise :class:`DeviceResetError` with the configured probability."""
+        self.attempts += 1
+        if self.failure_rate > 0.0 and self.rng.random() < self.failure_rate:
+            self.failures += 1
+            raise DeviceResetError(
+                "device reset failed (injected fault reproducing the "
+                "campaign's reset-phase errors)"
+            )
+
+
+class WormholeDevice:
+    """A simulated Wormhole n300 card."""
+
+    def __init__(
+        self,
+        device_id: int = 0,
+        chip: ChipParams = WORMHOLE_N300,
+        costs: CostParams = DEFAULT_COSTS,
+        fmt: DataFormat = DataFormat.FLOAT32,
+        *,
+        fault_model: ResetFaultModel | None = None,
+        power_rng: np.random.Generator | None = None,
+        power_params: CardPowerParams | None = None,
+    ) -> None:
+        self.device_id = device_id
+        self.chip = chip
+        self.costs = costs
+        self.fmt = fmt
+        self.fault_model = fault_model if fault_model is not None else ResetFaultModel()
+        rng = power_rng if power_rng is not None else np.random.default_rng(device_id)
+        self.power_model = CardPowerModel(
+            device_id, rng, power_params or CardPowerParams()
+        )
+        self.cores: list[TensixCore] = [
+            TensixCore(
+                i, NocCoordinate(i % chip.grid_w, i // chip.grid_w),
+                chip, costs, fmt,
+            )
+            for i in range(chip.n_tensix_cores)
+        ]
+        self.dram = Dram(chip)
+        self.nocs = [Noc(i, chip, costs) for i in range(chip.n_nocs)]
+        self._open = False
+        self._reset_done = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Device reset; may raise :class:`DeviceResetError` (fault model)."""
+        self.fault_model.check()
+        for core in self.cores:
+            core.reset()
+        self.dram.reset()
+        for noc in self.nocs:
+            noc.stats.reset()
+        self._reset_done = True
+
+    def open(self) -> None:
+        if not self._reset_done:
+            raise DeviceNotOpenError(
+                f"device {self.device_id}: reset() required before open()"
+            )
+        self._open = True
+
+    def close(self) -> None:
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def require_open(self) -> None:
+        if not self._open:
+            raise DeviceNotOpenError(
+                f"device {self.device_id} is not open"
+            )
+
+    # -- aggregation ----------------------------------------------------------
+
+    def busy_seconds(self) -> float:
+        """Modelled device time: the slowest core bounds the program."""
+        return max(core.busy_seconds() for core in self.cores)
+
+    def total_op_stats(self) -> OpStats:
+        """Merged op histogram across all cores (for tests and benches)."""
+        stats = OpStats()
+        for core in self.cores:
+            stats.merge(core.counter.ops)
+        return stats
+
+    def clear_counters(self) -> None:
+        """Zero all core counters without touching memory contents."""
+        for core in self.cores:
+            core.counter.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WormholeDevice(id={self.device_id}, cores={len(self.cores)}, "
+            f"open={self._open})"
+        )

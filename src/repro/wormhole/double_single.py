@@ -1,0 +1,159 @@
+"""Double-single (compensated float32-pair) arithmetic on the SFPU.
+
+GPU direct N-body codes of the paper's lineage (e.g. HiGPUs) famously used
+*double-single* arithmetic — an unevaluated sum of two float32 values
+(``hi + lo``) carrying ~48 mantissa bits — to get near-double accuracy out
+of single-precision hardware.  The Wormhole SFPU supports FP32 with fused
+multiply-add, which is exactly what the error-free transformations need,
+so DS is the natural "more accuracy" alternative to the paper's plain-FP32
+kernel.  The E13 ablation quantifies the trade: DS recovers orders of
+magnitude of accuracy at a ~6x op-count cost, which erases the device's
+speed advantage over the CPU reference — justifying the paper's plain-FP32
+choice given that FP32 already meets the validation gates.
+
+All operations here are vectorised over NumPy arrays and *bit-faithful*:
+every intermediate rounds as a genuine float32 operation (Knuth two-sum,
+FMA-based two-product), so the accuracy results are real measurements, not
+estimates.  Each helper reports its SFPU op cost so the cost model can
+charge a DS kernel honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataFormatError
+
+__all__ = ["DS", "two_sum", "two_prod_fma", "DS_OP_COSTS"]
+
+#: SFPU op-equivalents per DS primitive (assuming a hardware FMA, which
+#: the SFPU's mad instruction provides).
+DS_OP_COSTS = {
+    "two_sum": 6,
+    "two_prod": 2,    # mul + fma
+    "add": 11,        # two_sum + low-order accumulate + renormalise
+    "sub": 11,
+    "mul": 7,         # two_prod + cross terms + renormalise
+    "rsqrt": 40,      # f32 seed + two DS Newton-Raphson iterations
+}
+
+
+def _f32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+def two_sum(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Knuth's error-free addition: a + b = s + err exactly (6 FP32 ops)."""
+    a = _f32(a)
+    b = _f32(b)
+    s = a + b
+    bb = s - a
+    err = (a - (s - bb)) + (b - bb)
+    return s, err
+
+
+def _quick_two_sum(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Error-free addition assuming |a| >= |b| (3 FP32 ops)."""
+    s = a + b
+    err = b - (s - a)
+    return s, err
+
+
+def two_prod_fma(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Error-free product via FMA: a * b = p + err exactly.
+
+    The SFPU's mad gives err = fma(a, b, -p); NumPy lacks a float32 FMA,
+    so the *identical* value is obtained through float64 (the product of
+    two float32 values is exactly representable in float64).
+    """
+    a = _f32(a)
+    b = _f32(b)
+    with np.errstate(over="ignore"):
+        p = a * b
+        exact = a.astype(np.float64) * b.astype(np.float64)
+        err = (exact - p.astype(np.float64)).astype(np.float32)
+    return p, err
+
+
+@dataclass(frozen=True)
+class DS:
+    """A double-single value: the unevaluated float32 sum ``hi + lo``."""
+
+    hi: np.ndarray
+    lo: np.ndarray
+
+    @classmethod
+    def from_float64(cls, values) -> "DS":
+        """Split float64 input into a normalised (hi, lo) pair."""
+        arr = np.asarray(values, dtype=np.float64)
+        hi = arr.astype(np.float32)
+        lo = (arr - hi.astype(np.float64)).astype(np.float32)
+        return cls(hi, lo)
+
+    @classmethod
+    def zeros(cls, shape) -> "DS":
+        return cls(np.zeros(shape, dtype=np.float32),
+                   np.zeros(shape, dtype=np.float32))
+
+    def to_float64(self) -> np.ndarray:
+        return self.hi.astype(np.float64) + self.lo.astype(np.float64)
+
+    # -- arithmetic (each returns a normalised DS) ---------------------------
+
+    def add(self, other: "DS") -> "DS":
+        s, e = two_sum(self.hi, other.hi)
+        e = e + self.lo + other.lo
+        hi, lo = _quick_two_sum(s, e)
+        return DS(hi, lo)
+
+    def sub(self, other: "DS") -> "DS":
+        return self.add(other.neg())
+
+    def neg(self) -> "DS":
+        return DS(-self.hi, -self.lo)
+
+    def mul(self, other: "DS") -> "DS":
+        p, e = two_prod_fma(self.hi, other.hi)
+        e = e + self.hi * other.lo + self.lo * other.hi
+        hi, lo = _quick_two_sum(p, e)
+        return DS(hi, lo)
+
+    def square(self) -> "DS":
+        return self.mul(self)
+
+    def mul_f32(self, scalar: float) -> "DS":
+        s = DS(np.float32(scalar), np.float32(0.0))
+        return self.mul(DS(np.broadcast_to(s.hi, self.hi.shape).copy(),
+                           np.broadcast_to(s.lo, self.hi.shape).copy()))
+
+    def rsqrt(self) -> "DS":
+        """1 / sqrt(x) via an FP32 seed and two DS Newton iterations.
+
+        y' = y * (1.5 - 0.5 x y^2); each iteration roughly doubles the
+        correct bits: 24 -> ~44 -> beyond DS resolution.
+        """
+        x64 = self.to_float64()
+        if np.any(x64 < 0):
+            raise DataFormatError("rsqrt of negative DS value")
+        with np.errstate(divide="ignore"):
+            seed = (np.float32(1.0) / np.sqrt(self.hi)).astype(np.float32)
+        y = DS(seed, np.zeros_like(seed))
+        half = DS.from_float64(np.full(self.hi.shape, 0.5))
+        three_half = DS.from_float64(np.full(self.hi.shape, 1.5))
+        half_x = self.mul(half)
+        for _ in range(2):
+            y2 = y.square()
+            corr = three_half.sub(half_x.mul(y2))
+            y = y.mul(corr)
+        return y
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def is_normalised(self, tol_ulps: float = 1.0) -> bool:
+        """lo must be below ~1 ulp of hi everywhere."""
+        hi = np.abs(self.hi.astype(np.float64))
+        lo = np.abs(self.lo.astype(np.float64))
+        ulp = np.spacing(np.maximum(hi, np.finfo(np.float32).tiny).astype(np.float32)).astype(np.float64)
+        return bool(np.all(lo <= tol_ulps * ulp + 1e-45))

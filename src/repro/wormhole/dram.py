@@ -1,0 +1,141 @@
+"""GDDR6 DRAM model: byte-addressed storage plus bandwidth costing.
+
+The n300 card carries 12 GB of external GDDR6 behind a 192-bit memory bus
+(paper Section 2).  The model provides:
+
+* a byte-addressed store backed by NumPy arrays per allocation, so DRAM
+  buffers created through the metalium host API hold real data; and
+* a bandwidth cost model — transfers charge cycles at the effective
+  bus rate onto the issuing core's data-movement timeline, and aggregate
+  traffic is tracked for the benches.
+
+Storage is materialised lazily per buffer rather than as one 12 GB array;
+capacity accounting is still enforced against the real 12 GB budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AllocationError, DeviceMemoryError
+from .counters import CycleCounter
+from .params import ChipParams, WORMHOLE_N300
+
+__all__ = ["DramAllocation", "Dram"]
+
+#: DRAM allocations are page-aligned to 32 bytes (NoC flit size).
+DRAM_ALIGN = 32
+
+
+@dataclass(frozen=True)
+class DramAllocation:
+    """Handle for a DRAM buffer: base address and size in bytes."""
+
+    address: int
+    size: int
+
+
+class Dram:
+    """The card's GDDR6 pool: allocator, storage, and bandwidth model.
+
+    The 192-bit bus is six 32-bit GDDR6 channels; interleaved buffers
+    stripe across all of them (full bandwidth), whereas a transfer pinned
+    to one bank sees one sixth.  ``transfer_cycles`` models both regimes.
+    """
+
+    #: 192-bit bus = 6 x 32-bit GDDR6 channels.
+    N_BANKS = 6
+    #: Interleaving granularity: one 4 KiB tile page per bank.
+    BANK_INTERLEAVE_BYTES = 4096
+
+    def __init__(self, chip: ChipParams = WORMHOLE_N300) -> None:
+        self.chip = chip
+        self.capacity = chip.dram_bytes
+        self._next_address = 0
+        self._store: dict[int, np.ndarray] = {}
+        self._sizes: dict[int, int] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- allocation --------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    def allocate(self, size: int) -> DramAllocation:
+        if size <= 0:
+            raise AllocationError(f"DRAM allocation must be positive, got {size}")
+        aligned = (size + DRAM_ALIGN - 1) & ~(DRAM_ALIGN - 1)
+        if self.allocated_bytes + aligned > self.capacity:
+            raise AllocationError(
+                f"DRAM exhausted: requested {aligned} B with "
+                f"{self.capacity - self.allocated_bytes} B free of {self.capacity} B"
+            )
+        address = self._next_address
+        self._next_address += aligned
+        self._store[address] = np.zeros(aligned, dtype=np.uint8)
+        self._sizes[address] = aligned
+        return DramAllocation(address, aligned)
+
+    def free(self, alloc: DramAllocation) -> None:
+        if self._sizes.pop(alloc.address, None) is None:
+            raise AllocationError(f"free of unknown DRAM allocation {alloc!r}")
+        del self._store[alloc.address]
+
+    def reset(self) -> None:
+        self._next_address = 0
+        self._store.clear()
+        self._sizes.clear()
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- data access ---------------------------------------------------------
+
+    def _locate(self, address: int, size: int) -> tuple[np.ndarray, int]:
+        for base, buf in self._store.items():
+            if base <= address and address + size <= base + buf.size:
+                return buf, address - base
+        raise DeviceMemoryError(
+            f"DRAM access [{address}, {address + size}) hits no live allocation"
+        )
+
+    def write(self, address: int, data: bytes | np.ndarray,
+              counter: CycleCounter | None = None) -> float:
+        """Store bytes at ``address``; returns the modelled cycle cost."""
+        raw = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray)
+        ) else np.ascontiguousarray(data).view(np.uint8).ravel()
+        buf, offset = self._locate(address, raw.size)
+        buf[offset : offset + raw.size] = raw
+        self.bytes_written += raw.size
+        cycles = self.transfer_cycles(raw.size)
+        if counter is not None:
+            counter.add_datamove(cycles, op="dram.write")
+        return cycles
+
+    def read(self, address: int, size: int,
+             counter: CycleCounter | None = None) -> bytes:
+        """Load ``size`` bytes from ``address``, charging bandwidth cost."""
+        buf, offset = self._locate(address, size)
+        self.bytes_read += size
+        if counter is not None:
+            counter.add_datamove(self.transfer_cycles(size), op="dram.read")
+        return bytes(buf[offset : offset + size])
+
+    def transfer_cycles(self, n_bytes: int, *, interleaved: bool = True) -> float:
+        """Cycles (at core clock) to move ``n_bytes`` through the bus.
+
+        ``interleaved`` transfers stripe over the banks they touch: a
+        transfer spanning k interleave units uses min(k, 6) channels.
+        Non-interleaved (single-bank) transfers always see one channel.
+        """
+        if interleaved:
+            units = max(1, -(-n_bytes // self.BANK_INTERLEAVE_BYTES))
+            channels = min(units, self.N_BANKS)
+        else:
+            channels = 1
+        bandwidth = self.chip.dram_bandwidth_bytes_per_s * channels / self.N_BANKS
+        return n_bytes / bandwidth * self.chip.clock_hz

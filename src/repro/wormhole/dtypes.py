@@ -1,0 +1,143 @@
+"""Device data formats with genuine reduced-precision arithmetic.
+
+The accuracy experiment in the paper (Section 3: acceleration within 0.05%
+and jerk within 0.2% of a typical force magnitude versus a double-precision
+golden reference) is only meaningful if the simulated device really computes
+in device precision.  This module provides the conversions:
+
+* ``FLOAT32`` — IEEE single precision, the widest format the Wormhole
+  supports and the one the paper's port computes in.
+* ``BFLOAT16`` — bfloat16 (8-bit exponent, 7-bit mantissa), the 16-bit
+  format in which the dst register holds 16 tiles.  Implemented by
+  round-to-nearest-even truncation of the FP32 bit pattern.
+* ``FLOAT16`` — IEEE half precision, provided for ablations.
+* ``BFP8`` — an 8-bit block floating-point format: 16-element blocks share
+  one 8-bit exponent, each element keeps a sign and a 7-bit mantissa.
+  This mirrors Tenstorrent's block-FP family and is exercised by the
+  precision ablation (E6), not by the N-body port itself.
+
+All conversions are pure functions on NumPy arrays; quantising to a format
+and back to float64 yields exactly the value the device would have seen.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import DataFormatError
+
+__all__ = ["DataFormat", "quantize", "storage_bytes_per_element", "dst_tile_capacity"]
+
+
+class DataFormat(enum.Enum):
+    """Device tensor data formats supported by the simulator."""
+
+    FLOAT32 = "float32"
+    BFLOAT16 = "bfloat16"
+    FLOAT16 = "float16"
+    BFP8 = "bfp8"
+
+
+#: Bytes each element occupies in DRAM / L1 / dst for a given format.
+_STORAGE_BYTES = {
+    DataFormat.FLOAT32: 4,
+    DataFormat.BFLOAT16: 2,
+    DataFormat.FLOAT16: 2,
+    DataFormat.BFP8: 1,
+}
+
+#: Elements per shared-exponent block in the BFP8 format.
+BFP8_BLOCK = 16
+#: Mantissa bits (excluding sign) kept per element in BFP8.
+_BFP8_MANT_BITS = 7
+#: 8-bit biased shared-exponent range (IEEE-style bias 127).
+_BFP8_EXP_MIN = -126
+_BFP8_EXP_MAX = 127
+
+
+def storage_bytes_per_element(fmt: DataFormat) -> int:
+    """Storage footprint of one element in format ``fmt``."""
+    try:
+        return _STORAGE_BYTES[fmt]
+    except KeyError:  # pragma: no cover - enum is closed
+        raise DataFormatError(f"unknown data format: {fmt!r}") from None
+
+
+def dst_tile_capacity(fmt: DataFormat, *, dst_bytes: int = 32 * 1024,
+                      tile_elements: int = 1024) -> int:
+    """Tiles the 32 KiB dst register can hold in format ``fmt``.
+
+    Reproduces the paper's statement that dst holds 16 tiles in BFP16 and
+    effectively half that (8) in FP32.
+    """
+    per_tile = storage_bytes_per_element(fmt) * tile_elements
+    return dst_bytes // per_tile
+
+
+def _round_to_bfloat16(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to bfloat16 via round-to-nearest-even."""
+    f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = f32.view(np.uint32)
+    # Round-to-nearest-even on the truncated 16 low bits.
+    rounding_bias = ((bits >> 16) & 1).astype(np.uint32) + np.uint32(0x7FFF)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).reshape(values.shape)
+
+
+def _round_to_bfp8(values: np.ndarray) -> np.ndarray:
+    """Quantise to the 16-element shared-exponent block format.
+
+    Each block of 16 consecutive elements (C-order flattened) shares the
+    exponent of its largest magnitude; each element keeps sign plus a 7-bit
+    mantissa of ``|x| / 2^e``.  Values in blocks that are entirely zero stay
+    zero.  Non-finite inputs are propagated unchanged, as the hardware
+    preserves inf/nan markers through its block formats.
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    n = flat.size
+    pad = (-n) % BFP8_BLOCK
+    padded = np.concatenate([flat, np.zeros(pad)]) if pad else flat.copy()
+    blocks = padded.reshape(-1, BFP8_BLOCK)
+
+    finite = np.isfinite(blocks)
+    mags = np.where(finite, np.abs(blocks), 0.0)
+    block_max = mags.max(axis=1, keepdims=True)
+    # Shared exponent: power of two bounding the block max from above,
+    # clamped to the 8-bit biased exponent range of the hardware format.
+    # Blocks entirely below the representable range flush to zero; blocks
+    # above it saturate at the largest representable magnitude.
+    with np.errstate(divide="ignore"):
+        exp = np.where(block_max > 0.0, np.ceil(np.log2(block_max)), 0.0)
+    exp = np.clip(exp, _BFP8_EXP_MIN, _BFP8_EXP_MAX)
+    scale = np.exp2(exp - _BFP8_MANT_BITS)  # value of one mantissa ULP
+    quant = np.round(blocks / scale) * scale
+    # Clamp mantissa overflow (round-up at the block max boundary, or
+    # inputs above the saturated shared exponent).
+    limit = np.exp2(exp)
+    quant = np.clip(quant, -limit, limit)
+    representable = block_max >= np.exp2(float(_BFP8_EXP_MIN) - _BFP8_MANT_BITS)
+    out = np.where(finite, np.where(representable, quant, 0.0), blocks)
+    return out.ravel()[:n].reshape(np.shape(values))
+
+
+def quantize(values: np.ndarray, fmt: DataFormat) -> np.ndarray:
+    """Return ``values`` as float64 after a round trip through ``fmt``.
+
+    This is the precision surface the device exposes: state entering a
+    compute in format ``fmt`` carries exactly this rounding.  float64 output
+    keeps downstream host-side math (the paper's mixed-precision scheme does
+    everything outside the force kernel in double precision) exact.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if fmt is DataFormat.FLOAT32:
+        return arr.astype(np.float32).astype(np.float64)
+    if fmt is DataFormat.BFLOAT16:
+        return _round_to_bfloat16(arr.astype(np.float32)).astype(np.float64)
+    if fmt is DataFormat.FLOAT16:
+        with np.errstate(over="ignore"):
+            return arr.astype(np.float16).astype(np.float64)
+    if fmt is DataFormat.BFP8:
+        return _round_to_bfp8(arr)
+    raise DataFormatError(f"unknown data format: {fmt!r}")

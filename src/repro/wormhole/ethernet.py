@@ -1,0 +1,104 @@
+"""ERISC / QSFP-DD model: chip-to-chip and card-to-card links.
+
+Paper Section 2: "For high-throughput communication, the design includes two
+QSFP-DD ports capable of bidirectional data transfer at up to 200 Gbps", and
+"Each Ethernet core (ERISC) integrates a RISC-V processor, 256 kB local
+cache, and an Ethernet subsystem".  The paper's experiments use a single
+device, but its future-work section plans multi-accelerator MPI runs with
+strong/weak scaling; experiment E8 implements that extension, and this
+module is its substrate.
+
+The model provides point-to-point links between devices with a latency +
+bandwidth cost, plus an allgather primitive (the collective a multi-device
+N-body force exchange needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .params import ChipParams, WORMHOLE_N300
+
+__all__ = ["EthernetLink", "EthernetFabric"]
+
+#: One-way message latency for a QSFP-DD hop [s]: wire + ERISC forwarding.
+LINK_LATENCY_S = 2.0e-6
+#: ERISC local cache, bytes (paper: 256 kB per Ethernet core).
+ERISC_CACHE_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class EthernetLink:
+    """A bidirectional link between two devices."""
+
+    device_a: int
+    device_b: int
+    bandwidth_bytes_per_s: float
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Time to move ``n_bytes`` one way across this link."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative transfer size {n_bytes}")
+        return LINK_LATENCY_S + n_bytes / self.bandwidth_bytes_per_s
+
+    def other_end(self, device_id: int) -> int:
+        if device_id == self.device_a:
+            return self.device_b
+        if device_id == self.device_b:
+            return self.device_a
+        raise ConfigurationError(f"device {device_id} is not on this link")
+
+
+class EthernetFabric:
+    """The QSFP-DD mesh connecting a set of Wormhole cards.
+
+    Cards are chained in a ring (each n300 has two QSFP-DD ports, so a ring
+    is the natural multi-card topology).  Collective costs are modelled on
+    that ring.
+    """
+
+    def __init__(self, n_devices: int, chip: ChipParams = WORMHOLE_N300) -> None:
+        if n_devices < 1:
+            raise ConfigurationError(f"need at least one device, got {n_devices}")
+        if n_devices > 1 and chip.qsfp_gbps <= 0:
+            raise ConfigurationError(
+                "this chip has no chip-to-chip Ethernet: multi-device "
+                "fabrics are impossible (e.g. Grayskull)"
+            )
+        self.n_devices = n_devices
+        self.chip = chip
+        # 200 Gbps per port; model ~85% protocol efficiency.
+        bandwidth = chip.qsfp_gbps * 1e9 / 8.0 * 0.85
+        self.links: list[EthernetLink] = []
+        if n_devices == 2:
+            self.links.append(EthernetLink(0, 1, bandwidth))
+        elif n_devices > 2:
+            for dev in range(n_devices):
+                self.links.append(
+                    EthernetLink(dev, (dev + 1) % n_devices, bandwidth)
+                )
+
+    def link_between(self, a: int, b: int) -> EthernetLink:
+        for link in self.links:
+            if {link.device_a, link.device_b} == {a, b}:
+                return link
+        raise ConfigurationError(f"no direct link between devices {a} and {b}")
+
+    def allgather_seconds(self, bytes_per_device: int) -> float:
+        """Ring allgather: each device contributes ``bytes_per_device``.
+
+        Standard ring allgather does ``n-1`` steps, each moving one
+        contribution per device over its outgoing link simultaneously.
+        """
+        if self.n_devices == 1:
+            return 0.0
+        per_step = LINK_LATENCY_S + bytes_per_device / self.links[0].bandwidth_bytes_per_s
+        return (self.n_devices - 1) * per_step
+
+    def broadcast_seconds(self, n_bytes: int) -> float:
+        """Pipeline broadcast around the ring."""
+        if self.n_devices == 1:
+            return 0.0
+        link = self.links[0]
+        return (self.n_devices - 1) * LINK_LATENCY_S + n_bytes / link.bandwidth_bytes_per_s

@@ -1,0 +1,66 @@
+"""Tensor FPU: the high-throughput matrix unit of a Tensix core.
+
+The paper's N-body port does its force math on the SFPU, but the tensor FPU
+("a high-throughput tensor math unit ... for low-precision matrix
+arithmetic", Section 2) is the unit AI workloads use, and the repository
+models it for completeness: the matmul path is exercised by unit tests and
+by an ablation that contrasts SFPU element-wise force evaluation with a
+matmul-based distance computation.
+
+Semantics follow the hardware: srcA x srcB tile products accumulate into a
+dst slot, with inputs in the working format and accumulation in FP32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counters import CycleCounter
+from .dtypes import DataFormat, quantize
+from .params import CostParams, DEFAULT_COSTS
+from .tile import TILE_COLS, TILE_ROWS, Tile
+
+__all__ = ["Fpu"]
+
+
+class Fpu:
+    """Tile matmul/accumulate engine with cycle accounting."""
+
+    def __init__(
+        self,
+        counter: CycleCounter | None = None,
+        costs: CostParams = DEFAULT_COSTS,
+        fmt: DataFormat = DataFormat.FLOAT32,
+    ) -> None:
+        self.counter = counter if counter is not None else CycleCounter()
+        self.costs = costs
+        self.fmt = fmt
+
+    def matmul(self, a: Tile, b: Tile) -> Tile:
+        """32x32 tile product ``a @ b`` in working-format inputs.
+
+        Inputs are already quantised (they are tiles); products accumulate
+        in FP32 regardless of input format, as on the hardware.
+        """
+        self.counter.add_compute(self.costs.fpu_cycles_per_tile_matmul, op="fpu.matmul")
+        prod = a.as_matrix().astype(np.float32) @ b.as_matrix().astype(np.float32)
+        return Tile(quantize(prod.astype(np.float64).ravel(), self.fmt), self.fmt)
+
+    def matmul_accumulate(self, acc: Tile, a: Tile, b: Tile) -> Tile:
+        """``acc + a @ b`` with FP32 accumulation into the dst slot."""
+        self.counter.add_compute(self.costs.fpu_cycles_per_tile_matmul, op="fpu.matmul")
+        prod = a.as_matrix().astype(np.float32) @ b.as_matrix().astype(np.float32)
+        total = acc.as_matrix().astype(np.float32) + prod
+        return Tile(quantize(total.astype(np.float64).ravel(), self.fmt), self.fmt)
+
+    def transpose(self, a: Tile) -> Tile:
+        """Transpose within a tile (the ``transpose_wh_tile`` primitive)."""
+        self.counter.add_compute(
+            self.costs.fpu_cycles_per_tile_matmul * 0.25, op="fpu.transpose"
+        )
+        return Tile(a.as_matrix().T.ravel(), self.fmt)
+
+    @staticmethod
+    def identity_tile(fmt: DataFormat = DataFormat.FLOAT32) -> Tile:
+        """The 32x32 identity, useful for datapath tests."""
+        return Tile(np.eye(TILE_ROWS, TILE_COLS).ravel(), fmt)

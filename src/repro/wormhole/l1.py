@@ -1,0 +1,102 @@
+"""L1 SRAM allocator for a Tensix core.
+
+Each Tensix core has 1.5 MB of local SRAM (paper Section 2) out of which
+circular buffers and scratch tensors are carved.  The paper's port stages
+frequently reused intermediates — the displacement components (dx, dy, dz) —
+in L1-resident CBs "without causing register spills", so CB allocation
+pressure against the 1.5 MB budget is a real constraint the simulator
+enforces.
+
+The allocator is a simple first-fit free-list over byte ranges, which is
+what a static CB/buffer planner needs: allocations are long-lived and
+deallocation happens wholesale between programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+
+__all__ = ["L1Allocation", "L1Allocator"]
+
+#: All L1 allocations are aligned to 32 bytes, matching NoC flit granularity.
+L1_ALIGN = 32
+
+
+@dataclass(frozen=True)
+class L1Allocation:
+    """A reserved byte range in a core's L1 SRAM."""
+
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+def _align_up(value: int, align: int = L1_ALIGN) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class L1Allocator:
+    """First-fit free-list allocator over a fixed L1 budget."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise AllocationError(f"L1 capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        # Free list of (offset, size), sorted by offset, non-overlapping.
+        self._free: list[tuple[int, int]] = [(0, self.capacity)]
+        self._live: dict[int, L1Allocation] = {}
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.size for a in self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    def allocate(self, size: int) -> L1Allocation:
+        """Reserve ``size`` bytes (rounded up to 32-byte alignment)."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        size = _align_up(int(size))
+        for idx, (off, avail) in enumerate(self._free):
+            if avail >= size:
+                alloc = L1Allocation(off, size)
+                remainder = avail - size
+                if remainder:
+                    self._free[idx] = (off + size, remainder)
+                else:
+                    del self._free[idx]
+                self._live[alloc.offset] = alloc
+                return alloc
+        raise AllocationError(
+            f"L1 exhausted: requested {size} B, largest free block "
+            f"{max((s for _, s in self._free), default=0)} B "
+            f"of {self.free_bytes} B free"
+        )
+
+    def free(self, alloc: L1Allocation) -> None:
+        """Release an allocation, coalescing adjacent free ranges."""
+        live = self._live.pop(alloc.offset, None)
+        if live is None or live.size != alloc.size:
+            raise AllocationError(f"free of unknown allocation {alloc!r}")
+        self._free.append((alloc.offset, alloc.size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                prev_off, prev_size = merged[-1]
+                merged[-1] = (prev_off, prev_size + size)
+            else:
+                merged.append((off, size))
+        self._free = merged
+
+    def reset(self) -> None:
+        """Drop all allocations (used between program runs)."""
+        self._free = [(0, self.capacity)]
+        self._live.clear()

@@ -1,0 +1,139 @@
+"""Network-on-Chip model: transaction costing and traffic accounting.
+
+"The NoC serves as a scalable communication backbone, allowing tiles to
+efficiently exchange data and access memory across the chip.  Through NoC
+transactions, any tile can initiate read or write operations on the memory
+located on another tile." (paper Section 2).
+
+Each Tensix core interfaces with two NoC routers.  The model charges each
+transaction a fixed arbitration cost plus a bandwidth term at the router's
+bytes/cycle rate, on the issuing core's data-movement timeline, and keeps
+aggregate traffic statistics that tests and the ablation benches inspect.
+Hop distance on the torus adds latency pressure for far-away targets, which
+matters for the multi-device/ethernet path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .counters import CycleCounter
+from .params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+
+__all__ = ["NocCoordinate", "NocTrafficStats", "Noc"]
+
+
+@dataclass(frozen=True)
+class NocCoordinate:
+    """Grid position of an endpoint (Tensix core or DRAM controller)."""
+
+    x: int
+    y: int
+
+    def hops_to(self, other: "NocCoordinate", grid_w: int, grid_h: int) -> int:
+        """Manhattan hop count on a torus of the given dimensions."""
+        dx = abs(self.x - other.x)
+        dy = abs(self.y - other.y)
+        return min(dx, grid_w - dx) + min(dy, grid_h - dy)
+
+
+@dataclass
+class NocTrafficStats:
+    """Aggregate NoC usage over a program execution."""
+
+    transactions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    total_hops: int = 0
+
+    def reset(self) -> None:
+        self.transactions = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.total_hops = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class Noc:
+    """One NoC ring shared by all cores of a chip.
+
+    The Wormhole Tensix grid is 8x8 compute tiles (64 cores); the model
+    treats DRAM controllers as endpoints on the same torus.
+    """
+
+    #: cycles added per hop of distance between initiator and target
+    HOP_CYCLES = 1.0
+
+    def __init__(
+        self,
+        noc_id: int,
+        chip: ChipParams = WORMHOLE_N300,
+        costs: CostParams = DEFAULT_COSTS,
+        *,
+        grid_w: int | None = None,
+        grid_h: int | None = None,
+    ) -> None:
+        if noc_id not in range(chip.n_nocs):
+            raise ConfigurationError(
+                f"noc_id {noc_id} out of range for chip with {chip.n_nocs} NoCs"
+            )
+        self.noc_id = noc_id
+        self.chip = chip
+        self.costs = costs
+        self.grid_w = grid_w if grid_w is not None else chip.grid_w
+        self.grid_h = grid_h if grid_h is not None else chip.grid_h
+        self.stats = NocTrafficStats()
+
+    def transaction_cycles(
+        self,
+        n_bytes: int,
+        src: NocCoordinate | None = None,
+        dst: NocCoordinate | None = None,
+    ) -> float:
+        """Cycle cost of moving ``n_bytes`` between two endpoints."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative transaction size {n_bytes}")
+        hops = 0
+        if src is not None and dst is not None:
+            hops = src.hops_to(dst, self.grid_w, self.grid_h)
+        return (
+            self.costs.noc_transaction_cycles
+            + hops * self.HOP_CYCLES
+            + n_bytes / self.chip.noc_bytes_per_cycle
+        )
+
+    def read(
+        self,
+        counter: CycleCounter,
+        n_bytes: int,
+        src: NocCoordinate | None = None,
+        dst: NocCoordinate | None = None,
+    ) -> float:
+        """Account a read transaction on the issuing core's counter."""
+        cycles = self.transaction_cycles(n_bytes, src, dst)
+        counter.add_datamove(cycles, op="noc.read")
+        self.stats.transactions += 1
+        self.stats.bytes_read += n_bytes
+        if src is not None and dst is not None:
+            self.stats.total_hops += src.hops_to(dst, self.grid_w, self.grid_h)
+        return cycles
+
+    def write(
+        self,
+        counter: CycleCounter,
+        n_bytes: int,
+        src: NocCoordinate | None = None,
+        dst: NocCoordinate | None = None,
+    ) -> float:
+        """Account a write transaction on the issuing core's counter."""
+        cycles = self.transaction_cycles(n_bytes, src, dst)
+        counter.add_datamove(cycles, op="noc.write")
+        self.stats.transactions += 1
+        self.stats.bytes_written += n_bytes
+        if src is not None and dst is not None:
+            self.stats.total_hops += src.hops_to(dst, self.grid_w, self.grid_h)
+        return cycles

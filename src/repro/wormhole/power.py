@@ -1,0 +1,99 @@
+"""Card-level power model for the Wormhole n300.
+
+Calibrated against the paper's Fig. 4 and its narration:
+
+* idle cards (before the simulation starts) draw "between 10 and 11 W";
+* once the force kernel is invoked, "the unused devices maintain a steady
+  power consumption below 20 W, while the active device shows fluctuations
+  between 26 and 33 W";
+* "power peaks correspond to periods of intensive computation on the
+  accelerator, whereas the lower values occur when calculations that are
+  not offloaded are handled by the host CPU";
+* after the run, card power drops "to values similar to, but not exactly
+  equal to, those recorded at the start of the job" — a small idle offset
+  that "resolves upon resetting the cards".
+
+The model maps a :class:`CardState` plus Gaussian sampling noise to an
+instantaneous draw in watts; the telemetry samplers read it at ~1 Hz.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CardState", "CardPowerParams", "CardPowerModel"]
+
+
+class CardState(enum.Enum):
+    """Operating state of one card at a sampling instant."""
+
+    IDLE = "idle"                      # powered, no job anywhere
+    POWERED_UNUSED = "powered_unused"  # another card runs the kernel
+    ACTIVE_COMPUTE = "active_compute"  # this card runs the force kernel
+    ACTIVE_HOST_PHASE = "active_host"  # job running, host-side phase
+    POST_RUN = "post_run"              # job done, card not yet reset
+
+
+@dataclass(frozen=True)
+class CardPowerParams:
+    """Mean draws [W] per state plus sampling noise, from Fig. 4."""
+
+    idle_w: float = 10.5
+    idle_spread_w: float = 0.25          # per-card baseline offset range
+    powered_unused_w: float = 17.5       # steady, below 20 W
+    active_compute_w: float = 31.5       # peaks of the 26-33 W band
+    active_host_phase_w: float = 26.8    # dips of the band
+    post_run_drift_w: float = 0.35       # idle offset until the next reset
+    sample_noise_w: float = 0.45         # 1 Hz sampling jitter under load
+    #: idle draw is much steadier than load draw: idle/post-run samples
+    #: jitter at this fraction of the load noise
+    idle_noise_fraction: float = 0.4
+    #: hard bounds applied after noise so samples stay physical
+    min_w: float = 9.5
+    max_w: float = 35.0
+
+
+class CardPowerModel:
+    """Instantaneous power of one card given its state.
+
+    Each card carries a fixed per-card baseline offset (cards of the same
+    SKU idle slightly differently), drawn once at construction from the
+    supplied RNG so a campaign's traces are reproducible.
+    """
+
+    def __init__(
+        self,
+        card_id: int,
+        rng: np.random.Generator,
+        params: CardPowerParams = CardPowerParams(),
+    ) -> None:
+        self.card_id = card_id
+        self.params = params
+        self._rng = rng
+        self._baseline_offset = float(
+            rng.uniform(-params.idle_spread_w, params.idle_spread_w)
+        )
+
+    def mean_power(self, state: CardState) -> float:
+        """State mean including this card's baseline offset, no noise."""
+        p = self.params
+        base = {
+            CardState.IDLE: p.idle_w,
+            CardState.POWERED_UNUSED: p.powered_unused_w,
+            CardState.ACTIVE_COMPUTE: p.active_compute_w,
+            CardState.ACTIVE_HOST_PHASE: p.active_host_phase_w,
+            CardState.POST_RUN: p.idle_w + p.post_run_drift_w,
+        }[state]
+        return base + self._baseline_offset
+
+    def sample_power(self, state: CardState) -> float:
+        """One noisy 1 Hz sample of this card's draw in watts."""
+        p = self.params
+        noise = p.sample_noise_w
+        if state in (CardState.IDLE, CardState.POST_RUN):
+            noise *= p.idle_noise_fraction
+        value = self.mean_power(state) + self._rng.normal(0.0, noise)
+        return float(np.clip(value, p.min_w, p.max_w))

@@ -1,0 +1,97 @@
+"""Device profiler: per-core utilisation and op-mix reports.
+
+Builds human-readable occupancy tables from the cycle counters the
+simulator accumulates — the moral equivalent of Tenstorrent's device
+profiler dumps.  Used by the CLI (``repro simulate --profile``) and by
+benches that need to show where a program's time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .device import WormholeDevice
+
+__all__ = ["CoreProfile", "DeviceProfile", "profile_device"]
+
+
+@dataclass(frozen=True)
+class CoreProfile:
+    """One core's share of a program execution."""
+
+    core_id: int
+    compute_cycles: float
+    datamove_cycles: float
+    busy_seconds: float
+    utilisation: float          # busy / critical-path busy
+    top_ops: tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Whole-device occupancy for the last program(s) since reset."""
+
+    cores: tuple[CoreProfile, ...]
+    critical_path_seconds: float
+    mean_utilisation: float
+    active_cores: int
+
+    def table(self, *, top: int = 8) -> str:
+        """Render the busiest cores as a fixed-width table."""
+        lines = [
+            f"{'core':>4} {'busy [ms]':>10} {'util':>6} "
+            f"{'compute':>10} {'datamove':>10}  top ops"
+        ]
+        busiest = sorted(
+            self.cores, key=lambda c: c.busy_seconds, reverse=True
+        )[:top]
+        for c in busiest:
+            ops = ", ".join(f"{name}x{n}" for name, n in c.top_ops[:3])
+            lines.append(
+                f"{c.core_id:>4} {c.busy_seconds * 1e3:>10.3f} "
+                f"{c.utilisation:>6.1%} {c.compute_cycles:>10.3g} "
+                f"{c.datamove_cycles:>10.3g}  {ops}"
+            )
+        lines.append(
+            f"critical path {self.critical_path_seconds * 1e3:.3f} ms, "
+            f"{self.active_cores} active cores, mean utilisation "
+            f"{self.mean_utilisation:.1%}"
+        )
+        return "\n".join(lines)
+
+
+def profile_device(device: WormholeDevice) -> DeviceProfile:
+    """Snapshot per-core occupancy from the device's counters."""
+    critical = device.busy_seconds()
+    if critical <= 0.0:
+        raise ConfigurationError(
+            "device has no accumulated work to profile (run a program "
+            "first, or the counters were cleared)"
+        )
+    cores = []
+    active = 0
+    utilisation_sum = 0.0
+    for core in device.cores:
+        busy = core.busy_seconds()
+        if busy > 0.0:
+            active += 1
+        util = busy / critical
+        utilisation_sum += util
+        top = tuple(core.counter.ops.counts.most_common(5))
+        cores.append(
+            CoreProfile(
+                core_id=core.core_id,
+                compute_cycles=core.counter.compute_cycles,
+                datamove_cycles=core.counter.datamove_cycles,
+                busy_seconds=busy,
+                utilisation=util,
+                top_ops=top,
+            )
+        )
+    return DeviceProfile(
+        cores=tuple(cores),
+        critical_path_seconds=critical,
+        mean_utilisation=utilisation_sum / len(cores),
+        active_cores=active,
+    )

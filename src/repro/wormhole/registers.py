@@ -1,0 +1,102 @@
+"""srcA / srcB / dst register-file model for a Tensix core.
+
+Paper Section 2: the unpacker loads data from SRAM into two 4 KiB source
+registers, srcA and srcB, "each ... capable of holding up to 1024
+single-precision floating-point values"; results accumulate in a 32 KiB
+destination register, dst, "organized into 16 segments", which the packer
+drains back to SRAM.  Section 3 adds the capacity constraint the port works
+around: 16 tiles in BFP16, "effectively halved when we utilize the FP32
+format" — exceeding it is a register spill, which the port avoids by staging
+intermediates in L1 CBs.
+
+The simulator enforces these capacities: compute kernels acquire dst tile
+slots and the model raises :class:`RegisterFileError` on overflow, which is
+exactly the failure mode that forced the paper's CB-staging design.
+"""
+
+from __future__ import annotations
+
+from ..errors import RegisterFileError
+from .dtypes import DataFormat, dst_tile_capacity
+from .tile import Tile
+
+__all__ = ["SourceRegister", "DestRegister", "RegisterFile"]
+
+
+class SourceRegister:
+    """One of the srcA/srcB unpack targets: holds a single tile."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tile: Tile | None = None
+
+    def load(self, tile: Tile) -> None:
+        """Unpack a tile into this register (overwrites previous contents)."""
+        self._tile = tile
+
+    def read(self) -> Tile:
+        if self._tile is None:
+            raise RegisterFileError(f"read from {self.name} before any unpack")
+        return self._tile
+
+    @property
+    def valid(self) -> bool:
+        return self._tile is not None
+
+    def invalidate(self) -> None:
+        self._tile = None
+
+
+class DestRegister:
+    """The dst accumulator: a small indexed file of tile slots.
+
+    Capacity depends on the working data format: 16 tiles in 16-bit formats,
+    8 in FP32 (dst is 32 KiB).  Slots are addressed by index, as in the
+    TT-Metalium compute API (``dst_reg[i]``).
+    """
+
+    def __init__(self, fmt: DataFormat = DataFormat.FLOAT32) -> None:
+        self.fmt = fmt
+        self.capacity = dst_tile_capacity(fmt)
+        self._slots: dict[int, Tile] = {}
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.capacity):
+            raise RegisterFileError(
+                f"dst index {index} out of range for {self.fmt.value} "
+                f"(capacity {self.capacity} tiles); staging intermediates in "
+                f"L1 circular buffers avoids this register spill"
+            )
+
+    def write(self, index: int, tile: Tile) -> None:
+        self._check_index(index)
+        self._slots[index] = tile.astype(self.fmt)
+
+    def read(self, index: int) -> Tile:
+        self._check_index(index)
+        try:
+            return self._slots[index]
+        except KeyError:
+            raise RegisterFileError(f"dst[{index}] read before write") from None
+
+    def occupied(self) -> int:
+        return len(self._slots)
+
+    def clear(self) -> None:
+        """Release all slots (the ``tile_regs_release`` analogue)."""
+        self._slots.clear()
+
+
+class RegisterFile:
+    """The full register complement of one Tensix math pipeline."""
+
+    def __init__(self, fmt: DataFormat = DataFormat.FLOAT32) -> None:
+        self.srcA = SourceRegister("srcA")
+        self.srcB = SourceRegister("srcB")
+        self.dst = DestRegister(fmt)
+
+    def reconfigure(self, fmt: DataFormat) -> None:
+        """Switch working format; resizes dst capacity and clears state."""
+        self.srcA.invalidate()
+        self.srcB.invalidate()
+        self.dst = DestRegister(fmt)

@@ -1,0 +1,84 @@
+"""Baby RISC-V cores: the five control processors inside each Tensix.
+
+Paper Section 2: each Tensix core embeds five lightweight 32-bit in-order
+single-issue RISC-V CPUs at 1 GHz, "functionally divided into two data
+movement cores (RISC-V NC and B) and three compute cores (RISC-V T0, T1,
+and T2)".  The traditional mapping assigns T0 the unpacker (UNPACK), T1 the
+arithmetic datapath (MATH), and T2 the packer (PACK); NC and B coordinate
+transfers between the Tensix core and off-chip DRAM.
+
+In the simulator these cores are the *execution slots* that kernels bind
+to: TT-Metalium's execution model runs data-movement kernels on NC/B and
+compute kernels across T0/T1/T2, and :mod:`repro.wormhole.tensix` enforces
+that binding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import KernelError
+from .counters import CycleCounter
+
+__all__ = ["RiscvRole", "RiscvCore", "COMPUTE_ROLES", "DATA_MOVEMENT_ROLES"]
+
+
+class RiscvRole(enum.Enum):
+    """The five baby RISC-V slots and their hardware mnemonics."""
+
+    NC = "ncrisc"   # data movement: DRAM <-> L1 (NoC 1)
+    B = "brisc"     # data movement: DRAM <-> L1 (NoC 0)
+    T0 = "trisc0"   # compute: UNPACK — drives the unpacker into srcA/srcB
+    T1 = "trisc1"   # compute: MATH — issues FPU/SFPU/ThCon instructions
+    T2 = "trisc2"   # compute: PACK — drains dst back to SRAM
+
+    @property
+    def is_compute(self) -> bool:
+        return self in COMPUTE_ROLES
+
+    @property
+    def is_data_movement(self) -> bool:
+        return self in DATA_MOVEMENT_ROLES
+
+    @property
+    def pipeline_stage(self) -> str | None:
+        """UNPACK/MATH/PACK for compute roles, None for movers."""
+        return {
+            RiscvRole.T0: "UNPACK",
+            RiscvRole.T1: "MATH",
+            RiscvRole.T2: "PACK",
+        }.get(self)
+
+
+COMPUTE_ROLES = (RiscvRole.T0, RiscvRole.T1, RiscvRole.T2)
+DATA_MOVEMENT_ROLES = (RiscvRole.NC, RiscvRole.B)
+
+
+@dataclass
+class RiscvCore:
+    """One baby RISC-V slot: role, busy/idle state, and its own counter.
+
+    The per-role counter lets tests assert where work landed (e.g. the read
+    kernel's DRAM traffic accumulates on NC/B, never on T0-T2); the owning
+    Tensix core aggregates them for timing.
+    """
+
+    role: RiscvRole
+    counter: CycleCounter = field(default_factory=CycleCounter)
+    bound_kernel: str | None = None
+
+    def bind(self, kernel_name: str) -> None:
+        if self.bound_kernel is not None:
+            raise KernelError(
+                f"{self.role.value} already runs kernel {self.bound_kernel!r}; "
+                f"cannot also bind {kernel_name!r}"
+            )
+        self.bound_kernel = kernel_name
+
+    def unbind(self) -> None:
+        self.bound_kernel = None
+
+    def reset(self) -> None:
+        self.counter.reset()
+        self.bound_kernel = None

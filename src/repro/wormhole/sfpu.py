@@ -1,0 +1,220 @@
+"""SFPU: the wide SIMD engine for general-purpose vector tile operations.
+
+The paper's force kernel runs "the arithmetic and transcendental operations
+inherent in the force calculation ... on the core SFPU", invoked through
+TT-Metalium's element-wise tile functions such as ``sub_binary_tile()``,
+``square_tile()``, and ``rsqrt_tile()`` (Section 3).  This module provides
+those operations on :class:`~repro.wormhole.tile.Tile` values.
+
+Every operation is:
+
+* **functionally exact in device precision** — operands and the result are
+  rounded to the working :class:`DataFormat` (FP32 for the N-body port),
+  because the input tiles already carry that rounding and the result tile
+  re-quantises on construction; and
+* **temporally accounted** — each call adds its weighted cycle cost to the
+  owning core's :class:`~repro.wormhole.counters.CycleCounter`.
+
+``rsqrt`` deserves a note: the hardware evaluates reciprocal square root
+iteratively and TT-Metalium exposes an accuracy/speed trade-off.  We model
+the *accurate* variant as correctly-rounded FP32 (NumPy rsqrt on float32),
+and the *fast* variant as a Newton-Raphson refinement of an 8-bit seed,
+which the precision ablation (E6) exercises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataFormatError
+from .counters import CycleCounter
+from .dtypes import DataFormat, quantize
+from .params import CostParams, DEFAULT_COSTS
+from .tile import Tile
+
+__all__ = ["Sfpu"]
+
+
+class Sfpu:
+    """Element-wise tile ALU with cycle accounting.
+
+    Parameters
+    ----------
+    counter:
+        Destination for cycle/op accounting (usually the owning Tensix
+        core's counter).
+    costs:
+        Cost model constants; tests inject custom ones.
+    fmt:
+        Working data format applied to every result tile.
+    """
+
+    def __init__(
+        self,
+        counter: CycleCounter | None = None,
+        costs: CostParams = DEFAULT_COSTS,
+        fmt: DataFormat = DataFormat.FLOAT32,
+    ) -> None:
+        self.counter = counter if counter is not None else CycleCounter()
+        self.costs = costs
+        self.fmt = fmt
+
+    # -- internals ---------------------------------------------------------
+
+    def _charge(self, op: str) -> None:
+        cycles = self.costs.sfpu_cycles_per_tile_op * self.costs.sfpu_weight(op)
+        self.counter.add_compute(cycles, op=f"sfpu.{op}")
+
+    def _result(self, values: np.ndarray) -> Tile:
+        return Tile(values, self.fmt)
+
+    def _compute(self, values: np.ndarray) -> np.ndarray:
+        """Round intermediate math results to device precision.
+
+        Binary ops on FP32 hardware round once per operation; doing the
+        NumPy arithmetic in float64 and quantising the result reproduces
+        that single rounding exactly for +, -, *, and sqrt.
+        """
+        return quantize(values, self.fmt)
+
+    # -- binary ops --------------------------------------------------------
+
+    def add(self, a: Tile, b: Tile) -> Tile:
+        """``add_binary_tile``: element-wise a + b."""
+        self._charge("add")
+        return self._result(self._compute(a.data + b.data))
+
+    def sub(self, a: Tile, b: Tile) -> Tile:
+        """``sub_binary_tile``: element-wise a - b."""
+        self._charge("sub")
+        return self._result(self._compute(a.data - b.data))
+
+    def mul(self, a: Tile, b: Tile) -> Tile:
+        """``mul_binary_tile``: element-wise a * b."""
+        self._charge("mul")
+        return self._result(self._compute(a.data * b.data))
+
+    def mac(self, acc: Tile, a: Tile, b: Tile) -> Tile:
+        """Multiply-accumulate acc + a*b, rounding as two chained FP32 ops."""
+        self._charge("mac")
+        prod = self._compute(a.data * b.data)
+        return self._result(self._compute(acc.data + prod))
+
+    def maximum(self, a: Tile, b: Tile) -> Tile:
+        self._charge("max")
+        return self._result(np.maximum(a.data, b.data))
+
+    def minimum(self, a: Tile, b: Tile) -> Tile:
+        self._charge("min")
+        return self._result(np.minimum(a.data, b.data))
+
+    # -- unary ops ---------------------------------------------------------
+
+    def square(self, a: Tile) -> Tile:
+        """``square_tile``: element-wise a * a."""
+        self._charge("square")
+        return self._result(self._compute(a.data * a.data))
+
+    def rsqrt(self, a: Tile, *, fast: bool = False) -> Tile:
+        """``rsqrt_tile``: element-wise 1/sqrt(a).
+
+        The accurate variant is correctly rounded in the working precision.
+        The fast variant models the hardware's low-precision seed plus one
+        Newton-Raphson step, giving ~1e-3 relative error — the trade-off
+        TT-Metalium exposes and the precision ablation measures.
+        """
+        self._charge("rsqrt")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if not fast:
+                return self._result(self._compute(1.0 / np.sqrt(a.data)))
+            x = a.data
+            # Table-lookup seed: the exact rsqrt truncated to a 4-bit
+            # mantissa (what a small hardware LUT provides) ...
+            mant, expo = np.frexp(1.0 / np.sqrt(x))
+            seed = np.ldexp(np.round(mant * 16.0) / 16.0, expo)
+            # ... then one Newton-Raphson iteration y' = y(1.5 - x/2 y^2).
+            half_x = self._compute(0.5 * x)
+            y2 = self._compute(seed * seed)
+            corr = self._compute(1.5 - self._compute(half_x * y2))
+            return self._result(self._compute(seed * corr))
+
+    def sqrt(self, a: Tile) -> Tile:
+        self._charge("sqrt")
+        with np.errstate(invalid="ignore"):
+            return self._result(self._compute(np.sqrt(a.data)))
+
+    def recip(self, a: Tile) -> Tile:
+        """``recip_tile``: element-wise 1/a."""
+        self._charge("recip")
+        with np.errstate(divide="ignore"):
+            return self._result(self._compute(1.0 / a.data))
+
+    def abs(self, a: Tile) -> Tile:
+        self._charge("abs")
+        return self._result(np.abs(a.data))
+
+    def neg(self, a: Tile) -> Tile:
+        self._charge("neg")
+        return self._result(-a.data)
+
+    def exp(self, a: Tile) -> Tile:
+        self._charge("exp")
+        with np.errstate(over="ignore"):
+            return self._result(self._compute(np.exp(a.data)))
+
+    def log(self, a: Tile) -> Tile:
+        self._charge("log")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._result(self._compute(np.log(a.data)))
+
+    def copy(self, a: Tile) -> Tile:
+        """``copy_tile``: move a tile through the datapath unchanged."""
+        self._charge("copy")
+        return self._result(a.data)
+
+    # -- scalar and selection ops -------------------------------------------
+
+    def add_scalar(self, a: Tile, scalar: float) -> Tile:
+        self._charge("scalar")
+        return self._result(self._compute(a.data + self._scalar(scalar)))
+
+    def mul_scalar(self, a: Tile, scalar: float) -> Tile:
+        self._charge("scalar")
+        return self._result(self._compute(a.data * self._scalar(scalar)))
+
+    def where(self, mask: Tile, a: Tile, b: Tile) -> Tile:
+        """Select a where mask is non-zero, else b (predicated move)."""
+        self._charge("where")
+        return self._result(np.where(mask.data != 0.0, a.data, b.data))
+
+    def _scalar(self, scalar: float) -> float:
+        """Immediates are encoded in the working format before use."""
+        return float(quantize(np.asarray([scalar]), self.fmt)[0])
+
+    # -- reductions ----------------------------------------------------------
+
+    def reduce_sum(self, a: Tile) -> float:
+        """Sum all 1024 elements; the result stays in working precision.
+
+        Accumulation happens pairwise in device precision (a tree of FP32
+        adds), matching how the hardware reduces within a tile.
+        """
+        self._charge("reduce")
+        vals = a.data.copy()
+        if self.fmt is DataFormat.FLOAT32:
+            acc = vals.astype(np.float32)
+            while acc.size > 1:
+                if acc.size % 2:
+                    acc = np.concatenate([acc, np.zeros(1, dtype=np.float32)])
+                acc = acc[0::2] + acc[1::2]
+            return float(acc[0])
+        total = 0.0
+        for v in vals:
+            total = float(quantize(np.asarray([total + v]), self.fmt)[0])
+        return total
+
+    def reconfigure(self, fmt: DataFormat) -> None:
+        """Switch the working data format for subsequent operations."""
+        if not isinstance(fmt, DataFormat):
+            raise DataFormatError(f"expected DataFormat, got {fmt!r}")
+        self.fmt = fmt

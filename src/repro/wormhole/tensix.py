@@ -1,0 +1,223 @@
+"""The Tensix core: compute tile assembling all per-core resources.
+
+Mirrors the paper's Fig. 1: five baby RISC-V cores (NC/B data movement,
+T0/T1/T2 compute), the tensor FPU and the SFPU, 1.5 MB of L1 SRAM, the
+srcA/srcB/dst register files, and two NoC router interfaces.  The core also
+owns the kernel scheduler that runs read/compute/write kernels as
+cooperative generators, which is where the CB-mediated dataflow of the
+paper's port actually executes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Callable
+
+from ..errors import CircularBufferError, KernelError
+from .circular_buffer import CBEventCounter, CircularBuffer
+from .counters import CycleCounter
+from .dtypes import DataFormat
+from .fpu import Fpu
+from .l1 import L1Allocator
+from .noc import NocCoordinate
+from .params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from .registers import RegisterFile
+from .riscv import COMPUTE_ROLES, DATA_MOVEMENT_ROLES, RiscvCore, RiscvRole
+from .sfpu import Sfpu
+from .tile import Tile
+
+__all__ = ["TensixCore", "KernelScheduler", "KernelInstance"]
+
+#: Hard cap on scheduler rounds; generous enough for any real program but
+#: bounds runaway kernels in tests.
+MAX_SCHEDULER_ROUNDS = 10_000_000
+
+
+class KernelInstance:
+    """A kernel generator bound to a baby RISC-V role on one core."""
+
+    def __init__(self, name: str, role: RiscvRole,
+                 body: Generator[None, None, None]) -> None:
+        self.name = name
+        self.role = role
+        self.body = body
+        self.finished = False
+
+    def step(self) -> bool:
+        """Advance until the kernel blocks or finishes; True if finished."""
+        if self.finished:
+            return True
+        try:
+            next(self.body)
+        except StopIteration:
+            self.finished = True
+        return self.finished
+
+
+class KernelScheduler:
+    """Cooperative round-robin scheduler with deadlock detection.
+
+    Kernels are generators that yield only while blocked on a circular
+    buffer condition.  A scheduling round advances each unfinished kernel
+    once; if a full round completes with no kernel finishing and no CB event
+    occurring, every kernel is blocked on a condition no other kernel can
+    satisfy — a deadlock, reported with the blocked kernel names.
+    """
+
+    def __init__(self, events: CBEventCounter) -> None:
+        self.events = events
+        self.rounds = 0
+
+    def run(self, kernels: list[KernelInstance]) -> None:
+        pending = [k for k in kernels if not k.finished]
+        while pending:
+            self.rounds += 1
+            if self.rounds > MAX_SCHEDULER_ROUNDS:
+                raise KernelError(
+                    f"scheduler exceeded {MAX_SCHEDULER_ROUNDS} rounds; "
+                    f"kernels {[k.name for k in pending]} appear livelocked"
+                )
+            events_before = self.events.events
+            progressed = False
+            for kernel in pending:
+                if kernel.step():
+                    progressed = True
+            pending = [k for k in pending if not k.finished]
+            if pending and not progressed and self.events.events == events_before:
+                raise CircularBufferError(
+                    "deadlock: kernels "
+                    + ", ".join(repr(k.name) for k in pending)
+                    + " are all blocked on circular-buffer conditions that "
+                    "no producer/consumer can satisfy"
+                )
+
+
+class TensixCore:
+    """One Tensix compute tile of the Wormhole grid."""
+
+    def __init__(
+        self,
+        core_id: int,
+        coord: NocCoordinate,
+        chip: ChipParams = WORMHOLE_N300,
+        costs: CostParams = DEFAULT_COSTS,
+        fmt: DataFormat = DataFormat.FLOAT32,
+    ) -> None:
+        self.core_id = core_id
+        self.coord = coord
+        self.chip = chip
+        self.costs = costs
+        self.fmt = fmt
+        self.counter = CycleCounter()
+        self.l1 = L1Allocator(chip.l1_bytes)
+        self.regs = RegisterFile(fmt)
+        self.riscv = {role: RiscvCore(role) for role in RiscvRole}
+        self.events = CBEventCounter()
+        self.sfpu = Sfpu(self.counter, costs, fmt)
+        self.fpu = Fpu(self.counter, costs, fmt)
+        self.cbs: dict[int, CircularBuffer] = {}
+        self._kernels: list[KernelInstance] = []
+
+    # -- circular buffers -----------------------------------------------------
+
+    def create_cb(self, cb_id: int, capacity_pages: int,
+                  fmt: DataFormat | None = None) -> CircularBuffer:
+        """Carve a circular buffer out of this core's L1."""
+        if cb_id in self.cbs:
+            raise CircularBufferError(
+                f"core {self.core_id}: cb id {cb_id} already exists"
+            )
+        cb = CircularBuffer(
+            cb_id,
+            capacity_pages,
+            fmt if fmt is not None else self.fmt,
+            l1=self.l1,
+            events=self.events,
+            counter=self.counter,
+            costs=self.costs,
+        )
+        self.cbs[cb_id] = cb
+        return cb
+
+    def get_cb(self, cb_id: int) -> CircularBuffer:
+        try:
+            return self.cbs[cb_id]
+        except KeyError:
+            raise CircularBufferError(
+                f"core {self.core_id}: no cb with id {cb_id}"
+            ) from None
+
+    # -- unpack / pack ---------------------------------------------------------
+
+    def unpack_to_srcA(self, tile: Tile) -> None:
+        """Unpacker path: L1 tile -> srcA (charged to the compute timeline)."""
+        self.counter.add_compute(self.costs.unpack_cycles_per_tile, op="unpack")
+        self.regs.srcA.load(tile)
+
+    def unpack_to_srcB(self, tile: Tile) -> None:
+        self.counter.add_compute(self.costs.unpack_cycles_per_tile, op="unpack")
+        self.regs.srcB.load(tile)
+
+    def pack_from_dst(self, dst_index: int) -> Tile:
+        """Packer path: dst slot -> L1 tile (charged to compute timeline)."""
+        self.counter.add_compute(self.costs.pack_cycles_per_tile, op="pack")
+        return self.regs.dst.read(dst_index)
+
+    # -- kernel binding and execution ------------------------------------------
+
+    def bind_kernel(
+        self,
+        name: str,
+        role: RiscvRole,
+        body_factory: Callable[["TensixCore"], Generator[None, None, None]],
+        *,
+        kind: str = "auto",
+    ) -> KernelInstance:
+        """Bind a kernel generator factory to one baby RISC-V slot.
+
+        ``kind`` may be ``"compute"`` (must bind a T0-T2 slot),
+        ``"data_movement"`` (NC/B), or ``"auto"`` (inferred from the role).
+        The role check mirrors TT-Metalium's execution model in which
+        "data movement cores execute data movement kernels, while the
+        compute cores ... execut[e] compute kernels".
+        """
+        if kind == "compute" and role not in COMPUTE_ROLES:
+            raise KernelError(
+                f"compute kernel {name!r} must bind T0/T1/T2, got {role.value}"
+            )
+        if kind == "data_movement" and role not in DATA_MOVEMENT_ROLES:
+            raise KernelError(
+                f"data movement kernel {name!r} must bind NC/B, got {role.value}"
+            )
+        self.riscv[role].bind(name)
+        instance = KernelInstance(name, role, body_factory(self))
+        self._kernels.append(instance)
+        return instance
+
+    def run_kernels(self) -> int:
+        """Run all bound kernels to completion; returns scheduler rounds."""
+        scheduler = KernelScheduler(self.events)
+        scheduler.run(self._kernels)
+        for kernel in self._kernels:
+            self.riscv[kernel.role].unbind()
+        self._kernels.clear()
+        return scheduler.rounds
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the core to the post-reset state (between programs)."""
+        self.counter.reset()
+        self.l1.reset()
+        self.regs = RegisterFile(self.fmt)
+        self.sfpu = Sfpu(self.counter, self.costs, self.fmt)
+        self.fpu = Fpu(self.counter, self.costs, self.fmt)
+        self.cbs.clear()
+        self._kernels.clear()
+        self.events = CBEventCounter()
+        for core in self.riscv.values():
+            core.reset()
+
+    def busy_seconds(self) -> float:
+        """Modelled busy time of this core since the last reset."""
+        return self.counter.seconds(self.chip.clock_hz)

@@ -1,0 +1,233 @@
+"""Tilized tensors: the 32x32 tile layout used by the Wormhole.
+
+TT-Metalium arranges tensors into 32x32 tiles that are contiguous in memory
+(paper Section 2), "enabling efficient, high-bandwidth data transfers over
+DRAM, NoC, and Ethernet".  The N-body port stores each particle quantity
+(mass, position and velocity components) as a 1-D array padded to a whole
+number of tiles, with "each tile hold[ing] 1024 elements" (Section 3).
+
+The simulator represents a tile as a :class:`Tile` wrapping a 1024-element
+float64 vector *already rounded to the tile's device format*, so every
+arithmetic result downstream carries genuine device precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TileError
+from .dtypes import DataFormat, quantize, storage_bytes_per_element
+
+__all__ = [
+    "TILE_ROWS",
+    "TILE_COLS",
+    "TILE_ELEMENTS",
+    "FACE_ROWS",
+    "FACE_COLS",
+    "N_FACES",
+    "Tile",
+    "matrix_to_face_order",
+    "face_order_to_matrix",
+    "tilize_1d",
+    "untilize_1d",
+    "tilize_2d",
+    "untilize_2d",
+    "tiles_needed",
+]
+
+TILE_ROWS = 32
+TILE_COLS = 32
+TILE_ELEMENTS = TILE_ROWS * TILE_COLS
+
+#: The hardware stores a 32x32 tile as four consecutive 16x16 *faces*
+#: (top-left, top-right, bottom-left, bottom-right), each row-major —
+#: the layout the unpacker and the matrix engine expect.
+FACE_ROWS = 16
+FACE_COLS = 16
+N_FACES = 4
+
+
+def matrix_to_face_order(matrix: np.ndarray) -> np.ndarray:
+    """Serialise a 32x32 matrix into the device's face-ordered flat layout."""
+    mat = np.asarray(matrix)
+    if mat.shape != (TILE_ROWS, TILE_COLS):
+        raise TileError(f"expected a 32x32 matrix, got {mat.shape}")
+    faces = [
+        mat[:FACE_ROWS, :FACE_COLS],
+        mat[:FACE_ROWS, FACE_COLS:],
+        mat[FACE_ROWS:, :FACE_COLS],
+        mat[FACE_ROWS:, FACE_COLS:],
+    ]
+    return np.concatenate([f.ravel() for f in faces])
+
+
+def face_order_to_matrix(flat: np.ndarray) -> np.ndarray:
+    """Reassemble a face-ordered flat vector into the 32x32 matrix."""
+    arr = np.asarray(flat).ravel()
+    if arr.size != TILE_ELEMENTS:
+        raise TileError(f"expected {TILE_ELEMENTS} values, got {arr.size}")
+    face = FACE_ROWS * FACE_COLS
+    out = np.empty((TILE_ROWS, TILE_COLS), dtype=arr.dtype)
+    out[:FACE_ROWS, :FACE_COLS] = arr[0 * face : 1 * face].reshape(FACE_ROWS, FACE_COLS)
+    out[:FACE_ROWS, FACE_COLS:] = arr[1 * face : 2 * face].reshape(FACE_ROWS, FACE_COLS)
+    out[FACE_ROWS:, :FACE_COLS] = arr[2 * face : 3 * face].reshape(FACE_ROWS, FACE_COLS)
+    out[FACE_ROWS:, FACE_COLS:] = arr[3 * face : 4 * face].reshape(FACE_ROWS, FACE_COLS)
+    return out
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One 32x32 device tile.
+
+    ``data`` is a read-only float64 vector of 1024 values that have already
+    been quantised to ``fmt``.  Tiles are immutable; SFPU/FPU ops construct
+    new tiles.  The flat ordering is the device's row-major face order
+    collapsed to 1-D, which is also how the N-body port consumes tiles
+    (as 1024-element vectors of particle attributes).
+    """
+
+    data: np.ndarray
+    fmt: DataFormat = DataFormat.FLOAT32
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.data, dtype=np.float64)
+        if arr.shape != (TILE_ELEMENTS,):
+            raise TileError(
+                f"tile data must be a flat vector of {TILE_ELEMENTS} values, "
+                f"got shape {arr.shape}"
+            )
+        arr = quantize(arr, self.fmt)
+        arr.setflags(write=False)
+        object.__setattr__(self, "data", arr)
+
+    @classmethod
+    def zeros(cls, fmt: DataFormat = DataFormat.FLOAT32) -> "Tile":
+        return cls(np.zeros(TILE_ELEMENTS), fmt)
+
+    @classmethod
+    def full(cls, value: float, fmt: DataFormat = DataFormat.FLOAT32) -> "Tile":
+        return cls(np.full(TILE_ELEMENTS, float(value)), fmt)
+
+    @classmethod
+    def from_vector(cls, values: np.ndarray,
+                    fmt: DataFormat = DataFormat.FLOAT32) -> "Tile":
+        """Build a tile from up to 1024 values, zero-padding the tail."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size > TILE_ELEMENTS:
+            raise TileError(f"vector of {arr.size} values exceeds tile capacity")
+        if arr.size < TILE_ELEMENTS:
+            arr = np.concatenate([arr, np.zeros(TILE_ELEMENTS - arr.size)])
+        return cls(arr, fmt)
+
+    @property
+    def nbytes(self) -> int:
+        """Device storage footprint of this tile in its format."""
+        return storage_bytes_per_element(self.fmt) * TILE_ELEMENTS
+
+    def as_matrix(self) -> np.ndarray:
+        """The tile as a 32x32 matrix (row-major view of the flat data)."""
+        return self.data.reshape(TILE_ROWS, TILE_COLS)
+
+    def astype(self, fmt: DataFormat) -> "Tile":
+        """Re-quantise this tile into another device format."""
+        if fmt is self.fmt:
+            return self
+        return Tile(self.data, fmt)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tile):
+            return NotImplemented
+        return self.fmt is other.fmt and np.array_equal(
+            self.data, other.data, equal_nan=True
+        )
+
+    def __hash__(self) -> int:  # immutable value type
+        return hash((self.fmt, self.data.tobytes()))
+
+
+def tiles_needed(n_elements: int) -> int:
+    """Number of 1024-element tiles required to hold ``n_elements``."""
+    if n_elements < 0:
+        raise TileError(f"element count must be non-negative, got {n_elements}")
+    return -(-n_elements // TILE_ELEMENTS)
+
+
+def tilize_1d(values: np.ndarray, fmt: DataFormat = DataFormat.FLOAT32,
+              *, pad_value: float = 0.0) -> list[Tile]:
+    """Split a 1-D array into tiles of 1024 elements, padding the last.
+
+    This is the layout of the paper's particle data: "copies of the data,
+    organized into N tiles, where each tile holds 1024 elements".  Padding
+    uses ``pad_value`` — the port pads masses with zeros so that phantom
+    particles contribute no force.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    n_tiles = max(1, tiles_needed(arr.size))
+    padded = np.full(n_tiles * TILE_ELEMENTS, float(pad_value))
+    padded[: arr.size] = arr
+    return [
+        Tile(padded[i * TILE_ELEMENTS : (i + 1) * TILE_ELEMENTS], fmt)
+        for i in range(n_tiles)
+    ]
+
+
+def untilize_1d(tiles: list[Tile], n_elements: int) -> np.ndarray:
+    """Concatenate tiles back into a 1-D float64 array of ``n_elements``."""
+    if not tiles:
+        raise TileError("cannot untilize an empty tile list")
+    capacity = len(tiles) * TILE_ELEMENTS
+    if n_elements > capacity:
+        raise TileError(
+            f"requested {n_elements} elements from {len(tiles)} tiles "
+            f"holding only {capacity}"
+        )
+    flat = np.concatenate([t.data for t in tiles])
+    return flat[:n_elements].copy()
+
+
+def tilize_2d(matrix: np.ndarray,
+              fmt: DataFormat = DataFormat.FLOAT32) -> list[list[Tile]]:
+    """Tilize a 2-D array into a grid of 32x32 tiles (row-major grid).
+
+    Used by the tensor-FPU matmul path; rows and columns are zero-padded to
+    multiples of 32.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise TileError(f"tilize_2d expects a matrix, got ndim={mat.ndim}")
+    rows = -(-mat.shape[0] // TILE_ROWS) or 1
+    cols = -(-mat.shape[1] // TILE_COLS) or 1
+    padded = np.zeros((rows * TILE_ROWS, cols * TILE_COLS))
+    padded[: mat.shape[0], : mat.shape[1]] = mat
+    grid: list[list[Tile]] = []
+    for r in range(rows):
+        row_tiles = []
+        for c in range(cols):
+            block = padded[
+                r * TILE_ROWS : (r + 1) * TILE_ROWS,
+                c * TILE_COLS : (c + 1) * TILE_COLS,
+            ]
+            row_tiles.append(Tile(block.ravel(), fmt))
+        grid.append(row_tiles)
+    return grid
+
+
+def untilize_2d(grid: list[list[Tile]], shape: tuple[int, int]) -> np.ndarray:
+    """Reassemble a tile grid into a matrix of the requested shape."""
+    if not grid or not grid[0]:
+        raise TileError("cannot untilize an empty tile grid")
+    rows, cols = len(grid), len(grid[0])
+    if any(len(row) != cols for row in grid):
+        raise TileError("ragged tile grid")
+    out = np.zeros((rows * TILE_ROWS, cols * TILE_COLS))
+    for r, row in enumerate(grid):
+        for c, tile in enumerate(row):
+            out[
+                r * TILE_ROWS : (r + 1) * TILE_ROWS,
+                c * TILE_COLS : (c + 1) * TILE_COLS,
+            ] = tile.as_matrix()
+    if shape[0] > out.shape[0] or shape[1] > out.shape[1]:
+        raise TileError(f"shape {shape} exceeds grid capacity {out.shape}")
+    return out[: shape[0], : shape[1]].copy()

@@ -1,0 +1,94 @@
+"""Tests for energy diagnostics and the paper's validation gates."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import energy_report, kinetic_energy
+from repro.core.initial_conditions import plummer
+from repro.core.forces import accel_jerk_reference
+from repro.core.validation import (
+    ACC_TOLERANCE,
+    JERK_TOLERANCE,
+    compare_to_reference,
+    validate_forces,
+)
+from repro.errors import ValidationError
+
+
+class TestEnergy:
+    def test_kinetic(self):
+        mass = np.array([2.0, 4.0])
+        vel = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        assert kinetic_energy(mass, vel) == pytest.approx(1.0 + 8.0)
+
+    def test_report_fields(self):
+        s = plummer(128, seed=0)
+        rep = energy_report(s)
+        assert rep.kinetic == pytest.approx(0.25, rel=1e-9)
+        assert rep.potential == pytest.approx(-0.5, rel=1e-9)
+        assert rep.total == pytest.approx(-0.25, rel=1e-9)
+        assert np.allclose(rep.momentum, 0.0, atol=1e-12)
+
+    def test_drift(self):
+        s = plummer(64, seed=1)
+        rep = energy_report(s)
+        assert rep.drift_from(rep) == 0.0
+
+
+class TestValidationGates:
+    def test_tolerances_match_paper(self):
+        assert ACC_TOLERANCE == 5.0e-4   # 0.05%
+        assert JERK_TOLERANCE == 2.0e-3  # 0.2%
+
+    def test_perfect_agreement_passes(self):
+        s = plummer(128, seed=2)
+        acc, jerk = accel_jerk_reference(s.pos, s.vel, s.mass)
+        report = compare_to_reference(acc, jerk, acc, jerk)
+        assert report.passed
+        assert report.max_acc_error == 0.0
+        assert "OK" in report.summary()
+
+    def test_fp32_rounding_passes_gate(self):
+        """Simple FP32 rounding of the result is far inside the paper's
+        0.05%/0.2% envelope — the gate tests *algorithmic* precision loss."""
+        s = plummer(256, seed=3)
+        acc, jerk = accel_jerk_reference(s.pos, s.vel, s.mass)
+        acc32 = acc.astype(np.float32).astype(np.float64)
+        jerk32 = jerk.astype(np.float32).astype(np.float64)
+        report = compare_to_reference(acc32, jerk32, acc, jerk)
+        assert report.passed
+
+    def test_large_error_fails_acc_gate(self):
+        s = plummer(64, seed=4)
+        acc, jerk = accel_jerk_reference(s.pos, s.vel, s.mass)
+        bad = acc.copy()
+        bad[0, 0] += 0.01 * np.sqrt(np.mean(np.sum(acc**2, axis=1)))
+        report = compare_to_reference(bad, jerk, acc, jerk)
+        assert not report.acc_passed
+        assert report.jerk_passed
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_validate_forces_inline(self):
+        s = plummer(64, seed=5)
+        acc, jerk = accel_jerk_reference(s.pos, s.vel, s.mass)
+        report = validate_forces(s.pos, s.vel, s.mass, acc, jerk)
+        assert report.passed
+
+    def test_raise_on_failure(self):
+        s = plummer(64, seed=6)
+        acc, jerk = accel_jerk_reference(s.pos, s.vel, s.mass)
+        with pytest.raises(ValidationError):
+            validate_forces(
+                s.pos, s.vel, s.mass, acc * 1.5, jerk, raise_on_failure=True
+            )
+
+    def test_shape_mismatch(self):
+        a = np.zeros((4, 3))
+        with pytest.raises(ValidationError, match="shape"):
+            compare_to_reference(a, a, np.zeros((5, 3)), np.zeros((5, 3)))
+
+    def test_zero_reference_rejected(self):
+        z = np.zeros((4, 3))
+        with pytest.raises(ValidationError, match="zero"):
+            compare_to_reference(z, z, z, z)

@@ -1,0 +1,192 @@
+"""Tests for the golden-reference force/jerk computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forces import (
+    accel_jerk_reference,
+    accel_reference,
+    potential_reference,
+)
+from repro.errors import NBodyError
+
+
+def pairwise_naive(pos, vel, mass, softening=0.0):
+    """Textbook per-pair loops: the slowest, most obviously correct form."""
+    n = len(mass)
+    acc = np.zeros((n, 3))
+    jerk = np.zeros((n, 3))
+    eps2 = softening * softening
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            dr = pos[j] - pos[i]
+            dv = vel[j] - vel[i]
+            s = dr @ dr + eps2
+            inv_r3 = s ** -1.5
+            acc[i] += mass[j] * inv_r3 * dr
+            jerk[i] += mass[j] * (
+                dv * inv_r3 - 3.0 * (dr @ dv) / s * inv_r3 * dr
+            )
+    return acc, jerk
+
+
+@pytest.fixture
+def small_system():
+    rng = np.random.default_rng(7)
+    n = 24
+    return (
+        rng.normal(size=(n, 3)),
+        rng.normal(size=(n, 3)),
+        rng.uniform(0.1, 1.0, n),
+    )
+
+
+class TestAgainstNaiveLoops:
+    def test_matches_pairwise_loops(self, small_system):
+        pos, vel, mass = small_system
+        acc, jerk = accel_jerk_reference(pos, vel, mass)
+        acc_n, jerk_n = pairwise_naive(pos, vel, mass)
+        assert np.allclose(acc, acc_n, rtol=1e-13, atol=1e-14)
+        assert np.allclose(jerk, jerk_n, rtol=1e-13, atol=1e-14)
+
+    def test_matches_with_softening(self, small_system):
+        pos, vel, mass = small_system
+        acc, jerk = accel_jerk_reference(pos, vel, mass, softening=0.1)
+        acc_n, jerk_n = pairwise_naive(pos, vel, mass, softening=0.1)
+        assert np.allclose(acc, acc_n, rtol=1e-13, atol=1e-14)
+        assert np.allclose(jerk, jerk_n, rtol=1e-13, atol=1e-14)
+
+    def test_blocking_invariant(self, small_system):
+        pos, vel, mass = small_system
+        a1, j1 = accel_jerk_reference(pos, vel, mass, block=5)
+        a2, j2 = accel_jerk_reference(pos, vel, mass, block=1000)
+        assert np.allclose(a1, a2, rtol=1e-14)
+        assert np.allclose(j1, j2, rtol=1e-14)
+
+
+class TestPhysics:
+    def test_two_body_inverse_square(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        vel = np.zeros((2, 3))
+        mass = np.array([3.0, 5.0])
+        acc, jerk = accel_jerk_reference(pos, vel, mass)
+        assert acc[0] == pytest.approx([5.0 / 4.0, 0, 0])
+        assert acc[1] == pytest.approx([-3.0 / 4.0, 0, 0])
+        assert np.allclose(jerk, 0.0)  # no relative motion
+
+    def test_momentum_conservation(self, small_system):
+        """Newton's third law: sum(m a) = 0 and sum(m jdot) = 0."""
+        pos, vel, mass = small_system
+        acc, jerk = accel_jerk_reference(pos, vel, mass)
+        assert np.allclose((mass[:, None] * acc).sum(axis=0), 0.0, atol=1e-12)
+        assert np.allclose((mass[:, None] * jerk).sum(axis=0), 0.0, atol=1e-12)
+
+    def test_jerk_is_da_dt(self, small_system):
+        """Finite-difference check: j ~ (a(t+h) - a(t-h)) / 2h."""
+        pos, vel, mass = small_system
+        h = 1e-6
+        _, jerk = accel_jerk_reference(pos, vel, mass)
+        a_plus = accel_reference(pos + h * vel, mass)
+        a_minus = accel_reference(pos - h * vel, mass)
+        jerk_fd = (a_plus - a_minus) / (2.0 * h)
+        assert np.allclose(jerk, jerk_fd, rtol=1e-5, atol=1e-5)
+
+    def test_softening_caps_close_encounters(self):
+        pos = np.array([[0.0, 0, 0], [1e-8, 0, 0]])
+        vel = np.zeros((2, 3))
+        mass = np.array([0.5, 0.5])
+        acc, _ = accel_jerk_reference(pos, vel, mass, softening=0.01)
+        assert np.all(np.isfinite(acc))
+        assert np.abs(acc).max() < 0.5 / 0.01**2
+
+    def test_coincident_unsoftened_raises(self):
+        pos = np.zeros((2, 3))
+        vel = np.zeros((2, 3))
+        mass = np.ones(2)
+        with pytest.raises(NBodyError, match="singular|coincident"):
+            accel_jerk_reference(pos, vel, mass)
+
+    def test_negative_softening_rejected(self, small_system):
+        pos, vel, mass = small_system
+        with pytest.raises(NBodyError):
+            accel_jerk_reference(pos, vel, mass, softening=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(NBodyError):
+            accel_jerk_reference(np.zeros((3, 3)), np.zeros((3, 3)), np.ones(2))
+
+    def test_g_scaling(self, small_system):
+        pos, vel, mass = small_system
+        a1, j1 = accel_jerk_reference(pos, vel, mass, G=1.0)
+        a2, j2 = accel_jerk_reference(pos, vel, mass, G=2.0)
+        assert np.allclose(a2, 2.0 * a1)
+        assert np.allclose(j2, 2.0 * j1)
+
+
+class TestPotential:
+    def test_two_body(self):
+        pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        mass = np.array([3.0, 5.0])
+        assert potential_reference(pos, mass) == pytest.approx(-7.5)
+
+    def test_against_naive(self, small_system):
+        pos, _, mass = small_system
+        naive = 0.0
+        for i in range(len(mass)):
+            for j in range(i + 1, len(mass)):
+                naive -= mass[i] * mass[j] / np.linalg.norm(pos[j] - pos[i])
+        assert potential_reference(pos, mass) == pytest.approx(naive, rel=1e-13)
+
+    def test_block_invariant(self, small_system):
+        pos, _, mass = small_system
+        assert potential_reference(pos, mass, block=3) == pytest.approx(
+            potential_reference(pos, mass, block=500), rel=1e-14
+        )
+
+    def test_softened_potential_bounded(self):
+        pos = np.zeros((2, 3))
+        mass = np.ones(2)
+        w = potential_reference(pos, mass, softening=0.1)
+        assert w == pytest.approx(-1.0 / 0.1)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_translation_invariance(n, seed):
+    """Forces depend only on relative coordinates."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.1, 1.0, n)
+    shift = rng.normal(size=3) * 100
+    boost = rng.normal(size=3) * 10
+    a1, j1 = accel_jerk_reference(pos, vel, mass, softening=0.05)
+    a2, j2 = accel_jerk_reference(pos + shift, vel + boost, mass, softening=0.05)
+    assert np.allclose(a1, a2, rtol=1e-9, atol=1e-9)
+    assert np.allclose(j1, j2, rtol=1e-9, atol=1e-9)
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_rotation_equivariance(n, seed):
+    """Rotating the system rotates forces: a(Rx) = R a(x)."""
+    from scipy.spatial.transform import Rotation
+
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.1, 1.0, n)
+    R = Rotation.random(random_state=seed).as_matrix()
+    a1, j1 = accel_jerk_reference(pos, vel, mass, softening=0.05)
+    a2, j2 = accel_jerk_reference(pos @ R.T, vel @ R.T, mass, softening=0.05)
+    assert np.allclose(a2, a1 @ R.T, rtol=1e-9, atol=1e-9)
+    assert np.allclose(j2, j1 @ R.T, rtol=1e-9, atol=1e-9)

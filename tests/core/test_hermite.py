@@ -1,0 +1,132 @@
+"""Tests for the Hermite predictor-corrector: order and conservation."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import accel_jerk_reference
+from repro.core.hermite import correct, hermite_step, predict
+from repro.errors import IntegratorError
+
+
+def kepler_circular():
+    """Equal-mass circular binary with separation 1, period 2*pi/sqrt(2)."""
+    mass = np.array([0.5, 0.5])
+    pos = np.array([[-0.5, 0.0, 0.0], [0.5, 0.0, 0.0]])
+    v = 0.5 * np.sqrt(1.0 / 1.0)  # v_orb of each body: sqrt(M/r)/2 with M=1,r=1
+    vel = np.array([[0.0, -v, 0.0], [0.0, v, 0.0]])
+    return mass, pos, vel
+
+
+def evaluate_factory(mass):
+    def evaluate(pos, vel):
+        return accel_jerk_reference(pos, vel, mass)
+
+    return evaluate
+
+
+class TestPredict:
+    def test_taylor_terms(self):
+        pos = np.array([[1.0, 0, 0]])
+        vel = np.array([[0.0, 2.0, 0]])
+        acc = np.array([[0.0, 0, 3.0]])
+        jerk = np.array([[6.0, 0, 0]])
+        dt = 0.1
+        p, v = predict(pos, vel, acc, jerk, dt)
+        assert p[0] == pytest.approx([1.0 + 0.001, 0.2, 0.015])
+        assert v[0] == pytest.approx([0.03, 2.0, 0.3])
+
+    def test_invalid_dt(self):
+        z = np.zeros((1, 3))
+        for dt in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(IntegratorError):
+                predict(z, z, z, z, dt)
+
+
+class TestCorrect:
+    def test_constant_acceleration_exact(self):
+        """With a1 = a0 and zero jerk, the corrector is the exact parabola."""
+        pos = np.zeros((1, 3))
+        vel = np.array([[1.0, 0, 0]])
+        acc = np.array([[0.0, -2.0, 0]])
+        jerk = np.zeros((1, 3))
+        dt = 0.5
+        step = correct(pos, vel, acc, jerk, acc, jerk, dt)
+        assert step.vel[0] == pytest.approx([1.0, -1.0, 0.0])
+        assert step.pos[0] == pytest.approx([0.5, -0.25, 0.0])
+        assert np.allclose(step.snap, 0.0)
+        assert np.allclose(step.crackle, 0.0)
+
+    def test_derivative_reconstruction_on_polynomial(self):
+        """For a(t) = a0 + j t + s t^2/2 + c t^3/6, the corrector recovers
+        s and c exactly (it solves that cubic Hermite interpolation)."""
+        rng = np.random.default_rng(0)
+        a0 = rng.normal(size=(1, 3))
+        j0 = rng.normal(size=(1, 3))
+        s0 = rng.normal(size=(1, 3))
+        c0 = rng.normal(size=(1, 3))
+        dt = 0.3
+        a1 = a0 + dt * j0 + dt**2 / 2 * s0 + dt**3 / 6 * c0
+        j1 = j0 + dt * s0 + dt**2 / 2 * c0
+        step = correct(np.zeros((1, 3)), np.zeros((1, 3)), a0, j0, a1, j1, dt)
+        assert np.allclose(step.crackle, c0, rtol=1e-9, atol=1e-9)
+        assert np.allclose(step.snap, s0 + dt * c0, rtol=1e-9, atol=1e-9)
+
+    def test_invalid_dt(self):
+        z = np.zeros((1, 3))
+        with pytest.raises(IntegratorError):
+            correct(z, z, z, z, z, z, -0.1)
+
+
+class TestOrderOfAccuracy:
+    def test_fourth_order_convergence_on_kepler(self):
+        """Halving dt reduces the one-orbit energy error by ~2^4."""
+        mass, pos0, vel0 = kepler_circular()
+        evaluate = evaluate_factory(mass)
+        period = 2.0 * np.pi  # circular orbit, M=1, r=1 => omega=1
+
+        def energy(pos, vel):
+            ke = 0.5 * (mass[:, None] * vel**2).sum()
+            pe = -mass[0] * mass[1] / np.linalg.norm(pos[1] - pos[0])
+            return ke + pe
+
+        errors = []
+        for n_steps in (128, 256, 512):
+            dt = period / n_steps
+            pos, vel = pos0.copy(), vel0.copy()
+            acc, jerk = evaluate(pos, vel)
+            for _ in range(n_steps):
+                step = hermite_step(pos, vel, acc, jerk, dt, evaluate)
+                pos, vel, acc, jerk = step.pos, step.vel, step.acc, step.jerk
+            errors.append(abs(energy(pos, vel) - energy(pos0, vel0)))
+        rate1 = errors[0] / errors[1]
+        rate2 = errors[1] / errors[2]
+        assert rate1 > 10.0  # ~16 for a clean 4th-order scheme
+        assert rate2 > 10.0
+
+    def test_circular_orbit_stays_circular(self):
+        mass, pos, vel = kepler_circular()
+        evaluate = evaluate_factory(mass)
+        acc, jerk = evaluate(pos, vel)
+        dt = 2.0 * np.pi / 500
+        for _ in range(500):  # one full period
+            step = hermite_step(pos, vel, acc, jerk, dt, evaluate)
+            pos, vel, acc, jerk = step.pos, step.vel, step.acc, step.jerk
+            sep = np.linalg.norm(pos[1] - pos[0])
+            assert sep == pytest.approx(1.0, abs=1e-5)
+        # returned to the starting phase
+        assert np.allclose(pos, kepler_circular()[1], atol=1e-4)
+
+    def test_momentum_conserved_over_many_steps(self):
+        rng = np.random.default_rng(5)
+        n = 16
+        mass = rng.uniform(0.1, 1.0, n)
+        pos = rng.normal(size=(n, 3))
+        vel = rng.normal(size=(n, 3)) * 0.3
+        evaluate = lambda p, v: accel_jerk_reference(p, v, mass, softening=0.05)
+        acc, jerk = evaluate(pos, vel)
+        p0 = (mass[:, None] * vel).sum(axis=0)
+        for _ in range(50):
+            step = hermite_step(pos, vel, acc, jerk, 0.01, evaluate)
+            pos, vel, acc, jerk = step.pos, step.vel, step.acc, step.jerk
+        p1 = (mass[:, None] * vel).sum(axis=0)
+        assert np.allclose(p0, p1, atol=1e-12)

@@ -1,0 +1,144 @@
+"""Tests for orbital-element utilities and the cluster-collision IC."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import energy_report
+from repro.core.initial_conditions import binary, cluster_collision, plummer
+from repro.core.orbit import (
+    binary_elements,
+    elements_from_state,
+    hardness_ratio,
+    orbital_period,
+)
+from repro.errors import NBodyError
+
+
+class TestElements:
+    def test_circular_orbit(self):
+        b = binary(semi_major_axis=0.5, eccentricity=0.0)
+        el = binary_elements(b)
+        assert el.semi_major_axis == pytest.approx(0.5, rel=1e-12)
+        assert el.eccentricity == pytest.approx(0.0, abs=1e-7)
+        assert el.bound
+        assert el.separation == pytest.approx(0.5)
+        assert el.period == pytest.approx(orbital_period(0.5, 1.0))
+
+    def test_eccentric_orbit_at_apoapsis(self):
+        b = binary(semi_major_axis=0.2, eccentricity=0.7)
+        el = binary_elements(b)
+        assert el.semi_major_axis == pytest.approx(0.2, rel=1e-12)
+        assert el.eccentricity == pytest.approx(0.7, rel=1e-9)
+        assert el.separation == pytest.approx(el.apoapsis)
+        assert el.periapsis == pytest.approx(0.2 * 0.3)
+
+    def test_hyperbolic_pair(self):
+        el = elements_from_state(
+            np.zeros(3), np.zeros(3), 0.5,
+            np.array([1.0, 0, 0]), np.array([0.0, 5.0, 0]), 0.5,
+        )
+        assert not el.bound
+        assert el.semi_major_axis < 0
+        with pytest.raises(NBodyError):
+            _ = el.period
+
+    def test_elements_conserved_along_kepler_orbit(self):
+        """a and e are invariants of the two-body problem."""
+        from repro.core.forces import accel_jerk_reference
+        from repro.core.hermite import hermite_step
+
+        b = binary(semi_major_axis=1.0, eccentricity=0.5)
+        evaluate = lambda p, v: accel_jerk_reference(p, v, b.mass)
+        pos, vel = b.pos.copy(), b.vel.copy()
+        acc, jerk = evaluate(pos, vel)
+        el0 = elements_from_state(pos[0], vel[0], 0.5, pos[1], vel[1], 0.5)
+        dt = el0.period / 500
+        for _ in range(500):
+            step = hermite_step(pos, vel, acc, jerk, dt, evaluate)
+            pos, vel, acc, jerk = step.pos, step.vel, step.acc, step.jerk
+            el = elements_from_state(pos[0], vel[0], 0.5, pos[1], vel[1], 0.5)
+            assert el.semi_major_axis == pytest.approx(1.0, rel=1e-5)
+            assert el.eccentricity == pytest.approx(0.5, abs=1e-5)
+
+    def test_validation(self):
+        b = binary()
+        with pytest.raises(NBodyError):
+            binary_elements(b, 0, 0)
+        with pytest.raises(NBodyError):
+            binary_elements(b, 0, 5)
+        with pytest.raises(NBodyError):
+            elements_from_state(np.zeros(3), np.zeros(3), -1.0,
+                                np.ones(3), np.zeros(3), 1.0)
+        with pytest.raises(NBodyError):
+            elements_from_state(np.zeros(3), np.zeros(3), 1.0,
+                                np.zeros(3), np.zeros(3), 1.0)
+
+
+class TestHardness:
+    def test_hard_binary_in_cluster(self):
+        from repro.core.initial_conditions import cluster_with_binary
+
+        s = cluster_with_binary(500, seed=0, semi_major_axis=0.001)
+        assert hardness_ratio(s) > 10.0
+
+    def test_soft_binary(self):
+        from repro.core.initial_conditions import cluster_with_binary
+
+        s = cluster_with_binary(500, seed=1, semi_major_axis=2.0)
+        assert hardness_ratio(s) < 1.0
+
+    def test_unbound_pair_is_zero(self):
+        s = plummer(64, seed=2)
+        s.vel[0] = [50.0, 0, 0]  # fling particle 0 away from particle 1
+        assert hardness_ratio(s, 0, 1) == 0.0
+
+
+class TestClusterCollision:
+    def test_total_mass_and_frame(self):
+        s = cluster_collision(200, 100, seed=0, mass_ratio=3.0)
+        assert s.n == 300
+        assert s.total_mass == pytest.approx(1.0)
+        assert np.allclose(s.center_of_mass(), 0.0, atol=1e-12)
+        assert np.allclose(s.center_of_mass_velocity(), 0.0, atol=1e-12)
+
+    def test_mass_split(self):
+        s = cluster_collision(200, 100, seed=1, mass_ratio=3.0)
+        m1 = s.mass[:200].sum()
+        m2 = s.mass[200:].sum()
+        assert m1 / m2 == pytest.approx(3.0, rel=1e-12)
+
+    def test_clusters_are_separated_and_approaching(self):
+        s = cluster_collision(128, 128, seed=2, separation=8.0)
+        c1 = s.pos[:128].mean(axis=0)
+        c2 = s.pos[128:].mean(axis=0)
+        assert np.linalg.norm(c2 - c1) > 6.0
+        v1 = s.vel[:128].mean(axis=0)
+        v2 = s.vel[128:].mean(axis=0)
+        # approaching: relative velocity opposes relative position
+        assert (c2 - c1) @ (v2 - v1) < 0
+
+    def test_parabolic_default_is_marginally_bound(self):
+        s = cluster_collision(256, 256, seed=3, impact_parameter=0.0)
+        rep = energy_report(s)
+        # internal binding dominates; orbital part is ~zero, so E ~ sum of
+        # the two clusters' internal energies (each -0.25 scaled by k^... )
+        assert rep.total < 0
+
+    def test_custom_speed_unbound_flyby(self):
+        slow = cluster_collision(64, 64, seed=4, relative_speed=0.0)
+        fast = cluster_collision(64, 64, seed=4, relative_speed=3.0)
+        assert energy_report(fast).total > energy_report(slow).total
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            cluster_collision(1, 10)
+        with pytest.raises(ConfigurationError):
+            cluster_collision(10, 10, mass_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            cluster_collision(10, 10, separation=-1.0)
+        with pytest.raises(ConfigurationError):
+            cluster_collision(10, 10, impact_parameter=-0.1)
+        with pytest.raises(ConfigurationError):
+            cluster_collision(10, 10, relative_speed=-1.0)

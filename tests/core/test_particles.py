@@ -1,0 +1,94 @@
+"""Tests for the ParticleSystem container."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import ParticleSystem
+from repro.errors import NBodyError
+
+
+def make(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return ParticleSystem(
+        mass=rng.uniform(0.1, 1.0, n),
+        pos=rng.normal(size=(n, 3)),
+        vel=rng.normal(size=(n, 3)),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = make(5)
+        assert s.n == 5
+        assert s.acc.shape == (5, 3) and np.all(s.acc == 0.0)
+        assert s.jerk.shape == (5, 3)
+        assert s.time == 0.0
+
+    def test_arrays_coerced_to_float64_contiguous(self):
+        s = ParticleSystem(
+            mass=[1.0, 2.0],
+            pos=np.asfortranarray(np.zeros((2, 3), dtype=np.float32)),
+            vel=np.zeros((2, 3)),
+        )
+        assert s.pos.dtype == np.float64
+        assert s.pos.flags.c_contiguous
+        assert s.mass.dtype == np.float64
+
+    def test_shape_validation(self):
+        with pytest.raises(NBodyError):
+            ParticleSystem(np.ones(3), np.zeros((2, 3)), np.zeros((3, 3)))
+        with pytest.raises(NBodyError):
+            ParticleSystem(np.ones(2), np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(NBodyError):
+            ParticleSystem(np.ones((2, 2)), np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(NBodyError):
+            ParticleSystem(np.ones(0), np.zeros((0, 3)), np.zeros((0, 3)))
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(NBodyError, match="negative"):
+            ParticleSystem(np.array([-1.0]), np.zeros((1, 3)), np.zeros((1, 3)))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NBodyError, match="non-finite"):
+            ParticleSystem(
+                np.ones(1), np.array([[np.nan, 0, 0]]), np.zeros((1, 3))
+            )
+
+
+class TestFrame:
+    def test_center_of_mass(self):
+        s = ParticleSystem(
+            mass=np.array([1.0, 3.0]),
+            pos=np.array([[0.0, 0, 0], [4.0, 0, 0]]),
+            vel=np.array([[0.0, 0, 0], [0.0, 4.0, 0]]),
+        )
+        assert np.allclose(s.center_of_mass(), [3.0, 0, 0])
+        assert np.allclose(s.center_of_mass_velocity(), [0, 3.0, 0])
+
+    def test_to_com_frame(self):
+        s = make(10, seed=3)
+        s.to_center_of_mass_frame()
+        assert np.allclose(s.center_of_mass(), 0.0, atol=1e-14)
+        assert np.allclose(s.center_of_mass_velocity(), 0.0, atol=1e-14)
+
+    def test_total_mass(self):
+        s = make(7)
+        assert s.total_mass == pytest.approx(s.mass.sum())
+
+
+class TestCopyAndChecks:
+    def test_copy_is_deep(self):
+        s = make()
+        c = s.copy()
+        c.pos[0, 0] = 99.0
+        assert s.pos[0, 0] != 99.0
+        assert c.time == s.time
+
+    def test_check_finite_passes_and_fails(self):
+        s = make()
+        s.check_finite()
+        s.vel[1, 2] = np.inf
+        with pytest.raises(NBodyError, match="non-finite"):
+            s.check_finite()

@@ -1,0 +1,159 @@
+"""Tests for analytic profiles, including Monte-Carlo cross-checks of the
+IC generators against the theory they sample."""
+
+import numpy as np
+import pytest
+from scipy.integrate import quad
+
+from repro.core.initial_conditions import plummer, uniform_sphere
+from repro.core.profiles import (
+    HernquistProfile,
+    PlummerProfile,
+    UniformSphereProfile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPlummerProfile:
+    def test_mass_converges_to_total(self):
+        p = PlummerProfile()
+        assert p.enclosed_mass(1e6) == pytest.approx(1.0, rel=1e-9)
+
+    def test_density_integrates_to_mass(self):
+        p = PlummerProfile(scale_radius=0.7, total_mass=2.0)
+        integral, _ = quad(
+            lambda r: 4.0 * np.pi * r**2 * p.density(r), 0.0, np.inf
+        )
+        assert integral == pytest.approx(2.0, rel=1e-8)
+
+    def test_mass_is_integral_of_density(self):
+        p = PlummerProfile()
+        for r in (0.2, 1.0, 4.0):
+            integral, _ = quad(
+                lambda x: 4.0 * np.pi * x**2 * p.density(x), 0.0, r
+            )
+            assert p.enclosed_mass(r) == pytest.approx(integral, rel=1e-8)
+
+    def test_potential_from_poisson(self):
+        """dphi/dr = M(r)/r^2."""
+        p = PlummerProfile()
+        r = 1.3
+        h = 1e-6
+        dphi = (p.potential(r + h) - p.potential(r - h)) / (2 * h)
+        assert dphi == pytest.approx(p.enclosed_mass(r) / r**2, rel=1e-6)
+
+    def test_henon_energy(self):
+        """At the Henon scale radius 3pi/16 the total energy is -1/4."""
+        assert PlummerProfile().total_energy == pytest.approx(-0.25)
+
+    def test_half_mass_radius(self):
+        p = PlummerProfile()
+        assert p.enclosed_mass(p.half_mass_radius) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlummerProfile(scale_radius=-1.0)
+        with pytest.raises(ConfigurationError):
+            PlummerProfile().density(-1.0)
+
+
+class TestHernquistProfile:
+    def test_mass_limits(self):
+        h = HernquistProfile()
+        assert h.enclosed_mass(0.0) == 0.0
+        assert h.enclosed_mass(1e9) == pytest.approx(1.0, rel=1e-8)
+
+    def test_half_mass_radius(self):
+        h = HernquistProfile(scale_radius=0.3)
+        assert h.enclosed_mass(h.half_mass_radius) == pytest.approx(0.5)
+
+    def test_density_integrates_to_mass(self):
+        h = HernquistProfile()
+        integral, _ = quad(
+            lambda r: 4.0 * np.pi * r**2 * h.density(r), 0.0, np.inf
+        )
+        assert integral == pytest.approx(1.0, rel=1e-8)
+
+    def test_potential_at_origin_finite(self):
+        h = HernquistProfile(scale_radius=0.5)
+        assert h.potential(0.0) == pytest.approx(-2.0)
+
+    def test_total_energy(self):
+        assert HernquistProfile(scale_radius=0.5).total_energy == pytest.approx(
+            -1.0 / 6.0
+        )
+
+
+class TestUniformSphereProfile:
+    def test_mass_profile(self):
+        u = UniformSphereProfile(radius=2.0)
+        assert u.enclosed_mass(1.0) == pytest.approx(1.0 / 8.0)
+        assert u.enclosed_mass(5.0) == pytest.approx(1.0)
+
+    def test_potential_continuous_at_surface(self):
+        u = UniformSphereProfile(radius=1.5)
+        eps = 1e-9
+        assert u.potential(1.5 - eps) == pytest.approx(
+            u.potential(1.5 + eps), rel=1e-6
+        )
+
+    def test_potential_energy_formula(self):
+        u = UniformSphereProfile(radius=2.0, total_mass=3.0)
+        assert u.potential_energy == pytest.approx(-0.6 * 9.0 / 2.0)
+
+    def test_free_fall_time(self):
+        u = UniformSphereProfile()
+        assert u.free_fall_time == pytest.approx(np.pi / (2 * np.sqrt(2.0)))
+
+
+class TestMonteCarloAgreement:
+    """The IC generators sample these profiles: check realisations."""
+
+    def test_plummer_sampler_matches_mass_profile(self):
+        n = 20_000
+        s = plummer(n, seed=0, virial_scaled=False)
+        p = PlummerProfile(scale_radius=1.0)  # unscaled sampler uses a = 1
+        radii = np.sort(np.linalg.norm(s.pos, axis=1))
+        for frac in (0.25, 0.5, 0.75):
+            r_measured = radii[int(frac * n)]
+            # invert M(r) = frac analytically: r = a * (f^{-2/3} - 1)^{-1/2}
+            r_theory = (frac ** (-2.0 / 3.0) - 1.0) ** -0.5
+            assert r_measured == pytest.approx(r_theory, rel=0.05), frac
+
+    def test_plummer_dispersion_profile(self):
+        n = 30_000
+        s = plummer(n, seed=1, virial_scaled=False)
+        p = PlummerProfile(scale_radius=1.0)
+        radii = np.linalg.norm(s.pos, axis=1)
+        shell = (radii > 0.4) & (radii < 0.6)
+        sigma_measured = s.vel[shell].std()
+        assert sigma_measured == pytest.approx(
+            p.velocity_dispersion_1d(0.5), rel=0.05
+        )
+
+    def test_uniform_sampler_matches_profile(self):
+        n = 20_000
+        s = uniform_sphere(n, seed=2, radius=1.0)
+        u = UniformSphereProfile(radius=1.0)
+        radii = np.sort(np.linalg.norm(s.pos, axis=1))
+        r_half = radii[n // 2]
+        assert r_half == pytest.approx(u.half_mass_radius, rel=0.03)
+
+    def test_cold_collapse_time_matches_theory(self):
+        """The cold-collapse example's bounce time is the analytic free
+        fall time of the uniform sphere (integration cross-check)."""
+        from repro.core import ReferenceBackend, Simulation
+        from repro.core.analysis import lagrangian_radii
+
+        s = uniform_sphere(512, seed=3, radius=1.0)
+        u = UniformSphereProfile(radius=1.0)
+        sim = Simulation(s, ReferenceBackend(softening=0.05), dt=5e-3)
+        min_r50 = np.inf
+        t_min = 0.0
+        for _ in range(int(1.4 * u.free_fall_time / 5e-3 / 10)):
+            sim.run(10)
+            r50 = lagrangian_radii(s, (0.5,))[0]
+            if r50 < min_r50:
+                min_r50 = r50
+                t_min = s.time
+        assert t_min == pytest.approx(u.free_fall_time, rel=0.15)

@@ -1,0 +1,65 @@
+"""Tests for snapshot I/O round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial_conditions import plummer
+from repro.core.snapshots import load_csv, load_npz, save_csv, save_npz
+from repro.errors import NBodyError
+
+
+@pytest.fixture
+def system():
+    s = plummer(32, seed=0)
+    s.time = 1.25
+    s.acc = np.random.default_rng(1).normal(size=(32, 3))
+    s.jerk = np.random.default_rng(2).normal(size=(32, 3))
+    return s
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, system, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_npz(path, system)
+        back = load_npz(path)
+        assert np.array_equal(back.mass, system.mass)
+        assert np.array_equal(back.pos, system.pos)
+        assert np.array_equal(back.vel, system.vel)
+        assert np.array_equal(back.acc, system.acc)
+        assert np.array_equal(back.jerk, system.jerk)
+        assert back.time == system.time
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(NBodyError, match="not found"):
+            load_npz(tmp_path / "nope.npz")
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, system, tmp_path):
+        """repr() serialisation keeps float64 exact through csv."""
+        path = tmp_path / "snap.csv"
+        save_csv(path, system)
+        back = load_csv(path)
+        assert np.array_equal(back.pos, system.pos)
+        assert np.array_equal(back.vel, system.vel)
+        assert np.array_equal(back.jerk, system.jerk)
+        assert back.time == system.time
+
+    def test_header_check(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not a header\nwhatever\n")
+        with pytest.raises(NBodyError, match="time header"):
+            load_csv(path)
+
+    def test_empty_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "# time = 0.0\n"
+            "id,mass,x,y,z,vx,vy,vz,ax,ay,az,jx,jy,jz\n"
+        )
+        with pytest.raises(NBodyError, match="empty"):
+            load_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(NBodyError, match="not found"):
+            load_csv(tmp_path / "nope.csv")

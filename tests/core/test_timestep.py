@@ -1,0 +1,108 @@
+"""Tests for the Aarseth timestep criteria and block quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.timestep import (
+    SharedTimestep,
+    aarseth_timestep,
+    initial_timestep,
+    quantize_block_timestep,
+)
+from repro.errors import IntegratorError
+
+
+class TestInitial:
+    def test_scales_linearly_with_eta(self):
+        acc = np.array([[1.0, 0, 0]])
+        jerk = np.array([[0.0, 2.0, 0]])
+        dt1 = initial_timestep(acc, jerk, eta=0.01)
+        dt2 = initial_timestep(acc, jerk, eta=0.02)
+        assert dt2 == pytest.approx(2.0 * dt1)
+        assert dt1[0] == pytest.approx(0.01 * 1.0 / 2.0)
+
+    def test_zero_jerk_does_not_blow_up(self):
+        dt = initial_timestep(np.ones((1, 3)), np.zeros((1, 3)))
+        assert np.isfinite(dt[0]) and dt[0] > 0
+
+    def test_eta_validation(self):
+        with pytest.raises(IntegratorError):
+            initial_timestep(np.ones((1, 3)), np.ones((1, 3)), eta=0.0)
+
+
+class TestAarseth:
+    def test_dimensional_consistency(self):
+        """Scaling time by k scales each derivative by k^-(order+1) and the
+        criterion's dt by k."""
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 3))
+        j = rng.normal(size=(5, 3))
+        s = rng.normal(size=(5, 3))
+        c = rng.normal(size=(5, 3))
+        dt = aarseth_timestep(a, j, s, c)
+        k = 3.0
+        dt_scaled = aarseth_timestep(a / k, j / k**2, s / k**3, c / k**4)
+        assert np.allclose(dt_scaled, k * dt)
+
+    def test_eta_sqrt_scaling(self):
+        rng = np.random.default_rng(1)
+        arrs = [rng.normal(size=(4, 3)) for _ in range(4)]
+        dt1 = aarseth_timestep(*arrs, eta=0.01)
+        dt4 = aarseth_timestep(*arrs, eta=0.04)
+        assert np.allclose(dt4, 2.0 * dt1)
+
+    def test_eta_validation(self):
+        z = np.ones((1, 3))
+        with pytest.raises(IntegratorError):
+            aarseth_timestep(z, z, z, z, eta=-1.0)
+
+
+class TestBlockQuantize:
+    def test_powers_of_two(self):
+        dt = quantize_block_timestep(np.array([0.1, 0.07, 0.011]), dt_max=0.125)
+        assert np.allclose(dt, [0.0625, 0.0625, 0.0078125])
+
+    def test_never_rounds_up(self):
+        rng = np.random.default_rng(2)
+        raw = rng.uniform(1e-6, 0.125, 100)
+        q = quantize_block_timestep(raw, dt_max=0.125)
+        assert np.all(q <= raw + 1e-15)
+        assert np.all(q >= raw / 2.0)
+
+    def test_dt_above_max_clamps_to_max(self):
+        assert quantize_block_timestep(1.0, dt_max=0.125) == 0.125
+
+    def test_scalar_in_scalar_out(self):
+        out = quantize_block_timestep(0.03, dt_max=0.125)
+        assert isinstance(out, float)
+
+    def test_collapse_detected(self):
+        with pytest.raises(IntegratorError, match="collapsed"):
+            quantize_block_timestep(1e-30, dt_max=0.125, min_exponent=40)
+
+    def test_invalid_values(self):
+        with pytest.raises(IntegratorError):
+            quantize_block_timestep(np.array([0.1, -0.1]))
+        with pytest.raises(IntegratorError):
+            quantize_block_timestep(np.array([np.nan]))
+
+
+class TestShared:
+    def test_validation(self):
+        with pytest.raises(IntegratorError):
+            SharedTimestep(dt_min=0.1, dt_max=0.01)
+
+    def test_first_uses_min_over_particles(self):
+        acc = np.array([[1.0, 0, 0], [1.0, 0, 0]])
+        jerk = np.array([[0.0, 1.0, 0], [0.0, 10.0, 0]])
+        ts = SharedTimestep(eta_start=0.01, dt_min=1e-10)
+        assert ts.first(acc, jerk) == pytest.approx(0.001)
+
+    def test_clipping(self):
+        acc = np.ones((1, 3)) * 1e-20
+        jerk = np.ones((1, 3))
+        ts = SharedTimestep(dt_min=1e-4, dt_max=0.125)
+        assert ts.first(acc, jerk) == ts.dt_min
+        big_acc = np.ones((1, 3)) * 1e20
+        small = np.ones((1, 3)) * 1e-20
+        assert ts.next(big_acc, small, small, small) == ts.dt_max

@@ -1,0 +1,134 @@
+"""Tests for the mixed-precision SIMD kernel and the OpenMP model."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import accel_jerk_reference
+from repro.core.initial_conditions import plummer
+from repro.core.validation import validate_forces
+from repro.cpuref.openmp import OpenMPModel, chunk_ranges
+from repro.cpuref.params import CpuCostParams, EPYC_9124_DUAL
+from repro.cpuref.simd import interactions_count, simd_accel_jerk
+from repro.errors import ConfigurationError, NBodyError
+
+
+class TestSimdKernel:
+    def test_close_to_float64_reference(self):
+        s = plummer(256, seed=0)
+        a32, j32 = simd_accel_jerk(s.pos, s.vel, s.mass)
+        a64, j64 = accel_jerk_reference(s.pos, s.vel, s.mass)
+        assert np.allclose(a32, a64, rtol=1e-4, atol=1e-5)
+        assert np.allclose(j32, j64, rtol=1e-3, atol=1e-4)
+
+    def test_passes_paper_gate(self):
+        s = plummer(512, seed=1)
+        a, j = simd_accel_jerk(s.pos, s.vel, s.mass)
+        assert validate_forces(s.pos, s.vel, s.mass, a, j).passed
+
+    def test_result_dtype_is_float64(self):
+        s = plummer(64, seed=2)
+        a, j = simd_accel_jerk(s.pos, s.vel, s.mass)
+        assert a.dtype == np.float64 and j.dtype == np.float64
+
+    def test_block_size_does_not_change_pair_math(self):
+        s = plummer(200, seed=3)
+        a1, j1 = simd_accel_jerk(s.pos, s.vel, s.mass, j_block=64)
+        a2, j2 = simd_accel_jerk(s.pos, s.vel, s.mass, j_block=4096)
+        # identical pair terms, only FP64-accumulation grouping differs
+        assert np.allclose(a1, a2, rtol=1e-7)
+        assert np.allclose(j1, j2, rtol=1e-6, atol=1e-9)
+
+    def test_i_slice_composition(self):
+        s = plummer(100, seed=4)
+        a_full, j_full = simd_accel_jerk(s.pos, s.vel, s.mass)
+        a_parts = np.empty_like(a_full)
+        j_parts = np.empty_like(j_full)
+        for sl in (slice(0, 30), slice(30, 77), slice(77, 100)):
+            a_parts[sl], j_parts[sl] = simd_accel_jerk(
+                s.pos, s.vel, s.mass, i_slice=sl
+            )
+        assert np.array_equal(a_parts, a_full)
+        assert np.array_equal(j_parts, j_full)
+
+    def test_softening(self):
+        pos = np.array([[0.0, 0, 0], [1e-7, 0, 0]])
+        vel = np.zeros((2, 3))
+        mass = np.ones(2) * 0.5
+        a, _ = simd_accel_jerk(pos, vel, mass, softening=0.01)
+        assert np.all(np.isfinite(a))
+
+    def test_coincident_unsoftened_raises(self):
+        pos = np.zeros((2, 3))
+        with pytest.raises(NBodyError):
+            simd_accel_jerk(pos, np.zeros((2, 3)), np.ones(2))
+
+    def test_interactions_count(self):
+        assert interactions_count(102_400) == 102_400 * 102_399
+
+    def test_input_validation(self):
+        with pytest.raises(NBodyError):
+            simd_accel_jerk(np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3))
+        with pytest.raises(NBodyError):
+            simd_accel_jerk(
+                np.zeros((2, 3)), np.zeros((2, 3)), np.ones(2), softening=-1
+            )
+
+
+class TestChunkRanges:
+    def test_balanced(self):
+        chunks = chunk_ranges(10, 3)
+        assert chunks == [slice(0, 4), slice(4, 7), slice(7, 10)]
+
+    def test_covers_everything_once(self):
+        for n, k in [(0, 1), (5, 8), (100, 7), (64, 64)]:
+            chunks = chunk_ranges(n, k)
+            covered = []
+            for c in chunks:
+                covered.extend(range(c.start, c.stop))
+            assert covered == list(range(n))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chunk_ranges(10, 0)
+        with pytest.raises(ConfigurationError):
+            chunk_ranges(-1, 2)
+
+
+class TestOpenMPModel:
+    def test_host_matches_paper(self):
+        assert EPYC_9124_DUAL.physical_cores == 32
+        assert EPYC_9124_DUAL.hardware_threads == 64
+        assert EPYC_9124_DUAL.max_clock_hz == 3.71e9
+        assert EPYC_9124_DUAL.simd_width_fp32 == 16
+
+    def test_thread_validation(self):
+        with pytest.raises(ConfigurationError):
+            OpenMPModel(0)
+        with pytest.raises(ConfigurationError):
+            OpenMPModel(65)
+
+    def test_smt_gives_no_speedup(self):
+        """Paper: using all hardware threads did not improve performance."""
+        t32 = OpenMPModel(32).force_eval_seconds(102_400)
+        t64 = OpenMPModel(64).force_eval_seconds(102_400)
+        assert t64 >= t32  # only sync overhead grows
+
+    def test_scaling_is_nearly_linear_below_core_count(self):
+        t8 = OpenMPModel(8).force_eval_seconds(102_400)
+        t16 = OpenMPModel(16).force_eval_seconds(102_400)
+        assert t8 / t16 == pytest.approx(2.0, rel=0.02)
+
+    def test_calibration_hits_paper_reference_time(self):
+        """E1 anchor: 32 threads, N=102400, 10 cycles => 672.90 s."""
+        model = OpenMPModel(32)
+        assert model.job_seconds(102_400, 10) == pytest.approx(672.90, rel=0.01)
+
+    def test_serial_term_scales_with_n(self):
+        m = OpenMPModel(4)
+        assert m.serial_seconds(2000) > m.serial_seconds(1000)
+
+    def test_custom_costs(self):
+        costs = CpuCostParams(seconds_per_interaction=1e-9,
+                              sync_seconds_per_thread=0.0)
+        m = OpenMPModel(2, costs=costs)
+        assert m.force_eval_seconds(1000) == pytest.approx(500 * 1000 * 1e-9)

@@ -1,0 +1,80 @@
+"""Consistency between the functional pipeline and the analytic models.
+
+The campaign (E1-E3) runs on the analytic cost models; the accuracy
+experiments run the functional kernels.  These tests pin the two against
+each other so the campaign's numbers are guaranteed to describe the same
+machine the functional pipeline simulates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HostCostModel, Simulation, plummer
+from repro.metalium import CreateDevice
+from repro.nbody_tt import DeviceTimeModel, TTForceBackend
+from repro.wormhole.params import DEFAULT_COSTS
+
+
+class TestFunctionalVsAnalytic:
+    @pytest.mark.parametrize("n,cores", [(1024, 1), (2048, 2), (4096, 4)])
+    def test_device_eval_time(self, n, cores):
+        s = plummer(n, seed=40)
+        device = CreateDevice(0)
+        backend = TTForceBackend(device, n_cores=cores)
+        ev = backend.compute(s.pos, s.vel, s.mass)
+        functional = sum(seg.seconds for seg in ev.segments
+                         if seg.tag == "device")
+        analytic = DeviceTimeModel(n_cores=cores).eval_seconds(n)
+        assert functional == pytest.approx(analytic, rel=0.03)
+
+    def test_full_job_time(self):
+        """An end-to-end functional job (init + cycles, with the host cost
+        model wired to the same calibrated constant) matches the analytic
+        job projection that the campaign uses."""
+        n, cycles, cores = 2048, 3, 2
+        model = DeviceTimeModel(n_cores=cores)
+        s = plummer(n, seed=41)
+        device = CreateDevice(0)
+        backend = TTForceBackend(device, n_cores=cores)
+        host_cost = HostCostModel(
+            seconds_per_particle_cycle=DEFAULT_COSTS.host_per_particle_s,
+            init_seconds=2.0,
+        )
+        sim = Simulation(s, backend, dt=1e-3, host_cost=host_cost)
+        result = sim.run(cycles)
+        functional_total = result.model_seconds
+        analytic_total = model.job_seconds(n, cycles)
+        assert functional_total == pytest.approx(analytic_total, rel=0.05)
+
+    def test_phase_split_matches(self):
+        """Host/device split of the functional timeline mirrors the
+        analytic model's split (what the power trace generator consumes)."""
+        n, cycles, cores = 2048, 2, 2
+        model = DeviceTimeModel(n_cores=cores)
+        s = plummer(n, seed=42)
+        device = CreateDevice(0)
+        backend = TTForceBackend(device, n_cores=cores)
+        host_cost = HostCostModel(
+            seconds_per_particle_cycle=DEFAULT_COSTS.host_per_particle_s,
+            init_seconds=2.0,
+        )
+        result = Simulation(s, backend, dt=1e-3, host_cost=host_cost).run(cycles)
+        by_tag = result.seconds_by_tag()
+        assert by_tag["device"] == pytest.approx(
+            (cycles + 1) * model.eval_seconds(n), rel=0.03
+        )
+        assert by_tag["host"] == pytest.approx(
+            2.0 + cycles * model.host_cycle_seconds(n), rel=1e-6
+        )
+
+    def test_cpu_backend_vs_openmp_model(self):
+        """The CPU backend's reported eval time equals the OpenMP model."""
+        from repro.cpuref import CPUForceBackend, OpenMPModel
+
+        n = 1536
+        s = plummer(n, seed=43)
+        backend = CPUForceBackend(4, noisy=False)
+        ev = backend.compute(s.pos, s.vel, s.mass)
+        assert ev.model_seconds == pytest.approx(
+            OpenMPModel(4).force_eval_seconds(n)
+        )

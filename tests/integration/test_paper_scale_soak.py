@@ -1,0 +1,62 @@
+"""Opt-in paper-scale soak tests (set REPRO_PAPER_SCALE=1 to run).
+
+These exercise the functional pipeline at sizes close to the paper's
+representative simulation.  They are skipped by default because a full
+functional force evaluation at large N takes minutes of wall time; the
+analytic models cover those scales in the default suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import paper_scale_enabled
+
+pytestmark = pytest.mark.skipif(
+    not paper_scale_enabled(),
+    reason="paper-scale soak tests run only with REPRO_PAPER_SCALE=1",
+)
+
+
+def test_functional_validation_at_16k():
+    """E4 at N=16384: the accuracy gates hold with the full 64-core
+    functional pipeline."""
+    from repro.core import plummer, validate_forces
+    from repro.metalium import CreateDevice
+    from repro.nbody_tt import TTForceBackend
+
+    s = plummer(16_384, seed=99)
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=64)
+    ev = backend.compute(s.pos, s.vel, s.mass)
+    report = validate_forces(s.pos, s.vel, s.mass, ev.acc, ev.jerk)
+    assert report.passed, report.summary()
+
+
+def test_functional_vs_analytic_at_16k():
+    from repro.core import plummer
+    from repro.metalium import CreateDevice
+    from repro.nbody_tt import DeviceTimeModel, TTForceBackend
+
+    s = plummer(16_384, seed=98)
+    device = CreateDevice(0)
+    backend = TTForceBackend(device, n_cores=64)
+    ev = backend.compute(s.pos, s.vel, s.mass)
+    functional = sum(seg.seconds for seg in ev.segments
+                     if seg.tag == "device")
+    analytic = DeviceTimeModel(n_cores=64).eval_seconds(16_384)
+    assert functional == pytest.approx(analytic, rel=0.03)
+
+
+def test_long_hermite_run_energy():
+    """A longer offloaded integration (N=4096, 50 cycles) conserves
+    energy at mixed precision."""
+    from repro.core import Simulation, energy_report, plummer
+    from repro.metalium import CreateDevice
+    from repro.nbody_tt import TTForceBackend
+
+    s = plummer(4096, seed=97)
+    e0 = energy_report(s)
+    device = CreateDevice(0)
+    sim = Simulation(s, TTForceBackend(device, n_cores=16), dt=1e-3)
+    sim.run(50)
+    assert energy_report(s).drift_from(e0) < 1e-4

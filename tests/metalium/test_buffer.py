@@ -1,0 +1,134 @@
+"""Tests for DRAM buffers and host<->device transfers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataFormatError, HostApiError
+from repro.metalium.buffer import DramBuffer
+from repro.wormhole.device import WormholeDevice
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.tile import Tile, tilize_1d
+
+
+@pytest.fixture
+def device():
+    dev = WormholeDevice()
+    dev.reset()
+    dev.open()
+    return dev
+
+
+class TestLifecycle:
+    def test_requires_open_device(self):
+        dev = WormholeDevice()
+        dev.reset()
+        with pytest.raises(Exception):
+            DramBuffer(dev, 4)
+
+    def test_invalid_tile_count(self, device):
+        with pytest.raises(HostApiError):
+            DramBuffer(device, 0)
+
+    def test_deallocate(self, device):
+        buf = DramBuffer(device, 4)
+        assert device.dram.allocated_bytes == 4 * 4096
+        buf.deallocate()
+        assert device.dram.allocated_bytes == 0
+        assert not buf.is_live
+        with pytest.raises(HostApiError):
+            buf.host_read_tiles()
+
+    def test_format_sizes(self, device):
+        assert DramBuffer(device, 2, DataFormat.FLOAT32).size_bytes == 8192
+        assert DramBuffer(device, 2, DataFormat.BFLOAT16).size_bytes == 4096
+
+    def test_bfp8_buffers_rejected(self, device):
+        buf = DramBuffer(device, 1, DataFormat.BFP8)
+        with pytest.raises(DataFormatError):
+            buf.host_write_tiles([Tile.zeros(DataFormat.BFP8)])
+
+
+class TestHostRoundtrip:
+    def test_fp32_roundtrip_exact(self, device):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=3000).astype(np.float32).astype(np.float64)
+        tiles = tilize_1d(data)
+        buf = DramBuffer(device, len(tiles))
+        t_write = buf.host_write_tiles(tiles)
+        back, t_read = buf.host_read_tiles()
+        assert t_write > 0 and t_read > 0
+        got = np.concatenate([t.data for t in back])[:3000]
+        assert np.array_equal(got, data)
+
+    def test_bf16_roundtrip_exact_in_bf16(self, device):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=1024)
+        tiles = tilize_1d(data, DataFormat.BFLOAT16)
+        buf = DramBuffer(device, 1, DataFormat.BFLOAT16)
+        buf.host_write_tiles(tiles)
+        back, _ = buf.host_read_tiles()
+        assert np.array_equal(back[0].data, tiles[0].data)
+
+    def test_fp16_roundtrip(self, device):
+        data = np.linspace(-5, 5, 1024)
+        tiles = tilize_1d(data, DataFormat.FLOAT16)
+        buf = DramBuffer(device, 1, DataFormat.FLOAT16)
+        buf.host_write_tiles(tiles)
+        back, _ = buf.host_read_tiles()
+        assert np.array_equal(back[0].data, tiles[0].data)
+
+    def test_write_requantizes_foreign_format(self, device):
+        buf = DramBuffer(device, 1, DataFormat.BFLOAT16)
+        buf.host_write_tiles([Tile.full(1.0 + 2.0**-10)])  # fp32-only value
+        back, _ = buf.host_read_tiles()
+        assert np.all(back[0].data == 1.0)
+
+    def test_wrong_tile_count(self, device):
+        buf = DramBuffer(device, 2)
+        with pytest.raises(HostApiError, match="holds 2"):
+            buf.host_write_tiles([Tile.zeros()])
+
+    def test_pcie_time_scales_with_size(self, device):
+        small = DramBuffer(device, 1)
+        large = DramBuffer(device, 64)
+        t_small = small.host_write_tiles([Tile.zeros()])
+        t_large = large.host_write_tiles([Tile.zeros()] * 64)
+        assert t_large == pytest.approx(64 * t_small)
+
+
+class TestNocAccess:
+    def test_core_reads_individual_tiles(self, device):
+        data = np.arange(2048, dtype=float)
+        tiles = tilize_1d(data)
+        buf = DramBuffer(device, 2)
+        buf.host_write_tiles(tiles)
+        t0 = buf.noc_read_tile(0, 0)
+        t1 = buf.noc_read_tile(0, 1)
+        assert np.array_equal(t0.data, tiles[0].data)
+        assert np.array_equal(t1.data, tiles[1].data)
+        # traffic landed on the issuing core's data-movement timeline
+        assert device.cores[0].counter.datamove_cycles > 0
+        assert device.cores[0].counter.compute_cycles == 0
+
+    def test_core_writes_tile(self, device):
+        buf = DramBuffer(device, 2)
+        buf.host_write_tiles([Tile.zeros(), Tile.zeros()])
+        buf.noc_write_tile(5, 1, Tile.full(7.0))
+        back, _ = buf.host_read_tiles()
+        assert np.all(back[1].data == 7.0)
+        assert np.all(back[0].data == 0.0)
+
+    def test_tile_index_bounds(self, device):
+        buf = DramBuffer(device, 2)
+        with pytest.raises(HostApiError, match="out of range"):
+            buf.noc_read_tile(0, 2)
+        with pytest.raises(HostApiError, match="out of range"):
+            buf.noc_write_tile(0, -1, Tile.zeros())
+
+    def test_noc_traffic_recorded(self, device):
+        buf = DramBuffer(device, 1)
+        buf.host_write_tiles([Tile.zeros()])
+        before = sum(n.stats.bytes_read for n in device.nocs)
+        buf.noc_read_tile(0, 0)
+        after = sum(n.stats.bytes_read for n in device.nocs)
+        assert after - before == 4096

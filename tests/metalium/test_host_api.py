@@ -1,0 +1,192 @@
+"""Tests for the host API and command queue: the paper's dev workflow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommandQueueError, DeviceResetError, HostApiError, KernelError
+from repro.metalium import (
+    CBConfig,
+    CloseDevice,
+    CommandQueue,
+    CoreRange,
+    CreateBuffer,
+    CreateCircularBuffer,
+    CreateDevice,
+    CreateKernel,
+    CreateProgram,
+    EnqueueProgram,
+    EnqueueReadBuffer,
+    EnqueueWriteBuffer,
+    Finish,
+    GetCommandQueue,
+    KernelSpec,
+    Program,
+    SetRuntimeArgs,
+)
+from repro.wormhole.device import ResetFaultModel, WormholeDevice
+from repro.wormhole.riscv import RiscvRole
+from repro.wormhole.tile import Tile, tilize_1d
+
+
+class TestDeviceCreation:
+    def test_create_returns_open_device(self):
+        dev = CreateDevice(0)
+        assert dev.is_open
+        assert isinstance(GetCommandQueue(dev), CommandQueue)
+        CloseDevice(dev)
+
+    def test_close_removes_queue(self):
+        dev = CreateDevice(0)
+        CloseDevice(dev)
+        with pytest.raises(HostApiError):
+            GetCommandQueue(dev)
+
+    def test_reset_failure_propagates(self):
+        fault = ResetFaultModel(1.0, np.random.default_rng(0))
+        with pytest.raises(DeviceResetError):
+            CreateDevice(0, fault_model=fault)
+
+
+class TestProgramValidation:
+    def test_duplicate_role_rejected(self):
+        program = CreateProgram(CoreRange(0, 1))
+
+        def body(core, args):
+            return
+            yield
+
+        CreateKernel(program, "a", RiscvRole.T1, "compute", body)
+        with pytest.raises(KernelError, match="already has a kernel"):
+            CreateKernel(program, "b", RiscvRole.T1, "compute", body)
+
+    def test_duplicate_cb_rejected(self):
+        program = CreateProgram(CoreRange(0, 1))
+        CreateCircularBuffer(program, 0, 2)
+        with pytest.raises(KernelError, match="already configures"):
+            CreateCircularBuffer(program, 0, 4)
+
+    def test_bad_kernel_kind(self):
+        with pytest.raises(KernelError, match="kind"):
+            KernelSpec("x", RiscvRole.T0, "weird", lambda c, a: iter(()))
+
+    def test_bad_core_range(self):
+        with pytest.raises(KernelError):
+            CoreRange(3, 3)
+        with pytest.raises(KernelError):
+            CoreRange(-1, 2)
+
+    def test_empty_program_rejected(self):
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        with pytest.raises(CommandQueueError, match="no kernels"):
+            EnqueueProgram(queue, Program(core_range=CoreRange(0, 1)))
+        CloseDevice(dev)
+
+
+class TestEndToEndPipeline:
+    def test_scale_tiles_program_multi_core(self):
+        """Full workflow: write buffer, run a 4-core program, read back."""
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        n_tiles = 8
+        data = np.arange(n_tiles * 1024, dtype=float)
+        in_buf = CreateBuffer(dev, n_tiles)
+        out_buf = CreateBuffer(dev, n_tiles)
+        EnqueueWriteBuffer(queue, in_buf, tilize_1d(data))
+
+        n_cores = 4
+        program = CreateProgram(CoreRange(0, n_cores))
+        CreateCircularBuffer(program, 0, 2)
+        CreateCircularBuffer(program, 16, 2)
+
+        def reader(core, args):
+            cb = core.get_cb(0)
+            for t in args["my_tiles"]:
+                yield from cb.reserve_back(1)
+                cb.write_page(in_buf.noc_read_tile(core.core_id, t))
+                cb.push_back(1)
+
+        def compute(core, args):
+            cb_in, cb_out = core.get_cb(0), core.get_cb(16)
+            for _ in args["my_tiles"]:
+                yield from cb_in.wait_front(1)
+                (t,) = cb_in.pop_front(1)
+                r = core.sfpu.mul_scalar(t, 3.0)
+                yield from cb_out.reserve_back(1)
+                cb_out.write_page(r)
+                cb_out.push_back(1)
+
+        def writer(core, args):
+            cb = core.get_cb(16)
+            for t in args["my_tiles"]:
+                yield from cb.wait_front(1)
+                (page,) = cb.pop_front(1)
+                out_buf.noc_write_tile(core.core_id, t, page)
+
+        CreateKernel(program, "reader", RiscvRole.NC, "data_movement", reader)
+        CreateKernel(program, "compute", RiscvRole.T1, "compute", compute)
+        CreateKernel(program, "writer", RiscvRole.B, "data_movement", writer)
+        for core_index in range(n_cores):
+            SetRuntimeArgs(
+                program, core_index,
+                {"my_tiles": list(range(core_index, n_tiles, n_cores))},
+            )
+
+        device_s = EnqueueProgram(queue, program)
+        tiles = EnqueueReadBuffer(queue, out_buf)
+        elapsed = Finish(queue)
+
+        got = np.concatenate([t.data for t in tiles])
+        assert np.array_equal(got, 3.0 * data)
+        assert device_s > 0
+        assert elapsed > device_s  # launch + pcie phases included
+        CloseDevice(dev)
+
+    def test_program_build_cost_charged_once(self):
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        program = CreateProgram(CoreRange(0, 1))
+
+        def noop(core, args):
+            return
+            yield
+
+        CreateKernel(program, "noop", RiscvRole.T1, "compute", noop)
+        EnqueueProgram(queue, program)
+        builds_after_first = sum(
+            1 for p in queue.phases if p.detail == "program_build"
+        )
+        EnqueueProgram(queue, program)
+        builds_after_second = sum(
+            1 for p in queue.phases if p.detail == "program_build"
+        )
+        assert builds_after_first == builds_after_second == 1
+        dispatches = sum(1 for p in queue.phases if p.detail == "dispatch")
+        assert dispatches == 2
+        CloseDevice(dev)
+
+    def test_cbs_are_program_scoped(self):
+        """The same cb id can be reconfigured by consecutive programs."""
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+
+        def noop(core, args):
+            return
+            yield
+
+        for _ in range(2):
+            program = CreateProgram(CoreRange(0, 1))
+            CreateCircularBuffer(program, 0, 2)
+            CreateKernel(program, "noop", RiscvRole.T1, "compute", noop)
+            EnqueueProgram(queue, program)
+        assert dev.cores[0].l1.allocated_bytes == 0
+        CloseDevice(dev)
+
+    def test_host_phase_recording(self):
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        queue.record_host(1.5, "predictor")
+        assert queue.host_seconds() == pytest.approx(1.5)
+        with pytest.raises(CommandQueueError):
+            queue.record_host(-1.0)
+        CloseDevice(dev)

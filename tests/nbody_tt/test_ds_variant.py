@@ -1,0 +1,64 @@
+"""Unit tests for the double-single force-kernel variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import accel_jerk_reference, plummer
+from repro.errors import NBodyError
+from repro.nbody_tt.ds_variant import DS_OPS_PER_J, DSCostModel, ds_accel_jerk
+
+
+class TestDSForces:
+    def test_matches_reference_to_ds_precision(self):
+        s = plummer(256, seed=0)
+        acc, jerk = ds_accel_jerk(s.pos, s.vel, s.mass)
+        a64, j64 = accel_jerk_reference(s.pos, s.vel, s.mass)
+        scale = np.sqrt(np.mean(np.sum(a64**2, axis=1)))
+        assert np.abs(acc - a64).max() / scale < 1e-11
+
+    def test_softened(self):
+        s = plummer(128, seed=1)
+        acc, _ = ds_accel_jerk(s.pos, s.vel, s.mass, softening=0.05)
+        a64, _ = accel_jerk_reference(s.pos, s.vel, s.mass, softening=0.05)
+        assert np.allclose(acc, a64, rtol=1e-9, atol=1e-11)
+
+    def test_momentum_conservation(self):
+        s = plummer(128, seed=2)
+        acc, jerk = ds_accel_jerk(s.pos, s.vel, s.mass)
+        assert np.allclose((s.mass[:, None] * acc).sum(axis=0), 0.0,
+                           atol=1e-12)
+
+    def test_size_guard(self):
+        s = plummer(128, seed=3)
+        with pytest.raises(NBodyError, match="N <= 2048"):
+            big = np.zeros((4096, 3))
+            ds_accel_jerk(big, big, np.ones(4096))
+
+    def test_shape_validation(self):
+        with pytest.raises(NBodyError):
+            ds_accel_jerk(np.zeros((4, 3)), np.zeros((3, 3)), np.ones(4))
+
+
+class TestDSCostModel:
+    def test_op_table_covers_chain(self):
+        assert DS_OPS_PER_J["rsqrt"] == 1
+        assert DS_OPS_PER_J["sub"] == 9
+
+    def test_slowdown_band(self):
+        assert 8.0 < DSCostModel().slowdown_vs_fp32() < 14.0
+
+    def test_projection_scales_like_fp32(self):
+        m = DSCostModel()
+        assert m.device_eval_seconds(2048) / m.device_eval_seconds(
+            1024
+        ) == pytest.approx(
+            DSCostModel().device_eval_seconds(2048)
+            / DSCostModel().device_eval_seconds(1024)
+        )
+        # and the slowdown is n-independent
+        from repro.nbody_tt.offload import DeviceTimeModel
+
+        base = DeviceTimeModel(n_cores=64).compute_seconds(102_400)
+        assert m.device_eval_seconds(102_400) == pytest.approx(
+            base * m.slowdown_vs_fp32()
+        )

@@ -1,0 +1,137 @@
+"""Tests for the force-block macro and its op accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import accel_jerk_reference
+from repro.errors import KernelError
+from repro.nbody_tt.force_kernel import (
+    BlockAccumulators,
+    charge_block,
+    force_block,
+    ops_per_j_iteration,
+    weighted_ops_per_j,
+)
+from repro.nbody_tt.tiling import ParticleTiles
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.noc import NocCoordinate
+from repro.wormhole.params import DEFAULT_COSTS
+from repro.wormhole.tensix import TensixCore
+from repro.wormhole.tile import TILE_ELEMENTS
+
+
+def block_forces(n, seed=0, fmt=DataFormat.FLOAT32, softening=0.0):
+    """Compute forces for a <=1024-particle system via one diagonal block."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3)) * 0.3
+    mass = rng.uniform(0.1, 1.0, n)
+    tiles = ParticleTiles.from_arrays(pos, vel, mass, fmt)
+    assert tiles.n_tiles == 1
+    acc = BlockAccumulators(fmt)
+    force_block(
+        tiles.i_pages(0), tiles.j_pages(0), acc,
+        softening=softening, fmt=fmt, diagonal=True,
+    )
+    out = acc.to_tiles()
+    a = np.column_stack([t.data[:n] for t in out[:3]])
+    j = np.column_stack([t.data[:n] for t in out[3:]])
+    return pos, vel, mass, a, j
+
+
+class TestForceBlockFp32:
+    def test_matches_float64_reference(self):
+        pos, vel, mass, a, j = block_forces(800, seed=0)
+        a64, j64 = accel_jerk_reference(pos, vel, mass)
+        scale_a = np.sqrt(np.mean(np.sum(a64**2, axis=1)))
+        scale_j = np.sqrt(np.mean(np.sum(j64**2, axis=1)))
+        assert np.abs(a - a64).max() / scale_a < 5e-4   # paper acc gate
+        assert np.abs(j - j64).max() / scale_j < 2e-3   # paper jerk gate
+
+    def test_softened_matches_reference(self):
+        pos, vel, mass, a, j = block_forces(500, seed=1, softening=0.05)
+        a64, j64 = accel_jerk_reference(pos, vel, mass, softening=0.05)
+        assert np.allclose(a, a64, rtol=1e-3, atol=1e-4)
+
+    def test_phantom_lanes_do_not_contaminate(self):
+        """Real lanes are unaffected by the padded phantom particles."""
+        pos, vel, mass, a, j = block_forces(700, seed=2)
+        assert np.all(np.isfinite(a)) and np.all(np.isfinite(j))
+
+    def test_off_diagonal_block_no_self_mask(self):
+        rng = np.random.default_rng(3)
+        n = 2048
+        pos = rng.normal(size=(n, 3))
+        vel = rng.normal(size=(n, 3)) * 0.3
+        mass = rng.uniform(0.1, 1.0, n)
+        tiles = ParticleTiles.from_arrays(pos, vel, mass)
+        acc = BlockAccumulators(DataFormat.FLOAT32)
+        # i-tile 0 against j-tile 1: all 1024x1024 pairs are distinct
+        force_block(tiles.i_pages(0), tiles.j_pages(1), acc,
+                    softening=0.0, fmt=DataFormat.FLOAT32, diagonal=False)
+        out = acc.to_tiles()
+        a_partial = np.column_stack([t.data for t in out[:3]])
+        # reference: force on first 1024 particles from sources 1024..2047
+        a64 = np.zeros((1024, 3))
+        for k in range(1024, 2048):
+            dr = pos[k] - pos[:1024]
+            r3 = np.sum(dr * dr, axis=1) ** 1.5
+            a64 += mass[k] * dr / r3[:, None]
+        assert np.allclose(a_partial, a64, rtol=1e-3, atol=1e-4)
+
+    def test_page_count_validation(self):
+        acc = BlockAccumulators(DataFormat.FLOAT32)
+        with pytest.raises(KernelError):
+            force_block([], [], acc, softening=0.0,
+                        fmt=DataFormat.FLOAT32, diagonal=False)
+
+
+class TestGenericFormats:
+    def test_bf16_is_less_accurate_than_fp32(self):
+        _, _, _, a32, _ = block_forces(600, seed=4)
+        pos, vel, mass, a16, _ = block_forces(600, seed=4,
+                                              fmt=DataFormat.BFLOAT16)
+        a64, _ = accel_jerk_reference(pos, vel, mass)
+        err32 = np.abs(a32 - a64).max()
+        err16 = np.abs(a16 - a64).max()
+        assert err16 > 3.0 * err32
+
+    def test_fp16_finite_for_moderate_systems(self):
+        _, _, _, a, j = block_forces(300, seed=5, fmt=DataFormat.FLOAT16)
+        assert np.all(np.isfinite(a))
+
+
+class TestOpAccounting:
+    def test_op_mix_contains_paper_primitives(self):
+        """The kernel issues the ops the paper names: sub_binary_tile,
+        square_tile, rsqrt_tile."""
+        ops = ops_per_j_iteration(softened=False, diagonal=False)
+        assert ops["sub"] > 0 and ops["square"] == 3 and ops["rsqrt"] == 1
+
+    def test_softening_and_diagonal_add_ops(self):
+        base = ops_per_j_iteration(softened=False, diagonal=False)
+        soft = ops_per_j_iteration(softened=True, diagonal=False)
+        diag = ops_per_j_iteration(softened=False, diagonal=True)
+        assert soft["scalar"] == base["scalar"] + 1
+        assert diag["where"] == 1 and "where" not in base
+
+    def test_weighted_ops_value(self):
+        w = weighted_ops_per_j(DEFAULT_COSTS, softened=False, diagonal=False)
+        assert w == pytest.approx(34.75)
+
+    def test_charge_block_matches_manual_total(self):
+        core = TensixCore(0, NocCoordinate(0, 0))
+        charge_block(core, TILE_ELEMENTS, softened=False, diagonal=False)
+        w = weighted_ops_per_j(DEFAULT_COSTS, softened=False, diagonal=False)
+        expected = (
+            TILE_ELEMENTS * w * DEFAULT_COSTS.sfpu_cycles_per_tile_op
+        )
+        assert core.counter.compute_cycles == pytest.approx(expected)
+        assert core.counter.ops["sfpu.rsqrt"] == TILE_ELEMENTS
+
+    def test_charged_ops_mirror_op_table(self):
+        core = TensixCore(0, NocCoordinate(0, 0))
+        charge_block(core, 10, softened=True, diagonal=True)
+        table = ops_per_j_iteration(softened=True, diagonal=True)
+        for op, per_j in table.items():
+            assert core.counter.ops[f"sfpu.{op}"] == per_j * 10, op

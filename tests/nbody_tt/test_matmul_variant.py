@@ -1,0 +1,50 @@
+"""Unit tests for the FPU Gram-matmul ablation module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.nbody_tt.matmul_variant import (
+    PAIR_MATRIX_TILES,
+    MatmulVariantModel,
+    gram_r2_block,
+)
+
+
+class TestGramBlock:
+    def test_matches_exact_for_generic_points(self):
+        rng = np.random.default_rng(0)
+        pi = rng.normal(size=(1024, 3))
+        pj = rng.normal(size=(1024, 3)) + 3.0
+        r2 = gram_r2_block(pi, pj)
+        exact = ((pj[None, :, :] - pi[:, None, :]) ** 2).sum(axis=2)
+        assert np.allclose(r2, exact, rtol=1e-4, atol=1e-5)
+
+    def test_softening_added(self):
+        rng = np.random.default_rng(1)
+        pi = rng.normal(size=(1024, 3))
+        r2_soft = gram_r2_block(pi, pi + 2.0, softening=0.5)
+        r2 = gram_r2_block(pi, pi + 2.0)
+        assert np.allclose(r2_soft - r2, 0.25, atol=1e-3)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            gram_r2_block(np.zeros((100, 3)), np.zeros((1024, 3)))
+
+    def test_pair_matrix_tiles(self):
+        assert PAIR_MATRIX_TILES == 1024
+
+
+class TestModel:
+    def test_slowdown_above_one(self):
+        model = MatmulVariantModel()
+        assert model.slowdown_vs_broadcast() > 1.0
+
+    def test_fpu_is_minor_share_but_real(self):
+        model = MatmulVariantModel()
+        share = (model.fpu_cycles_per_tile_pair()
+                 / model.total_cycles_per_tile_pair())
+        assert 0.05 < share < 0.5
+
+    def test_utilisation_is_3_of_32(self):
+        assert MatmulVariantModel().fpu_utilisation() == pytest.approx(3 / 32)

@@ -1,0 +1,122 @@
+"""Tests for particle tiling and the core scheduling (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial_conditions import plummer
+from repro.errors import NBodyError
+from repro.nbody_tt.tiling import (
+    I_QUANTITIES,
+    J_QUANTITIES,
+    OUT_QUANTITIES,
+    PAD_OFFSET,
+    ParticleTiles,
+    assign_tiles_to_cores,
+)
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.tile import TILE_ELEMENTS, Tile
+
+
+class TestParticleTiles:
+    def test_exact_multiple(self):
+        s = plummer(2048, seed=0)
+        tiles = ParticleTiles.from_arrays(s.pos, s.vel, s.mass)
+        assert tiles.n == 2048 and tiles.n_tiles == 2
+        assert set(tiles.columns) == set(J_QUANTITIES)
+
+    def test_paper_scale_layout(self):
+        """N = 102400 particles => exactly 100 column tiles of 1024."""
+        rng = np.random.default_rng(0)
+        n = 102_400
+        pos = rng.normal(size=(n, 3))
+        vel = np.zeros((n, 3))
+        mass = np.full(n, 1.0 / n)
+        tiles = ParticleTiles.from_arrays(pos, vel, mass)
+        assert tiles.n_tiles == 100
+
+    def test_padding_masses_zero(self):
+        s = plummer(1500, seed=1)
+        tiles = ParticleTiles.from_arrays(s.pos, s.vel, s.mass)
+        assert tiles.n_tiles == 2
+        m_last = tiles.columns["m"][1].data
+        assert np.all(m_last[1500 - 1024 :] == 0.0)
+        assert np.all(m_last[: 1500 - 1024] > 0.0)
+
+    def test_padding_positions_far_and_distinct(self):
+        s = plummer(1030, seed=2)
+        tiles = ParticleTiles.from_arrays(s.pos, s.vel, s.mass)
+        x_pad = tiles.columns["x"][1].data[1030 - 1024 :]
+        assert np.all(np.abs(x_pad) >= PAD_OFFSET)
+        assert len(np.unique(x_pad)) == x_pad.size
+        # distinct as 3D points even across axes
+        y_pad = tiles.columns["y"][1].data[1030 - 1024 :]
+        pts = set(zip(x_pad, y_pad))
+        assert len(pts) == x_pad.size
+
+    def test_round_trip_values(self):
+        s = plummer(2000, seed=3)
+        tiles = ParticleTiles.from_arrays(s.pos, s.vel, s.mass)
+        from repro.wormhole.tile import untilize_1d
+
+        x = untilize_1d(tiles.columns["x"], 2000)
+        assert np.allclose(x, s.pos[:, 0], rtol=1e-7)  # fp32 rounding only
+
+    def test_page_accessors(self):
+        s = plummer(1024, seed=4)
+        tiles = ParticleTiles.from_arrays(s.pos, s.vel, s.mass)
+        assert len(tiles.j_pages(0)) == len(J_QUANTITIES) == 7
+        assert len(tiles.i_pages(0)) == len(I_QUANTITIES) == 6
+
+    def test_results_to_arrays(self):
+        rng = np.random.default_rng(5)
+        cols = {
+            q: [Tile(rng.normal(size=TILE_ELEMENTS))] for q in OUT_QUANTITIES
+        }
+        acc, jerk = ParticleTiles.results_to_arrays(cols, 1000)
+        assert acc.shape == (1000, 3) and jerk.shape == (1000, 3)
+        assert np.array_equal(acc[:, 0], cols["ax"][0].data[:1000])
+        assert np.array_equal(jerk[:, 2], cols["jz"][0].data[:1000])
+
+    def test_results_missing_column(self):
+        with pytest.raises(NBodyError, match="missing"):
+            ParticleTiles.results_to_arrays({"ax": []}, 10)
+
+    def test_validation(self):
+        with pytest.raises(NBodyError):
+            ParticleTiles.from_arrays(
+                np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3)
+            )
+
+    def test_bf16_format(self):
+        s = plummer(512, seed=6)
+        tiles = ParticleTiles.from_arrays(
+            s.pos, s.vel, s.mass, DataFormat.BFLOAT16
+        )
+        assert tiles.columns["x"][0].fmt is DataFormat.BFLOAT16
+
+
+class TestScheduling:
+    def test_round_robin(self):
+        assert assign_tiles_to_cores(5, 2) == [[0, 2, 4], [1, 3]]
+
+    def test_more_cores_than_tiles(self):
+        out = assign_tiles_to_cores(2, 4)
+        assert out == [[0], [1], [], []]
+
+    def test_paper_scale_balance(self):
+        """100 tiles over 64 cores: 36 cores get 2 tiles, 28 get 1."""
+        out = assign_tiles_to_cores(100, 64)
+        sizes = [len(t) for t in out]
+        assert sizes.count(2) == 36 and sizes.count(1) == 28
+        assert sum(sizes) == 100
+
+    def test_every_tile_exactly_once(self):
+        out = assign_tiles_to_cores(37, 8)
+        flat = sorted(t for core in out for t in core)
+        assert flat == list(range(37))
+
+    def test_validation(self):
+        with pytest.raises(NBodyError):
+            assign_tiles_to_cores(0, 4)
+        with pytest.raises(NBodyError):
+            assign_tiles_to_cores(4, 0)

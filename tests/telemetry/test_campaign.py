@@ -1,0 +1,126 @@
+"""Tests for campaign orchestration: the paper's measurement workflow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.telemetry.campaign import (
+    Campaign,
+    CampaignSummary,
+    JobResult,
+    JobSpec,
+)
+from repro.telemetry.energy import read_power_csv
+
+
+# Scaled-down specs keep these tests fast; paper-scale assertions live in
+# the benchmark suite.
+ACCEL = JobSpec.paper_accelerated(n_particles=10_240, n_cycles=3)
+REF = JobSpec.paper_reference(n_particles=10_240, n_cycles=3)
+
+
+class TestJobWorkflow:
+    def test_accelerated_job_completes(self):
+        c = Campaign(seed=0, sleep_s=20.0)
+        result = c.run_job(ACCEL)
+        assert result.completed
+        assert result.time_to_solution > 0
+        assert result.energy.total_kj > 0
+        assert result.sim_start < result.sim_end
+
+    def test_sleep_phases_surround_simulation(self):
+        c = Campaign(seed=1, sleep_s=30.0)
+        result = c.run_job(ACCEL)
+        rows = result.rows
+        # samples exist before sim_start and after sim_end
+        assert any(r.timestamp < result.sim_start for r in rows)
+        assert any(r.timestamp >= result.sim_end for r in rows)
+        # time-to-solution excludes the sleeps
+        total_span = rows[-1].timestamp - rows[0].timestamp
+        assert result.time_to_solution < total_span - 50.0
+
+    def test_time_to_solution_equals_timeline_duration(self):
+        c = Campaign(seed=2, sleep_s=10.0)
+        result = c.run_job(ACCEL)
+        assert result.time_to_solution == pytest.approx(
+            result.sim_end - result.sim_start
+        )
+
+    def test_cards_idle_during_sleep_active_during_sim(self):
+        c = Campaign(seed=3, sleep_s=60.0)
+        result = c.run_job(ACCEL)
+        pre = [r for r in result.rows if r.timestamp < result.sim_start - 1]
+        during_device = [
+            r for r in result.rows
+            if result.sim_start + 3 <= r.timestamp < result.sim_end
+        ]
+        active = ACCEL.active_device
+        assert np.mean([r.card_w[active] for r in pre]) < 12.0
+        assert max(r.card_w[active] for r in during_device) > 25.0
+
+    def test_reference_job_cards_stay_idle(self):
+        c = Campaign(seed=4, sleep_s=10.0)
+        result = c.run_job(REF)
+        assert all(w < 13.0 for r in result.rows for w in r.card_w)
+
+    def test_csv_persistence(self, tmp_path):
+        c = Campaign(seed=5, sleep_s=10.0, csv_dir=tmp_path)
+        result = c.run_job(ACCEL)
+        assert result.csv_path is not None and result.csv_path.exists()
+        rows = read_power_csv(result.csv_path)
+        assert len(rows) == len(result.rows)
+
+    def test_no_csv_by_default(self):
+        c = Campaign(seed=6, sleep_s=5.0)
+        assert c.run_job(ACCEL).csv_path is None
+
+
+class TestResetFaults:
+    def test_failed_resets_recorded_not_raised(self):
+        c = Campaign(seed=7, sleep_s=5.0, reset_failure_rate=24 / 50)
+        results = c.run_many(ACCEL, 50)
+        failed = [r for r in results if not r.completed]
+        completed = [r for r in results if r.completed]
+        assert 15 <= len(failed) <= 35  # ~24 expected
+        assert all(r.failure is not None for r in failed)
+        assert all(r.time_to_solution is None for r in failed)
+        assert all(r.energy is not None for r in completed)
+
+    def test_reference_jobs_never_hit_reset_faults(self):
+        c = Campaign(seed=8, sleep_s=5.0, reset_failure_rate=1.0)
+        results = c.run_many(REF, 5)
+        assert all(r.completed for r in results)
+
+
+class TestSummary:
+    def test_from_results(self):
+        c = Campaign(seed=9, sleep_s=5.0)
+        results = c.run_many(ACCEL, 4)
+        summary = CampaignSummary.from_results(results)
+        assert summary.submitted == 4 and summary.completed == 4
+        assert summary.time_stats.n == 4
+        assert summary.energy_stats.mean > 0
+        assert summary.peak_power_stats.max > summary.energy_stats.mean / 1000
+
+    def test_all_failed_summary(self):
+        results = [JobResult(spec=ACCEL, completed=False, failure="x")]
+        summary = CampaignSummary.from_results(results)
+        assert summary.completed == 0
+        assert summary.time_stats is None
+
+    def test_run_many_validation(self):
+        with pytest.raises(CampaignError):
+            Campaign(seed=0).run_many(ACCEL, 0)
+        with pytest.raises(CampaignError):
+            Campaign(sleep_s=-1.0)
+
+
+class TestVariability:
+    def test_cpu_runs_noisier_than_device_runs(self):
+        """Paper: the CPU histogram has a visibly larger std dev."""
+        c = Campaign(seed=10, sleep_s=5.0)
+        accel = CampaignSummary.from_results(c.run_many(ACCEL, 12))
+        ref = CampaignSummary.from_results(c.run_many(REF, 12))
+        rel_accel = accel.time_stats.std / accel.time_stats.mean
+        rel_ref = ref.time_stats.std / ref.time_stats.mean
+        assert rel_ref > 3.0 * rel_accel

@@ -1,0 +1,138 @@
+"""Tests for energy integration, csv round trips, and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.energy import (
+    SampleRow,
+    energy_to_solution,
+    integrate_power,
+    read_power_csv,
+    write_power_csv,
+)
+from repro.telemetry.stats import RunStats, histogram
+
+
+def make_rows(n=100, n_cards=4, card_w=10.0, host_w=100.0):
+    return [
+        SampleRow(
+            timestamp=float(t),
+            card_w=tuple([card_w] * n_cards),
+            host_w=host_w,
+            ipmi_w=400.0,
+        )
+        for t in range(n)
+    ]
+
+
+class TestIntegratePower:
+    def test_constant_power(self):
+        t = np.arange(0.0, 100.0)
+        w = np.full(100, 50.0)
+        assert integrate_power(t, w, 0.0, 100.0) == pytest.approx(5000.0)
+
+    def test_window_excludes_outside_samples(self):
+        t = np.arange(0.0, 100.0)
+        w = np.full(100, 50.0)
+        assert integrate_power(t, w, 20.0, 30.0) == pytest.approx(500.0)
+
+    def test_step_change(self):
+        t = np.arange(0.0, 10.0)
+        w = np.array([10.0] * 5 + [20.0] * 5)
+        assert integrate_power(t, w, 0.0, 10.0) == pytest.approx(150.0)
+
+    def test_last_sample_extends_to_window_end(self):
+        t = np.array([0.0, 1.0])
+        w = np.array([10.0, 30.0])
+        assert integrate_power(t, w, 0.0, 3.0) == pytest.approx(10 + 2 * 30)
+
+    def test_validation(self):
+        t = np.arange(5.0)
+        w = np.ones(5)
+        with pytest.raises(TelemetryError):
+            integrate_power(t, w, 3.0, 3.0)
+        with pytest.raises(TelemetryError):
+            integrate_power(t, np.ones(4), 0.0, 5.0)
+        with pytest.raises(TelemetryError):
+            integrate_power(t, w, 100.0, 200.0)  # no samples inside
+        with pytest.raises(TelemetryError):
+            integrate_power(np.array([1.0, 1.0]), np.ones(2), 0.0, 2.0)
+
+
+class TestEnergyToSolution:
+    def test_decomposition(self):
+        rows = make_rows(300, card_w=10.0, host_w=150.0)
+        e = energy_to_solution(rows, 0.0, 300.0)
+        assert e.cards_kj == pytest.approx((3.0, 3.0, 3.0, 3.0))
+        assert e.cards_total_kj == pytest.approx(12.0)
+        assert e.host_kj == pytest.approx(45.0)
+        assert e.total_kj == pytest.approx(57.0)
+
+    def test_empty_rows(self):
+        with pytest.raises(TelemetryError):
+            energy_to_solution([], 0.0, 1.0)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        rows = make_rows(50)
+        path = tmp_path / "power.csv"
+        write_power_csv(path, rows)
+        back = read_power_csv(path)
+        assert back == rows
+
+    def test_energy_identical_through_csv(self, tmp_path):
+        """The paper's pipeline: sample -> csv -> integrate."""
+        rows = make_rows(200, card_w=17.5, host_w=155.0)
+        path = tmp_path / "job.csv"
+        write_power_csv(path, rows)
+        direct = energy_to_solution(rows, 10.0, 150.0)
+        via_csv = energy_to_solution(read_power_csv(path), 10.0, 150.0)
+        assert via_csv.total_kj == pytest.approx(direct.total_kj, rel=1e-14)
+
+    def test_bad_files(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            read_power_csv(tmp_path / "missing.csv")
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n")
+        with pytest.raises(TelemetryError):
+            read_power_csv(bad)
+        empty = tmp_path / "empty.csv"
+        empty.write_text("timestamp,card0_w,host_w,ipmi_w\n")
+        with pytest.raises(TelemetryError):
+            read_power_csv(empty)
+        with pytest.raises(TelemetryError):
+            write_power_csv(tmp_path / "x.csv", [])
+
+
+class TestRunStats:
+    def test_summary(self):
+        s = RunStats.from_values([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.min == 1.0 and s.max == 3.0 and s.n == 3
+
+    def test_single_value_std_zero(self):
+        assert RunStats.from_values([5.0]).std == 0.0
+
+    def test_format(self):
+        text = RunStats.from_values([301.4, 301.5]).format("s")
+        assert "301.45" in text and "s" in text and "n=2" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(TelemetryError):
+            RunStats.from_values([])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        counts, edges = histogram([1, 2, 2, 3, 3, 3], n_bins=3)
+        assert counts.sum() == 6
+        assert len(edges) == 4
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            histogram([])
+        with pytest.raises(TelemetryError):
+            histogram([1.0], n_bins=0)

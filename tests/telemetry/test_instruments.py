@@ -1,0 +1,162 @@
+"""Tests for the simulated instruments: tt-smi, RAPL, IPMI, sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import TimelineSegment
+from repro.errors import SamplerError
+from repro.telemetry.ipmi import CHASSIS_BASELINE_W, Ipmi
+from repro.telemetry.power_models import HostPowerModel, JobKind
+from repro.telemetry.rapl import (
+    ENERGY_UNIT_J,
+    REGISTER_WRAP,
+    Rapl,
+    unwrap_register_series,
+)
+from repro.telemetry.sampler import PowerSampler
+from repro.telemetry.timeline import JobTimeline
+from repro.telemetry.tt_smi import TTSMI
+
+
+class TestTTSMI:
+    def test_four_cards_by_default(self):
+        smi = TTSMI(rng=np.random.default_rng(0))
+        assert len(smi.read_idle()) == 4
+
+    def test_idle_read_in_band(self):
+        smi = TTSMI(rng=np.random.default_rng(1))
+        for w in smi.read_idle():
+            assert 9.5 <= w <= 12.0
+
+    def test_read_resolves_states(self):
+        smi = TTSMI(rng=np.random.default_rng(2))
+        tl = JobTimeline(0.0, [TimelineSegment("device", 100.0)])
+        kind = JobKind(True, 1, active_device=2)
+        watts = smi.read(50.0, kind, tl)
+        assert watts[2] > 25.0           # active, computing
+        assert all(w < 20.0 for i, w in enumerate(watts) if i != 2)
+        assert all(w > 14.0 for i, w in enumerate(watts) if i != 2)
+
+    def test_active_device_range_checked(self):
+        smi = TTSMI(2, rng=np.random.default_rng(3))
+        tl = JobTimeline(0.0, [TimelineSegment("device", 1.0)])
+        with pytest.raises(SamplerError):
+            smi.read(0.5, JobKind(True, 1, active_device=5), tl)
+
+    def test_validation(self):
+        with pytest.raises(SamplerError):
+            TTSMI(0)
+
+
+class TestRapl:
+    def test_accumulation_splits_packages(self):
+        rapl = Rapl()
+        rapl.accumulate(150.0, 10.0)  # 1500 J
+        assert rapl.read_perf("package-0") == pytest.approx(750.0)
+        assert rapl.read_perf("package-1") == pytest.approx(750.0)
+        assert rapl.packages_perf_joules() == pytest.approx(1500.0)
+
+    def test_core_fraction(self):
+        rapl = Rapl()
+        rapl.accumulate(100.0, 1.0)
+        assert rapl.read_perf("core-0") == pytest.approx(0.70 * 50.0)
+
+    def test_register_units(self):
+        rapl = Rapl()
+        rapl.accumulate(2.0, 1.0)  # 1 J per package
+        assert rapl.read_register("package-0") == int(1.0 / ENERGY_UNIT_J)
+
+    def test_register_wraps_but_perf_does_not(self):
+        """The overflow the paper avoided by using perf."""
+        rapl = Rapl()
+        wrap_joules = REGISTER_WRAP * ENERGY_UNIT_J  # 65536 J per domain
+        # run one package past the wrap: 150 W for 1000 s = 150 kJ total,
+        # 75 kJ per package > 65.5 kJ wrap
+        rapl.accumulate(150.0, 1000.0)
+        perf = rapl.read_perf("package-0")
+        reg = rapl.read_register("package-0")
+        assert perf == pytest.approx(75_000.0)
+        assert reg == int(perf / ENERGY_UNIT_J) % REGISTER_WRAP
+        assert reg * ENERGY_UNIT_J < wrap_joules < perf
+
+    def test_unwrap_register_series(self):
+        """Sampled register reads, overflow-corrected, match perf."""
+        rapl = Rapl()
+        readings = [rapl.read_register("package-0")]
+        for _ in range(900):
+            rapl.accumulate(160.0, 1.0)  # 80 J/s per package; wraps ~820 s
+            readings.append(rapl.read_register("package-0"))
+        unwrapped = unwrap_register_series(readings)
+        assert unwrapped == pytest.approx(
+            rapl.read_perf("package-0"), abs=ENERGY_UNIT_J * 2
+        )
+        # the raw final reading alone is useless (wrapped)
+        assert readings[-1] * ENERGY_UNIT_J < rapl.read_perf("package-0")
+
+    def test_validation(self):
+        rapl = Rapl()
+        with pytest.raises(SamplerError):
+            rapl.accumulate(-1.0, 1.0)
+        with pytest.raises(SamplerError):
+            rapl.accumulate(1.0, -1.0)
+        with pytest.raises(SamplerError):
+            rapl.read_perf("package-7")
+        with pytest.raises(SamplerError):
+            unwrap_register_series([])
+
+
+class TestIpmi:
+    def test_reading_includes_baseline(self):
+        ipmi = Ipmi(np.random.default_rng(0), noise_w=0.0)
+        assert ipmi.dcmi_power_reading(150.0, 80.0) == pytest.approx(
+            CHASSIS_BASELINE_W + 230.0
+        )
+
+    def test_baseline_dominates_idle(self):
+        """Why the paper excluded IPMI: the 4U chassis baseline dwarfs the
+        component draws under study."""
+        ipmi = Ipmi(np.random.default_rng(1), noise_w=0.0)
+        idle_reading = ipmi.dcmi_power_reading(88.0, 42.0)
+        assert CHASSIS_BASELINE_W / idle_reading > 0.7
+
+    def test_validation(self):
+        ipmi = Ipmi(np.random.default_rng(2))
+        with pytest.raises(SamplerError):
+            ipmi.dcmi_power_reading(-1.0, 0.0)
+        with pytest.raises(SamplerError):
+            Ipmi(baseline_w=-5.0)
+
+
+class TestPowerSampler:
+    def make_sampler(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return PowerSampler(
+            TTSMI(4, rng), HostPowerModel(rng), Rapl(), Ipmi(rng)
+        )
+
+    def test_one_hz_cadence(self):
+        sampler = self.make_sampler()
+        tl = JobTimeline(10.0, [TimelineSegment("host", 30.0)])
+        rows = sampler.sample_job(0.0, 50.0, JobKind(False, 32), tl)
+        assert len(rows) == 50
+        times = [r.timestamp for r in rows]
+        assert times == pytest.approx(list(np.arange(0.0, 50.0, 1.0)))
+
+    def test_rapl_accumulates_during_sampling(self):
+        sampler = self.make_sampler(1)
+        tl = JobTimeline(0.0, [TimelineSegment("host", 100.0)])
+        rows = sampler.sample_job(0.0, 100.0, JobKind(False, 32), tl)
+        host_joules = sum(r.host_w for r in rows)  # 1 Hz rectangle rule
+        assert sampler.rapl.packages_perf_joules() == pytest.approx(host_joules)
+
+    def test_window_validation(self):
+        sampler = self.make_sampler(2)
+        tl = JobTimeline(0.0, [TimelineSegment("host", 1.0)])
+        with pytest.raises(SamplerError):
+            sampler.sample_job(5.0, 5.0, JobKind(False, 1), tl)
+
+    def test_interval_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(SamplerError):
+            PowerSampler(TTSMI(1, rng), HostPowerModel(rng), Rapl(),
+                         Ipmi(rng), interval_s=0.0)

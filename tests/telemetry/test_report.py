@@ -1,0 +1,68 @@
+"""Tests for the campaign markdown report."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.telemetry import Campaign, JobSpec
+from repro.telemetry.report import campaign_markdown, write_campaign_report
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    c = Campaign(seed=70, sleep_s=5.0, reset_failure_rate=0.3)
+    accel = c.run_many(
+        JobSpec.paper_accelerated(n_particles=10_240, n_cycles=2), 6
+    )
+    ref = c.run_many(
+        JobSpec.paper_reference(n_particles=10_240, n_cycles=2), 3
+    )
+    return accel, ref
+
+
+class TestMarkdown:
+    def test_contains_sections(self, small_campaign):
+        accel, ref = small_campaign
+        text = campaign_markdown(accel, ref)
+        assert "# Measurement campaign" in text
+        assert "## Summary" in text
+        assert "## Accelerated jobs" in text
+        assert "## Reference jobs" in text
+        assert "## Energy decomposition" in text
+
+    def test_paper_reference_column(self, small_campaign):
+        accel, ref = small_campaign
+        text = campaign_markdown(accel, ref)
+        assert "301.40 +/- 0.24 s" in text
+        assert "| speedup | 2.23x |" in text
+
+    def test_failed_jobs_listed(self, small_campaign):
+        accel, ref = small_campaign
+        failed = sum(1 for r in accel if not r.completed)
+        text = campaign_markdown(accel, ref)
+        assert text.count("reset failed") == failed
+
+    def test_energy_decomposition_sums(self, small_campaign):
+        accel, ref = small_campaign
+        sample = next(r for r in accel if r.completed)
+        text = campaign_markdown(accel, ref)
+        assert f"**{sample.energy.total_kj:.2f}**" in text
+        assert text.count("| card ") == 4
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(CampaignError):
+            campaign_markdown([], [])
+
+    def test_write_report(self, small_campaign, tmp_path):
+        accel, ref = small_campaign
+        path = write_campaign_report(
+            tmp_path / "report.md", accel, ref, title="My campaign"
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# My campaign")
+
+    def test_accel_only(self, small_campaign):
+        accel, _ = small_campaign
+        text = campaign_markdown(accel, [])
+        assert "## Accelerated jobs" in text
+        assert "## Reference jobs" not in text
+        assert "| speedup | 2.23x | - |" in text

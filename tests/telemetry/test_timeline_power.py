@@ -1,0 +1,150 @@
+"""Tests for job timelines and the power-state resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import TimelineSegment
+from repro.errors import TelemetryError
+from repro.telemetry.power_models import HostPowerModel, JobKind, card_state_at
+from repro.telemetry.timeline import JobTimeline
+from repro.wormhole.power import CardState
+
+
+def segs(*pairs):
+    return [TimelineSegment(tag, dur) for tag, dur in pairs]
+
+
+class TestJobTimeline:
+    def test_phase_lookup(self):
+        tl = JobTimeline(100.0, segs(("host", 5.0), ("device", 10.0),
+                                     ("host", 5.0)))
+        assert tl.duration == 20.0
+        assert tl.phase_at(99.9) is None
+        assert tl.phase_at(100.0) == "host"
+        assert tl.phase_at(104.999) == "host"
+        assert tl.phase_at(105.0) == "device"
+        assert tl.phase_at(114.999) == "device"
+        assert tl.phase_at(115.0) == "host"
+        assert tl.phase_at(120.0) is None
+
+    def test_zero_length_segments_skipped(self):
+        tl = JobTimeline(0.0, segs(("host", 0.0), ("device", 1.0)))
+        assert tl.phase_at(0.0) == "device"
+
+    def test_kernel_invoked_by(self):
+        tl = JobTimeline(0.0, segs(("host", 4.0), ("device", 2.0),
+                                   ("host", 4.0)))
+        assert not tl.kernel_invoked_by(3.9)
+        assert tl.kernel_invoked_by(4.0)
+        assert tl.kernel_invoked_by(9.0)  # stays true after
+
+    def test_no_device_phase(self):
+        tl = JobTimeline(0.0, segs(("host", 10.0)))
+        assert not tl.kernel_invoked_by(5.0)
+
+    def test_seconds_by_tag(self):
+        tl = JobTimeline(0.0, segs(("host", 1.0), ("device", 2.0),
+                                   ("host", 3.0)))
+        assert tl.seconds_by_tag() == {"host": 4.0, "device": 2.0}
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            JobTimeline(-1.0, [])
+        with pytest.raises(TelemetryError):
+            JobTimeline(0.0, segs(("host", -1.0)))
+
+
+class TestCardStateResolution:
+    def setup_method(self):
+        self.tl = JobTimeline(
+            200.0,
+            segs(("host", 10.0), ("device", 20.0), ("host", 10.0),
+                 ("device", 20.0), ("host", 10.0)),
+        )
+        self.accel = JobKind(accelerated=True, n_threads=1, active_device=3)
+        self.ref = JobKind(accelerated=False, n_threads=32)
+
+    def test_reference_job_cards_idle(self):
+        for t in (100.0, 220.0, 400.0):
+            for card in range(4):
+                assert card_state_at(card, t, self.ref, self.tl) is CardState.IDLE
+
+    def test_idle_before_kernel(self):
+        # during the pre-sim sleep and the host init phase
+        for t in (150.0, 205.0):
+            assert card_state_at(3, t, self.accel, self.tl) is CardState.IDLE
+            assert card_state_at(0, t, self.accel, self.tl) is CardState.IDLE
+
+    def test_active_card_tracks_phases(self):
+        assert card_state_at(3, 215.0, self.accel, self.tl) is CardState.ACTIVE_COMPUTE
+        assert card_state_at(3, 235.0, self.accel, self.tl) is CardState.ACTIVE_HOST_PHASE
+        assert card_state_at(3, 245.0, self.accel, self.tl) is CardState.ACTIVE_COMPUTE
+
+    def test_unused_cards_elevated_after_kernel(self):
+        for card in (0, 1, 2):
+            assert (
+                card_state_at(card, 230.0, self.accel, self.tl)
+                is CardState.POWERED_UNUSED
+            )
+
+    def test_post_run_state(self):
+        for card in range(4):
+            assert card_state_at(card, 300.0, self.accel, self.tl) is CardState.POST_RUN
+
+
+class TestMultiCardStates:
+    def test_active_set_resolution(self):
+        assert JobKind(False, 32).active_set() == ()
+        assert JobKind(True, 1, active_device=3).active_set() == (3,)
+        assert JobKind(
+            True, 1, active_device=0, active_devices=(0, 1)
+        ).active_set() == (0, 1)
+
+    def test_two_active_cards(self):
+        tl = JobTimeline(0.0, segs(("device", 50.0)))
+        kind = JobKind(True, 1, active_device=0, active_devices=(0, 1))
+        assert card_state_at(0, 25.0, kind, tl) is CardState.ACTIVE_COMPUTE
+        assert card_state_at(1, 25.0, kind, tl) is CardState.ACTIVE_COMPUTE
+        assert card_state_at(2, 25.0, kind, tl) is CardState.POWERED_UNUSED
+        assert card_state_at(3, 25.0, kind, tl) is CardState.POWERED_UNUSED
+
+    def test_jobspec_multi_device_kind(self):
+        from repro.telemetry.campaign import JobSpec
+
+        spec = JobSpec.paper_accelerated(n_devices=3)
+        assert spec.kind().active_set() == (0, 1, 2)
+        single = JobSpec.paper_accelerated()
+        assert single.kind().active_set() == (3,)  # the Fig. 4 device
+
+
+class TestHostPowerModel:
+    def test_reference_power_scales_with_threads(self):
+        model = HostPowerModel(np.random.default_rng(0))
+        ref32 = model.mean_power(JobKind(False, 32), "host")
+        ref1 = model.mean_power(JobKind(False, 1), "host")
+        assert ref32 > ref1
+        assert ref32 == pytest.approx(88.0 + 1.92 * 32)
+
+    def test_smt_threads_cost_fraction_of_core_power(self):
+        model = HostPowerModel(np.random.default_rng(0))
+        p64 = model.mean_power(JobKind(False, 64), "host")
+        p32 = model.mean_power(JobKind(False, 32), "host")
+        # 32 SMT siblings at 25% of a core's increment
+        assert p64 - p32 == pytest.approx(1.92 * 0.25 * 32)
+
+    def test_offload_extra_power(self):
+        model = HostPowerModel(np.random.default_rng(0))
+        accel = model.mean_power(JobKind(True, 1, 3), "device")
+        assert accel == pytest.approx(88.0 + 1.92 + 65.6)
+
+    def test_sleep_phase_is_idle(self):
+        model = HostPowerModel(np.random.default_rng(0))
+        assert model.mean_power(JobKind(True, 1, 3), None) == pytest.approx(88.0)
+
+    def test_noise_clipped(self):
+        model = HostPowerModel(np.random.default_rng(1))
+        kind = JobKind(False, 32)
+        mean = model.mean_power(kind, "host")
+        samples = [model.sample_power(kind, "host") for _ in range(500)]
+        assert all(abs(s - mean) <= 15.0 + 1e-9 for s in samples)
+        assert np.std(samples) > 1.0

@@ -1,0 +1,76 @@
+"""Tests for figure-data generation and the bench report formatter."""
+
+import csv
+
+import pytest
+
+from repro.bench.figures import generate_figure_data
+from repro.bench.report import ExperimentReport, PaperValue
+from repro.cli import main
+
+
+class TestFigureData:
+    @pytest.fixture(scope="class")
+    def generated(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("figs")
+        paths = generate_figure_data(
+            out, seed=1, accel_jobs=6, ref_jobs=6, reset_failure_rate=0.0
+        )
+        return out, paths
+
+    def test_all_figures_written(self, generated):
+        _, paths = generated
+        assert set(paths) == {"fig3a", "fig3b", "fig4", "fig5a", "fig5b",
+                              "summary"}
+        for path in paths.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_histogram_counts_match_jobs(self, generated):
+        _, paths = generated
+        with paths["fig3a"].open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert sum(int(r["count"]) for r in rows) == 6
+        lows = [float(r["bin_low_s"]) for r in rows]
+        assert lows == sorted(lows)
+
+    def test_trace_has_sim_window_marks(self, generated):
+        _, paths = generated
+        with paths["fig4"].open() as fh:
+            rows = list(csv.DictReader(fh))
+        flags = [int(r["in_simulation_window"]) for r in rows]
+        assert 0 in flags and 1 in flags
+        # the window is one contiguous run of 1s
+        first, last = flags.index(1), len(flags) - 1 - flags[::-1].index(1)
+        assert all(flags[first : last + 1])
+
+    def test_summary_contains_paper_columns(self, generated):
+        _, paths = generated
+        with paths["summary"].open() as fh:
+            rows = {r["metric"]: r for r in csv.DictReader(fh)}
+        assert float(rows["speedup"]["paper"]) == 2.23
+        assert float(rows["speedup"]["measured"]) > 1.5
+
+    def test_cli_figures_command(self, tmp_path, capsys):
+        rc = main(["figures", str(tmp_path / "out"),
+                   "--accel-jobs", "3", "--ref-jobs", "3", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "summary" in out
+
+
+class TestExperimentReport:
+    def test_render_table(self):
+        report = ExperimentReport("EX", "demo")
+        report.add("metric", PaperValue(10.0, 0.5, "s"), 9.8, "s")
+        report.add("free text", "whatever", "measured text")
+        report.note("a note")
+        text = report.render()
+        assert "EX: demo" in text
+        assert "10 +/- 0.5 s" in text
+        assert "2.0% off" in text
+        assert "note: a note" in text
+
+    def test_zero_paper_value_no_delta(self):
+        report = ExperimentReport("EX", "demo")
+        report.add("z", PaperValue(0.0), 1.0)
+        assert "% off" not in report.render()

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_prints_hardware(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tensix cores: 64" in out
+        assert "12 GiB GDDR6" in out
+        assert "EPYC 9124" in out
+
+
+class TestSimulate:
+    def test_reference_backend(self, capsys):
+        rc = main(["simulate", "--n", "128", "--cycles", "3",
+                   "--backend", "reference"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "energy drift" in out
+        assert "reference-f64" in out
+
+    def test_device_backend_with_timeline(self, capsys):
+        rc = main(["simulate", "--n", "1024", "--cycles", "2",
+                   "--backend", "device", "--cores", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modelled device" in out
+
+    def test_cpu_backend_adaptive(self, capsys):
+        rc = main(["simulate", "--n", "128", "--cycles", "2",
+                   "--backend", "cpu", "--threads", "2", "--adaptive"])
+        assert rc == 0
+        assert "cpu-ref-omp2" in capsys.readouterr().out
+
+    def test_snapshot_written(self, tmp_path, capsys):
+        path = tmp_path / "final.npz"
+        rc = main(["simulate", "--n", "64", "--cycles", "1",
+                   "--backend", "reference", "--snapshot", str(path)])
+        assert rc == 0
+        assert path.exists()
+        from repro.core import load_npz
+
+        snap = load_npz(path)
+        assert snap.n == 64
+        assert snap.time > 0
+
+
+class TestValidate:
+    def test_fp32_passes(self, capsys):
+        rc = main(["validate", "--n", "1024", "--cores", "2"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_bf16_fails_with_nonzero_exit(self, capsys):
+        rc = main(["validate", "--n", "1024", "--cores", "2",
+                   "--format", "bfloat16"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_small_campaign(self, capsys):
+        rc = main(["campaign", "--accel-jobs", "2", "--ref-jobs", "2",
+                   "--n", "10240", "--cycles", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accelerated: 2/2 completed" in out
+        assert "speedup" in out
+
+    def test_csv_dir(self, tmp_path, capsys):
+        rc = main(["campaign", "--accel-jobs", "1", "--ref-jobs", "1",
+                   "--n", "10240", "--cycles", "1",
+                   "--csv-dir", str(tmp_path)])
+        assert rc == 0
+        assert len(list(tmp_path.glob("*.csv"))) == 2
+
+    def test_report_flag(self, tmp_path, capsys):
+        path = tmp_path / "campaign.md"
+        rc = main(["campaign", "--accel-jobs", "2", "--ref-jobs", "2",
+                   "--n", "10240", "--cycles", "1",
+                   "--report", str(path)])
+        assert rc == 0
+        assert path.exists()
+        assert "## Summary" in path.read_text()
+
+    def test_reset_failures_reported(self, capsys):
+        rc = main(["campaign", "--accel-jobs", "10", "--ref-jobs", "1",
+                   "--n", "10240", "--cycles", "1",
+                   "--reset-failure-rate", "1.0"])
+        assert rc == 0
+        assert "accelerated: 0/10 completed" in capsys.readouterr().out
+
+
+class TestSmi:
+    def test_table(self, capsys):
+        rc = main(["smi", "--cards", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n300 (WH)" in out
+        assert out.count("idle") == 4
+
+    def test_custom_card_count(self, capsys):
+        rc = main(["smi", "--cards", "2"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("n300") == 2

@@ -1,0 +1,194 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy import energy_report
+from repro.core.forces import accel_jerk_on_targets, accel_jerk_reference
+from repro.core.hermite import correct, predict
+from repro.core.initial_conditions import plummer
+from repro.core.particles import ParticleSystem
+from repro.cpuref.openmp import chunk_ranges
+from repro.cpuref.mpi import split_counts
+from repro.nbody_tt.tiling import assign_tiles_to_cores
+from repro.telemetry.energy import integrate_power
+from repro.telemetry.rapl import Rapl, unwrap_register_series
+from repro.wormhole.circular_buffer import CircularBuffer
+from repro.wormhole.tile import Tile
+
+
+# ---------------------------------------------------------------------------
+# Work-decomposition properties: every decomposition covers each unit once.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 5000), st.integers(1, 64))
+@settings(max_examples=80)
+def test_chunk_ranges_partition(n, k):
+    covered = []
+    for sl in chunk_ranges(n, k):
+        covered.extend(range(sl.start, sl.stop))
+    assert covered == list(range(n))
+
+
+@given(st.integers(0, 5000), st.integers(1, 64))
+@settings(max_examples=80)
+def test_split_counts_partition(n, k):
+    counts = split_counts(n, k)
+    assert sum(counts) == n
+    assert max(counts) - min(counts) <= 1
+
+
+@given(st.integers(1, 500), st.integers(1, 128))
+@settings(max_examples=80)
+def test_tile_assignment_partition(n_tiles, n_cores):
+    flat = sorted(
+        t for core in assign_tiles_to_cores(n_tiles, n_cores) for t in core
+    )
+    assert flat == list(range(n_tiles))
+    sizes = [len(c) for c in assign_tiles_to_cores(n_tiles, n_cores)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Hermite interpolation property: exact on cubic acceleration histories.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(0, 2**31), st.floats(0.01, 1.0))
+@settings(max_examples=40)
+def test_hermite_corrector_exact_on_cubics(seed, dt):
+    # dt below ~0.01 makes the a^(3) reconstruction (a division by dt^3)
+    # ill-conditioned in float64; the property itself is dt-independent.
+    rng = np.random.default_rng(seed)
+    a0, j0, s0, c0, x0, v0 = (rng.normal(size=(2, 3)) for _ in range(6))
+    a1 = a0 + dt * j0 + dt**2 / 2 * s0 + dt**3 / 6 * c0
+    j1 = j0 + dt * s0 + dt**2 / 2 * c0
+    step = correct(x0, v0, a0, j0, a1, j1, dt)
+    # velocity: exact integral of the cubic acceleration
+    v_exact = v0 + dt * a0 + dt**2 / 2 * j0 + dt**3 / 6 * s0 + dt**4 / 24 * c0
+    assert np.allclose(step.vel, v_exact, rtol=1e-9, atol=1e-9)
+    assert np.allclose(step.crackle, c0, rtol=1e-7, atol=1e-7)
+
+
+@given(st.integers(0, 2**31), st.floats(1e-4, 0.5))
+@settings(max_examples=40)
+def test_predictor_is_taylor_consistent(seed, dt):
+    """predict(dt1+dt2) == predict(dt1) then constant-jerk predict(dt2)
+    when acceleration history is exactly linear (jerk constant)."""
+    rng = np.random.default_rng(seed)
+    x, v, a, j = (rng.normal(size=(3, 3)) for _ in range(4))
+    x_full, v_full = predict(x, v, a, j, 2 * dt)
+    x_half, v_half = predict(x, v, a, j, dt)
+    a_half = a + dt * j
+    x_two, v_two = predict(x_half, v_half, a_half, j, dt)
+    assert np.allclose(x_two, x_full, rtol=1e-9, atol=1e-9)
+    assert np.allclose(v_two, v_full, rtol=1e-9, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Force properties on random physical systems.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(4, 48), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_subset_forces_consistent_with_full(n, seed):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.01, 1.0, n)
+    targets = rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+    targets.sort()
+    acc_full, jerk_full = accel_jerk_reference(pos, vel, mass, softening=0.01)
+    acc, jerk = accel_jerk_on_targets(pos, vel, mass, targets, softening=0.01)
+    assert np.allclose(acc, acc_full[targets], rtol=1e-12, atol=1e-12)
+    assert np.allclose(jerk, jerk_full[targets], rtol=1e-12, atol=1e-12)
+
+
+@given(st.integers(2, 32), st.integers(0, 2**31), st.floats(0.01, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_force_scales_with_g(n, seed, g):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3))
+    vel = rng.normal(size=(n, 3))
+    mass = rng.uniform(0.01, 1.0, n)
+    a1, j1 = accel_jerk_reference(pos, vel, mass, softening=0.05, G=1.0)
+    ag, jg = accel_jerk_reference(pos, vel, mass, softening=0.05, G=g)
+    assert np.allclose(ag, g * a1, rtol=1e-12)
+    assert np.allclose(jg, g * j1, rtol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Energy integration properties.
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(0.0, 500.0), min_size=3, max_size=60),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=60)
+def test_integration_additive_over_windows(watts, seed):
+    """E[t0,t2] = E[t0,t1] + E[t1,t2] on sample boundaries."""
+    times = np.arange(float(len(watts)))
+    w = np.asarray(watts)
+    rng = np.random.default_rng(seed)
+    mid = int(rng.integers(1, len(watts) - 1))
+    total = integrate_power(times, w, 0.0, float(len(watts)))
+    left = integrate_power(times, w, 0.0, float(mid))
+    right = integrate_power(times, w, float(mid), float(len(watts)))
+    assert total == pytest.approx(left + right, rel=1e-12, abs=1e-9)
+
+
+@given(st.lists(st.floats(10.0, 400.0), min_size=2, max_size=400))
+@settings(max_examples=40)
+def test_rapl_unwrap_always_matches_perf(powers):
+    rapl = Rapl()
+    readings = [rapl.read_register("package-0")]
+    for p in powers:
+        rapl.accumulate(p, 7.0)  # long intervals force frequent wraps
+        readings.append(rapl.read_register("package-0"))
+    unwrapped = unwrap_register_series(readings)
+    assert unwrapped == pytest.approx(
+        rapl.read_perf("package-0"), abs=2.0 * 2.0**-16 * len(powers)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Circular buffer conservation under random interleavings.
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=200),
+    st.integers(1, 6),
+)
+@settings(max_examples=50)
+def test_cb_random_interleaving_conserves_pages(ops, capacity):
+    cb = CircularBuffer(0, capacity_pages=capacity)
+    pushed = popped = 0
+    for do_push in ops:
+        if do_push:
+            if cb.try_reserve_back(1):
+                cb.write_page(Tile.full(float(pushed)))
+                cb.push_back(1)
+                pushed += 1
+        else:
+            if cb.try_wait_front(1):
+                (page,) = cb.pop_front(1)
+                assert page.data[0] == float(popped)  # FIFO order
+                popped += 1
+    assert cb.pages_available() == pushed - popped
+    assert 0 <= cb.pages_available() <= capacity
+
+
+# ---------------------------------------------------------------------------
+# Initial-condition invariants.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(16, 256), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_plummer_always_henon_units(n, seed):
+    s = plummer(n, seed=seed)
+    rep = energy_report(s)
+    assert rep.total == pytest.approx(-0.25, abs=1e-8)
+    assert s.total_mass == pytest.approx(1.0, rel=1e-12)
+    assert np.allclose(s.center_of_mass(), 0.0, atol=1e-10)

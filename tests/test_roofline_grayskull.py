@@ -1,0 +1,83 @@
+"""Tests for the roofline characterisation and the Grayskull parameter set."""
+
+import numpy as np
+import pytest
+
+from repro.bench.roofline import characterise_force_kernel
+from repro.errors import ConfigurationError
+from repro.wormhole.device import WormholeDevice
+from repro.wormhole.ethernet import EthernetFabric
+from repro.wormhole.params import GRAYSKULL_E150, WORMHOLE_N300, ChipParams
+
+
+class TestRoofline:
+    def test_kernel_is_compute_bound(self):
+        rl = characterise_force_kernel()
+        assert rl.compute_bound
+        assert rl.kernel_intensity > 1000.0
+
+    def test_bytes_per_pair(self):
+        """7 pages of 4 KiB per 1024x1024 pair block."""
+        rl = characterise_force_kernel()
+        assert rl.kernel_bytes_per_pair == pytest.approx(
+            7 * 4096 / 1024**2
+        )
+
+    def test_flops_per_pair_counts_macs_twice(self):
+        rl = characterise_force_kernel()
+        # 9 sub + 3 square + 4 add + 10 mul + 6 mac(x2) + 1 rsqrt + 1 scalar
+        assert rl.kernel_flops_per_pair == 9 + 3 + 4 + 10 + 12 + 1 + 1
+
+    def test_peak_scales_with_cores(self):
+        full = characterise_force_kernel(n_cores=64)
+        half = characterise_force_kernel(n_cores=32)
+        assert full.peak_compute_flops == pytest.approx(
+            2.0 * half.peak_compute_flops
+        )
+
+    def test_attainable_capped_by_memory_for_streaming_kernels(self):
+        """Sanity: a hypothetical chip with tiny bandwidth flips the bound."""
+        slow_mem = ChipParams(dram_bandwidth_bytes_per_s=1.0e4)
+        rl = characterise_force_kernel(slow_mem)
+        assert rl.ridge_flops_per_byte > rl.kernel_intensity
+        assert not rl.compute_bound
+        assert rl.attainable_flops < rl.peak_compute_flops
+
+
+class TestGrayskull:
+    def test_parameters(self):
+        gs = GRAYSKULL_E150
+        assert gs.n_tensix_cores == 120
+        assert gs.grid_w * gs.grid_h >= 120
+        assert gs.dram_bytes == 8 * 1024**3
+        assert gs.qsfp_gbps == 0.0
+
+    def test_device_builds_with_grayskull_grid(self):
+        dev = WormholeDevice(chip=GRAYSKULL_E150)
+        assert len(dev.cores) == 120
+        coords = {(c.coord.x, c.coord.y) for c in dev.cores}
+        assert len(coords) == 120
+        assert all(x < 12 and y < 10 for x, y in coords)
+
+    def test_no_multi_card_fabric(self):
+        with pytest.raises(ConfigurationError, match="no chip-to-chip"):
+            EthernetFabric(2, GRAYSKULL_E150)
+        # single device is fine
+        assert EthernetFabric(1, GRAYSKULL_E150).links == []
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError, match="grid"):
+            ChipParams(n_tensix_cores=100, grid_w=8, grid_h=8)
+
+    def test_functional_force_on_grayskull(self):
+        """The whole port runs unchanged on the other chip model."""
+        from repro.core import plummer, validate_forces
+        from repro.nbody_tt import TTForceBackend
+
+        dev = WormholeDevice(chip=GRAYSKULL_E150)
+        dev.reset()
+        dev.open()
+        s = plummer(1024, seed=50)
+        backend = TTForceBackend(dev, n_cores=4)
+        ev = backend.compute(s.pos, s.vel, s.mass)
+        assert validate_forces(s.pos, s.vel, s.mass, ev.acc, ev.jerk).passed

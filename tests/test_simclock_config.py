@@ -1,0 +1,106 @@
+"""Tests for the virtual clock, stopwatch, and workload-scale config."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_BENCH_N_PARTICLES,
+    PAPER_N_CYCLES,
+    PAPER_N_PARTICLES,
+    paper_scale_enabled,
+    select_workload_scale,
+)
+from repro.errors import ConfigurationError
+from repro.simclock import Stopwatch, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance_and_sleep(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        clock.sleep(120.0)
+        assert clock.now() == 125.0
+
+    def test_never_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+    def test_custom_start(self):
+        assert VirtualClock(100.0).now() == 100.0
+        with pytest.raises(ConfigurationError):
+            VirtualClock(-1.0)
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+
+class TestStopwatch:
+    def test_measures_interval_excluding_outside_time(self):
+        clock = VirtualClock()
+        clock.sleep(120.0)  # pre-run sleep: not measured
+        watch = Stopwatch(clock)
+        watch.start()
+        clock.advance(301.4)
+        elapsed = watch.stop()
+        clock.sleep(120.0)  # post-run sleep: not measured
+        assert elapsed == pytest.approx(301.4)
+        assert watch.elapsed == pytest.approx(301.4)
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch(VirtualClock())
+        watch.start()
+        with pytest.raises(ConfigurationError):
+            watch.start()
+
+    def test_stop_without_start(self):
+        with pytest.raises(ConfigurationError):
+            Stopwatch(VirtualClock()).stop()
+
+    def test_running_flag(self):
+        watch = Stopwatch(VirtualClock())
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_reusable(self):
+        clock = VirtualClock()
+        watch = Stopwatch(clock)
+        watch.start()
+        clock.advance(1.0)
+        watch.stop()
+        watch.start()
+        clock.advance(2.0)
+        assert watch.stop() == pytest.approx(2.0)
+
+
+class TestWorkloadScale:
+    def test_paper_constants(self):
+        assert PAPER_N_PARTICLES == 102_400
+        assert PAPER_N_CYCLES == 10
+
+    def test_default_is_bench_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert not paper_scale_enabled()
+        scale = select_workload_scale()
+        assert scale.n_particles == DEFAULT_BENCH_N_PARTICLES
+        assert not scale.is_paper_scale
+        assert "bench-scale" in scale.label
+
+    def test_env_enables_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert paper_scale_enabled()
+        scale = select_workload_scale()
+        assert scale.n_particles == PAPER_N_PARTICLES
+        assert "paper-scale" in scale.label
+
+    def test_zero_and_false_disable(self, monkeypatch):
+        for value in ("0", "false", "False", ""):
+            monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+            assert not paper_scale_enabled(), value

@@ -1,0 +1,177 @@
+"""Tests for circular-buffer semantics: the paper's cb_* primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CircularBufferError
+from repro.wormhole.circular_buffer import CBEventCounter, CircularBuffer
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.l1 import L1Allocator
+from repro.wormhole.tile import Tile
+
+
+def drain(gen):
+    """Run a blocking primitive that must complete without yielding."""
+    for _ in gen:
+        raise AssertionError("primitive blocked unexpectedly")
+
+
+class TestProducerConsumer:
+    def test_reserve_write_push_wait_pop(self):
+        cb = CircularBuffer(0, capacity_pages=4)
+        drain(cb.reserve_back(2))
+        cb.write_page(Tile.full(1.0))
+        cb.write_page(Tile.full(2.0))
+        cb.push_back(2)
+        drain(cb.wait_front(2))
+        got = cb.pop_front(2)
+        assert got[0].data[0] == 1.0 and got[1].data[0] == 2.0
+
+    def test_fifo_order(self):
+        cb = CircularBuffer(0, capacity_pages=8)
+        for i in range(5):
+            assert cb.try_reserve_back(1)
+            cb.write_page(Tile.full(float(i)))
+            cb.push_back(1)
+        out = cb.pop_front(5)
+        assert [t.data[0] for t in out] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_peek_without_consume(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        cb.try_reserve_back(1)
+        cb.write_page(Tile.full(9.0))
+        cb.push_back(1)
+        assert cb.get_page(0).data[0] == 9.0
+        assert cb.pages_available() == 1  # still there
+
+    def test_format_coercion_on_write(self):
+        cb = CircularBuffer(0, capacity_pages=1, fmt=DataFormat.BFLOAT16)
+        cb.try_reserve_back(1)
+        cb.write_page(Tile.full(1.0 + 2.0**-10))  # fp32-only value
+        cb.push_back(1)
+        assert np.all(cb.pop_front(1)[0].data == 1.0)
+
+
+class TestBackPressure:
+    def test_reserve_blocks_when_full(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        assert cb.try_reserve_back(2)
+        cb.write_page(Tile.zeros())
+        cb.write_page(Tile.zeros())
+        cb.push_back(2)
+        assert not cb.try_reserve_back(1)  # full: back-pressure
+        gen = cb.reserve_back(1)
+        next(gen)  # blocked — yields
+        cb.pop_front(1)  # consumer frees a page
+        with pytest.raises(StopIteration):
+            gen.send(None)  # now unblocked
+
+    def test_wait_front_blocks_until_push(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        gen = cb.wait_front(1)
+        next(gen)  # no data yet — blocked
+        cb.try_reserve_back(1)
+        cb.write_page(Tile.zeros())
+        cb.push_back(1)
+        with pytest.raises(StopIteration):
+            gen.send(None)
+
+    def test_reserved_pages_count_against_capacity(self):
+        cb = CircularBuffer(0, capacity_pages=4)
+        assert cb.try_reserve_back(3)
+        assert cb.pages_free() == 1
+        assert not cb.try_reserve_back(2)
+
+
+class TestProtocolErrors:
+    def test_write_without_reserve(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        with pytest.raises(CircularBufferError, match="reserve_back"):
+            cb.write_page(Tile.zeros())
+
+    def test_push_more_than_staged(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        cb.try_reserve_back(2)
+        cb.write_page(Tile.zeros())
+        with pytest.raises(CircularBufferError, match="staged"):
+            cb.push_back(2)
+
+    def test_pop_without_data(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        with pytest.raises(CircularBufferError, match="wait_front"):
+            cb.pop_front(1)
+
+    def test_request_exceeding_capacity_is_rejected_eagerly(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        with pytest.raises(CircularBufferError, match="never"):
+            drain(cb.wait_front(3))
+        with pytest.raises(CircularBufferError, match="never"):
+            drain(cb.reserve_back(3))
+
+    def test_nonpositive_counts(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        with pytest.raises(CircularBufferError):
+            cb.pop_front(0)
+        with pytest.raises(CircularBufferError):
+            cb.try_reserve_back(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CircularBufferError):
+            CircularBuffer(0, capacity_pages=0)
+
+    def test_peek_beyond_visible(self):
+        cb = CircularBuffer(0, capacity_pages=2)
+        with pytest.raises(CircularBufferError, match="wait_front"):
+            cb.get_page(0)
+
+
+class TestL1Backing:
+    def test_cb_consumes_l1(self):
+        l1 = L1Allocator(16 * 4096)
+        CircularBuffer(0, capacity_pages=8, l1=l1)
+        assert l1.allocated_bytes == 8 * 4096
+
+    def test_cb_respects_l1_budget(self):
+        l1 = L1Allocator(4 * 4096)
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            CircularBuffer(0, capacity_pages=8, l1=l1)
+
+    def test_bf16_pages_are_half_size(self):
+        l1 = L1Allocator(16 * 4096)
+        CircularBuffer(0, capacity_pages=8, fmt=DataFormat.BFLOAT16, l1=l1)
+        assert l1.allocated_bytes == 8 * 2048
+
+
+class TestEvents:
+    def test_state_changes_bump_events(self):
+        events = CBEventCounter()
+        cb = CircularBuffer(0, capacity_pages=2, events=events)
+        before = events.events
+        cb.try_reserve_back(1)
+        cb.write_page(Tile.zeros())
+        cb.push_back(1)
+        cb.pop_front(1)
+        assert events.events == before + 3  # reserve, push, pop
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=40)
+def test_cb_preserves_order_and_conservation(values, capacity):
+    """Everything pushed comes out exactly once, in order."""
+    cb = CircularBuffer(0, capacity_pages=capacity)
+    pushed, popped = [], []
+    pending = list(values)
+    while pending or cb.pages_available():
+        if pending and cb.try_reserve_back(1):
+            v = pending.pop(0)
+            cb.write_page(Tile.full(float(v)))
+            cb.push_back(1)
+            pushed.append(v)
+        if cb.pages_available():
+            popped.append(int(cb.pop_front(1)[0].data[0]))
+    assert popped == pushed == list(values)

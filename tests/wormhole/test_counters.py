@@ -1,0 +1,63 @@
+"""Direct tests for cycle/op accounting primitives."""
+
+import pytest
+
+from repro.wormhole.counters import CycleCounter, OpStats
+
+
+class TestOpStats:
+    def test_record_and_total(self):
+        stats = OpStats()
+        stats.record("sfpu.add", 3)
+        stats.record("sfpu.add")
+        stats.record("noc.read", 2)
+        assert stats["sfpu.add"] == 4
+        assert stats["noc.read"] == 2
+        assert stats["missing"] == 0
+        assert stats.total() == 6
+
+    def test_merge(self):
+        a = OpStats()
+        a.record("x", 1)
+        b = OpStats()
+        b.record("x", 2)
+        b.record("y", 5)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 5
+
+    def test_reset(self):
+        stats = OpStats()
+        stats.record("x")
+        stats.reset()
+        assert stats.total() == 0
+
+
+class TestCycleCounter:
+    def test_compute_and_datamove_are_separate_timelines(self):
+        c = CycleCounter()
+        c.add_compute(100.0, op="sfpu.add")
+        c.add_datamove(300.0, op="dram.read")
+        assert c.compute_cycles == 100.0
+        assert c.datamove_cycles == 300.0
+        # overlapped pipeline: busy time is the max, not the sum
+        assert c.busy_cycles() == 300.0
+
+    def test_seconds_at_clock(self):
+        c = CycleCounter()
+        c.add_compute(2.0e9)
+        assert c.seconds(1.0e9) == pytest.approx(2.0)
+
+    def test_ops_optional(self):
+        c = CycleCounter()
+        c.add_compute(10.0)  # no op label
+        assert c.ops.total() == 0
+        c.add_compute(10.0, op="x", n_ops=7)
+        assert c.ops["x"] == 7
+
+    def test_reset(self):
+        c = CycleCounter()
+        c.add_compute(5.0, op="x")
+        c.add_datamove(5.0)
+        c.reset()
+        assert c.busy_cycles() == 0.0
+        assert c.ops.total() == 0

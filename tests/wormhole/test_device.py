@@ -1,0 +1,113 @@
+"""Tests for the assembled WormholeDevice and reset fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeviceNotOpenError, DeviceResetError
+from repro.wormhole.device import GRID_H, GRID_W, ResetFaultModel, WormholeDevice
+from repro.wormhole.tile import Tile
+
+
+class TestDeviceAssembly:
+    def test_64_cores_on_8x8_grid(self):
+        dev = WormholeDevice()
+        assert len(dev.cores) == 64
+        coords = {(c.coord.x, c.coord.y) for c in dev.cores}
+        assert len(coords) == 64
+        assert all(0 <= x < GRID_W and 0 <= y < GRID_H for x, y in coords)
+
+    def test_two_nocs(self):
+        assert len(WormholeDevice().nocs) == 2
+
+    def test_dram_is_12gb(self):
+        assert WormholeDevice().dram.capacity == 12 * 1024**3
+
+
+class TestLifecycle:
+    def test_open_requires_reset(self):
+        dev = WormholeDevice()
+        with pytest.raises(DeviceNotOpenError, match="reset"):
+            dev.open()
+
+    def test_reset_open_close(self):
+        dev = WormholeDevice()
+        dev.reset()
+        dev.open()
+        assert dev.is_open
+        dev.require_open()
+        dev.close()
+        assert not dev.is_open
+        with pytest.raises(DeviceNotOpenError):
+            dev.require_open()
+
+    def test_reset_clears_core_and_dram_state(self):
+        dev = WormholeDevice()
+        dev.reset()
+        dev.open()
+        dev.cores[0].sfpu.add(Tile.zeros(), Tile.zeros())
+        dev.dram.allocate(1024)
+        dev.reset()
+        assert dev.busy_seconds() == 0.0
+        assert dev.dram.allocated_bytes == 0
+
+    def test_busy_seconds_is_max_over_cores(self):
+        dev = WormholeDevice()
+        dev.reset()
+        dev.cores[3].sfpu.add(Tile.zeros(), Tile.zeros())
+        dev.cores[3].sfpu.add(Tile.zeros(), Tile.zeros())
+        dev.cores[5].sfpu.add(Tile.zeros(), Tile.zeros())
+        assert dev.busy_seconds() == pytest.approx(dev.cores[3].busy_seconds())
+
+    def test_total_op_stats_merges(self):
+        dev = WormholeDevice()
+        dev.reset()
+        dev.cores[0].sfpu.add(Tile.zeros(), Tile.zeros())
+        dev.cores[1].sfpu.rsqrt(Tile.full(1.0))
+        stats = dev.total_op_stats()
+        assert stats["sfpu.add"] == 1
+        assert stats["sfpu.rsqrt"] == 1
+
+    def test_clear_counters(self):
+        dev = WormholeDevice()
+        dev.reset()
+        dev.cores[0].sfpu.add(Tile.zeros(), Tile.zeros())
+        dev.clear_counters()
+        assert dev.busy_seconds() == 0.0
+
+
+class TestResetFaults:
+    def test_default_never_fails(self):
+        model = ResetFaultModel()
+        for _ in range(100):
+            model.check()
+        assert model.failures == 0
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResetFaultModel(1.5)
+        with pytest.raises(ConfigurationError):
+            ResetFaultModel(-0.1)
+
+    def test_injected_failures_reproduce_campaign_rate(self):
+        """Paper: 24 of 50 jobs failed during device reset (48%)."""
+        rng = np.random.default_rng(2025)
+        model = ResetFaultModel(failure_rate=24 / 50, rng=rng)
+        dev = WormholeDevice(fault_model=model)
+        outcomes = []
+        for _ in range(500):
+            try:
+                dev.reset()
+                outcomes.append(True)
+            except DeviceResetError:
+                outcomes.append(False)
+        failure_fraction = outcomes.count(False) / len(outcomes)
+        assert 0.40 <= failure_fraction <= 0.56
+        assert model.attempts == 500
+
+    def test_failed_reset_leaves_device_unopenable(self):
+        rng = np.random.default_rng(0)
+        dev = WormholeDevice(fault_model=ResetFaultModel(1.0, rng))
+        with pytest.raises(DeviceResetError):
+            dev.reset()
+        with pytest.raises(DeviceNotOpenError):
+            dev.open()

@@ -1,0 +1,120 @@
+"""Tests for double-single arithmetic: error-free transforms and accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataFormatError
+from repro.wormhole.double_single import DS, two_prod_fma, two_sum
+
+finite32 = st.floats(
+    min_value=-(2.0**100), max_value=2.0**100,
+    allow_nan=False, allow_infinity=False, width=32,
+)
+
+
+class TestErrorFreeTransforms:
+    @given(finite32, finite32)
+    @settings(max_examples=100)
+    def test_two_sum_is_exact(self, a, b):
+        s, e = two_sum(np.float32(a), np.float32(b))
+        # s + e == a + b exactly, in float64 (sum of two f32 fits f64
+        # whenever it is representable at all; avoid overflow cases)
+        if np.isfinite(s):
+            exact = np.float64(a) + np.float64(b)
+            assert np.float64(s) + np.float64(e) == exact
+
+    @given(finite32, finite32)
+    @settings(max_examples=100)
+    def test_two_prod_is_exact(self, a, b):
+        # error-free multiplication holds in the *normal* range only —
+        # the correction term underflows for subnormal products, on real
+        # FMA hardware as much as here
+        from hypothesis import assume
+
+        assume(a == 0.0 or 2.0**-40 < abs(a))
+        assume(b == 0.0 or 2.0**-40 < abs(b))
+        assume(abs(a * b) == 0.0 or abs(a * b) > 2.0**-100)
+        p, e = two_prod_fma(np.float32(a), np.float32(b))
+        if np.isfinite(p):
+            exact = np.float64(a) * np.float64(b)
+            assert np.float64(p) + np.float64(e) == exact
+
+
+class TestDSArithmetic:
+    def test_roundtrip_precision(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000)
+        ds = DS.from_float64(x)
+        assert ds.is_normalised()
+        back = ds.to_float64()
+        rel = np.abs(back - x) / np.abs(x)
+        # ~48-bit mantissa: far beyond fp32's 2^-24
+        assert rel.max() < 2.0**-45
+
+    def test_add_beats_fp32(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=500)
+        b = rng.normal(size=500)
+        ds = DS.from_float64(a).add(DS.from_float64(b))
+        err_ds = np.abs(ds.to_float64() - (a + b))
+        err_32 = np.abs(
+            (a.astype(np.float32) + b.astype(np.float32)).astype(np.float64)
+            - (a + b)
+        )
+        assert err_ds.max() < 1e-4 * max(err_32.max(), 1e-30) + 1e-13
+
+    def test_cancellation_preserved(self):
+        """The defining DS win: subtracting nearly equal values keeps the
+        low-order bits fp32 would destroy."""
+        a = 1.0 + 1e-9
+        b = 1.0
+        ds = DS.from_float64(np.array([a])).sub(DS.from_float64(np.array([b])))
+        assert ds.to_float64()[0] == pytest.approx(1e-9, rel=1e-6)
+        f32 = np.float32(a) - np.float32(b)
+        assert abs(float(f32) - 1e-9) > 1e-10  # fp32 loses it
+
+    def test_mul_precision(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0.5, 2.0, 500)
+        b = rng.uniform(0.5, 2.0, 500)
+        ds = DS.from_float64(a).mul(DS.from_float64(b))
+        rel = np.abs(ds.to_float64() - a * b) / (a * b)
+        assert rel.max() < 2.0**-40
+
+    def test_square(self):
+        x = np.array([1.000000123456789])
+        ds = DS.from_float64(x).square()
+        assert ds.to_float64()[0] == pytest.approx(x[0] ** 2, rel=1e-13)
+
+    def test_rsqrt_near_double_accuracy(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.01, 100.0, 500)
+        ds = DS.from_float64(x).rsqrt()
+        rel = np.abs(ds.to_float64() - 1.0 / np.sqrt(x)) * np.sqrt(x)
+        assert rel.max() < 1e-11  # vs fp32's ~6e-8
+
+    def test_rsqrt_negative_rejected(self):
+        with pytest.raises(DataFormatError):
+            DS.from_float64(np.array([-1.0])).rsqrt()
+
+    def test_mul_f32_scalar(self):
+        x = np.array([1.234567890123])
+        ds = DS.from_float64(x).mul_f32(3.0)
+        assert ds.to_float64()[0] == pytest.approx(3.0 * x[0], rel=1e-13)
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=30)
+def test_ds_chain_stays_normalised_and_accurate(seed):
+    """A random chain of DS ops tracks float64 to ~2^-40."""
+    rng = np.random.default_rng(seed)
+    vals = rng.uniform(0.5, 2.0, (4, 64))
+    a, b, c, d = (DS.from_float64(v) for v in vals)
+    result = a.mul(b).add(c.square()).sub(d)
+    expect = vals[0] * vals[1] + vals[2] ** 2 - vals[3]
+    got = result.to_float64()
+    scale = np.maximum(np.abs(expect), 1.0)
+    assert np.max(np.abs(got - expect) / scale) < 2.0**-38
+    assert result.is_normalised(tol_ulps=2.0)

@@ -1,0 +1,179 @@
+"""Unit and property tests for device data formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataFormatError
+from repro.wormhole.dtypes import (
+    BFP8_BLOCK,
+    DataFormat,
+    dst_tile_capacity,
+    quantize,
+    storage_bytes_per_element,
+)
+
+
+class TestStorage:
+    def test_bytes_per_element(self):
+        assert storage_bytes_per_element(DataFormat.FLOAT32) == 4
+        assert storage_bytes_per_element(DataFormat.BFLOAT16) == 2
+        assert storage_bytes_per_element(DataFormat.FLOAT16) == 2
+        assert storage_bytes_per_element(DataFormat.BFP8) == 1
+
+    def test_dst_capacity_matches_paper(self):
+        # Paper Section 3: dst holds 16 tiles in BFP16, halved in FP32.
+        assert dst_tile_capacity(DataFormat.BFLOAT16) == 16
+        assert dst_tile_capacity(DataFormat.FLOAT32) == 8
+
+    def test_dst_capacity_bfp8(self):
+        assert dst_tile_capacity(DataFormat.BFP8) == 32
+
+
+class TestFloat32:
+    def test_exact_for_representable(self):
+        vals = np.array([0.0, 1.0, -2.5, 1024.0, 2.0**-20])
+        assert np.array_equal(quantize(vals, DataFormat.FLOAT32), vals)
+
+    def test_rounds_double_tail(self):
+        x = np.array([1.0 + 2.0**-40])
+        q = quantize(x, DataFormat.FLOAT32)
+        assert q[0] == 1.0
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1e6, 1e6, 1000)
+        q = quantize(x, DataFormat.FLOAT32)
+        rel = np.abs(q - x) / np.abs(x)
+        assert rel.max() < 2.0**-23
+
+
+class TestBfloat16:
+    def test_preserves_powers_of_two(self):
+        vals = np.array([1.0, 2.0, 0.5, -8.0, 2.0**100, 2.0**-100])
+        assert np.array_equal(quantize(vals, DataFormat.BFLOAT16), vals)
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1e4, 1e4, 1000)
+        q = quantize(x, DataFormat.BFLOAT16)
+        rel = np.abs(q - x) / np.maximum(np.abs(x), 1e-30)
+        # bf16 has a 7-bit mantissa: half-ULP is 2^-8.
+        assert rel.max() <= 2.0**-8
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-8 sits exactly between 1.0 and the next bf16 (1 + 2^-7);
+        # ties go to the even mantissa, i.e. down to 1.0.
+        x = np.array([1.0 + 2.0**-8], dtype=np.float64)
+        assert quantize(x, DataFormat.BFLOAT16)[0] == 1.0
+        # Just above the tie rounds up.
+        x = np.array([1.0 + 2.0**-8 + 2.0**-12])
+        assert quantize(x, DataFormat.BFLOAT16)[0] == 1.0 + 2.0**-7
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=256)
+        once = quantize(x, DataFormat.BFLOAT16)
+        twice = quantize(once, DataFormat.BFLOAT16)
+        assert np.array_equal(once, twice)
+
+
+class TestFloat16:
+    def test_matches_numpy_half(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=128)
+        assert np.array_equal(
+            quantize(x, DataFormat.FLOAT16),
+            x.astype(np.float16).astype(np.float64),
+        )
+
+
+class TestBfp8:
+    def test_block_max_kept_to_mantissa_precision(self):
+        x = np.zeros(BFP8_BLOCK)
+        x[0] = 3.0
+        q = quantize(x, DataFormat.BFP8)
+        assert abs(q[0] - 3.0) <= 4.0 / 2**7
+
+    def test_small_values_crushed_by_large_blockmate(self):
+        x = np.zeros(BFP8_BLOCK)
+        x[0] = 1000.0
+        x[1] = 1e-3  # far below one mantissa ULP of the shared exponent
+        q = quantize(x, DataFormat.BFP8)
+        assert q[1] == 0.0
+
+    def test_all_zero_block(self):
+        q = quantize(np.zeros(2 * BFP8_BLOCK), DataFormat.BFP8)
+        assert np.array_equal(q, np.zeros(2 * BFP8_BLOCK))
+
+    def test_relative_error_within_block_scale(self):
+        rng = np.random.default_rng(4)
+        # one block of same-magnitude values: rel error bounded by ~2^-7
+        x = rng.uniform(1.0, 2.0, BFP8_BLOCK)
+        q = quantize(x, DataFormat.BFP8)
+        assert np.abs(q - x).max() <= 2.0 / 2**7 + 1e-12
+
+    def test_shape_preserved_and_padding_invisible(self):
+        x = np.arange(1, 6, dtype=float).reshape(5)  # not a multiple of 16
+        q = quantize(x, DataFormat.BFP8)
+        assert q.shape == x.shape
+
+    def test_2d_shape(self):
+        x = np.ones((3, 7))
+        q = quantize(x, DataFormat.BFP8)
+        assert q.shape == (3, 7)
+        assert np.allclose(q, 1.0)
+
+    def test_nonfinite_passthrough(self):
+        x = np.array([np.inf, -np.inf, np.nan, 1.0])
+        q = quantize(x, DataFormat.BFP8)
+        assert np.isinf(q[0]) and q[0] > 0
+        assert np.isinf(q[1]) and q[1] < 0
+        assert np.isnan(q[2])
+
+
+class TestErrors:
+    def test_quantize_rejects_bad_format(self):
+        with pytest.raises(DataFormatError):
+            quantize(np.zeros(4), "float32")  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+finite_arrays = st.lists(
+    st.floats(
+        min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=64,
+).map(np.asarray)
+
+
+@given(finite_arrays)
+@settings(max_examples=60)
+def test_quantize_idempotent_all_formats(x):
+    for fmt in DataFormat:
+        once = quantize(x, fmt)
+        assert np.array_equal(quantize(once, fmt), once), fmt
+
+
+@given(finite_arrays)
+@settings(max_examples=60)
+def test_quantize_preserves_sign_and_zero(x):
+    for fmt in DataFormat:
+        q = quantize(x, fmt)
+        nonzero = q != 0.0
+        assert np.all(np.sign(q[nonzero]) == np.sign(x[nonzero])), fmt
+        assert np.all(q[x == 0.0] == 0.0), fmt
+
+
+@given(finite_arrays)
+@settings(max_examples=60)
+def test_wider_formats_are_more_accurate(x):
+    """FP32 error <= BF16 error element-wise (same exponent range)."""
+    e32 = np.abs(quantize(x, DataFormat.FLOAT32) - x)
+    e16 = np.abs(quantize(x, DataFormat.BFLOAT16) - x)
+    assert np.all(e32 <= e16 + 1e-30)

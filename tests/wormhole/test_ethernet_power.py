@@ -1,0 +1,105 @@
+"""Tests for the ethernet fabric and the card power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wormhole.ethernet import EthernetFabric, EthernetLink, LINK_LATENCY_S
+from repro.wormhole.power import CardPowerModel, CardPowerParams, CardState
+
+
+class TestEthernet:
+    def test_single_device_has_no_links(self):
+        fabric = EthernetFabric(1)
+        assert fabric.links == []
+        assert fabric.allgather_seconds(10**6) == 0.0
+        assert fabric.broadcast_seconds(10**6) == 0.0
+
+    def test_two_devices_one_link(self):
+        fabric = EthernetFabric(2)
+        assert len(fabric.links) == 1
+        link = fabric.link_between(0, 1)
+        assert link.other_end(0) == 1
+        assert link.other_end(1) == 0
+
+    def test_ring_topology(self):
+        fabric = EthernetFabric(4)
+        assert len(fabric.links) == 4
+        fabric.link_between(0, 1)
+        fabric.link_between(3, 0)
+        with pytest.raises(ConfigurationError):
+            fabric.link_between(0, 2)  # not adjacent on the ring
+
+    def test_bandwidth_from_qsfp_rate(self):
+        fabric = EthernetFabric(2)
+        # 200 Gbps at 85% efficiency = 21.25 GB/s
+        assert fabric.links[0].bandwidth_bytes_per_s == pytest.approx(21.25e9)
+
+    def test_transfer_time_model(self):
+        link = EthernetLink(0, 1, 20e9)
+        assert link.transfer_seconds(0) == pytest.approx(LINK_LATENCY_S)
+        assert link.transfer_seconds(20_000_000_000) == pytest.approx(
+            1.0 + LINK_LATENCY_S
+        )
+        with pytest.raises(ConfigurationError):
+            link.transfer_seconds(-1)
+
+    def test_allgather_scales_with_ring_size(self):
+        n_bytes = 10**7
+        t2 = EthernetFabric(2).allgather_seconds(n_bytes)
+        t4 = EthernetFabric(4).allgather_seconds(n_bytes)
+        assert t4 == pytest.approx(3 * t2, rel=1e-9)
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ConfigurationError):
+            EthernetFabric(0)
+
+    def test_other_end_requires_membership(self):
+        link = EthernetLink(0, 1, 1e9)
+        with pytest.raises(ConfigurationError):
+            link.other_end(5)
+
+
+class TestCardPower:
+    def make(self, seed=0, **kwargs):
+        return CardPowerModel(0, np.random.default_rng(seed),
+                              CardPowerParams(**kwargs))
+
+    def test_idle_band_10_to_11_w(self):
+        """Paper Fig. 4: idle cards draw between 10 and 11 W."""
+        for seed in range(8):
+            model = self.make(seed)
+            mean = model.mean_power(CardState.IDLE)
+            assert 10.0 <= mean <= 11.0
+
+    def test_powered_unused_below_20_w(self):
+        model = self.make()
+        samples = [model.sample_power(CardState.POWERED_UNUSED) for _ in range(200)]
+        assert all(s < 20.0 for s in samples)
+        assert np.mean(samples) > 15.0  # clearly above idle
+
+    def test_active_band_26_to_33_w(self):
+        model = self.make()
+        compute = [model.sample_power(CardState.ACTIVE_COMPUTE) for _ in range(300)]
+        host = [model.sample_power(CardState.ACTIVE_HOST_PHASE) for _ in range(300)]
+        both = compute + host
+        assert min(both) >= 25.0
+        assert max(both) <= 34.0
+        # peaks are the compute phases, dips the host phases
+        assert np.mean(compute) > np.mean(host)
+
+    def test_post_run_offset_small_but_nonzero(self):
+        """Idle after the run differs slightly from idle before (Fig. 4)."""
+        model = self.make()
+        drift = model.mean_power(CardState.POST_RUN) - model.mean_power(CardState.IDLE)
+        assert 0.0 < drift < 1.0
+
+    def test_samples_clipped_to_physical_bounds(self):
+        model = self.make(sample_noise_w=50.0)
+        samples = [model.sample_power(CardState.IDLE) for _ in range(100)]
+        assert all(9.5 <= s <= 35.0 for s in samples)
+
+    def test_reproducible_given_seed(self):
+        a = [self.make(7).sample_power(CardState.IDLE) for _ in range(5)]
+        b = [self.make(7).sample_power(CardState.IDLE) for _ in range(5)]
+        assert a == b

@@ -1,0 +1,110 @@
+"""Unit and property tests for the L1 SRAM allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.wormhole.l1 import L1_ALIGN, L1Allocation, L1Allocator
+from repro.wormhole.params import WORMHOLE_N300
+
+
+class TestAllocator:
+    def test_capacity_matches_chip(self):
+        alloc = L1Allocator(WORMHOLE_N300.l1_bytes)
+        assert alloc.capacity == 1_536 * 1024
+
+    def test_simple_allocate_free(self):
+        l1 = L1Allocator(1024)
+        a = l1.allocate(100)
+        assert a.size == 128  # aligned up to 32
+        assert l1.allocated_bytes == 128
+        l1.free(a)
+        assert l1.allocated_bytes == 0
+
+    def test_alignment(self):
+        l1 = L1Allocator(4096)
+        for size in (1, 31, 32, 33, 100):
+            a = l1.allocate(size)
+            assert a.offset % L1_ALIGN == 0
+            assert a.size % L1_ALIGN == 0
+            assert a.size >= size
+
+    def test_exhaustion_raises(self):
+        l1 = L1Allocator(256)
+        l1.allocate(256)
+        with pytest.raises(AllocationError, match="exhausted"):
+            l1.allocate(32)
+
+    def test_invalid_sizes(self):
+        l1 = L1Allocator(256)
+        with pytest.raises(AllocationError):
+            l1.allocate(0)
+        with pytest.raises(AllocationError):
+            l1.allocate(-5)
+
+    def test_double_free_rejected(self):
+        l1 = L1Allocator(256)
+        a = l1.allocate(64)
+        l1.free(a)
+        with pytest.raises(AllocationError):
+            l1.free(a)
+
+    def test_free_unknown_rejected(self):
+        l1 = L1Allocator(256)
+        with pytest.raises(AllocationError):
+            l1.free(L1Allocation(0, 64))
+
+    def test_coalescing_allows_reuse(self):
+        l1 = L1Allocator(96)
+        a = l1.allocate(32)
+        b = l1.allocate(32)
+        c = l1.allocate(32)
+        l1.free(a)
+        l1.free(c)
+        l1.free(b)  # middle free must merge all three
+        big = l1.allocate(96)
+        assert big.size == 96
+
+    def test_first_fit_reuses_hole(self):
+        l1 = L1Allocator(1024)
+        a = l1.allocate(64)
+        l1.allocate(64)
+        l1.free(a)
+        c = l1.allocate(64)
+        assert c.offset == a.offset
+
+    def test_reset(self):
+        l1 = L1Allocator(256)
+        l1.allocate(128)
+        l1.reset()
+        assert l1.free_bytes == 256
+        assert l1.allocate(256).size == 256
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2000), min_size=1, max_size=40),
+       st.randoms(use_true_random=False))
+@settings(max_examples=50)
+def test_allocator_invariants_under_random_workload(sizes, rnd):
+    """Allocations never overlap, stay in bounds, and free restores space."""
+    l1 = L1Allocator(64 * 1024)
+    live: list[L1Allocation] = []
+    for size in sizes:
+        # Randomly free about a third of the time.
+        if live and rnd.random() < 0.35:
+            victim = live.pop(rnd.randrange(len(live)))
+            l1.free(victim)
+        try:
+            a = l1.allocate(size)
+        except AllocationError:
+            continue
+        assert 0 <= a.offset and a.end <= l1.capacity
+        for other in live:
+            assert a.end <= other.offset or other.end <= a.offset, "overlap"
+        live.append(a)
+    total = sum(a.size for a in live)
+    assert l1.allocated_bytes == total
+    for a in live:
+        l1.free(a)
+    assert l1.allocated_bytes == 0
+    assert l1.allocate(l1.capacity).size == l1.capacity

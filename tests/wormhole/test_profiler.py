@@ -1,0 +1,69 @@
+"""Tests for the device profiler."""
+
+import pytest
+
+from repro.core import plummer
+from repro.errors import ConfigurationError
+from repro.metalium import CreateDevice
+from repro.nbody_tt import TTForceBackend
+from repro.wormhole.profiler import profile_device
+
+
+@pytest.fixture(scope="module")
+def profiled_device():
+    device = CreateDevice(0)
+    s = plummer(2048, seed=60)
+    TTForceBackend(device, n_cores=4).compute(s.pos, s.vel, s.mass)
+    return device
+
+
+class TestProfiler:
+    def test_requires_accumulated_work(self):
+        device = CreateDevice(1)
+        with pytest.raises(ConfigurationError, match="no accumulated work"):
+            profile_device(device)
+
+    def test_active_cores_match_tile_assignment(self, profiled_device):
+        """2048 particles = 2 tiles: only 2 of the 4 cores carried work."""
+        profile = profile_device(profiled_device)
+        assert profile.active_cores == 2
+        busy = [c for c in profile.cores if c.busy_seconds > 0]
+        assert len(busy) == 2
+        assert all(c.utilisation == pytest.approx(1.0) for c in busy)
+
+    def test_critical_path_is_max_core(self, profiled_device):
+        profile = profile_device(profiled_device)
+        assert profile.critical_path_seconds == pytest.approx(
+            max(c.busy_seconds for c in profile.cores)
+        )
+
+    def test_op_mix_reflects_force_kernel(self, profiled_device):
+        profile = profile_device(profiled_device)
+        busy = next(c for c in profile.cores if c.busy_seconds > 0)
+        op_names = dict(busy.top_ops)
+        assert any(name.startswith("sfpu.") for name in op_names)
+        # the force kernel's dominant ops
+        assert "sfpu.mul" in op_names or "sfpu.sub" in op_names
+
+    def test_table_renders(self, profiled_device):
+        text = profile_device(profiled_device).table(top=3)
+        assert "critical path" in text
+        assert "util" in text
+        assert "100.0%" in text
+
+    def test_cli_profile_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(["simulate", "--n", "1024", "--cycles", "1",
+                   "--backend", "device", "--cores", "2", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Device occupancy" in out
+
+    def test_cli_profile_ignored_for_cpu(self, capsys):
+        from repro.cli import main
+
+        rc = main(["simulate", "--n", "128", "--cycles", "1",
+                   "--backend", "cpu", "--threads", "2", "--profile"])
+        assert rc == 0
+        assert "ignoring" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for the srcA/srcB/dst register-file model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegisterFileError
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.registers import DestRegister, RegisterFile, SourceRegister
+from repro.wormhole.tile import Tile
+
+
+class TestSourceRegister:
+    def test_load_read(self):
+        src = SourceRegister("srcA")
+        t = Tile.full(2.0)
+        src.load(t)
+        assert src.read() == t
+        assert src.valid
+
+    def test_read_before_load(self):
+        src = SourceRegister("srcB")
+        with pytest.raises(RegisterFileError, match="srcB"):
+            src.read()
+
+    def test_invalidate(self):
+        src = SourceRegister("srcA")
+        src.load(Tile.zeros())
+        src.invalidate()
+        assert not src.valid
+        with pytest.raises(RegisterFileError):
+            src.read()
+
+
+class TestDestRegister:
+    def test_capacity_fp32_is_8(self):
+        # Paper: 16 tiles in BFP16, "effectively halved" in FP32.
+        assert DestRegister(DataFormat.FLOAT32).capacity == 8
+        assert DestRegister(DataFormat.BFLOAT16).capacity == 16
+
+    def test_write_read(self):
+        dst = DestRegister()
+        t = Tile.full(5.0)
+        dst.write(3, t)
+        assert dst.read(3) == t
+        assert dst.occupied() == 1
+
+    def test_spill_raises_with_cb_hint(self):
+        dst = DestRegister(DataFormat.FLOAT32)
+        with pytest.raises(RegisterFileError, match="circular buffers"):
+            dst.write(8, Tile.zeros())
+
+    def test_out_of_range_read(self):
+        dst = DestRegister(DataFormat.BFLOAT16)
+        with pytest.raises(RegisterFileError):
+            dst.read(16)
+        with pytest.raises(RegisterFileError):
+            dst.read(-1)
+
+    def test_read_before_write(self):
+        dst = DestRegister()
+        with pytest.raises(RegisterFileError, match="before write"):
+            dst.read(0)
+
+    def test_write_requantizes_to_dst_format(self):
+        dst = DestRegister(DataFormat.BFLOAT16)
+        fine = Tile.full(1.0 + 2.0**-10)  # not bf16 representable
+        dst.write(0, fine)
+        assert np.all(dst.read(0).data == 1.0)
+
+    def test_clear(self):
+        dst = DestRegister()
+        dst.write(0, Tile.zeros())
+        dst.clear()
+        assert dst.occupied() == 0
+
+
+class TestRegisterFile:
+    def test_reconfigure_changes_capacity_and_clears(self):
+        rf = RegisterFile(DataFormat.FLOAT32)
+        rf.srcA.load(Tile.zeros())
+        rf.dst.write(0, Tile.zeros())
+        rf.reconfigure(DataFormat.BFLOAT16)
+        assert rf.dst.capacity == 16
+        assert not rf.srcA.valid
+        assert rf.dst.occupied() == 0

@@ -1,0 +1,196 @@
+"""Tests for the SFPU tile ALU: math correctness, precision, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wormhole.counters import CycleCounter
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.params import CostParams
+from repro.wormhole.sfpu import Sfpu
+from repro.wormhole.tile import TILE_ELEMENTS, Tile
+
+
+@pytest.fixture
+def sfpu():
+    return Sfpu(CycleCounter())
+
+
+def rand_tile(seed, lo=-10.0, hi=10.0):
+    rng = np.random.default_rng(seed)
+    return Tile(rng.uniform(lo, hi, TILE_ELEMENTS))
+
+
+class TestBinaryOps:
+    def test_add_sub_mul_match_fp32(self, sfpu):
+        a, b = rand_tile(0), rand_tile(1)
+        a32 = a.data.astype(np.float32)
+        b32 = b.data.astype(np.float32)
+        assert np.array_equal(sfpu.add(a, b).data, (a32 + b32).astype(np.float64))
+        assert np.array_equal(sfpu.sub(a, b).data, (a32 - b32).astype(np.float64))
+        assert np.array_equal(sfpu.mul(a, b).data, (a32 * b32).astype(np.float64))
+
+    def test_mac_rounds_twice(self, sfpu):
+        acc, a, b = rand_tile(2), rand_tile(3), rand_tile(4)
+        expect = (
+            acc.data.astype(np.float32)
+            + (a.data.astype(np.float32) * b.data.astype(np.float32))
+        ).astype(np.float64)
+        assert np.allclose(sfpu.mac(acc, a, b).data, expect, rtol=1e-7)
+
+    def test_min_max(self, sfpu):
+        a, b = rand_tile(5), rand_tile(6)
+        assert np.array_equal(sfpu.maximum(a, b).data, np.maximum(a.data, b.data))
+        assert np.array_equal(sfpu.minimum(a, b).data, np.minimum(a.data, b.data))
+
+
+class TestUnaryOps:
+    def test_square(self, sfpu):
+        a = rand_tile(7)
+        a32 = a.data.astype(np.float32)
+        assert np.array_equal(sfpu.square(a).data, (a32 * a32).astype(np.float64))
+
+    def test_rsqrt_accurate(self, sfpu):
+        a = rand_tile(8, lo=0.01, hi=100.0)
+        got = sfpu.rsqrt(a).data
+        rel = np.abs(got - 1.0 / np.sqrt(a.data)) * np.sqrt(a.data)
+        assert rel.max() < 1e-6  # correctly rounded FP32
+
+    def test_rsqrt_fast_is_less_accurate_but_close(self, sfpu):
+        a = rand_tile(9, lo=0.01, hi=100.0)
+        got = sfpu.rsqrt(a, fast=True).data
+        exact = 1.0 / np.sqrt(a.data)
+        rel = np.abs(got - exact) / exact
+        assert 1e-7 < rel.max() < 1e-2
+
+    def test_rsqrt_of_zero_is_inf(self, sfpu):
+        t = sfpu.rsqrt(Tile.zeros())
+        assert np.all(np.isinf(t.data))
+
+    def test_recip(self, sfpu):
+        a = rand_tile(10, lo=0.5, hi=10.0)
+        got = sfpu.recip(a).data
+        assert np.allclose(got, 1.0 / a.data, rtol=1e-6)
+
+    def test_sqrt_abs_neg_copy(self, sfpu):
+        a = rand_tile(11, lo=0.0, hi=50.0)
+        assert np.allclose(sfpu.sqrt(a).data, np.sqrt(a.data), rtol=1e-6)
+        assert np.array_equal(sfpu.abs(sfpu.neg(a)).data, a.data)
+        assert sfpu.copy(a) == a
+
+    def test_exp_log_roundtrip(self, sfpu):
+        a = rand_tile(12, lo=0.1, hi=5.0)
+        back = sfpu.exp(sfpu.log(a))
+        assert np.allclose(back.data, a.data, rtol=1e-5)
+
+
+class TestScalarAndSelect:
+    def test_add_mul_scalar(self, sfpu):
+        a = rand_tile(13)
+        assert np.allclose(sfpu.add_scalar(a, 2.5).data,
+                           (a.data.astype(np.float32) + np.float32(2.5)),
+                           rtol=1e-7)
+        assert np.allclose(sfpu.mul_scalar(a, -3.0).data,
+                           a.data.astype(np.float32) * np.float32(-3.0),
+                           rtol=1e-7)
+
+    def test_scalar_is_quantized(self, sfpu):
+        # An immediate that FP32 cannot represent is rounded before use.
+        a = Tile.zeros()
+        got = sfpu.add_scalar(a, 1.0 + 2.0**-40)
+        assert np.all(got.data == 1.0)
+
+    def test_where(self, sfpu):
+        mask = Tile.from_vector(np.array([1.0, 0.0, 2.0] + [0.0] * 1021))
+        a, b = Tile.full(10.0), Tile.full(20.0)
+        got = sfpu.where(mask, a, b).data
+        assert got[0] == 10.0 and got[1] == 20.0 and got[2] == 10.0
+
+
+class TestReduce:
+    def test_reduce_sum_exact_small_ints(self, sfpu):
+        t = Tile.from_vector(np.arange(100, dtype=float))
+        assert sfpu.reduce_sum(t) == pytest.approx(4950.0)
+
+    def test_reduce_sum_pairwise_beats_naive_fp32(self, sfpu):
+        rng = np.random.default_rng(14)
+        vals = rng.uniform(0.0, 1.0, TILE_ELEMENTS)
+        got = sfpu.reduce_sum(Tile(vals))
+        assert got == pytest.approx(vals.sum(), rel=1e-5)
+
+
+class TestAccounting:
+    def test_cycles_accumulate_with_weights(self):
+        costs = CostParams()
+        counter = CycleCounter()
+        sfpu = Sfpu(counter, costs)
+        a, b = Tile.full(1.0), Tile.full(2.0)
+        sfpu.add(a, b)
+        sfpu.rsqrt(a)
+        expected = costs.sfpu_cycles_per_tile_op * (
+            costs.sfpu_weight("add") + costs.sfpu_weight("rsqrt")
+        )
+        assert counter.compute_cycles == pytest.approx(expected)
+        assert counter.ops["sfpu.add"] == 1
+        assert counter.ops["sfpu.rsqrt"] == 1
+
+    def test_rsqrt_costs_more_than_add(self):
+        costs = CostParams()
+        assert costs.sfpu_weight("rsqrt") > costs.sfpu_weight("add")
+
+    def test_fast_rsqrt_charges_one_op(self):
+        counter = CycleCounter()
+        sfpu = Sfpu(counter)
+        sfpu.rsqrt(Tile.full(2.0), fast=True)
+        assert counter.ops["sfpu.rsqrt"] == 1
+
+
+class TestFormats:
+    def test_bfloat16_pipeline(self):
+        sfpu = Sfpu(fmt=DataFormat.BFLOAT16)
+        a = Tile.full(1.0, DataFormat.BFLOAT16)
+        b = Tile.full(2.0**-9, DataFormat.BFLOAT16)
+        # 1 + 2^-9 is below bf16 resolution at 1.0: absorbed.
+        assert np.all(sfpu.add(a, b).data == 1.0)
+
+    def test_reconfigure(self):
+        sfpu = Sfpu()
+        sfpu.reconfigure(DataFormat.BFLOAT16)
+        assert sfpu.fmt is DataFormat.BFLOAT16
+        with pytest.raises(Exception):
+            sfpu.reconfigure("fp8")  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+vals = st.floats(min_value=-1e6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False)
+
+
+@given(vals, vals)
+@settings(max_examples=60)
+def test_sub_antisymmetric(x, y):
+    sfpu = Sfpu()
+    a, b = Tile.full(x), Tile.full(y)
+    assert np.array_equal(sfpu.sub(a, b).data, -sfpu.sub(b, a).data)
+
+
+@given(vals, vals)
+@settings(max_examples=60)
+def test_add_commutative(x, y):
+    sfpu = Sfpu()
+    a, b = Tile.full(x), Tile.full(y)
+    assert sfpu.add(a, b) == sfpu.add(b, a)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+@settings(max_examples=60)
+def test_rsqrt_matches_recip_sqrt_within_fp32(x):
+    sfpu = Sfpu()
+    t = Tile.full(x)
+    a = sfpu.rsqrt(t).data[0]
+    b = sfpu.recip(sfpu.sqrt(t)).data[0]
+    assert a == pytest.approx(b, rel=4e-7)

@@ -1,0 +1,191 @@
+"""Tests for the Tensix core and its cooperative kernel scheduler.
+
+These exercise the paper's execution model end to end on one core: a read
+kernel (data movement) producing tiles into a CB, a compute kernel consuming
+them through wait_front/pop_front, and a write kernel draining results —
+including deadlock detection when the CB protocol is violated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircularBufferError, KernelError, RegisterFileError
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.noc import NocCoordinate
+from repro.wormhole.riscv import RiscvRole
+from repro.wormhole.tensix import TensixCore
+from repro.wormhole.tile import Tile
+
+
+@pytest.fixture
+def core():
+    return TensixCore(0, NocCoordinate(0, 0))
+
+
+class TestCoreResources:
+    def test_riscv_complement(self, core):
+        assert len(core.riscv) == 5
+        movers = [r for r in core.riscv.values() if r.role.is_data_movement]
+        compute = [r for r in core.riscv.values() if r.role.is_compute]
+        assert len(movers) == 2 and len(compute) == 3
+
+    def test_pipeline_stage_names(self, core):
+        assert core.riscv[RiscvRole.T0].role.pipeline_stage == "UNPACK"
+        assert core.riscv[RiscvRole.T1].role.pipeline_stage == "MATH"
+        assert core.riscv[RiscvRole.T2].role.pipeline_stage == "PACK"
+        assert core.riscv[RiscvRole.NC].role.pipeline_stage is None
+
+    def test_cb_ids_unique(self, core):
+        core.create_cb(0, 2)
+        with pytest.raises(CircularBufferError, match="already exists"):
+            core.create_cb(0, 2)
+
+    def test_get_missing_cb(self, core):
+        with pytest.raises(CircularBufferError, match="no cb"):
+            core.get_cb(7)
+
+    def test_unpack_pack_path(self, core):
+        t = Tile.full(3.0)
+        core.unpack_to_srcA(t)
+        core.unpack_to_srcB(t)
+        assert core.regs.srcA.read() == t
+        out = core.sfpu.mul(core.regs.srcA.read(), core.regs.srcB.read())
+        core.regs.dst.write(0, out)
+        packed = core.pack_from_dst(0)
+        assert np.all(packed.data == 9.0)
+        assert core.counter.ops["unpack"] == 2
+        assert core.counter.ops["pack"] == 1
+
+    def test_dst_capacity_enforced_through_core(self, core):
+        for i in range(8):
+            core.regs.dst.write(i, Tile.zeros())
+        with pytest.raises(RegisterFileError):
+            core.regs.dst.write(8, Tile.zeros())
+
+
+class TestKernelBinding:
+    def test_compute_kernel_must_use_trisc(self, core):
+        def body(c):
+            yield
+
+        with pytest.raises(KernelError, match="T0/T1/T2"):
+            core.bind_kernel("k", RiscvRole.NC, body, kind="compute")
+
+    def test_data_movement_kernel_must_use_nc_or_b(self, core):
+        def body(c):
+            yield
+
+        with pytest.raises(KernelError, match="NC/B"):
+            core.bind_kernel("k", RiscvRole.T1, body, kind="data_movement")
+
+    def test_double_bind_rejected(self, core):
+        def body(c):
+            return
+            yield
+
+        core.bind_kernel("a", RiscvRole.T1, body)
+        with pytest.raises(KernelError, match="already runs"):
+            core.bind_kernel("b", RiscvRole.T1, body)
+
+
+class TestPipelineExecution:
+    def test_read_compute_write_pipeline(self, core):
+        """The paper's three-kernel structure on one core."""
+        cb_in = core.create_cb(0, capacity_pages=2)
+        cb_out = core.create_cb(16, capacity_pages=2)
+        n_tiles = 8
+        source = [Tile.full(float(i)) for i in range(n_tiles)]
+        sink: list[Tile] = []
+
+        def read_kernel(c):
+            for t in source:
+                yield from cb_in.reserve_back(1)
+                cb_in.write_page(t)
+                cb_in.push_back(1)
+
+        def compute_kernel(c):
+            for _ in range(n_tiles):
+                yield from cb_in.wait_front(1)
+                (t,) = cb_in.pop_front(1)
+                result = c.sfpu.mul_scalar(t, 2.0)
+                yield from cb_out.reserve_back(1)
+                cb_out.write_page(result)
+                cb_out.push_back(1)
+
+        def write_kernel(c):
+            for _ in range(n_tiles):
+                yield from cb_out.wait_front(1)
+                sink.extend(cb_out.pop_front(1))
+
+        core.bind_kernel("reader", RiscvRole.NC, read_kernel, kind="data_movement")
+        core.bind_kernel("compute", RiscvRole.T1, compute_kernel, kind="compute")
+        core.bind_kernel("writer", RiscvRole.B, write_kernel, kind="data_movement")
+        core.run_kernels()
+
+        assert [t.data[0] for t in sink] == [2.0 * i for i in range(n_tiles)]
+        # CB capacity (2) < tiles (8): back-pressure was genuinely exercised.
+        assert core.counter.ops["sfpu.scalar"] == n_tiles
+
+    def test_deadlock_detected(self, core):
+        cb = core.create_cb(0, capacity_pages=1)
+
+        def consumer_only(c):
+            yield from cb.wait_front(1)  # nobody ever produces
+
+        core.bind_kernel("consumer", RiscvRole.T1, consumer_only)
+        with pytest.raises(CircularBufferError, match="deadlock"):
+            core.run_kernels()
+
+    def test_mutual_deadlock_detected(self, core):
+        a = core.create_cb(0, capacity_pages=1)
+        b = core.create_cb(1, capacity_pages=1)
+
+        def k1(c):
+            yield from a.wait_front(1)
+            b.try_reserve_back(1)
+            b.write_page(Tile.zeros())
+            b.push_back(1)
+
+        def k2(c):
+            yield from b.wait_front(1)
+            a.try_reserve_back(1)
+            a.write_page(Tile.zeros())
+            a.push_back(1)
+
+        core.bind_kernel("k1", RiscvRole.T1, k1)
+        core.bind_kernel("k2", RiscvRole.T2, k2)
+        with pytest.raises(CircularBufferError, match="deadlock"):
+            core.run_kernels()
+
+    def test_roles_freed_after_run(self, core):
+        def body(c):
+            return
+            yield
+
+        core.bind_kernel("once", RiscvRole.T0, body)
+        core.run_kernels()
+        core.bind_kernel("again", RiscvRole.T0, body)  # no "already runs"
+        core.run_kernels()
+
+
+class TestReset:
+    def test_reset_clears_state(self, core):
+        core.create_cb(0, 4)
+        core.sfpu.add(Tile.zeros(), Tile.zeros())
+        core.reset()
+        assert core.counter.compute_cycles == 0
+        assert core.cbs == {}
+        assert core.l1.allocated_bytes == 0
+        assert core.busy_seconds() == 0.0
+
+    def test_busy_seconds_positive_after_work(self, core):
+        core.sfpu.add(Tile.zeros(), Tile.zeros())
+        assert core.busy_seconds() > 0.0
+
+
+class TestFormats:
+    def test_bf16_core(self):
+        core = TensixCore(1, NocCoordinate(1, 0), fmt=DataFormat.BFLOAT16)
+        assert core.regs.dst.capacity == 16
+        cb = core.create_cb(0, 2)
+        assert cb.page_bytes == 2048

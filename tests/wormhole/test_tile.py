@@ -1,0 +1,210 @@
+"""Unit and property tests for tilized tensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TileError
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.tile import (
+    TILE_COLS,
+    TILE_ELEMENTS,
+    TILE_ROWS,
+    Tile,
+    tiles_needed,
+    tilize_1d,
+    tilize_2d,
+    untilize_1d,
+    untilize_2d,
+)
+
+
+class TestTile:
+    def test_geometry_matches_paper(self):
+        # 32x32 tiles of 1024 elements, the srcA/srcB capacity.
+        assert TILE_ROWS == 32 and TILE_COLS == 32 and TILE_ELEMENTS == 1024
+
+    def test_construction_quantizes(self):
+        t = Tile(np.full(TILE_ELEMENTS, 1.0 + 2.0**-40))
+        assert np.all(t.data == 1.0)
+
+    def test_data_is_readonly(self):
+        t = Tile.zeros()
+        with pytest.raises(ValueError):
+            t.data[0] = 1.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(TileError):
+            Tile(np.zeros(100))
+
+    def test_from_vector_pads(self):
+        t = Tile.from_vector(np.arange(10))
+        assert np.array_equal(t.data[:10], np.arange(10, dtype=float))
+        assert np.all(t.data[10:] == 0.0)
+
+    def test_from_vector_overflow(self):
+        with pytest.raises(TileError):
+            Tile.from_vector(np.zeros(TILE_ELEMENTS + 1))
+
+    def test_nbytes_by_format(self):
+        assert Tile.zeros(DataFormat.FLOAT32).nbytes == 4096
+        assert Tile.zeros(DataFormat.BFLOAT16).nbytes == 2048
+
+    def test_as_matrix_roundtrip(self):
+        vals = np.arange(TILE_ELEMENTS, dtype=float)
+        t = Tile(vals)
+        assert np.array_equal(t.as_matrix().ravel(), vals)
+
+    def test_astype_requantizes(self):
+        t = Tile.full(1.0 + 2.0**-10)  # representable in fp32, not bf16
+        b = t.astype(DataFormat.BFLOAT16)
+        assert np.all(b.data == 1.0)
+        assert t.astype(DataFormat.FLOAT32) is t
+
+    def test_equality_and_hash(self):
+        a = Tile.full(3.0)
+        b = Tile.full(3.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != Tile.full(4.0)
+        assert a != Tile.full(3.0, DataFormat.BFLOAT16)
+
+
+class TestTilize1D:
+    def test_tiles_needed(self):
+        assert tiles_needed(0) == 0
+        assert tiles_needed(1) == 1
+        assert tiles_needed(1024) == 1
+        assert tiles_needed(1025) == 2
+        with pytest.raises(TileError):
+            tiles_needed(-1)
+
+    def test_paper_layout_n_102400(self):
+        # The representative simulation's 102400 particles are exactly
+        # 100 column tiles of 1024 elements.
+        assert tiles_needed(102_400) == 100
+
+    def test_roundtrip_exact_multiple(self):
+        x = np.arange(2048, dtype=float)
+        tiles = tilize_1d(x)
+        assert len(tiles) == 2
+        assert np.array_equal(untilize_1d(tiles, 2048), x)
+
+    def test_roundtrip_with_padding(self):
+        x = np.arange(1500, dtype=float)
+        tiles = tilize_1d(x)
+        assert len(tiles) == 2
+        assert np.array_equal(untilize_1d(tiles, 1500), x)
+        # pad region is zeros
+        assert np.all(tiles[1].data[1500 - 1024 :] == 0.0)
+
+    def test_custom_pad_value(self):
+        tiles = tilize_1d(np.ones(10), pad_value=7.0)
+        assert np.all(tiles[0].data[10:] == 7.0)
+
+    def test_empty_input_yields_one_tile(self):
+        tiles = tilize_1d(np.zeros(0))
+        assert len(tiles) == 1
+
+    def test_untilize_errors(self):
+        with pytest.raises(TileError):
+            untilize_1d([], 0)
+        with pytest.raises(TileError):
+            untilize_1d([Tile.zeros()], 2000)
+
+
+class TestTilize2D:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = rng.normal(size=(50, 70))
+        grid = tilize_2d(m)
+        assert len(grid) == 2 and len(grid[0]) == 3
+        back = untilize_2d(grid, (50, 70))
+        assert np.array_equal(back, m.astype(np.float32).astype(np.float64))
+
+    def test_exact_tile_multiple(self):
+        m = np.ones((64, 32))
+        grid = tilize_2d(m)
+        assert len(grid) == 2 and len(grid[0]) == 1
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(TileError):
+            tilize_2d(np.zeros(5))
+
+    def test_ragged_grid_rejected(self):
+        grid = tilize_2d(np.ones((32, 64)))
+        grid[0].pop()
+        grid.append([Tile.zeros(), Tile.zeros()])
+        with pytest.raises(TileError):
+            untilize_2d(grid, (32, 64))
+
+    def test_oversized_request_rejected(self):
+        grid = tilize_2d(np.ones((32, 32)))
+        with pytest.raises(TileError):
+            untilize_2d(grid, (33, 32))
+
+
+class TestFaceOrder:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        mat = rng.normal(size=(32, 32))
+        from repro.wormhole.tile import face_order_to_matrix, matrix_to_face_order
+
+        assert np.array_equal(
+            face_order_to_matrix(matrix_to_face_order(mat)), mat
+        )
+
+    def test_face_layout(self):
+        """Faces are consecutive 16x16 quadrants: TL, TR, BL, BR."""
+        from repro.wormhole.tile import matrix_to_face_order
+
+        mat = np.zeros((32, 32))
+        mat[:16, :16] = 1.0   # TL
+        mat[:16, 16:] = 2.0   # TR
+        mat[16:, :16] = 3.0   # BL
+        mat[16:, 16:] = 4.0   # BR
+        flat = matrix_to_face_order(mat)
+        assert np.all(flat[0:256] == 1.0)
+        assert np.all(flat[256:512] == 2.0)
+        assert np.all(flat[512:768] == 3.0)
+        assert np.all(flat[768:1024] == 4.0)
+
+    def test_face_order_differs_from_row_major(self):
+        from repro.wormhole.tile import matrix_to_face_order
+
+        mat = np.arange(1024, dtype=float).reshape(32, 32)
+        assert not np.array_equal(matrix_to_face_order(mat), mat.ravel())
+
+    def test_validation(self):
+        from repro.errors import TileError
+        from repro.wormhole.tile import face_order_to_matrix, matrix_to_face_order
+
+        with pytest.raises(TileError):
+            matrix_to_face_order(np.zeros((16, 16)))
+        with pytest.raises(TileError):
+            face_order_to_matrix(np.zeros(100))
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40)
+def test_tilize_untilize_roundtrip_fp32_values(n, seed):
+    """tilize/untilize is the identity on FP32-representable data."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n).astype(np.float32).astype(np.float64)
+    assert np.array_equal(untilize_1d(tilize_1d(x), n), x)
+
+
+@given(st.integers(min_value=0, max_value=10**7))
+@settings(max_examples=100)
+def test_tiles_needed_is_minimal(n):
+    k = tiles_needed(n)
+    assert k * TILE_ELEMENTS >= n
+    assert (k - 1) * TILE_ELEMENTS < n or k == 0
