@@ -1,0 +1,135 @@
+"""Wall-clock benchmark: batched block-dispatch engine vs per-block path.
+
+The batched engine (`TTForceBackend(engine="batched")`) must be
+bit-identical to the per-block path while being dramatically faster in
+*host* wall-clock time — the modelled device time is unchanged by
+construction.  This bench times one functional force evaluation at several
+N (fp32, 64 cores, 1 device), asserts the >= 5x acceptance gate at
+N = 8192, and — when run as a script — records the numbers in
+``BENCH_engine.json`` at the repo root so the speedup is tracked across
+PRs:
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_engine.py
+
+Pytest collection (``pytest benchmarks/bench_wallclock_engine.py``) runs
+the smaller sizes only and does not rewrite the committed JSON.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import plummer
+from repro.bench import ExperimentReport
+from repro.metalium import CreateDevice
+from repro.nbody_tt import TTForceBackend
+
+#: Sizes recorded in BENCH_engine.json (script mode).
+SIZES = (2048, 8192, 32768)
+#: Sizes exercised under pytest (keeps the bench suite fast).
+SIZES_PYTEST = (2048, 8192)
+N_CORES = 64
+GATE_N = 8192
+GATE_SPEEDUP = 5.0
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _time_engine(engine: str, n: int, evals: int = 2):
+    """(timings, last evaluation) for one backend configuration."""
+    system = plummer(n, seed=42)
+    backend = TTForceBackend(CreateDevice(0), n_cores=N_CORES, engine=engine)
+    times = []
+    ev = None
+    for _ in range(evals):
+        t0 = time.perf_counter()
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        times.append(time.perf_counter() - t0)
+    steady = min(times[1:]) if len(times) > 1 else times[0]
+    return {"first_s": round(times[0], 4), "steady_s": round(steady, 4)}, ev
+
+
+def measure(sizes=SIZES):
+    """Measure baseline (per-block) vs batched wall clock for each N."""
+    results = {}
+    for n in sizes:
+        baseline, ev_base = _time_engine("per-block", n)
+        batched, ev_fast = _time_engine("batched", n)
+        assert np.array_equal(ev_base.acc, ev_fast.acc, equal_nan=True)
+        assert np.array_equal(ev_base.jerk, ev_fast.jerk, equal_nan=True)
+        results[n] = {
+            "baseline_per_block": baseline,
+            "batched": batched,
+            "speedup_steady": round(
+                baseline["steady_s"] / batched["steady_s"], 2
+            ),
+        }
+    return results
+
+
+def report(results) -> ExperimentReport:
+    rep = ExperimentReport(
+        "ENGINE", "batched block-dispatch engine wall clock"
+    )
+    for n, r in results.items():
+        rep.add(
+            f"N={n} (fp32, {N_CORES} cores, 1 device)",
+            f">= {GATE_SPEEDUP}x at N={GATE_N}",
+            f"{r['baseline_per_block']['steady_s']:.3f}s -> "
+            f"{r['batched']['steady_s']:.3f}s "
+            f"({r['speedup_steady']:.1f}x), bit-identical",
+        )
+    rep.note("modelled device time is engine-independent; the speedup is "
+             "host wall clock for one functional force evaluation")
+    return rep
+
+
+@pytest.fixture(scope="module")
+def timings():
+    return measure(SIZES_PYTEST)
+
+
+def test_batched_is_bit_identical_and_faster(benchmark, timings):
+    """measure() already asserts bit-identity; every size must also win."""
+    results = benchmark.pedantic(lambda: timings, rounds=1, iterations=1)
+    for n, r in results.items():
+        assert r["speedup_steady"] > 1.0, (n, r)
+
+
+def test_speedup_gate_at_8192(benchmark, timings):
+    results = benchmark.pedantic(lambda: timings, rounds=1, iterations=1)
+    report(results).print()
+    assert results[GATE_N]["speedup_steady"] >= GATE_SPEEDUP, results[GATE_N]
+
+
+def main() -> None:
+    results = measure(SIZES)
+    report(results).print()
+    payload = {
+        "benchmark": "bench_wallclock_engine",
+        "config": {
+            "fmt": "float32",
+            "n_cores": N_CORES,
+            "n_devices": 1,
+            "baseline_engine": "per-block",
+            "note": "seconds of host wall clock per functional force "
+                    "evaluation; steady_s excludes the first-call "
+                    "program-build/compile overheads",
+        },
+        "sizes": {str(n): r for n, r in results.items()},
+        "gate": {
+            "n": GATE_N,
+            "required_speedup": GATE_SPEEDUP,
+            "measured_speedup": results[GATE_N]["speedup_steady"],
+            "passed": results[GATE_N]["speedup_steady"] >= GATE_SPEEDUP,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,12 +15,12 @@ at 1 Hz to produce the power traces of the paper's Fig. 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 import numpy as np
 
-from ..errors import ConfigurationError, IntegratorError
+from ..errors import ConfigurationError
 from .hermite import correct, predict
 from .particles import ParticleSystem
 from .timestep import SharedTimestep

@@ -52,8 +52,9 @@ def _decode(raw: bytes, fmt: DataFormat, n_tiles: int) -> list[Tile]:
         flat = np.frombuffer(raw, dtype=np.float16).astype(np.float64)
     else:
         raise DataFormatError(f"DRAM buffers do not support {fmt.value}")
+    # round-tripped bytes are already format-rounded: skip re-quantisation
     return [
-        Tile(flat[i * TILE_ELEMENTS : (i + 1) * TILE_ELEMENTS], fmt)
+        Tile.from_quantized(flat[i * TILE_ELEMENTS : (i + 1) * TILE_ELEMENTS], fmt)
         for i in range(n_tiles)
     ]
 
@@ -92,6 +93,25 @@ class DramBuffer:
         raw = self.device.dram.read(self._alloc.address, self.size_bytes)
         return _decode(raw, self.fmt, self.n_tiles), self._pcie_seconds(self.size_bytes)
 
+    # -- charge-only accounting (batched-dispatch replay) ---------------------
+
+    def host_write_cost(self) -> float:
+        """Account a full host->device write without moving bytes.
+
+        Identical DRAM byte/cycle accounting and PCIe seconds as
+        :meth:`host_write_tiles`; used when the buffer verifiably already
+        holds the payload (upload cache hit).
+        """
+        self._require_live()
+        self.device.dram.touch_write(self._alloc.address, self.size_bytes)
+        return self._pcie_seconds(self.size_bytes)
+
+    def host_read_cost(self) -> float:
+        """Account a full device->host read without decoding tiles."""
+        self._require_live()
+        self.device.dram.touch_read(self._alloc.address, self.size_bytes)
+        return self._pcie_seconds(self.size_bytes)
+
     # -- device-side access (via NoC, from a Tensix core) ---------------------
 
     def noc_read_tile(self, core_index: int, tile_index: int) -> Tile:
@@ -118,6 +138,32 @@ class DramBuffer:
         address = self._alloc.address + tile_index * self.tile_bytes
         payload = _encode([tile.astype(self.fmt)], self.fmt)
         self.device.dram.write(address, payload, core.counter)
+        noc = self.device.nocs[core_index % len(self.device.nocs)]
+        noc.write(core.counter, self.tile_bytes, core.coord)
+
+    def noc_read_tile_cost(self, core_index: int, tile_index: int) -> None:
+        """Charge exactly what :meth:`noc_read_tile` charges, skip the data.
+
+        The batched engine replays the kernel program in charge-only mode:
+        DRAM ``bytes_read``, the bandwidth cycles on the issuing core, and
+        the NoC transaction all advance identically, but no bytes are
+        decoded (the engine computed the values out-of-band).
+        """
+        self._require_live()
+        self._check_tile(tile_index)
+        core = self.device.cores[core_index]
+        address = self._alloc.address + tile_index * self.tile_bytes
+        self.device.dram.touch_read(address, self.tile_bytes, core.counter)
+        noc = self.device.nocs[core_index % len(self.device.nocs)]
+        noc.read(core.counter, self.tile_bytes, core.coord)
+
+    def noc_write_tile_cost(self, core_index: int, tile_index: int) -> None:
+        """Charge exactly what :meth:`noc_write_tile` charges, skip the data."""
+        self._require_live()
+        self._check_tile(tile_index)
+        core = self.device.cores[core_index]
+        address = self._alloc.address + tile_index * self.tile_bytes
+        self.device.dram.touch_write(address, self.tile_bytes, core.counter)
         noc = self.device.nocs[core_index % len(self.device.nocs)]
         noc.write(core.counter, self.tile_bytes, core.coord)
 

@@ -75,6 +75,26 @@ class CommandQueue:
         self.phases.append(Phase("pcie", seconds, "read_buffer"))
         return tiles
 
+    def charge_write_buffer(self, buffer: DramBuffer) -> None:
+        """Account an upload the cache proved redundant (no bytes moved).
+
+        The timeline phase, DRAM byte counters, and PCIe seconds are
+        identical to :meth:`enqueue_write_buffer` — the modelled device
+        still pays for the transfer; only the host-side encode is skipped.
+        """
+        seconds = buffer.host_write_cost()
+        self.phases.append(Phase("pcie", seconds, "write_buffer"))
+
+    def charge_read_buffer(self, buffer: DramBuffer) -> None:
+        """Account a download whose values were produced out-of-band.
+
+        Used by the batched-dispatch engine, which computes result tiles on
+        the host; the modelled PCIe/DRAM cost of fetching them from the
+        device is charged exactly as :meth:`enqueue_read_buffer` would.
+        """
+        seconds = buffer.host_read_cost()
+        self.phases.append(Phase("pcie", seconds, "read_buffer"))
+
     # -- program execution -----------------------------------------------------
 
     def enqueue_program(self, program: Program) -> float:

@@ -10,6 +10,7 @@ into :class:`repro.core.Simulation`, plus the analytic
 projections.
 """
 
+from .engine import BatchedDispatchEngine
 from .force_kernel import (
     CB_I_IN,
     CB_J_IN,
@@ -18,6 +19,7 @@ from .force_kernel import (
     charge_block,
     force_block,
     ops_per_j_iteration,
+    resident_i_arrays,
     weighted_ops_per_j,
 )
 from .offload import DeviceTimeModel, TTForceBackend
@@ -27,6 +29,7 @@ from .tiling import (
     OUT_QUANTITIES,
     PAD_OFFSET,
     ParticleTiles,
+    TilizeCache,
     assign_tiles_to_cores,
 )
 
@@ -34,10 +37,12 @@ __all__ = [
     "CB_I_IN",
     "CB_J_IN",
     "CB_OUT",
+    "BatchedDispatchEngine",
     "BlockAccumulators",
     "charge_block",
     "force_block",
     "ops_per_j_iteration",
+    "resident_i_arrays",
     "weighted_ops_per_j",
     "DeviceTimeModel",
     "TTForceBackend",
@@ -46,5 +51,6 @@ __all__ = [
     "OUT_QUANTITIES",
     "PAD_OFFSET",
     "ParticleTiles",
+    "TilizeCache",
     "assign_tiles_to_cores",
 ]

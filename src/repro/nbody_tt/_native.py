@@ -1,0 +1,179 @@
+"""Optional C acceleration for the batched block-dispatch engine.
+
+The fp32 force math is ~35 IEEE-rounded elementwise passes per particle
+pair.  NumPy executes each pass as a separate memory sweep, which caps the
+functional simulator at a few Gelem/s on one host core.  This module
+compiles (once per process, via the system C compiler) a fused elementwise
+kernel that walks each (i-row x j-stream) chunk exactly once and emits the
+six per-pair product arrays the engine then reduces *with NumPy itself* —
+so the summation tree, and therefore every accumulated bit, is identical
+to the per-block reference path.
+
+Bit-identity is guaranteed rather than hoped for:
+
+* every C operation is the same IEEE-754 single-precision op, in the same
+  order, as the NumPy expression in ``_force_block_fp32`` (left-associative
+  sums, explicit parentheses);
+* the kernel is compiled with ``-ffp-contract=off`` (no FMA contraction)
+  and without ``-ffast-math``, so each op rounds once, exactly like NumPy;
+* ``sqrtf`` and division are IEEE correctly-rounded on every target, so
+  vectorisation cannot change results;
+* reductions never happen in C — the product arrays go back to NumPy's
+  pairwise ``sum``, the same code path the per-block kernel uses.
+
+The dependency is soft: no compiler (or ``REPRO_NATIVE=0``) means the
+engine silently falls back to its pure-NumPy chunked path, which is slower
+but equally bit-identical.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["native_force_kernel", "native_available"]
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+
+/* One fused pass over a (rows x cols) chunk of the pairwise interaction
+ * matrix.  Scalars per i-row, streams per j-column; writes the six product
+ * arrays (acc x/y/z, jerk x/y/z) that the caller reduces along j.
+ *
+ * Operation order matches repro.nbody_tt.force_kernel._force_block_fp32
+ * exactly; compiled with -ffp-contract=off so nothing fuses or reorders.
+ * restrict is what lets gcc vectorise the inner loop (the 19 pointers are
+ * provably distinct NumPy buffers); vector sqrt/div stay correctly rounded,
+ * so lane-wise results are bit-identical to the scalar loop.
+ * diag0 is the j-column of row 0's self-interaction (-1 when this chunk
+ * holds no diagonal): those lanes are zeroed afterwards, mirroring the
+ * reference's fill_diagonal(rinv, 0) which annihilates all six products.
+ */
+void nbody_chunk_f32(
+    const float *restrict xi, const float *restrict yi,
+    const float *restrict zi, const float *restrict vxi,
+    const float *restrict vyi, const float *restrict vzi,
+    const float *restrict mj, const float *restrict xj,
+    const float *restrict yj, const float *restrict zj,
+    const float *restrict vxj, const float *restrict vyj,
+    const float *restrict vzj,
+    float eps2, int64_t rows, int64_t cols, int64_t diag0,
+    float *restrict ax, float *restrict ay, float *restrict az,
+    float *restrict jx, float *restrict jy, float *restrict jz)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float xr = xi[r], yr = yi[r], zr = zi[r];
+        const float vxr = vxi[r], vyr = vyi[r], vzr = vzi[r];
+        float *axr = ax + r * cols, *ayr = ay + r * cols, *azr = az + r * cols;
+        float *jxr = jx + r * cols, *jyr = jy + r * cols, *jzr = jz + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+            const float dx = xj[c] - xr;
+            const float dy = yj[c] - yr;
+            const float dz = zj[c] - zr;
+            const float dvx = vxj[c] - vxr;
+            const float dvy = vyj[c] - vyr;
+            const float dvz = vzj[c] - vzr;
+            const float r2 = ((dx * dx + dy * dy) + dz * dz) + eps2;
+            const float rinv = 1.0f / sqrtf(r2);
+            const float rinv2 = rinv * rinv;
+            const float rinv3 = rinv2 * rinv;
+            const float mr3 = mj[c] * rinv3;
+            const float rv = (dx * dvx + dy * dvy) + dz * dvz;
+            const float alpha = (3.0f * rv) * rinv2;
+            axr[c] = mr3 * dx;
+            ayr[c] = mr3 * dy;
+            azr[c] = mr3 * dz;
+            jxr[c] = mr3 * (dvx - alpha * dx);
+            jyr[c] = mr3 * (dvy - alpha * dy);
+            jzr[c] = mr3 * (dvz - alpha * dz);
+        }
+        if (diag0 >= 0) {
+            const int64_t c = diag0 + r;
+            if (c >= 0 && c < cols) {
+                axr[c] = 0.0f; ayr[c] = 0.0f; azr[c] = 0.0f;
+                jxr[c] = 0.0f; jyr[c] = 0.0f; jzr[c] = 0.0f;
+            }
+        }
+    }
+}
+"""
+
+#: -ffp-contract=off forbids FMA contraction (would change rounding);
+#: -fno-math-errno lets sqrtf vectorise while staying correctly rounded.
+_CFLAGS = [
+    "-O3", "-march=native", "-funroll-loops",
+    "-fno-math-errno", "-ffp-contract=off",
+    "-shared", "-fPIC",
+]
+
+_lock = threading.Lock()
+_kernel: object = None
+_load_attempted = False
+
+
+def _float_ptr(arr: np.ndarray):
+    return arr.ctypes.data_as(ctypes.POINTER(ctypes.c_float))
+
+
+class _NativeKernel:
+    """ctypes wrapper around the compiled fused chunk kernel."""
+
+    def __init__(self, fn) -> None:
+        fn.restype = None
+        fn.argtypes = (
+            [ctypes.POINTER(ctypes.c_float)] * 13
+            + [ctypes.c_float, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64]
+            + [ctypes.POINTER(ctypes.c_float)] * 6
+        )
+        self._fn = fn
+
+    def __call__(self, i_arrs, j_arrs, eps2, rows, cols, diag0, out_arrs):
+        """i_arrs: 6 row-scalars; j_arrs: 7 column streams; out: 6 products."""
+        self._fn(
+            *[_float_ptr(a) for a in i_arrs],
+            *[_float_ptr(a) for a in j_arrs],
+            ctypes.c_float(eps2),
+            ctypes.c_int64(rows), ctypes.c_int64(cols), ctypes.c_int64(diag0),
+            *[_float_ptr(a) for a in out_arrs],
+        )
+
+
+def _compile() -> object:
+    """Compile the kernel into a per-process temp dir; None on any failure."""
+    cc = os.environ.get("CC", "cc")
+    build_dir = tempfile.mkdtemp(prefix="repro-nbody-native-")
+    src = os.path.join(build_dir, "nbody_chunk.c")
+    lib = os.path.join(build_dir, "nbody_chunk.so")
+    with open(src, "w") as fh:
+        fh.write(_C_SOURCE)
+    try:
+        subprocess.run(
+            [cc, *_CFLAGS, src, "-o", lib, "-lm"],
+            check=True, capture_output=True, timeout=120,
+        )
+        return _NativeKernel(ctypes.CDLL(lib).nbody_chunk_f32)
+    except (OSError, subprocess.SubprocessError, AttributeError):
+        return None
+
+
+def native_force_kernel():
+    """The fused fp32 chunk kernel, or None when unavailable/disabled."""
+    global _kernel, _load_attempted
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        return None
+    with _lock:
+        if not _load_attempted:
+            _load_attempted = True
+            _kernel = _compile()
+    return _kernel
+
+
+def native_available() -> bool:
+    """True when the compiled fast path is usable in this process."""
+    return native_force_kernel() is not None

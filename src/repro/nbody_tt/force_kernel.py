@@ -36,6 +36,7 @@ __all__ = [
     "weighted_ops_per_j",
     "charge_block",
     "force_block",
+    "resident_i_arrays",
     "BlockAccumulators",
     "CB_J_IN",
     "CB_I_IN",
@@ -124,6 +125,22 @@ class BlockAccumulators:
                 for a in self._arrs]
 
 
+def resident_i_arrays(i_pages: list[Tile], fmt: DataFormat) -> tuple:
+    """Convert the six resident i-pages to working precision, once.
+
+    The compute kernel holds one i-tile resident while the whole j-stream
+    passes; converting its pages per (i, j) block was pure overhead.  The
+    returned tuple feeds every ``force_block`` call of that i-tile.
+    """
+    if len(i_pages) != I_PAGES:
+        raise KernelError(
+            f"resident i-tile needs {I_PAGES} pages, got {len(i_pages)}"
+        )
+    if fmt is DataFormat.FLOAT32:
+        return tuple(p.data.astype(np.float32) for p in i_pages)
+    return tuple(p.astype(fmt).data for p in i_pages)
+
+
 def force_block(
     i_pages: list[Tile],
     j_pages: list[Tile],
@@ -132,6 +149,7 @@ def force_block(
     softening: float,
     fmt: DataFormat,
     diagonal: bool,
+    i_arrays: tuple | None = None,
 ) -> None:
     """One (i-tile x j-tile) interaction block in device precision.
 
@@ -139,24 +157,28 @@ def force_block(
     vz).  The i lanes index rows, j sources index columns.  When
     ``diagonal`` is set the lane-equal pairs are masked (the self
     interaction), mirroring the predicated ``where`` the broadcast loop
-    applies right after ``rsqrt``.
+    applies right after ``rsqrt``.  ``i_arrays`` (from
+    :func:`resident_i_arrays`) skips the per-block re-conversion of the
+    resident pages.
     """
     if len(i_pages) != I_PAGES or len(j_pages) != J_PAGES:
         raise KernelError(
             f"force_block needs {I_PAGES} i-pages and {J_PAGES} j-pages, "
             f"got {len(i_pages)}, {len(j_pages)}"
         )
+    if i_arrays is None:
+        i_arrays = resident_i_arrays(i_pages, fmt)
     if fmt is DataFormat.FLOAT32:
-        _force_block_fp32(i_pages, j_pages, accumulators, softening, diagonal)
+        _force_block_fp32(i_arrays, j_pages, accumulators, softening, diagonal)
     else:
         _force_block_generic(
-            i_pages, j_pages, accumulators, softening, fmt, diagonal
+            i_arrays, j_pages, accumulators, softening, fmt, diagonal
         )
 
 
-def _force_block_fp32(i_pages, j_pages, accumulators, softening, diagonal):
+def _force_block_fp32(i_arrays, j_pages, accumulators, softening, diagonal):
     """Fast path: native float32 NumPy ops round exactly like the SFPU."""
-    xi, yi, zi, vxi, vyi, vzi = (p.data.astype(np.float32) for p in i_pages)
+    xi, yi, zi, vxi, vyi, vzi = i_arrays
     mj, xj, yj, zj, vxj, vyj, vzj = (p.data.astype(np.float32) for p in j_pages)
     eps2 = np.float32(softening * softening)
 
@@ -190,10 +212,10 @@ def _force_block_fp32(i_pages, j_pages, accumulators, softening, diagonal):
         accumulators.add(5, (mr3 * (dvz - alpha * dz)).sum(axis=1, dtype=np.float32))
 
 
-def _force_block_generic(i_pages, j_pages, accumulators, softening, fmt, diagonal):
+def _force_block_generic(i_arrays, j_pages, accumulators, softening, fmt, diagonal):
     """Ablation path: every operation re-quantised to the working format."""
-    q = lambda a: quantize(a, fmt)
-    xi, yi, zi, vxi, vyi, vzi = (p.astype(fmt).data for p in i_pages)
+    q = lambda a: quantize(a, fmt)  # noqa: E731 - local shorthand
+    xi, yi, zi, vxi, vyi, vzi = i_arrays
     mj, xj, yj, zj, vxj, vyj, vzj = (p.astype(fmt).data for p in j_pages)
     eps2 = float(quantize(np.asarray([softening * softening]), fmt)[0])
 

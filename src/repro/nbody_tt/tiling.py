@@ -26,7 +26,7 @@ from ..errors import NBodyError
 from ..wormhole.dtypes import DataFormat
 from ..wormhole.tile import TILE_ELEMENTS, Tile, tiles_needed, tilize_1d, untilize_1d
 
-__all__ = ["PAD_OFFSET", "ParticleTiles", "assign_tiles_to_cores"]
+__all__ = ["PAD_OFFSET", "ParticleTiles", "TilizeCache", "assign_tiles_to_cores"]
 
 #: Base sentinel coordinate for phantom lanes in the last position tile.
 #: Phantom k sits at ((PAD_OFFSET + k), 2*(PAD_OFFSET + k), 3*(PAD_OFFSET + k)):
@@ -42,6 +42,39 @@ J_QUANTITIES = ("m", "x", "y", "z", "vx", "vy", "vz")
 I_QUANTITIES = ("x", "y", "z", "vx", "vy", "vz")
 #: Result quantities written back, in CB page order.
 OUT_QUANTITIES = ("ax", "ay", "az", "jx", "jy", "jz")
+
+
+class TilizeCache:
+    """Per-column memoisation of tilized particle quantities.
+
+    Tilizing quantises every column on every force evaluation even though
+    some columns never change (masses are constant for the whole run, and
+    positions repeat between the predictor's trial evaluations).  The cache
+    compares each source column against the last one it tilized and, on a
+    match, returns the *same* tile-list object — which also lets the upload
+    cache in :class:`~repro.nbody_tt.offload.TTForceBackend` recognise, by
+    identity, buffers that already hold the data.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[DataFormat, np.ndarray, list[Tile]]] = {}
+
+    def get_or_build(self, name: str, source: np.ndarray, fmt: DataFormat,
+                     builder) -> list[Tile]:
+        """Tiles for ``source``, reusing the previous build when unchanged."""
+        entry = self._entries.get(name)
+        if (
+            entry is not None
+            and entry[0] is fmt
+            and np.array_equal(entry[1], source)
+        ):
+            return entry[2]
+        tiles = builder()
+        self._entries[name] = (fmt, np.array(source, dtype=np.float64), tiles)
+        return tiles
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 @dataclass
@@ -60,6 +93,8 @@ class ParticleTiles:
         vel: np.ndarray,
         mass: np.ndarray,
         fmt: DataFormat = DataFormat.FLOAT32,
+        *,
+        cache: TilizeCache | None = None,
     ) -> "ParticleTiles":
         n = mass.shape[0]
         if n == 0:
@@ -68,18 +103,32 @@ class ParticleTiles:
             raise NBodyError("pos/vel shapes do not match the mass vector")
         n_tiles = tiles_needed(n)
         pad = n_tiles * TILE_ELEMENTS - n
+
+        def column(name: str, source: np.ndarray, builder) -> list[Tile]:
+            if cache is None:
+                return builder()
+            return cache.get_or_build(name, source, fmt, builder)
+
         # phantom lanes: zero mass, distinct far-away positions (a spread
         # avoids phantom-phantom coincidences), zero velocity
         columns: dict[str, list[Tile]] = {
-            "m": tilize_1d(mass, fmt, pad_value=0.0)
+            "m": column("m", mass, lambda: tilize_1d(mass, fmt, pad_value=0.0))
         }
         offsets = PAD_OFFSET + np.arange(pad)
         for axis, name in enumerate(("x", "y", "z")):
-            padded = np.concatenate([pos[:, axis], offsets * (axis + 1)])
-            columns[name] = tilize_1d(padded, fmt)
+            columns[name] = column(
+                name, pos[:, axis],
+                lambda axis=axis: tilize_1d(
+                    np.concatenate([pos[:, axis], offsets * (axis + 1)]), fmt
+                ),
+            )
         for axis, name in enumerate(("vx", "vy", "vz")):
-            padded = np.concatenate([vel[:, axis], np.zeros(pad)])
-            columns[name] = tilize_1d(padded, fmt)
+            columns[name] = column(
+                name, vel[:, axis],
+                lambda axis=axis: tilize_1d(
+                    np.concatenate([vel[:, axis], np.zeros(pad)]), fmt
+                ),
+            )
         return cls(n=n, n_tiles=n_tiles, fmt=fmt, columns=columns)
 
     def j_pages(self, tile_index: int) -> list[Tile]:

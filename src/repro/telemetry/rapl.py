@@ -22,7 +22,6 @@ core domains receiving the configured fraction of their package's energy.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..errors import SamplerError
 from .params import DEFAULT_HOST_POWER, HostPowerParams

@@ -9,7 +9,6 @@ chassis.  Returns the rows the campaign writes to csv.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..errors import SamplerError
 from .energy import SampleRow

@@ -133,6 +133,23 @@ class CircularBuffer:
         self._reserved -= 1
         self._staged.append(tile)
 
+    def write_pages(self, tiles) -> None:
+        """Write several tiles into previously reserved space at once.
+
+        Semantically ``write_page`` per tile (same reservation accounting,
+        no extra charges) without the per-page Python call overhead.
+        """
+        tiles = list(tiles)
+        if self._reserved < len(tiles):
+            raise CircularBufferError(
+                f"cb {self.cb_id}: write of {len(tiles)} pages with only "
+                f"{self._reserved} reserved"
+            )
+        self._reserved -= len(tiles)
+        self._staged.extend(
+            t if t.fmt is self.fmt else t.astype(self.fmt) for t in tiles
+        )
+
     def push_back(self, n_pages: int) -> None:
         """``cb_push_back``: make ``n_pages`` staged pages visible."""
         self._check_pages(n_pages)

@@ -125,6 +125,33 @@ class Dram:
             counter.add_datamove(self.transfer_cycles(size), op="dram.read")
         return bytes(buf[offset : offset + size])
 
+    def touch_read(self, address: int, size: int,
+                   counter: CycleCounter | None = None) -> None:
+        """Account a read without materialising the bytes.
+
+        Used by charge-only replays (the batched dispatch engine): bounds
+        are validated and ``bytes_read`` plus the bandwidth charge advance
+        exactly as :meth:`read` would, but no payload is copied.
+        """
+        self._locate(address, size)
+        self.bytes_read += size
+        if counter is not None:
+            counter.add_datamove(self.transfer_cycles(size), op="dram.read")
+
+    def touch_write(self, address: int, size: int,
+                    counter: CycleCounter | None = None) -> float:
+        """Account a write without storing bytes (cf. :meth:`touch_read`).
+
+        The DRAM contents at ``address`` are left untouched — callers use
+        this when the stored bytes are already known to be identical.
+        """
+        self._locate(address, size)
+        self.bytes_written += size
+        cycles = self.transfer_cycles(size)
+        if counter is not None:
+            counter.add_datamove(cycles, op="dram.write")
+        return cycles
+
     def transfer_cycles(self, n_bytes: int, *, interleaved: bool = True) -> float:
         """Cycles (at core clock) to move ``n_bytes`` through the bus.
 

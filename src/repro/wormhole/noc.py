@@ -15,7 +15,7 @@ matters for the multi-device/ethernet path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from .counters import CycleCounter

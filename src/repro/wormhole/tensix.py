@@ -71,6 +71,13 @@ class KernelScheduler:
     def run(self, kernels: list[KernelInstance]) -> None:
         pending = [k for k in kernels if not k.finished]
         while pending:
+            if len(pending) == 1:
+                # Steady-state fast path: once a single kernel remains (or
+                # the program had only one), round-robin bookkeeping is pure
+                # overhead.  Rounds are counted and capped identically, and
+                # a round with no CB event is still a deadlock.
+                self._run_last(pending[0])
+                return
             self.rounds += 1
             if self.rounds > MAX_SCHEDULER_ROUNDS:
                 raise KernelError(
@@ -82,11 +89,35 @@ class KernelScheduler:
             for kernel in pending:
                 if kernel.step():
                     progressed = True
-            pending = [k for k in pending if not k.finished]
-            if pending and not progressed and self.events.events == events_before:
+            if progressed:
+                # only rebuild the pending list when some kernel actually
+                # finished this round — the common case rebuilds nothing
+                pending = [k for k in pending if not k.finished]
+            elif self.events.events == events_before:
                 raise CircularBufferError(
                     "deadlock: kernels "
                     + ", ".join(repr(k.name) for k in pending)
+                    + " are all blocked on circular-buffer conditions that "
+                    "no producer/consumer can satisfy"
+                )
+
+    def _run_last(self, kernel: KernelInstance) -> None:
+        """Drive the only unfinished kernel in a tight loop."""
+        events = self.events
+        while True:
+            self.rounds += 1
+            if self.rounds > MAX_SCHEDULER_ROUNDS:
+                raise KernelError(
+                    f"scheduler exceeded {MAX_SCHEDULER_ROUNDS} rounds; "
+                    f"kernels {[kernel.name]} appear livelocked"
+                )
+            events_before = events.events
+            if kernel.step():
+                return
+            if events.events == events_before:
+                raise CircularBufferError(
+                    "deadlock: kernels "
+                    + repr(kernel.name)
                     + " are all blocked on circular-buffer conditions that "
                     "no producer/consumer can satisfy"
                 )

@@ -103,6 +103,31 @@ class Tile:
         object.__setattr__(self, "data", arr)
 
     @classmethod
+    def from_quantized(cls, data: np.ndarray,
+                       fmt: DataFormat = DataFormat.FLOAT32) -> "Tile":
+        """Wrap a float64 vector that is *already* rounded to ``fmt``.
+
+        Skips the (idempotent) re-quantisation of ``__post_init__`` — the
+        hot constructor for DRAM decode and the batched engine, where the
+        values went through ``quantize`` earlier on the same path.  The
+        caller guarantees the precondition; feeding unrounded data here
+        would forge precision the device does not have.
+        """
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.shape != (TILE_ELEMENTS,):
+            raise TileError(
+                f"tile data must be a flat vector of {TILE_ELEMENTS} values, "
+                f"got shape {arr.shape}"
+            )
+        if arr.base is not None or arr is data:
+            arr = arr.copy()
+        arr.setflags(write=False)
+        tile = object.__new__(cls)
+        object.__setattr__(tile, "data", arr)
+        object.__setattr__(tile, "fmt", fmt)
+        return tile
+
+    @classmethod
     def zeros(cls, fmt: DataFormat = DataFormat.FLOAT32) -> "Tile":
         return cls(np.zeros(TILE_ELEMENTS), fmt)
 

@@ -85,7 +85,6 @@ class TestBlockHermite:
             integ.step_block()
             # time is an exact multiple of the finest active level
             t = s.time
-            k = np.ceil(np.log2(max(0.0625 / t, 1e-30))) if t else 0
             ratio = t / (0.0625 / 2.0**40)
             assert abs(ratio - round(ratio)) < 1e-6
 

@@ -111,8 +111,7 @@ class TestMonteCarloAgreement:
 
     def test_plummer_sampler_matches_mass_profile(self):
         n = 20_000
-        s = plummer(n, seed=0, virial_scaled=False)
-        p = PlummerProfile(scale_radius=1.0)  # unscaled sampler uses a = 1
+        s = plummer(n, seed=0, virial_scaled=False)  # unscaled sampler: a = 1
         radii = np.sort(np.linalg.norm(s.pos, axis=1))
         for frac in (0.25, 0.5, 0.75):
             r_measured = radii[int(frac * n)]

@@ -1,6 +1,5 @@
 """Tests for the simulation driver and its timeline assembly."""
 
-import numpy as np
 import pytest
 
 from repro.core.energy import energy_report

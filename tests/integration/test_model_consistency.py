@@ -6,7 +6,6 @@ each other so the campaign's numbers are guaranteed to describe the same
 machine the functional pipeline simulates.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import HostCostModel, Simulation, plummer

@@ -6,7 +6,6 @@ functional force evaluation at large N takes minutes of wall time; the
 analytic models cover those scales in the default suite.
 """
 
-import numpy as np
 import pytest
 
 from repro import paper_scale_enabled

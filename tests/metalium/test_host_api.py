@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import CommandQueueError, DeviceResetError, HostApiError, KernelError
 from repro.metalium import (
-    CBConfig,
     CloseDevice,
     CommandQueue,
     CoreRange,
@@ -23,9 +22,9 @@ from repro.metalium import (
     Program,
     SetRuntimeArgs,
 )
-from repro.wormhole.device import ResetFaultModel, WormholeDevice
+from repro.wormhole.device import ResetFaultModel
 from repro.wormhole.riscv import RiscvRole
-from repro.wormhole.tile import Tile, tilize_1d
+from repro.wormhole.tile import tilize_1d
 
 
 class TestDeviceCreation:

@@ -29,7 +29,6 @@ class TestDSForces:
                            atol=1e-12)
 
     def test_size_guard(self):
-        s = plummer(128, seed=3)
         with pytest.raises(NBodyError, match="N <= 2048"):
             big = np.zeros((4096, 3))
             ds_accel_jerk(big, big, np.ones(4096))

@@ -9,9 +9,8 @@ from repro.core.simulation import Simulation
 from repro.core.energy import energy_report
 from repro.core.validation import validate_forces
 from repro.errors import ConfigurationError
-from repro.metalium import CreateDevice, GetCommandQueue
+from repro.metalium import CreateDevice
 from repro.nbody_tt.offload import DeviceTimeModel, TTForceBackend
-from repro.wormhole.dtypes import DataFormat
 
 
 @pytest.fixture

@@ -2,14 +2,13 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.energy import energy_report
 from repro.core.forces import accel_jerk_on_targets, accel_jerk_reference
 from repro.core.hermite import correct, predict
 from repro.core.initial_conditions import plummer
-from repro.core.particles import ParticleSystem
 from repro.cpuref.openmp import chunk_ranges
 from repro.cpuref.mpi import split_counts
 from repro.nbody_tt.tiling import assign_tiles_to_cores

@@ -1,13 +1,12 @@
 """Tests for the roofline characterisation and the Grayskull parameter set."""
 
-import numpy as np
 import pytest
 
 from repro.bench.roofline import characterise_force_kernel
 from repro.errors import ConfigurationError
 from repro.wormhole.device import WormholeDevice
 from repro.wormhole.ethernet import EthernetFabric
-from repro.wormhole.params import GRAYSKULL_E150, WORMHOLE_N300, ChipParams
+from repro.wormhole.params import GRAYSKULL_E150, ChipParams
 
 
 class TestRoofline:
