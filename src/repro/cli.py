@@ -68,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--seed", type=int, default=2025)
     camp.add_argument("--report", type=str, default=None,
                       help="write a markdown campaign report to this path")
+    camp.add_argument("--retries", type=int, default=1,
+                      help="max device-reset attempts per job (default 1: "
+                           "the paper's no-recovery behaviour)")
+    camp.add_argument("--backoff", type=float, default=5.0,
+                      help="base backoff seconds between reset attempts "
+                           "(exponential, on the virtual clock)")
+    camp.add_argument("--failover", choices=("none", "card", "cpu"),
+                      default="none",
+                      help="on exhausted retries: rotate to another card "
+                           "or degrade to the CPU reference code")
+    camp.add_argument("--checkpoint", type=str, default=None,
+                      help="JSON-lines checkpoint written after every job")
+    camp.add_argument("--resume", action="store_true",
+                      help="resume an interrupted campaign from "
+                           "--checkpoint instead of starting fresh")
 
     figs = sub.add_parser(
         "figures",
@@ -192,24 +207,47 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .telemetry import Campaign, CampaignSummary, JobSpec
+    from .telemetry import Campaign, CampaignSummary, JobSpec, RetryPolicy
 
-    campaign = Campaign(
-        seed=args.seed,
-        reset_failure_rate=args.reset_failure_rate,
-        csv_dir=args.csv_dir,
-    )
-    accel_results = campaign.run_many(
-        JobSpec.paper_accelerated(n_particles=args.n, n_cycles=args.cycles),
-        args.accel_jobs,
-    )
-    ref_results = campaign.run_many(
-        JobSpec.paper_reference(n_particles=args.n, n_cycles=args.cycles),
-        args.ref_jobs,
-    )
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        campaign = Campaign.resume(args.checkpoint)
+        print(f"resuming from {args.checkpoint}: "
+              f"{len(campaign.resumed_results)} jobs restored, "
+              f"{len(campaign.remaining_schedule)} pending")
+        results = campaign.run_remaining()
+    else:
+        campaign = Campaign(
+            seed=args.seed,
+            reset_failure_rate=args.reset_failure_rate,
+            csv_dir=args.csv_dir,
+            retry=RetryPolicy(max_attempts=args.retries,
+                              base_backoff_s=args.backoff),
+            failover=args.failover,
+            checkpoint=args.checkpoint,
+        )
+        schedule = (
+            [JobSpec.paper_accelerated(n_particles=args.n,
+                                       n_cycles=args.cycles)]
+            * args.accel_jobs
+            + [JobSpec.paper_reference(n_particles=args.n,
+                                       n_cycles=args.cycles)]
+            * args.ref_jobs
+        )
+        results = campaign.run_schedule(schedule)
+    accel_results = [r for r in results if r.spec.accelerated]
+    ref_results = [r for r in results if not r.spec.accelerated]
     accel = CampaignSummary.from_results(accel_results)
     ref = CampaignSummary.from_results(ref_results)
     print(f"accelerated: {accel.completed}/{accel.submitted} completed")
+    if accel.total_attempts > accel.submitted or accel.retried:
+        print(f"  reset attempts: {accel.total_attempts} "
+              f"({accel.retried} jobs retried)")
+    if accel.failovers:
+        print("  failovers: "
+              + ", ".join(f"{k} x{n}" for k, n in accel.failovers))
     if accel.time_stats:
         print(f"  time-to-solution:   {accel.time_stats.format('s')}")
         print(f"  energy-to-solution: {accel.energy_stats.format('kJ')}")

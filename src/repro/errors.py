@@ -123,3 +123,63 @@ class SamplerError(TelemetryError):
 
 class CampaignError(TelemetryError):
     """Experimental-campaign orchestration failure."""
+
+
+class CheckpointError(CampaignError):
+    """Campaign checkpoint file is missing, corrupt, or inconsistent."""
+
+
+# --------------------------------------------------------------------------
+# Failure taxonomy
+# --------------------------------------------------------------------------
+#
+# The campaign's retry machinery needs two judgements about an exception:
+# *is it transient* (worth retrying — the paper's reset-phase errors are:
+# resubmitting the job usually works) and *what kind of failure was it*
+# (for the campaign's failure-breakdown telemetry).  Both are derived from
+# the exception class so new error types slot in by editing the tables
+# below, not the retry loop.
+
+#: Exception classes representing transient, retry-worthy faults.  Usage
+#: errors (bad configuration, protocol violations) are deliberately absent:
+#: retrying those would loop forever on a programming mistake.
+TRANSIENT_ERROR_TYPES: tuple[type[Exception], ...] = (DeviceResetError,)
+
+#: Most-specific-first mapping from exception class to the short machine-
+#: readable kind recorded in :class:`JobResult.failure_kind` and the
+#: campaign summary's failure breakdown.
+FAILURE_KINDS: tuple[tuple[type[Exception], str], ...] = (
+    (DeviceResetError, "device-reset"),
+    (AllocationError, "allocation"),
+    (DeviceMemoryError, "device-memory"),
+    (DeviceNotOpenError, "device-state"),
+    (DeviceError, "device"),
+    (CircularBufferError, "circular-buffer"),
+    (KernelError, "kernel"),
+    (CommandQueueError, "command-queue"),
+    (HostApiError, "host-api"),
+    (DataFormatError, "data-format"),
+    (TileError, "tile"),
+    (ValidationError, "validation"),
+    (IntegratorError, "integrator"),
+    (NBodyError, "nbody"),
+    (SamplerError, "sampler"),
+    (CheckpointError, "checkpoint"),
+    (CampaignError, "campaign"),
+    (TelemetryError, "telemetry"),
+    (ConfigurationError, "configuration"),
+    (ReproError, "repro"),
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is a transient fault a retry may clear."""
+    return isinstance(exc, TRANSIENT_ERROR_TYPES)
+
+
+def failure_kind(exc: BaseException) -> str:
+    """Short machine-readable kind for ``exc`` (``"unexpected"`` if none)."""
+    for exc_type, kind in FAILURE_KINDS:
+        if isinstance(exc, exc_type):
+            return kind
+    return "unexpected"

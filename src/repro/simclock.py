@@ -50,6 +50,20 @@ class VirtualClock:
         """Virtual sleep: advances time by ``seconds`` without blocking."""
         self.advance(seconds)
 
+    def jump_to(self, t: float) -> float:
+        """Jump the clock forward to absolute time ``t`` (checkpoint resume).
+
+        Monotonicity still holds: jumping backwards is rejected, because a
+        resumed campaign must continue exactly where the interrupted one
+        stopped, never earlier.
+        """
+        if not (t >= self._now):
+            raise ConfigurationError(
+                f"cannot jump clock backwards from {self._now!r} to {t!r}"
+            )
+        self._now = float(t)
+        return self._now
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VirtualClock(now={self._now:.3f}s)"
 

@@ -9,7 +9,14 @@ orchestrated by :class:`~repro.telemetry.campaign.Campaign` through the
 reset / sleep / simulate / sleep workflow.
 """
 
-from .campaign import Campaign, CampaignSummary, JobResult, JobSpec
+from .campaign import (
+    FAILOVER_MODES,
+    Campaign,
+    CampaignSummary,
+    JobResult,
+    JobSpec,
+)
+from .checkpoint import CampaignCheckpoint, LoadedCheckpoint
 from .energy import (
     EnergyToSolution,
     SampleRow,
@@ -23,16 +30,23 @@ from .params import DEFAULT_HOST_POWER, HostPowerParams
 from .power_models import HostPowerModel, JobKind, card_state_at
 from .rapl import ENERGY_UNIT_J, REGISTER_WRAP, Rapl, unwrap_register_series
 from .report import campaign_markdown, write_campaign_report
+from .retry import NO_RETRY, RetryPolicy
 from .sampler import PowerSampler
-from .stats import RunStats, histogram
+from .stats import RunStats, breakdown, histogram
 from .timeline import JobTimeline
 from .tt_smi import TTSMI
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignSummary",
+    "FAILOVER_MODES",
     "JobResult",
     "JobSpec",
+    "LoadedCheckpoint",
+    "NO_RETRY",
+    "RetryPolicy",
+    "breakdown",
     "EnergyToSolution",
     "SampleRow",
     "energy_to_solution",

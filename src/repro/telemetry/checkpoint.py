@@ -1,0 +1,227 @@
+"""Durable campaign state: JSON-lines checkpoint files and their loader.
+
+A checkpoint makes a measurement campaign restartable: the paper's 50-job
+runs take hours of wall time on real hardware, and a crash (or a queue
+limit) halfway through should not discard everything already measured.
+
+The file is append-only JSON lines, written incrementally so a crash can
+lose at most the job in flight:
+
+* one ``campaign`` header — the constructor configuration (seed, card
+  count, sleep, failure rate, retry policy, failover mode, csv dir);
+* one ``schedule`` record per submitted batch — the planned job specs;
+* one ``job`` record per finished job — the serialised result (power rows
+  excluded; they live in the csv files) plus the *post-job* campaign state:
+  virtual-clock time, numpy bit-generator state, fault-model counters and
+  job counter.  Restoring that state replays the remaining schedule with
+  bit-identical results.
+
+:meth:`CampaignCheckpoint.load` parses a file back into config, schedule
+and results; :meth:`~repro.telemetry.campaign.Campaign.resume` turns that
+into a live campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from ..errors import CheckpointError
+from .energy import EnergyToSolution
+
+__all__ = ["CampaignCheckpoint", "LoadedCheckpoint"]
+
+#: Format version; bumped on incompatible record changes.
+CHECKPOINT_VERSION = 1
+
+
+def _spec_to_dict(spec) -> dict[str, Any]:
+    return asdict(spec)
+
+
+def _spec_from_dict(data: dict[str, Any]):
+    from .campaign import JobSpec
+
+    try:
+        return JobSpec(**data)
+    except TypeError as exc:
+        raise CheckpointError(f"bad job spec in checkpoint: {exc}") from None
+
+
+def _result_to_dict(result) -> dict[str, Any]:
+    energy = None
+    if result.energy is not None:
+        energy = {
+            "cards_kj": list(result.energy.cards_kj),
+            "host_kj": result.energy.host_kj,
+        }
+    return {
+        "spec": _spec_to_dict(result.spec),
+        "completed": result.completed,
+        "failure": result.failure,
+        "failure_kind": result.failure_kind,
+        "attempts": result.attempts,
+        "failover": result.failover,
+        "time_to_solution": result.time_to_solution,
+        "energy": energy,
+        "peak_total_w": result.peak_total_w,
+        "sim_start": result.sim_start,
+        "sim_end": result.sim_end,
+        "csv_path": str(result.csv_path) if result.csv_path else None,
+        "n_rows": len(result.rows),
+    }
+
+
+def _result_from_dict(data: dict[str, Any]):
+    from .campaign import JobResult
+
+    energy = data.get("energy")
+    return JobResult(
+        spec=_spec_from_dict(data["spec"]),
+        completed=bool(data["completed"]),
+        failure=data.get("failure"),
+        failure_kind=data.get("failure_kind"),
+        attempts=int(data.get("attempts", 0)),
+        failover=data.get("failover"),
+        time_to_solution=data.get("time_to_solution"),
+        energy=(
+            EnergyToSolution(
+                cards_kj=tuple(energy["cards_kj"]),
+                host_kj=energy["host_kj"],
+            )
+            if energy is not None else None
+        ),
+        peak_total_w=data.get("peak_total_w"),
+        rows=[],  # rows are not checkpointed; csv_path has them if persisted
+        sim_start=data.get("sim_start"),
+        sim_end=data.get("sim_end"),
+        csv_path=Path(data["csv_path"]) if data.get("csv_path") else None,
+    )
+
+
+@dataclass(frozen=True)
+class LoadedCheckpoint:
+    """Parsed checkpoint: config, full planned schedule, finished results."""
+
+    config: dict[str, Any]
+    schedule: list
+    results: list
+    states: list[dict[str, Any]]
+
+    @property
+    def remaining(self) -> list:
+        """Planned specs that have no finished job record yet."""
+        return self.schedule[len(self.results):]
+
+
+class CampaignCheckpoint:
+    """Append-only JSON-lines writer/reader for one campaign."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # -- writing -----------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def write_header(self, config: dict[str, Any]) -> None:
+        """Start a fresh checkpoint; refuses to clobber an existing one."""
+        if self.path.exists() and self.path.stat().st_size > 0:
+            raise CheckpointError(
+                f"checkpoint {self.path} already exists; resume from it "
+                "with Campaign.resume() or delete it to start over"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        self._append({
+            "kind": "campaign",
+            "version": CHECKPOINT_VERSION,
+            "config": config,
+        })
+
+    def append_schedule(self, specs) -> None:
+        self._append({
+            "kind": "schedule",
+            "specs": [_spec_to_dict(s) for s in specs],
+        })
+
+    def append_job(self, index: int, result, state: dict[str, Any]) -> None:
+        self._append({
+            "kind": "job",
+            "index": index,
+            "result": _result_to_dict(result),
+            "state": state,
+        })
+
+    # -- reading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> LoadedCheckpoint:
+        """Parse a checkpoint file; raises :class:`CheckpointError` on damage.
+
+        A truncated trailing line (the record being written when the
+        process died) is tolerated and dropped; anything else malformed is
+        an error.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise CheckpointError(f"checkpoint not found: {path}")
+        lines = path.read_text().splitlines()
+        records: list[dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final write: the job in flight is lost
+                raise CheckpointError(
+                    f"{path}: corrupt record on line {i + 1}"
+                ) from None
+        if not records or records[0].get("kind") != "campaign":
+            raise CheckpointError(f"{path}: missing campaign header")
+        header = records[0]
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint version "
+                f"{header.get('version')!r}"
+            )
+        config = header.get("config")
+        if not isinstance(config, dict):
+            raise CheckpointError(f"{path}: malformed campaign config")
+
+        schedule: list = []
+        results: list = []
+        states: list[dict[str, Any]] = []
+        for record in records[1:]:
+            kind = record.get("kind")
+            if kind == "schedule":
+                schedule.extend(
+                    _spec_from_dict(d) for d in record.get("specs", [])
+                )
+            elif kind == "job":
+                if record.get("index") != len(results):
+                    raise CheckpointError(
+                        f"{path}: job records out of order "
+                        f"(got index {record.get('index')}, "
+                        f"expected {len(results)})"
+                    )
+                results.append(_result_from_dict(record["result"]))
+                states.append(record["state"])
+            else:
+                raise CheckpointError(
+                    f"{path}: unknown record kind {kind!r}"
+                )
+        if len(results) > len(schedule):
+            raise CheckpointError(
+                f"{path}: {len(results)} job records but only "
+                f"{len(schedule)} scheduled specs"
+            )
+        return LoadedCheckpoint(
+            config=config, schedule=schedule, results=results, states=states
+        )

@@ -24,17 +24,56 @@ PAPER_ROWS = (
 )
 
 
+JOB_TABLE_HEADER = [
+    "| job | status | time [s] | energy [kJ] | peak [W] | attempts |",
+    "|---|---|---|---|---|---|",
+]
+
+
 def _job_rows(results: list[JobResult]) -> list[str]:
     rows = []
     for idx, r in enumerate(results, start=1):
         if r.completed:
+            status = "ok" if r.failover is None else f"ok ({r.failover})"
+            peak = (
+                f"{r.peak_total_w:.0f}" if r.peak_total_w is not None else "-"
+            )
             rows.append(
-                f"| {idx} | ok | {r.time_to_solution:.2f} | "
-                f"{r.energy.total_kj:.2f} | {r.peak_total_w:.0f} |"
+                f"| {idx} | {status} | {r.time_to_solution:.2f} | "
+                f"{r.energy.total_kj:.2f} | {peak} | {r.attempts} |"
             )
         else:
-            rows.append(f"| {idx} | reset failed | - | - | - |")
+            status = (
+                "reset failed" if r.failure_kind == "device-reset"
+                else f"failed: {r.failure_kind or 'unknown'}"
+            )
+            rows.append(f"| {idx} | {status} | - | - | - | {r.attempts} |")
     return rows
+
+
+def _resilience_lines(results: list[JobResult]) -> list[str]:
+    """The failure/retry breakdown — only when something went wrong."""
+    summary = CampaignSummary.from_results(results)
+    failed = summary.submitted - summary.completed
+    if not (failed or summary.retried or summary.failovers
+            or summary.failure_kinds):
+        return []
+    lines = [
+        "## Failures and retries",
+        "",
+        f"- reset attempts: {summary.total_attempts} "
+        f"across {summary.submitted} jobs",
+        f"- jobs retried: {summary.retried}",
+        f"- jobs failed: {failed}",
+    ]
+    if summary.failure_kinds:
+        kinds = ", ".join(f"{k} x{n}" for k, n in summary.failure_kinds)
+        lines.append(f"- failures by kind: {kinds}")
+    if summary.failovers:
+        notes = ", ".join(f"{k} x{n}" for k, n in summary.failovers)
+        lines.append(f"- failovers: {notes}")
+    lines.append("")
+    return lines
 
 
 def campaign_markdown(
@@ -76,8 +115,7 @@ def campaign_markdown(
             "## Accelerated jobs "
             f"({accel.completed} of {accel.submitted} completed)",
             "",
-            "| job | status | time [s] | energy [kJ] | peak [W] |",
-            "|---|---|---|---|---|",
+            *JOB_TABLE_HEADER,
             *_job_rows(accel_results),
             "",
         ]
@@ -85,11 +123,12 @@ def campaign_markdown(
         lines += [
             f"## Reference jobs ({ref.completed} of {ref.submitted} completed)",
             "",
-            "| job | status | time [s] | energy [kJ] | peak [W] |",
-            "|---|---|---|---|---|",
+            *JOB_TABLE_HEADER,
             *_job_rows(ref_results),
             "",
         ]
+
+    lines += _resilience_lines(accel_results + ref_results)
 
     done = [r for r in accel_results if r.completed]
     if done:

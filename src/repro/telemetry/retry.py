@@ -1,0 +1,85 @@
+"""Retry policy for the campaign's device-reset phase.
+
+The paper's campaign lost 24 of 50 accelerated jobs to errors "occurring
+during the device reset phase" and simply reported the survivors.  The
+failures are transient — resubmitting a failed job usually works — so a
+bounded retry loop with exponential backoff turns a 52 % per-attempt
+success rate into near-certain job completion while keeping an honest
+per-job attempt count for the telemetry.
+
+Backoff sleeps run on the campaign's :class:`~repro.simclock.VirtualClock`,
+so retries cost virtual seconds (visible in the power traces) and zero
+real time.  Retryability is decided by the failure taxonomy in
+:mod:`repro.errors`: transient device faults retry, usage errors abort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CampaignError, is_transient
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient campaign faults.
+
+    ``max_attempts`` counts every try including the first, so the default
+    of 1 reproduces the paper's no-recovery behaviour.  The delay before
+    attempt ``k+1`` is ``base_backoff_s * backoff_factor**(k-1)`` capped at
+    ``max_backoff_s``, optionally jittered by ``+/- jitter_fraction`` to
+    decorrelate retries across jobs.
+    """
+
+    max_attempts: int = 1
+    base_backoff_s: float = 5.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 120.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise CampaignError("backoff durations must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise CampaignError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise CampaignError(
+                f"jitter fraction must be in [0, 1), got {self.jitter_fraction}"
+            )
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt (transient faults only)."""
+        return is_transient(exc)
+
+    def backoff_s(self, failed_attempts: int,
+                  rng: np.random.Generator | None = None) -> float:
+        """Virtual-clock delay after ``failed_attempts`` consecutive failures.
+
+        Deterministic for a given ``rng`` state; with ``jitter_fraction=0``
+        (or no ``rng``) the rng is not consumed at all, keeping random
+        streams reproducible for jitter-free configurations.
+        """
+        if failed_attempts < 1:
+            raise CampaignError(
+                f"failed_attempts must be >= 1, got {failed_attempts}"
+            )
+        delay = self.base_backoff_s * self.backoff_factor ** (failed_attempts - 1)
+        delay = min(delay, self.max_backoff_s)
+        if self.jitter_fraction > 0.0 and rng is not None and delay > 0.0:
+            delay *= 1.0 + self.jitter_fraction * float(rng.uniform(-1.0, 1.0))
+        return delay
+
+
+#: The paper's behaviour: one attempt, no backoff, failures recorded as-is.
+NO_RETRY = RetryPolicy(max_attempts=1, base_backoff_s=0.0,
+                       jitter_fraction=0.0)

@@ -54,8 +54,15 @@ class PowerSampler:
                 f"empty sampling window [{job_start}, {job_end})"
             )
         rows: list[SampleRow] = []
-        t = float(job_start)
-        while t < job_end:
+        i = 0
+        while True:
+            # grid timestamps, not repeated addition: a multi-hour campaign
+            # accumulates visible float error from `t += interval`, skewing
+            # both the csv timestamps and the discrete energy integral
+            t = float(job_start) + i * self.interval_s
+            if t >= job_end:
+                break
+            i += 1
             phase = timeline.phase_at(t)
             host_w = self.host_model.sample_power(kind, phase)
             card_w = self.tt_smi.read(t, kind, timeline)
@@ -69,5 +76,4 @@ class PowerSampler:
                     ipmi_w=ipmi_w,
                 )
             )
-            t += self.interval_s
         return rows

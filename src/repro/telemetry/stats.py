@@ -8,7 +8,7 @@ import numpy as np
 
 from ..errors import TelemetryError
 
-__all__ = ["RunStats", "histogram"]
+__all__ = ["RunStats", "breakdown", "histogram"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,21 @@ class RunStats:
             f"{self.mean:.{digits}f} +/- {self.std:.{digits}f} {unit} "
             f"(n={self.n}, range {self.min:.{digits}f} - {self.max:.{digits}f})"
         ).strip()
+
+
+def breakdown(labels) -> tuple[tuple[str, int], ...]:
+    """Sorted ``(label, count)`` pairs over an iterable of labels.
+
+    ``None`` entries are skipped, so callers can feed optional per-job
+    fields (failure kinds, failover notes) directly.  Returned as a sorted
+    tuple of pairs — deterministic and usable inside frozen dataclasses.
+    """
+    counts: dict[str, int] = {}
+    for label in labels:
+        if label is None:
+            continue
+        counts[str(label)] = counts.get(str(label), 0) + 1
+    return tuple(sorted(counts.items()))
 
 
 def histogram(values, n_bins: int = 10) -> tuple[np.ndarray, np.ndarray]:

@@ -62,6 +62,21 @@ class ResetFaultModel:
                 "campaign's reset-phase errors)"
             )
 
+    def state(self) -> dict[str, int]:
+        """Counter snapshot for campaign checkpoints."""
+        return {"attempts": self.attempts, "failures": self.failures}
+
+    def restore(self, state: dict[str, int]) -> None:
+        """Restore counters from a :meth:`state` snapshot (resume)."""
+        attempts = int(state["attempts"])
+        failures = int(state["failures"])
+        if attempts < 0 or failures < 0 or failures > attempts:
+            raise ConfigurationError(
+                f"inconsistent fault-model state {state!r}"
+            )
+        self.attempts = attempts
+        self.failures = failures
+
 
 class WormholeDevice:
     """A simulated Wormhole n300 card."""

@@ -1,0 +1,169 @@
+"""Tests for campaign checkpointing and resume.
+
+The acceptance bar: a campaign interrupted after job k and resumed from
+its checkpoint yields a summary identical to the uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.telemetry import Campaign, CampaignSummary, JobSpec, RetryPolicy
+from repro.telemetry.checkpoint import CampaignCheckpoint
+from repro.telemetry.report import campaign_markdown
+
+ACCEL = JobSpec.paper_accelerated(n_particles=10_240, n_cycles=2)
+REF = JobSpec.paper_reference(n_particles=10_240, n_cycles=2)
+
+CONFIG = dict(seed=21, sleep_s=5.0, reset_failure_rate=0.48,
+              retry=RetryPolicy(max_attempts=4, base_backoff_s=1.0),
+              failover="cpu")
+SCHEDULE = [ACCEL] * 6 + [REF] * 3
+
+
+def run_straight_through():
+    return Campaign(**CONFIG).run_schedule(SCHEDULE)
+
+
+class TestCheckpointFile:
+    def test_records_written_per_job(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE)
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "campaign"
+        assert kinds[1] == "schedule"
+        assert kinds.count("job") == len(SCHEDULE)
+        assert records[0]["config"]["seed"] == 21
+        assert len(records[1]["specs"]) == len(SCHEDULE)
+        # each job record snapshots the post-job campaign state
+        for job in records[2:]:
+            assert {"clock", "rng", "fault", "job_counter"} <= set(
+                job["state"]
+            )
+
+    def test_refuses_to_clobber_existing(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:2])
+        with pytest.raises(CheckpointError):
+            Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Campaign.resume(tmp_path / "nope.jsonl")
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:3])
+        lines = path.read_text().splitlines()
+        lines[1] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            Campaign.resume(path)
+
+    def test_torn_final_write_tolerated(self, tmp_path):
+        """A crash mid-append loses only the job in flight."""
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE)
+        text = path.read_text()
+        torn = text[: text.rfind("clock")]  # cut inside the last record
+        path.write_text(torn)
+        campaign = Campaign.resume(path)
+        assert len(campaign.resumed_results) == len(SCHEDULE) - 1
+        assert len(campaign.remaining_schedule) == 1
+
+    def test_header_without_jobs_resumes_from_scratch(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        ckpt = CampaignCheckpoint(path)
+        ckpt.write_header(Campaign(**CONFIG)._config_dict())
+        ckpt.append_schedule(SCHEDULE)
+        campaign = Campaign.resume(path)
+        assert campaign.resumed_results == []
+        assert campaign.remaining_schedule == SCHEDULE
+
+
+class TestResume:
+    @pytest.mark.parametrize("k", [1, 4, 8])
+    def test_interrupted_run_matches_straight_run(self, tmp_path, k):
+        """Acceptance: kill after job k, resume, get the identical summary."""
+        straight = run_straight_through()
+
+        path = tmp_path / "campaign.jsonl"
+        partial = Campaign(**CONFIG, checkpoint=path)
+        ran = partial.run_schedule(SCHEDULE, stop_after=k)
+        assert len(ran) == k
+
+        resumed = Campaign.resume(path)
+        assert len(resumed.resumed_results) == k
+        assert resumed.remaining_schedule == SCHEDULE[k:]
+        combined = resumed.run_remaining()
+        assert len(combined) == len(SCHEDULE)
+
+        s1 = CampaignSummary.from_results(straight)
+        s2 = CampaignSummary.from_results(combined)
+        assert s1 == s2
+        # ... and the rendered reports are byte-identical
+        split = len([s for s in SCHEDULE if s.accelerated])
+        assert campaign_markdown(
+            straight[:split], straight[split:]
+        ) == campaign_markdown(combined[:split], combined[split:])
+
+    def test_fault_counters_restored(self, tmp_path):
+        straight = Campaign(**CONFIG)
+        straight.run_schedule(SCHEDULE)
+
+        path = tmp_path / "campaign.jsonl"
+        partial = Campaign(**CONFIG, checkpoint=path)
+        partial.run_schedule(SCHEDULE, stop_after=3)
+        resumed = Campaign.resume(path)
+        assert resumed.fault_model.attempts == partial.fault_model.attempts
+        resumed.run_remaining()
+        assert resumed.fault_model.attempts == straight.fault_model.attempts
+        assert resumed.fault_model.failures == straight.fault_model.failures
+
+    def test_resume_of_complete_campaign_is_a_noop(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        c = Campaign(**CONFIG, checkpoint=path)
+        results = c.run_schedule(SCHEDULE)
+        resumed = Campaign.resume(path)
+        assert resumed.remaining_schedule == []
+        combined = resumed.run_remaining()
+        assert len(combined) == len(results)
+        assert (CampaignSummary.from_results(combined)
+                == CampaignSummary.from_results(results))
+
+    def test_restored_results_round_trip_fields(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        csv_dir = tmp_path / "csv"
+        c = Campaign(**CONFIG, checkpoint=path, csv_dir=csv_dir)
+        results = c.run_schedule(SCHEDULE[:3])
+        restored = Campaign.resume(path).resumed_results
+        for orig, back in zip(results, restored):
+            assert back.spec == orig.spec
+            assert back.completed == orig.completed
+            assert back.attempts == orig.attempts
+            assert back.failure_kind == orig.failure_kind
+            assert back.failover == orig.failover
+            assert back.time_to_solution == orig.time_to_solution
+            assert back.peak_total_w == orig.peak_total_w
+            if orig.energy is not None:
+                assert back.energy.cards_kj == orig.energy.cards_kj
+                assert back.energy.host_kj == orig.energy.host_kj
+            assert back.csv_path == orig.csv_path
+            assert back.csv_path.exists()
+            # rows live in the csv, not the checkpoint
+            assert back.rows == []
+
+    def test_staged_execution_in_batches(self, tmp_path):
+        """stop_after + repeated resume = staged campaign execution."""
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(
+            SCHEDULE, stop_after=2
+        )
+        Campaign.resume(path).run_remaining(stop_after=3)
+        combined = Campaign.resume(path).run_remaining()
+        straight = run_straight_through()
+        assert (CampaignSummary.from_results(combined)
+                == CampaignSummary.from_results(straight))

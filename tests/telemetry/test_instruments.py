@@ -149,6 +149,30 @@ class TestPowerSampler:
         host_joules = sum(r.host_w for r in rows)  # 1 Hz rectangle rule
         assert sampler.rapl.packages_perf_joules() == pytest.approx(host_joules)
 
+    def test_timestamps_stay_on_grid_over_hours(self):
+        """Regression: repeated `t += interval` accumulated float error.
+
+        Over a multi-hour window at a non-dyadic interval the timestamps
+        must still land exactly on the job_start + i * interval grid —
+        the error previously skewed csv timestamps and the discrete
+        energy integral.
+        """
+        sampler = self.make_sampler(4)
+        sampler.interval_s = 0.1
+        job_start, job_end = 3.0, 3.0 + 4 * 3600.0  # a four-hour job
+        tl = JobTimeline(job_start, [TimelineSegment("host", 4 * 3600.0)])
+        rows = sampler.sample_job(job_start, job_end, JobKind(False, 32), tl)
+        assert len(rows) == 144_000
+        last = rows[-1].timestamp
+        expected = job_start + (len(rows) - 1) * sampler.interval_s
+        assert abs(last - expected) < 1e-9
+        # and the worst-case drift across the whole series stays on-grid
+        worst = max(
+            abs(rows[i].timestamp - (job_start + i * sampler.interval_s))
+            for i in range(0, len(rows), 1000)
+        )
+        assert worst < 1e-9
+
     def test_window_validation(self):
         sampler = self.make_sampler(2)
         tl = JobTimeline(0.0, [TimelineSegment("host", 1.0)])

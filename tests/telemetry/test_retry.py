@@ -1,0 +1,183 @@
+"""Tests for the retry policy, failure taxonomy, and campaign resilience."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    CampaignError,
+    CheckpointError,
+    DeviceResetError,
+    failure_kind,
+    is_transient,
+)
+from repro.telemetry import Campaign, CampaignSummary, JobSpec
+from repro.telemetry.retry import NO_RETRY, RetryPolicy
+
+ACCEL = JobSpec.paper_accelerated(n_particles=10_240, n_cycles=3)
+REF = JobSpec.paper_reference(n_particles=10_240, n_cycles=3)
+
+
+class TestFailureTaxonomy:
+    def test_reset_errors_are_transient(self):
+        assert is_transient(DeviceResetError("x"))
+
+    def test_usage_errors_are_not(self):
+        assert not is_transient(CampaignError("x"))
+        assert not is_transient(AllocationError("x"))
+        assert not is_transient(ValueError("x"))
+
+    def test_kinds_most_specific_first(self):
+        assert failure_kind(DeviceResetError("x")) == "device-reset"
+        assert failure_kind(AllocationError("x")) == "allocation"
+        assert failure_kind(CheckpointError("x")) == "checkpoint"
+        assert failure_kind(CampaignError("x")) == "campaign"
+
+    def test_unknown_exception_kind(self):
+        assert failure_kind(RuntimeError("x")) == "unexpected"
+
+
+class TestRetryPolicy:
+    def test_defaults_validate(self):
+        p = RetryPolicy(max_attempts=4)
+        assert p.retryable(DeviceResetError("x"))
+        assert not p.retryable(CampaignError("x"))
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(CampaignError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(CampaignError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(CampaignError):
+            RetryPolicy(jitter_fraction=1.0)
+
+    def test_exponential_growth_and_cap(self):
+        p = RetryPolicy(max_attempts=8, base_backoff_s=2.0,
+                        backoff_factor=2.0, max_backoff_s=10.0,
+                        jitter_fraction=0.0)
+        assert p.backoff_s(1) == 2.0
+        assert p.backoff_s(2) == 4.0
+        assert p.backoff_s(3) == 8.0
+        assert p.backoff_s(4) == 10.0  # capped
+        assert p.backoff_s(7) == 10.0
+
+    def test_jitter_bounded_and_deterministic(self):
+        p = RetryPolicy(max_attempts=4, base_backoff_s=10.0,
+                        jitter_fraction=0.25)
+        delays = [p.backoff_s(1, np.random.default_rng(7))
+                  for _ in range(5)]
+        assert all(d == delays[0] for d in delays)  # same rng state, same d
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            assert 7.5 <= p.backoff_s(1, rng) <= 12.5
+
+    def test_zero_jitter_does_not_consume_rng(self):
+        p = RetryPolicy(max_attempts=4, base_backoff_s=1.0,
+                        jitter_fraction=0.0)
+        rng = np.random.default_rng(9)
+        before = rng.bit_generator.state
+        p.backoff_s(1, rng)
+        assert rng.bit_generator.state == before
+
+    def test_failed_attempts_validated(self):
+        with pytest.raises(CampaignError):
+            NO_RETRY.backoff_s(0)
+
+
+class TestCampaignRetries:
+    def test_50_of_50_with_retry(self):
+        """Acceptance: retries turn the paper's 26-of-50 into 50-of-50."""
+        c = Campaign(seed=11, sleep_s=5.0, reset_failure_rate=0.48,
+                     retry=RetryPolicy(max_attempts=4, base_backoff_s=1.0))
+        results = c.run_many(ACCEL, 50)
+        assert all(r.completed for r in results)
+        # per-job attempt counts sum to the fault model's total attempts
+        assert sum(r.attempts for r in results) == c.fault_model.attempts
+        assert any(r.attempts > 1 for r in results)
+        assert all(1 <= r.attempts <= 4 for r in results)
+
+    def test_attempts_accounted_without_retry(self):
+        c = Campaign(seed=7, sleep_s=5.0, reset_failure_rate=24 / 50)
+        results = c.run_many(ACCEL, 20)
+        assert sum(r.attempts for r in results) == c.fault_model.attempts
+        assert all(r.attempts == 1 for r in results)
+        failed = [r for r in results if not r.completed]
+        assert failed and all(
+            r.failure_kind == "device-reset" for r in failed
+        )
+
+    def test_reference_jobs_have_zero_attempts(self):
+        c = Campaign(seed=12, sleep_s=5.0)
+        result = c.run_job(REF)
+        assert result.attempts == 0
+
+    def test_backoff_advances_virtual_clock(self):
+        """Retried jobs pay reset + backoff time on the virtual clock."""
+        base = Campaign(seed=0, sleep_s=5.0)
+        t_clean = base.run_job(ACCEL).rows[-1].timestamp
+        retried = Campaign(
+            seed=13, sleep_s=5.0, reset_failure_rate=0.8,
+            retry=RetryPolicy(max_attempts=10, base_backoff_s=30.0,
+                              jitter_fraction=0.0),
+        )
+        result = retried.run_job(ACCEL)
+        assert result.completed and result.attempts > 1
+        span = result.rows[-1].timestamp - result.rows[0].timestamp
+        reset_s = retried.device_costs.reset_duration_s
+        extra = (result.attempts - 1) * (reset_s + 30.0)
+        assert span >= t_clean + extra - 31.0  # last backoff may exceed need
+
+    def test_summary_retry_breakdown(self):
+        c = Campaign(seed=11, sleep_s=5.0, reset_failure_rate=0.48,
+                     retry=RetryPolicy(max_attempts=4, base_backoff_s=1.0))
+        summary = CampaignSummary.from_results(c.run_many(ACCEL, 20))
+        assert summary.total_attempts > summary.submitted
+        assert summary.retried > 0
+        assert summary.failure_kinds == ()  # everything recovered
+
+
+class TestFailover:
+    def test_cpu_downgrade_completes_every_job(self):
+        c = Campaign(seed=14, sleep_s=5.0, reset_failure_rate=1.0,
+                     failover="cpu")
+        results = c.run_many(ACCEL, 4)
+        assert all(r.completed for r in results)
+        assert all(r.failover == "cpu" for r in results)
+        assert all(r.failure_kind == "device-reset" for r in results)
+        # the degraded job ran on the CPU: all cards stay in the idle band
+        for r in results:
+            assert all(w < 13.0 for row in r.rows for w in row.card_w)
+        summary = CampaignSummary.from_results(results)
+        assert summary.failovers == (("cpu", 4),)
+
+    def test_card_rotation_records_new_device(self):
+        c = Campaign(seed=15, sleep_s=5.0, reset_failure_rate=0.9,
+                     retry=RetryPolicy(max_attempts=2, base_backoff_s=1.0),
+                     failover="card")
+        results = c.run_many(ACCEL, 12)
+        rotated = [r for r in results if r.failover is not None]
+        assert rotated, "expected at least one card failover at rate 0.9"
+        for r in rotated:
+            assert r.failover.startswith("card:")
+            target = int(r.failover.split(":")[1])
+            assert 0 <= target < c.n_cards
+            assert target != ACCEL.active_device
+            # the rotated card, not the requested one, is the active one
+            active = [
+                max(row.card_w[i] for row in r.rows) for i in range(4)
+            ]
+            assert active[target] > 25.0
+
+    def test_failover_none_still_fails(self):
+        c = Campaign(seed=16, sleep_s=5.0, reset_failure_rate=1.0,
+                     retry=RetryPolicy(max_attempts=3, base_backoff_s=1.0))
+        result = c.run_job(ACCEL)
+        assert not result.completed
+        assert result.attempts == 3
+        assert result.failover is None
+
+    def test_invalid_failover_mode_rejected(self):
+        with pytest.raises(CampaignError):
+            Campaign(failover="wings")

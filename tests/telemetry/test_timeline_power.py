@@ -111,10 +111,15 @@ class TestMultiCardStates:
     def test_jobspec_multi_device_kind(self):
         from repro.telemetry.campaign import JobSpec
 
+        # multi-card jobs start from the requested slot, wrapping mod n_cards
         spec = JobSpec.paper_accelerated(n_devices=3)
-        assert spec.kind().active_set() == (0, 1, 2)
+        assert spec.kind(n_cards=4).active_set() == (3, 0, 1)
+        assert spec.kind().active_set() == (3, 4, 5)  # no host: no wrap
+        first = JobSpec.paper_accelerated(n_devices=3, active_device=0)
+        assert first.kind(n_cards=4).active_set() == (0, 1, 2)
         single = JobSpec.paper_accelerated()
         assert single.kind().active_set() == (3,)  # the Fig. 4 device
+        assert single.kind(n_cards=2).active_set() == (1,)  # wraps in range
 
 
 class TestHostPowerModel:

@@ -104,6 +104,48 @@ class TestCampaign:
         assert rc == 0
         assert "accelerated: 0/10 completed" in capsys.readouterr().out
 
+    def test_retries_recover_failed_resets(self, capsys):
+        rc = main(["campaign", "--accel-jobs", "4", "--ref-jobs", "1",
+                   "--n", "10240", "--cycles", "1", "--seed", "11",
+                   "--reset-failure-rate", "0.48", "--retries", "8",
+                   "--backoff", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accelerated: 4/4 completed" in out
+        assert "reset attempts:" in out
+
+    def test_cpu_failover_completes_jobs(self, capsys):
+        rc = main(["campaign", "--accel-jobs", "2", "--ref-jobs", "1",
+                   "--n", "10240", "--cycles", "1",
+                   "--reset-failure-rate", "1.0", "--failover", "cpu"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accelerated: 2/2 completed" in out
+        assert "failovers: cpu x2" in out
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        path = tmp_path / "campaign.jsonl"
+        rc = main(["campaign", "--accel-jobs", "2", "--ref-jobs", "2",
+                   "--n", "10240", "--cycles", "1",
+                   "--checkpoint", str(path)])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        rc = main(["campaign", "--resume", "--checkpoint", str(path)])
+        assert rc == 0
+        resumed = capsys.readouterr().out
+        assert "4 jobs restored, 0 pending" in resumed
+        # the resumed summary reproduces the original one exactly
+        assert first.splitlines()[0] in resumed
+        for line in first.splitlines():
+            if "time-to-solution" in line:
+                assert line in resumed
+
+    def test_resume_requires_checkpoint(self, capsys):
+        rc = main(["campaign", "--resume"])
+        assert rc == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
 
 class TestSmi:
     def test_table(self, capsys):

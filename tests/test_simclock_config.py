@@ -38,6 +38,18 @@ class TestVirtualClock:
         clock.advance(0.0)
         assert clock.now() == 0.0
 
+    def test_jump_to_for_checkpoint_resume(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        assert clock.jump_to(1234.5) == 1234.5
+        assert clock.now() == 1234.5
+        clock.jump_to(1234.5)  # jumping to the current time is a no-op
+
+    def test_jump_backwards_rejected(self):
+        clock = VirtualClock(100.0)
+        with pytest.raises(ConfigurationError):
+            clock.jump_to(99.9)
+
 
 class TestStopwatch:
     def test_measures_interval_excluding_outside_time(self):

@@ -104,6 +104,30 @@ class TestResetFaults:
         assert 0.40 <= failure_fraction <= 0.56
         assert model.attempts == 500
 
+    def test_state_snapshot_round_trip(self):
+        """Counter snapshots feed campaign checkpoints."""
+        rng = np.random.default_rng(3)
+        model = ResetFaultModel(failure_rate=0.5, rng=rng)
+        for _ in range(20):
+            try:
+                model.check()
+            except DeviceResetError:
+                pass
+        snap = model.state()
+        assert snap == {"attempts": model.attempts,
+                        "failures": model.failures}
+        fresh = ResetFaultModel(failure_rate=0.5)
+        fresh.restore(snap)
+        assert fresh.attempts == model.attempts
+        assert fresh.failures == model.failures
+
+    def test_restore_rejects_inconsistent_state(self):
+        model = ResetFaultModel()
+        with pytest.raises(ConfigurationError):
+            model.restore({"attempts": 1, "failures": 2})
+        with pytest.raises(ConfigurationError):
+            model.restore({"attempts": -1, "failures": 0})
+
     def test_failed_reset_leaves_device_unopenable(self):
         rng = np.random.default_rng(0)
         dev = WormholeDevice(fault_model=ResetFaultModel(1.0, rng))
