@@ -1,0 +1,61 @@
+"""Watcher: static linting + runtime sanitizing for the Metalium layer.
+
+Two complementary correctness layers for device programs:
+
+* :class:`ProgramLinter` statically analyses a
+  :class:`~repro.metalium.kernel.Program` *before* dispatch — L1 budget,
+  CB balance, deadlock-prone capacities, format mismatches, role/kind
+  pairings, runtime-arg coverage — and reports structured
+  :class:`Diagnostic` s with stable ``WHxxx`` rule ids.
+* :class:`SanitizerContext` runs a program in checked mode — CB protocol
+  violations, cross-core CB access, DRAM read-before-write, and L1
+  double-free/leak hazards are caught *as they happen* with kernel/core
+  attribution, at zero cost when disabled.
+
+This package depends only on :mod:`repro.wormhole` and
+:mod:`repro.errors`; it never imports :mod:`repro.metalium` (programs are
+duck-typed), which lets the Metalium layer call into it without cycles.
+"""
+
+from .diagnostics import Diagnostic, LintReport, RULES, Severity
+from .hooks import active, env_sanitize_enabled, install, uninstall
+from .linter import ProgramLinter, cb_l1_bytes
+from .recording import (
+    CoreTrace,
+    KernelTrace,
+    RecordingCB,
+    RecordingCore,
+    RuntimeArgsProbe,
+    dry_run_program,
+)
+from .sanitizer import (
+    HAZARD_KINDS,
+    Hazard,
+    SanitizedCircularBuffer,
+    SanitizerContext,
+    SanitizerReport,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "RULES",
+    "Severity",
+    "ProgramLinter",
+    "cb_l1_bytes",
+    "CoreTrace",
+    "KernelTrace",
+    "RecordingCB",
+    "RecordingCore",
+    "RuntimeArgsProbe",
+    "dry_run_program",
+    "HAZARD_KINDS",
+    "Hazard",
+    "SanitizedCircularBuffer",
+    "SanitizerContext",
+    "SanitizerReport",
+    "active",
+    "env_sanitize_enabled",
+    "install",
+    "uninstall",
+]

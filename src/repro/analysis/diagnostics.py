@@ -1,0 +1,134 @@
+"""Structured diagnostics for the program linter.
+
+Every finding the :class:`~repro.analysis.ProgramLinter` emits is a
+:class:`Diagnostic` with a stable rule id (``WH001``...), a severity, the
+program location it refers to (core / kernel / circular buffer), and a fix
+hint.  Rule ids are stable across releases so CI gates, suppression lists,
+and the seeded-defect test suite can key on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "RULES"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors gate dispatch, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: The rule catalogue: stable id -> one-line description.  Append-only.
+RULES: dict[str, str] = {
+    "WH001": "circular buffers overflow the core's L1 SRAM budget",
+    "WH002": "circular buffer page traffic is producer/consumer unbalanced",
+    "WH003": "request exceeds circular buffer capacity (guaranteed deadlock)",
+    "WH004": "duplicate circular buffer id registered on one program",
+    "WH005": "data format mismatch between circular buffer and its traffic",
+    "WH006": "kernel role/kind pairing violates the execution model",
+    "WH007": "runtime argument unset (crash at dispatch) or never read",
+    "WH008": "kernel accesses a circular buffer the program never configures",
+    "WH009": "configured circular buffer is never accessed by any kernel",
+    "WH010": "core range exceeds the device's Tensix grid",
+    "WH011": "dry run incomplete: kernel aborted or step budget exhausted",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, locatable and machine-checkable by rule id."""
+
+    rule: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    core: int | None = None
+    kernel: str | None = None
+    cb_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown lint rule id {self.rule!r}")
+
+    def location(self) -> str:
+        parts = []
+        if self.core is not None:
+            parts.append(f"core {self.core}")
+        if self.kernel is not None:
+            parts.append(f"kernel {self.kernel!r}")
+        if self.cb_id is not None:
+            parts.append(f"cb {self.cb_id}")
+        return ", ".join(parts)
+
+    def format(self) -> str:
+        loc = self.location()
+        text = f"{self.rule} {self.severity.value}"
+        if loc:
+            text += f" [{loc}]"
+        text += f": {self.message}"
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+
+class LintReport:
+    """The linter's verdict on one program: an ordered set of diagnostics."""
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = tuple(diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not self.errors
+
+    def rules_fired(self) -> set[str]:
+        return {d.rule for d in self.diagnostics}
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "clean: no findings"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`~repro.errors.LintError` if any error finding exists."""
+        if not self.ok:
+            from ..errors import LintError
+
+            raise LintError(
+                f"program failed lint with {len(self.errors)} error(s):\n"
+                + self.format(),
+                report=self,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LintReport(errors={len(self.errors)}, "
+            f"warnings={len(self.warnings)})"
+        )

@@ -1,0 +1,420 @@
+"""The static program linter: WH-rules checked before ``EnqueueProgram``.
+
+A :class:`Program` that over-commits L1, unbalances a circular buffer's
+push/pop contract, or forgets a runtime arg is only discovered mid-run
+today — as a deadlock, an allocation failure, or a ``KeyError`` deep in
+the scheduler.  :class:`ProgramLinter` finds those defects *before*
+dispatch by combining:
+
+* **static structure checks** over the program object (L1 budget, dup CB
+  ids, role/kind pairing, core range vs the Tensix grid); and
+* **dry-run dataflow checks**: every kernel generator is executed against
+  :mod:`recording <repro.analysis.recording>` stubs, per core, and the
+  observed CB traffic, capacity requests, and runtime-arg reads are
+  checked for contract violations.
+
+Findings come back as a :class:`~repro.analysis.diagnostics.LintReport`
+of :class:`Diagnostic` s with stable ``WH0xx`` rule ids; see
+``docs/API.md`` for the rule catalogue.
+
+The dry run executes the kernels' real host-side effects (DRAM/NoC
+traffic against buffers the kernels close over).  When the target
+``device`` is passed, its accounting state — cycle counters, DRAM byte
+counters, NoC statistics — is snapshotted and restored so linting is
+invisible to telemetry.  DRAM *contents* written by write kernels are not
+restored; lint before dispatch (the intended point) and the program's own
+output overwrites them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..wormhole.dtypes import storage_bytes_per_element
+from ..wormhole.l1 import L1_ALIGN
+from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from ..wormhole.riscv import COMPUTE_ROLES, DATA_MOVEMENT_ROLES
+from ..wormhole.tile import TILE_ELEMENTS
+from . import hooks
+from .diagnostics import Diagnostic, LintReport, Severity
+from .recording import CoreTrace, dry_run_program
+
+__all__ = ["ProgramLinter", "cb_l1_bytes"]
+
+
+def cb_l1_bytes(config, fmt_fallback=None) -> int:
+    """L1 bytes one CB config consumes (page size aligned as the allocator)."""
+    fmt = getattr(config, "fmt", fmt_fallback)
+    page_bytes = storage_bytes_per_element(fmt) * TILE_ELEMENTS
+    raw = max(config.capacity_pages, 0) * page_bytes
+    return (raw + L1_ALIGN - 1) & ~(L1_ALIGN - 1)
+
+
+@dataclass
+class _Finding:
+    """A diagnostic under aggregation across cores."""
+
+    diag: Diagnostic
+    cores: set[int]
+
+
+class ProgramLinter:
+    """Pre-dispatch analysis of a :class:`~repro.metalium.Program`.
+
+    ``cores`` selects which core indices to dry-run: ``"all"`` (default)
+    covers every core in the program's range (per-core runtime args get
+    per-core checking), ``"first"`` dry-runs only the first core, and an
+    iterable of ints selects explicit indices.
+    """
+
+    def __init__(self, *, chip: ChipParams = WORMHOLE_N300,
+                 costs: CostParams = DEFAULT_COSTS,
+                 cores: str | list[int] = "all",
+                 max_steps: int = 1_000_000) -> None:
+        self.chip = chip
+        self.costs = costs
+        self.cores = cores
+        self.max_steps = max_steps
+
+    # -- entry point --------------------------------------------------------
+
+    def lint(self, program, device=None) -> LintReport:
+        """Analyse ``program``; returns the diagnostics as a report."""
+        if device is not None:
+            self.chip = device.chip
+            self.costs = device.costs
+        findings: dict[tuple, _Finding] = {}
+
+        self._check_l1_budget(program, findings)          # WH001
+        self._check_duplicate_cbs(program, findings)      # WH004
+        self._check_roles(program, findings)              # WH006
+        self._check_core_range(program, findings)         # WH010
+
+        # Suspend any installed sanitizer for the dry run: stubbed kernels
+        # still exercise their real DRAM traffic, which must not be judged
+        # as program execution (outputs are legitimately unwritten pre-run).
+        sanitizer = hooks.active()
+        if sanitizer is not None:
+            hooks.uninstall(sanitizer)
+        snapshot = _AccountingSnapshot(device) if device is not None else None
+        try:
+            traces = [
+                self._dry_run(program, core_index)
+                for core_index in self._core_indices(program)
+            ]
+        finally:
+            if snapshot is not None:
+                snapshot.restore()
+            if sanitizer is not None:
+                hooks.install(sanitizer)
+
+        self._check_traces(program, traces, findings)     # WH002/3/5/7/8/11
+        self._check_unused_cbs(program, traces, findings)  # WH009
+
+        return LintReport(self._render(findings))
+
+    # -- static rules -------------------------------------------------------
+
+    def _check_l1_budget(self, program, findings) -> None:
+        total = sum(cb_l1_bytes(c) for c in program.cbs)
+        budget = self.chip.l1_bytes
+        if total > budget:
+            self._add(
+                findings, "WH001", Severity.ERROR,
+                f"circular buffers need {total} B of L1 but the core has "
+                f"{budget} B",
+                hint="shrink capacity_pages or drop double-buffering on the "
+                     "widest CB",
+            )
+
+    def _check_duplicate_cbs(self, program, findings) -> None:
+        counts = Counter(c.cb_id for c in program.cbs)
+        for cb_id, n in sorted(counts.items()):
+            if n > 1:
+                self._add(
+                    findings, "WH004", Severity.ERROR,
+                    f"cb {cb_id} is configured {n} times",
+                    hint="give each CB a unique id; later configs silently "
+                         "lose on hardware",
+                    cb_id=cb_id,
+                )
+
+    def _check_roles(self, program, findings) -> None:
+        roles = Counter()
+        for spec in program.kernels:
+            roles[spec.role] += 1
+            if spec.kind not in ("compute", "data_movement"):
+                self._add(
+                    findings, "WH006", Severity.ERROR,
+                    f"kernel {spec.name!r} has unknown kind {spec.kind!r}",
+                    hint="use 'compute' or 'data_movement'",
+                    kernel=spec.name,
+                )
+            elif spec.kind == "compute" and spec.role not in COMPUTE_ROLES:
+                self._add(
+                    findings, "WH006", Severity.ERROR,
+                    f"compute kernel {spec.name!r} bound to data-movement "
+                    f"slot {spec.role.value}",
+                    hint="compute kernels must bind T0/T1/T2",
+                    kernel=spec.name,
+                )
+            elif (spec.kind == "data_movement"
+                  and spec.role not in DATA_MOVEMENT_ROLES):
+                self._add(
+                    findings, "WH006", Severity.ERROR,
+                    f"data movement kernel {spec.name!r} bound to compute "
+                    f"slot {spec.role.value}",
+                    hint="data movement kernels must bind NC/B",
+                    kernel=spec.name,
+                )
+        for role, n in roles.items():
+            if n > 1:
+                self._add(
+                    findings, "WH006", Severity.ERROR,
+                    f"{n} kernels bound to the same RISC-V slot "
+                    f"{role.value}",
+                    hint="each baby core runs exactly one kernel per program",
+                )
+
+    def _check_core_range(self, program, findings) -> None:
+        cr = program.core_range
+        if cr.start < 0 or cr.end > self.chip.n_tensix_cores:
+            self._add(
+                findings, "WH010", Severity.ERROR,
+                f"core range [{cr.start}, {cr.end}) exceeds the "
+                f"{self.chip.n_tensix_cores}-core Tensix grid",
+                hint="clamp the range to the device's core count",
+            )
+
+    # -- dry-run rules ------------------------------------------------------
+
+    def _core_indices(self, program) -> list[int]:
+        if self.cores == "all":
+            indices = list(program.core_range)
+        elif self.cores == "first":
+            indices = [program.core_range.start]
+        else:
+            indices = list(self.cores)
+        # never dry-run off-grid cores (WH010 already reported them)
+        return [i for i in indices if 0 <= i < self.chip.n_tensix_cores]
+
+    def _dry_run(self, program, core_index: int) -> CoreTrace:
+        fmt = program.cbs[0].fmt if program.cbs else None
+        kwargs = {} if fmt is None else {"fmt": fmt}
+        return dry_run_program(
+            program, core_index, chip=self.chip, costs=self.costs,
+            max_steps=self.max_steps, **kwargs,
+        )
+
+    def _check_traces(self, program, traces, findings) -> None:
+        configured = {c.cb_id for c in program.cbs}
+        for trace in traces:
+            core = trace.core_index
+            for ktrace in trace.kernels:
+                for key in sorted(ktrace.missing_args):
+                    self._add(
+                        findings, "WH007", Severity.ERROR,
+                        f"kernel {ktrace.name!r} reads runtime arg "
+                        f"{key!r} which is not set for core {core}",
+                        hint="call SetRuntimeArgs for every core in the "
+                             "program's range",
+                        kernel=ktrace.name, core=core,
+                    )
+                if ktrace.error is not None:
+                    self._add(
+                        findings, "WH011", Severity.WARNING,
+                        f"kernel {ktrace.name!r} raised during the dry "
+                        f"run: {ktrace.error!r}; dataflow checks are "
+                        f"incomplete for this core",
+                        kernel=ktrace.name, core=core,
+                    )
+                elif ktrace.truncated:
+                    self._add(
+                        findings, "WH011", Severity.WARNING,
+                        f"kernel {ktrace.name!r} exceeded the "
+                        f"{self.max_steps}-step dry-run budget",
+                        hint="raise max_steps or check for a free-running "
+                             "loop",
+                        kernel=ktrace.name, core=core,
+                    )
+            for cb_id in sorted(trace.unknown_cbs):
+                self._add(
+                    findings, "WH008", Severity.ERROR,
+                    f"kernel accesses cb {cb_id} which the program never "
+                    f"configures",
+                    hint="add CreateCircularBuffer(program, "
+                         f"cb_id={cb_id}, ...) before the kernels",
+                    cb_id=cb_id, core=core,
+                )
+            # aborted kernels leave traffic half-recorded: skip the
+            # balance/capacity checks to avoid cascading noise
+            if trace.aborted:
+                continue
+            self._check_core_dataflow(trace, configured, findings)
+            # unused runtime args, per core
+            args = program.args_for(core)
+            accessed = set()
+            for ktrace in trace.kernels:
+                accessed |= ktrace.accessed_args
+            for key in sorted(set(args) - accessed):
+                self._add(
+                    findings, "WH007", Severity.WARNING,
+                    f"runtime arg {key!r} is set for core {core} but no "
+                    f"kernel reads it",
+                    hint="drop the arg or wire it into a kernel",
+                    core=core,
+                )
+        # args set for cores outside the program's range
+        in_range = set(program.core_range)
+        for core_index in sorted(set(program.runtime_args) - in_range):
+            self._add(
+                findings, "WH007", Severity.WARNING,
+                f"runtime args set for core {core_index}, which is outside "
+                f"the program's core range "
+                f"[{program.core_range.start}, {program.core_range.end})",
+                hint="extend the core range or drop the stray args",
+                core=core_index,
+            )
+
+    def _check_core_dataflow(self, trace, configured, findings) -> None:
+        core = trace.core_index
+        for cb_id, cb in sorted(trace.cbs.items()):
+            if cb_id not in configured:
+                continue  # WH008 already covers stub CBs
+            for request, what in (
+                (cb.max_reserve_request, "reserve_back"),
+                (cb.max_wait_request, "wait_front"),
+            ):
+                if request > cb.capacity_pages:
+                    self._add(
+                        findings, "WH003", Severity.ERROR,
+                        f"{what}({request}) on cb {cb_id} with capacity "
+                        f"{cb.capacity_pages} pages can never succeed",
+                        hint="grow capacity_pages to at least the largest "
+                             "block the kernels move",
+                        cb_id=cb_id, core=core,
+                    )
+            if cb.capacity_pages <= 0:
+                self._add(
+                    findings, "WH003", Severity.ERROR,
+                    f"cb {cb_id} has non-positive capacity "
+                    f"{cb.capacity_pages}",
+                    hint="capacity_pages must be >= 1",
+                    cb_id=cb_id, core=core,
+                )
+            if cb.pages_popped > cb.pages_pushed:
+                self._add(
+                    findings, "WH002", Severity.ERROR,
+                    f"cb {cb_id}: consumers pop {cb.pages_popped} pages "
+                    f"but producers push only {cb.pages_pushed} — the "
+                    f"consumer blocks forever",
+                    hint="match the producer and consumer page loops",
+                    cb_id=cb_id, core=core,
+                )
+            elif cb.pages_pushed > cb.pages_popped:
+                self._add(
+                    findings, "WH002", Severity.WARNING,
+                    f"cb {cb_id}: producers push {cb.pages_pushed} pages "
+                    f"but consumers pop only {cb.pages_popped} — "
+                    f"{cb.pages_pushed - cb.pages_popped} pages are never "
+                    f"consumed",
+                    hint="match the producer and consumer page loops",
+                    cb_id=cb_id, core=core,
+                )
+            bad_fmts = {f for f in cb.write_fmts if f is not cb.fmt}
+            if bad_fmts:
+                names = ", ".join(sorted(f.value for f in bad_fmts))
+                self._add(
+                    findings, "WH005", Severity.WARNING,
+                    f"cb {cb_id} is configured {cb.fmt.value} but receives "
+                    f"{names} pages (converted page-by-page at runtime)",
+                    hint="align the CBConfig format with the DRAM buffer "
+                         "and kernel traffic",
+                    cb_id=cb_id, core=core,
+                )
+
+    def _check_unused_cbs(self, program, traces, findings) -> None:
+        if not traces or all(t.aborted for t in traces):
+            return
+        for config in program.cbs:
+            touched = any(
+                t.cbs.get(config.cb_id) is not None
+                and t.cbs[config.cb_id].touched
+                for t in traces
+            )
+            if not touched:
+                self._add(
+                    findings, "WH009", Severity.WARNING,
+                    f"cb {config.cb_id} is configured (and holds "
+                    f"{cb_l1_bytes(config)} B of L1 on every core) but no "
+                    f"kernel touches it",
+                    hint="drop the CBConfig or wire the CB into a kernel",
+                    cb_id=config.cb_id,
+                )
+
+    # -- finding aggregation -------------------------------------------------
+
+    def _add(self, findings, rule, severity, message, *, hint="",
+             kernel=None, cb_id=None, core=None) -> None:
+        # one diagnostic per (rule, kernel, cb, message-shape); repeated
+        # cores aggregate into a count instead of 64 near-identical lines
+        key = (rule, kernel, cb_id, message if core is None
+               else message.replace(f"core {core}", "core <n>"))
+        found = findings.get(key)
+        if found is None:
+            findings[key] = _Finding(
+                Diagnostic(rule, severity, message, hint=hint,
+                           kernel=kernel, cb_id=cb_id, core=core),
+                set() if core is None else {core},
+            )
+        elif core is not None:
+            found.cores.add(core)
+
+    def _render(self, findings) -> list[Diagnostic]:
+        out = []
+        for found in findings.values():
+            diag = found.diag
+            if len(found.cores) > 1:
+                diag = Diagnostic(
+                    diag.rule, diag.severity,
+                    diag.message + f" (likewise on {len(found.cores) - 1} "
+                    f"more core(s))",
+                    hint=diag.hint, kernel=diag.kernel, cb_id=diag.cb_id,
+                    core=diag.core,
+                )
+            out.append(diag)
+        order = {Severity.ERROR: 0, Severity.WARNING: 1}
+        out.sort(key=lambda d: (order[d.severity], d.rule))
+        return out
+
+
+class _AccountingSnapshot:
+    """Save/restore a device's telemetry state around a lint dry run."""
+
+    def __init__(self, device) -> None:
+        self.device = device
+        self.dram = (device.dram.bytes_read, device.dram.bytes_written)
+        self.nocs = [
+            (n.stats.transactions, n.stats.bytes_read,
+             n.stats.bytes_written, n.stats.total_hops)
+            for n in device.nocs
+        ]
+        self.cores = [
+            (c.counter.compute_cycles, c.counter.datamove_cycles,
+             Counter(c.counter.ops.counts))
+            for c in device.cores
+        ]
+
+    def restore(self) -> None:
+        dev = self.device
+        dev.dram.bytes_read, dev.dram.bytes_written = self.dram
+        for noc, (tx, br, bw, hops) in zip(dev.nocs, self.nocs):
+            noc.stats.transactions = tx
+            noc.stats.bytes_read = br
+            noc.stats.bytes_written = bw
+            noc.stats.total_hops = hops
+        for core, (cc, dc, ops) in zip(dev.cores, self.cores):
+            core.counter.compute_cycles = cc
+            core.counter.datamove_cycles = dc
+            core.counter.ops.counts = ops

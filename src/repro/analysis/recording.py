@@ -1,0 +1,288 @@
+"""Recording stubs for dry-running kernel generators before dispatch.
+
+The linter's dataflow rules (CB balance, capacity deadlocks, runtime-arg
+usage, unknown-CB access) cannot be read off the :class:`Program` object —
+kernel bodies are opaque generator factories.  Instead the linter *dry
+runs* every kernel against this module's stubs:
+
+* :class:`RecordingCB` mimics the :class:`~repro.wormhole.circular_buffer.
+  CircularBuffer` protocol but never blocks and never raises: every
+  reserve/push/wait/pop is recorded (page totals, largest request, tile
+  formats written) and consumers receive placeholder pages.  Kernels
+  therefore run straight through to completion without a scheduler.
+* :class:`RecordingCore` is a private :class:`~repro.wormhole.tensix.
+  TensixCore` whose CB registry is pre-populated with recording stubs, so
+  compute charges land on a throwaway counter instead of the device's.
+* :class:`RuntimeArgsProbe` wraps the per-core runtime args and records
+  which keys the kernel read and which reads missed.
+
+A dry run executes the kernels' host-visible side effects (a read kernel
+really does charge its DRAM/NoC traffic against the buffers it closes
+over); the linter snapshots and restores the device's accounting state
+around the run when given the device.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..wormhole.dtypes import DataFormat
+from ..wormhole.noc import NocCoordinate
+from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from ..wormhole.tensix import TensixCore
+from ..wormhole.tile import Tile
+
+__all__ = [
+    "RecordingCB",
+    "RecordingCore",
+    "RuntimeArgsProbe",
+    "KernelTrace",
+    "CoreTrace",
+    "dry_run_program",
+]
+
+#: Effectively-unbounded capacity for stubs standing in for unknown CBs.
+_UNBOUNDED = 1 << 30
+
+
+class RecordingCB:
+    """Never-blocking circular-buffer stand-in that records its traffic."""
+
+    def __init__(self, cb_id: int, capacity_pages: int,
+                 fmt: DataFormat = DataFormat.FLOAT32) -> None:
+        self.cb_id = cb_id
+        self.capacity_pages = capacity_pages
+        self.fmt = fmt
+        self._placeholder = Tile.zeros(fmt)
+        # traffic record
+        self.pages_pushed = 0
+        self.pages_popped = 0
+        self.pages_written = 0
+        self.max_reserve_request = 0
+        self.max_wait_request = 0
+        self.write_fmts: set[DataFormat] = set()
+        self.ops = 0
+
+    @property
+    def touched(self) -> bool:
+        return self.ops > 0
+
+    def _op(self) -> None:
+        self.ops += 1
+
+    # -- producer side ------------------------------------------------------
+
+    def reserve_back(self, n_pages: int) -> Generator[None, None, None]:
+        self._op()
+        self.max_reserve_request = max(self.max_reserve_request, n_pages)
+        return
+        yield  # pragma: no cover - makes this a (never-yielding) generator
+
+    def try_reserve_back(self, n_pages: int) -> bool:
+        self._op()
+        self.max_reserve_request = max(self.max_reserve_request, n_pages)
+        return True
+
+    def write_page(self, tile: Tile) -> None:
+        self._op()
+        self.pages_written += 1
+        fmt = getattr(tile, "fmt", None)
+        if fmt is not None:
+            self.write_fmts.add(fmt)
+
+    def write_pages(self, tiles) -> None:
+        for tile in tiles:
+            self.write_page(tile)
+
+    def push_back(self, n_pages: int) -> None:
+        self._op()
+        self.pages_pushed += n_pages
+
+    # -- consumer side ------------------------------------------------------
+
+    def wait_front(self, n_pages: int) -> Generator[None, None, None]:
+        self._op()
+        self.max_wait_request = max(self.max_wait_request, n_pages)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def try_wait_front(self, n_pages: int) -> bool:
+        self._op()
+        self.max_wait_request = max(self.max_wait_request, n_pages)
+        return True
+
+    def get_page(self, index: int = 0) -> Tile:
+        self._op()
+        return self._placeholder
+
+    def pop_front(self, n_pages: int) -> list[Tile]:
+        self._op()
+        self.pages_popped += n_pages
+        return [self._placeholder] * n_pages
+
+    # -- inspection (permissive: the dry run must never stall) --------------
+
+    def pages_available(self) -> int:
+        return self.capacity_pages
+
+    def pages_free(self) -> int:
+        return self.capacity_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecordingCB(id={self.cb_id}, pushed={self.pages_pushed}, "
+            f"popped={self.pages_popped})"
+        )
+
+
+class RecordingCore(TensixCore):
+    """A throwaway Tensix core whose CB registry holds recording stubs.
+
+    Compute/SFPU/FPU charges issued by the kernel land on this core's own
+    counter, not on any device core.  ``core_id`` mirrors the index the
+    kernel would run on, so closures over DRAM buffers address the right
+    (real) tiles during the dry run.
+    """
+
+    def __init__(self, core_id: int, chip: ChipParams = WORMHOLE_N300,
+                 costs: CostParams = DEFAULT_COSTS,
+                 fmt: DataFormat = DataFormat.FLOAT32) -> None:
+        super().__init__(
+            core_id,
+            NocCoordinate(core_id % chip.grid_w, core_id // chip.grid_w),
+            chip, costs, fmt,
+        )
+        self.unknown_cbs: set[int] = set()
+
+    def install_recording_cb(self, cb_id: int, capacity_pages: int,
+                             fmt: DataFormat) -> RecordingCB:
+        cb = RecordingCB(cb_id, capacity_pages, fmt)
+        self.cbs[cb_id] = cb  # type: ignore[assignment] - duck-typed stub
+        return cb
+
+    def get_cb(self, cb_id: int):
+        cb = self.cbs.get(cb_id)
+        if cb is None:
+            # Unknown id: record the defect and hand out an unbounded stub
+            # so the dry run can keep going and find more problems.
+            self.unknown_cbs.add(cb_id)
+            cb = self.install_recording_cb(cb_id, _UNBOUNDED, self.fmt)
+        return cb
+
+
+class RuntimeArgsProbe:
+    """Mapping proxy over one core's runtime args, recording key usage."""
+
+    def __init__(self, args: dict[str, Any]) -> None:
+        self._args = args
+        self.accessed: set[str] = set()
+        self.missing: set[str] = set()
+
+    def __getitem__(self, key: str) -> Any:
+        self.accessed.add(key)
+        try:
+            return self._args[key]
+        except KeyError:
+            self.missing.add(key)
+            raise
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self.accessed.add(key)
+        return self._args.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        self.accessed.add(key)
+        return key in self._args
+
+    def keys(self):
+        return self._args.keys()
+
+    def items(self):
+        return self._args.items()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._args)
+
+    def __len__(self) -> int:
+        return len(self._args)
+
+
+@dataclass
+class KernelTrace:
+    """Outcome of dry-running one kernel on one core."""
+
+    name: str
+    completed: bool = True
+    steps: int = 0
+    #: runtime-arg keys the kernel tried to read but were not set
+    missing_args: set[str] = field(default_factory=set)
+    #: runtime-arg keys the kernel read
+    accessed_args: set[str] = field(default_factory=set)
+    #: exception (other than a missing-arg KeyError) that aborted the run
+    error: BaseException | None = None
+    truncated: bool = False
+
+
+@dataclass
+class CoreTrace:
+    """Everything one core's dry run observed."""
+
+    core_index: int
+    cbs: dict[int, RecordingCB] = field(default_factory=dict)
+    kernels: list[KernelTrace] = field(default_factory=list)
+    unknown_cbs: set[int] = field(default_factory=set)
+
+    @property
+    def aborted(self) -> bool:
+        """True when any kernel failed to run to completion."""
+        return any(not k.completed for k in self.kernels)
+
+
+def dry_run_program(program, core_index: int, *,
+                    chip: ChipParams = WORMHOLE_N300,
+                    costs: CostParams = DEFAULT_COSTS,
+                    fmt: DataFormat = DataFormat.FLOAT32,
+                    max_steps: int = 1_000_000) -> CoreTrace:
+    """Run every kernel of ``program`` for one core against recording stubs.
+
+    Kernels execute sequentially (recording CBs never block, so no
+    scheduler is needed) with a per-kernel step budget guarding against
+    free-running generators.  Exceptions abort the offending kernel but
+    not the dry run.
+    """
+    core = RecordingCore(core_index, chip, costs, fmt)
+    trace = CoreTrace(core_index)
+    for config in program.cbs:
+        cb_fmt = getattr(config, "fmt", fmt)
+        trace.cbs[config.cb_id] = core.install_recording_cb(
+            config.cb_id, config.capacity_pages, cb_fmt
+        )
+    for spec in program.kernels:
+        probe = RuntimeArgsProbe(program.args_for(core_index))
+        ktrace = KernelTrace(spec.name)
+        try:
+            gen = spec.body(core, probe)
+            if gen is not None:
+                for _ in gen:
+                    ktrace.steps += 1
+                    if ktrace.steps >= max_steps:
+                        ktrace.truncated = True
+                        ktrace.completed = False
+                        break
+        except KeyError as exc:
+            ktrace.completed = False
+            if not probe.missing:  # a KeyError unrelated to runtime args
+                ktrace.error = exc
+        except Exception as exc:  # noqa: BLE001 - dry run must not throw
+            ktrace.completed = False
+            ktrace.error = exc
+        ktrace.missing_args = probe.missing
+        ktrace.accessed_args = probe.accessed
+        trace.kernels.append(ktrace)
+    trace.unknown_cbs = core.unknown_cbs
+    # fold stubs created for unknown ids into the record
+    for cb_id in core.unknown_cbs:
+        trace.cbs.setdefault(cb_id, core.cbs[cb_id])  # type: ignore[arg-type]
+    return trace

@@ -18,7 +18,7 @@ import sys
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "lint_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,6 +96,24 @@ def build_parser() -> argparse.ArgumentParser:
     smi = sub.add_parser("smi", help="tt-smi-style card status table")
     smi.add_argument("--cards", type=int, default=4)
     smi.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint the device programs (repro-lint)",
+        description="Build the N-body device programs exactly as the "
+                    "engines would and run the WH-rule linter over them, "
+                    "without dispatching anything.",
+    )
+    lint.add_argument("--engine", choices=("both", "per-block", "batched"),
+                      default="both",
+                      help="which engine's program variant to lint")
+    lint.add_argument("--format", choices=("float32", "bfloat16", "float16"),
+                      default="float32", help="device data format")
+    lint.add_argument("--n", type=int, default=2048, help="particle count")
+    lint.add_argument("--cores", type=int, default=8,
+                      help="Tensix cores in the program's range")
+    lint.add_argument("--warnings-as-errors", action="store_true",
+                      help="exit nonzero on warning findings too")
 
     return parser
 
@@ -269,6 +287,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import ProgramLinter
+    from .metalium import CloseDevice, CreateDevice
+    from .nbody_tt import TTForceBackend
+    from .nbody_tt.tiling import assign_tiles_to_cores
+    from .wormhole import DataFormat
+    from .wormhole.tile import tiles_needed
+
+    variants = {
+        "per-block": (False,),
+        "batched": (True,),
+        "both": (False, True),
+    }[args.engine]
+
+    device = CreateDevice(0)
+    try:
+        backend = TTForceBackend(
+            device, n_cores=args.cores, fmt=DataFormat(args.format)
+        )
+        n_tiles = tiles_needed(args.n)
+        backend._ensure_buffers(n_tiles)
+        device_tiles = assign_tiles_to_cores(n_tiles, 1)[0]
+        linter = ProgramLinter()
+        failed = 0
+        for charge_only in variants:
+            label = "batched (charge-only)" if charge_only else "per-block"
+            program = backend._program_for(
+                0, device_tiles, n_tiles, charge_only=charge_only
+            )
+            report = linter.lint(program, device=device)
+            print(f"program: {label} engine, {args.format}, "
+                  f"{args.cores} cores, {n_tiles} tiles")
+            print(report.format())
+            if not report.ok:
+                failed += 1
+            elif args.warnings_as_errors and report.warnings:
+                failed += 1
+    finally:
+        CloseDevice(device)
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=6, suppress=True)
@@ -300,7 +360,15 @@ def main(argv: list[str] | None = None) -> int:
         smi = TTSMI(args.cards, np_mod.random.default_rng(args.seed))
         print(smi.format_table())
         return 0
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lint`` console script."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    return main(["lint", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

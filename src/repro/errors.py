@@ -88,6 +88,40 @@ class CommandQueueError(HostApiError):
 
 
 # --------------------------------------------------------------------------
+# Correctness tooling (repro.analysis)
+# --------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for the static linter / runtime sanitizer subsystem."""
+
+
+class LintError(AnalysisError):
+    """A program failed the static pre-dispatch lint gate.
+
+    Raised by :func:`repro.metalium.EnqueueProgram` in ``lint="error"`` mode
+    and by the ``repro-lint`` CLI; carries the offending
+    :class:`~repro.analysis.LintReport` in :attr:`report`.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class SanitizerError(AnalysisError):
+    """The runtime sanitizer detected a dataflow hazard.
+
+    Raised on first hazard when the sanitizer runs in halting mode; carries
+    the :class:`~repro.analysis.Hazard` in :attr:`hazard`.
+    """
+
+    def __init__(self, message: str, hazard=None) -> None:
+        super().__init__(message)
+        self.hazard = hazard
+
+
+# --------------------------------------------------------------------------
 # N-body application errors
 # --------------------------------------------------------------------------
 
@@ -163,6 +197,9 @@ FAILURE_KINDS: tuple[tuple[type[Exception], str], ...] = (
     (ValidationError, "validation"),
     (IntegratorError, "integrator"),
     (NBodyError, "nbody"),
+    (LintError, "lint"),
+    (SanitizerError, "sanitizer"),
+    (AnalysisError, "analysis"),
     (SamplerError, "sampler"),
     (CheckpointError, "checkpoint"),
     (CampaignError, "campaign"),

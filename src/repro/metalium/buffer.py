@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis import hooks
 from ..errors import DataFormatError, HostApiError
 from ..wormhole.device import WormholeDevice
 from ..wormhole.dram import DramAllocation
@@ -73,6 +74,9 @@ class DramBuffer:
         self.tile_bytes = storage_bytes_per_element(fmt) * TILE_ELEMENTS
         self.size_bytes = self.tile_bytes * n_tiles
         self._alloc: DramAllocation | None = device.dram.allocate(self.size_bytes)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_buffer_created(self)
 
     # -- host-side access (via PCIe) ----------------------------------------
 
@@ -85,6 +89,9 @@ class DramBuffer:
             )
         tiles = [t.astype(self.fmt) for t in tiles]
         self.device.dram.write(self._alloc.address, _encode(tiles, self.fmt))
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_buffer_written(self)
         return self._pcie_seconds(self.size_bytes)
 
     def host_read_tiles(self) -> tuple[list[Tile], float]:
@@ -104,6 +111,9 @@ class DramBuffer:
         """
         self._require_live()
         self.device.dram.touch_write(self._alloc.address, self.size_bytes)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_buffer_written(self)
         return self._pcie_seconds(self.size_bytes)
 
     def host_read_cost(self) -> float:
@@ -122,6 +132,9 @@ class DramBuffer:
         """
         self._require_live()
         self._check_tile(tile_index)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_tile_read(self, tile_index)
         core = self.device.cores[core_index]
         address = self._alloc.address + tile_index * self.tile_bytes
         raw = self.device.dram.read(address, self.tile_bytes, core.counter)
@@ -140,6 +153,9 @@ class DramBuffer:
         self.device.dram.write(address, payload, core.counter)
         noc = self.device.nocs[core_index % len(self.device.nocs)]
         noc.write(core.counter, self.tile_bytes, core.coord)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_tile_write(self, tile_index)
 
     def noc_read_tile_cost(self, core_index: int, tile_index: int) -> None:
         """Charge exactly what :meth:`noc_read_tile` charges, skip the data.
@@ -151,6 +167,9 @@ class DramBuffer:
         """
         self._require_live()
         self._check_tile(tile_index)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_tile_read(self, tile_index)
         core = self.device.cores[core_index]
         address = self._alloc.address + tile_index * self.tile_bytes
         self.device.dram.touch_read(address, self.tile_bytes, core.counter)
@@ -166,6 +185,9 @@ class DramBuffer:
         self.device.dram.touch_write(address, self.tile_bytes, core.counter)
         noc = self.device.nocs[core_index % len(self.device.nocs)]
         noc.write(core.counter, self.tile_bytes, core.coord)
+        ctx = hooks.active()
+        if ctx is not None:
+            ctx.on_tile_write(self, tile_index)
 
     # -- lifecycle ----------------------------------------------------------
 

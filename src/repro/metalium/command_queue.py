@@ -11,23 +11,34 @@ telemetry layer later replays to generate the power trace of Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
+from ..analysis import hooks
 from ..errors import CommandQueueError
 from ..wormhole.device import WormholeDevice
 from ..wormhole.tensix import TensixCore
 from .buffer import DramBuffer
 from .kernel import Program
 
-__all__ = ["Phase", "CommandQueue"]
+__all__ = ["Phase", "CommandQueue", "PHASE_TAGS"]
+
+#: The closed set of timeline segment kinds the telemetry layer understands.
+PHASE_TAGS = ("host", "pcie", "device", "launch")
 
 
 @dataclass(frozen=True)
 class Phase:
     """One timeline segment of a job: what ran and for how long (modelled)."""
 
-    tag: str          # "host", "pcie", "device", "launch"
+    tag: str          # one of PHASE_TAGS
     duration_s: float
     detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.tag not in PHASE_TAGS:
+            raise CommandQueueError(
+                f"phase tag must be one of {PHASE_TAGS}, got {self.tag!r}"
+            )
 
 
 @dataclass
@@ -39,6 +50,8 @@ class CommandQueue:
     #: cooperative-scheduler rounds per core for the last enqueued program —
     #: a pipeline-stall proxy the double-buffering ablation reads
     last_scheduler_rounds: dict = field(default_factory=dict)
+    #: SanitizerReport of the last sanitized enqueue (None when unsanitized)
+    last_sanitizer_report: Any = None
     _pending: int = 0
 
     # -- time accounting ------------------------------------------------------
@@ -97,16 +110,25 @@ class CommandQueue:
 
     # -- program execution -----------------------------------------------------
 
-    def enqueue_program(self, program: Program) -> float:
+    def enqueue_program(self, program: Program, *,
+                        sanitize: bool | None = None) -> float:
         """Execute a program across its core range; returns device seconds.
 
         Device time is the *maximum* busy time across participating cores
         (they run concurrently on hardware); the one-time program build cost
         and the per-launch dispatch overhead land on the host timeline.
+
+        ``sanitize`` selects checked execution: ``None`` (default) follows
+        the installed sanitizer context (``REPRO_SANITIZE=1`` or an open
+        ``with SanitizerContext():`` scope), ``True`` forces a sanitized run
+        (creating a one-shot context when none is installed), ``False``
+        forces a plain run.  The sanitized run's report lands on
+        :attr:`last_sanitizer_report`.
         """
         self.device.require_open()
         if not program.kernels:
             raise CommandQueueError("cannot enqueue a program with no kernels")
+        ctx = self._resolve_sanitizer(sanitize)
 
         if not program.built:
             self.phases.append(
@@ -119,32 +141,68 @@ class CommandQueue:
 
         worst = 0.0
         self.last_scheduler_rounds = {}
-        for core_index in program.core_range:
-            core = self.device.cores[core_index]
-            worst = max(worst, self._run_on_core(core, core_index, program))
+        self.last_sanitizer_report = ctx.report if ctx is not None else None
+        if ctx is not None:
+            ctx.begin_program(program)
+        try:
+            for core_index in program.core_range:
+                core = self.device.cores[core_index]
+                worst = max(
+                    worst, self._run_on_core(core, core_index, program, ctx)
+                )
+        finally:
+            if ctx is not None:
+                ctx.end_program(program)
         self.phases.append(Phase("device", worst, "program"))
         return worst
 
+    def _resolve_sanitizer(self, sanitize: bool | None):
+        """Pick the sanitizer context for one enqueue (None = unsanitized)."""
+        if sanitize is False:
+            return None
+        ctx = hooks.active()
+        if ctx is None and sanitize:
+            from ..analysis.sanitizer import SanitizerContext
+
+            ctx = SanitizerContext()
+        return ctx
+
     def _run_on_core(self, core: TensixCore, core_index: int,
-                     program: Program) -> float:
+                     program: Program, ctx=None) -> float:
         busy_before = core.counter.busy_cycles()
-        for cb_config in program.cbs:
-            core.create_cb(cb_config.cb_id, cb_config.capacity_pages, cb_config.fmt)
+        if ctx is None:
+            for cb_config in program.cbs:
+                core.create_cb(
+                    cb_config.cb_id, cb_config.capacity_pages, cb_config.fmt
+                )
+        else:
+            # Checked mode: the core's L1 goes behind a guard (double-free /
+            # leak detection) and CBs are built sanitized, both for the
+            # whole life of this program on this core.
+            l1_guard = ctx.l1_guard(core)
+            real_l1 = core.l1
+            core.l1 = l1_guard
+            for cb_config in program.cbs:
+                ctx.create_cb(core, cb_config)
         args = program.args_for(core_index)
-        for spec in program.kernels:
-            core.bind_kernel(
-                spec.name,
-                spec.role,
-                lambda c, _spec=spec: _spec.body(c, args),
-                kind=spec.kind,
-            )
-        self.last_scheduler_rounds[core_index] = core.run_kernels()
-        # CBs are program-scoped: tear them down so the next program can
-        # reconfigure the same ids (the L1 planner frees wholesale).
-        for cb_config in program.cbs:
-            cb = core.cbs.pop(cb_config.cb_id)
-            if cb._l1_alloc is not None:
-                core.l1.free(cb._l1_alloc)
+        try:
+            for spec in program.kernels:
+                factory = lambda c, _spec=spec: _spec.body(c, args)
+                if ctx is not None:
+                    factory = ctx.wrap_kernel(spec.name, core_index, factory)
+                core.bind_kernel(spec.name, spec.role, factory, kind=spec.kind)
+            self.last_scheduler_rounds[core_index] = core.run_kernels()
+            # CBs are program-scoped: tear them down so the next program can
+            # reconfigure the same ids (the L1 planner frees wholesale).
+            for cb_config in program.cbs:
+                cb = core.cbs.pop(cb_config.cb_id)
+                if cb._l1_alloc is not None:
+                    core.l1.free(cb._l1_alloc)
+            if ctx is not None:
+                l1_guard.check_leaks()
+        finally:
+            if ctx is not None:
+                core.l1 = real_l1
         busy_after = core.counter.busy_cycles()
         return (busy_after - busy_before) / core.chip.clock_hz
 

@@ -20,6 +20,8 @@ port in :mod:`repro.nbody_tt` reads like the paper's host code:
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import Any
 
 from ..errors import HostApiError
@@ -45,7 +47,8 @@ __all__ = [
     "Finish",
 ]
 
-_queues: dict[int, CommandQueue] = {}
+#: Valid values for EnqueueProgram's lint mode / the REPRO_LINT env var.
+_LINT_MODES = ("off", "warn", "error")
 
 
 def CreateDevice(device_id: int = 0, **device_kwargs: Any) -> WormholeDevice:
@@ -53,27 +56,32 @@ def CreateDevice(device_id: int = 0, **device_kwargs: Any) -> WormholeDevice:
 
     Propagates :class:`~repro.errors.DeviceResetError` when the reset fault
     injector fires, exactly as the paper's failed jobs did.
+
+    The queue lives on the device object itself (not in a module-level
+    registry keyed by ``id(device)``: ids are recycled after garbage
+    collection, so a registry could silently hand a dead device's queue to
+    a new device).
     """
     device = WormholeDevice(device_id, **device_kwargs)
     device.reset()
     device.open()
-    _queues[id(device)] = CommandQueue(device)
+    device._command_queue = CommandQueue(device)
     return device
 
 
 def CloseDevice(device: WormholeDevice) -> None:
     device.close()
-    _queues.pop(id(device), None)
+    device._command_queue = None
 
 
 def GetCommandQueue(device: WormholeDevice) -> CommandQueue:
-    try:
-        return _queues[id(device)]
-    except KeyError:
+    queue = getattr(device, "_command_queue", None)
+    if queue is None:
         raise HostApiError(
             "no command queue: device was not created via CreateDevice "
             "or has been closed"
-        ) from None
+        )
+    return queue
 
 
 def CreateBuffer(device: WormholeDevice, n_tiles: int,
@@ -111,8 +119,35 @@ def EnqueueReadBuffer(queue: CommandQueue, buffer: DramBuffer):
     return queue.enqueue_read_buffer(buffer)
 
 
-def EnqueueProgram(queue: CommandQueue, program: Program) -> float:
-    return queue.enqueue_program(program)
+def EnqueueProgram(queue: CommandQueue, program: Program, *,
+                   lint: str | None = None,
+                   sanitize: bool | None = None) -> float:
+    """Dispatch a program, optionally linting it first and/or sanitizing it.
+
+    ``lint`` is ``"off"``, ``"warn"`` (findings become a Python warning), or
+    ``"error"`` (error-severity findings raise
+    :class:`~repro.errors.LintError` *before* anything executes); ``None``
+    defers to the ``REPRO_LINT`` environment variable, defaulting to off.
+    ``sanitize`` selects checked execution (see
+    :meth:`~repro.metalium.command_queue.CommandQueue.enqueue_program`).
+    """
+    mode = lint if lint is not None else os.environ.get("REPRO_LINT", "off")
+    if mode not in _LINT_MODES:
+        raise HostApiError(
+            f"lint mode must be one of {_LINT_MODES}, got {mode!r}"
+        )
+    if mode != "off":
+        from ..analysis.linter import ProgramLinter
+
+        report = ProgramLinter().lint(program, device=queue.device)
+        if mode == "error":
+            report.raise_on_error()
+        if len(report):
+            warnings.warn(
+                f"program lint findings:\n{report.format()}",
+                stacklevel=2,
+            )
+    return queue.enqueue_program(program, sanitize=sanitize)
 
 
 def Finish(queue: CommandQueue) -> float:

@@ -54,6 +54,15 @@ class CBConfig:
     capacity_pages: int
     fmt: DataFormat = DataFormat.FLOAT32
 
+    def __post_init__(self) -> None:
+        if self.cb_id < 0:
+            raise KernelError(f"cb id must be non-negative, got {self.cb_id}")
+        if self.capacity_pages <= 0:
+            raise KernelError(
+                f"cb {self.cb_id}: capacity_pages must be positive, "
+                f"got {self.capacity_pages}"
+            )
+
 
 @dataclass(frozen=True)
 class CoreRange:

@@ -67,12 +67,15 @@ class CircularBuffer:
         events: CBEventCounter | None = None,
         counter: CycleCounter | None = None,
         costs: CostParams = DEFAULT_COSTS,
+        owner: int | None = None,
     ) -> None:
         if capacity_pages <= 0:
             raise CircularBufferError(
                 f"cb {cb_id}: capacity must be positive, got {capacity_pages}"
             )
         self.cb_id = cb_id
+        #: core_id of the Tensix core this CB lives on (for diagnostics)
+        self.owner = owner
         self.capacity_pages = int(capacity_pages)
         self.fmt = fmt
         self.page_bytes = storage_bytes_per_element(fmt) * TILE_ELEMENTS

@@ -96,6 +96,10 @@ class L1Allocator:
                 merged.append((off, size))
         self._free = merged
 
+    def live_allocations(self) -> tuple[L1Allocation, ...]:
+        """The currently live allocations, ordered by offset."""
+        return tuple(self._live[off] for off in sorted(self._live))
+
     def reset(self) -> None:
         """Drop all allocations (used between program runs)."""
         self._free = [(0, self.capacity)]

@@ -166,8 +166,22 @@ class TensixCore:
             events=self.events,
             counter=self.counter,
             costs=self.costs,
+            owner=self.core_id,
         )
         self.cbs[cb_id] = cb
+        return cb
+
+    def adopt_cb(self, cb: CircularBuffer) -> CircularBuffer:
+        """Register an externally constructed CB (e.g. a sanitized one).
+
+        The CB must already be backed by this core's L1/event/counter
+        resources; only duplicate-id checking and registration happen here.
+        """
+        if cb.cb_id in self.cbs:
+            raise CircularBufferError(
+                f"core {self.core_id}: cb id {cb.cb_id} already exists"
+            )
+        self.cbs[cb.cb_id] = cb
         return cb
 
     def get_cb(self, cb_id: int) -> CircularBuffer:

@@ -1,0 +1,230 @@
+"""One seeded-defect program per lint rule, asserted by exact rule id."""
+
+import pytest
+
+from repro.analysis import Diagnostic, ProgramLinter, RULES, Severity
+from repro.errors import LintError
+from repro.metalium import CBConfig, CoreRange, KernelSpec, Program
+from repro.wormhole.dtypes import DataFormat
+from repro.wormhole.riscv import RiscvRole
+from repro.wormhole.tile import Tile
+
+
+def _noop(core, args):
+    return
+    yield
+
+
+def _producer(cb_id, n_pages, fmt=DataFormat.FLOAT32):
+    def body(core, args):
+        cb = core.get_cb(cb_id)
+        for _ in range(n_pages):
+            yield from cb.reserve_back(1)
+            cb.write_page(Tile.zeros(fmt))
+            cb.push_back(1)
+
+    return body
+
+
+def _consumer(cb_id, n_pages):
+    def body(core, args):
+        cb = core.get_cb(cb_id)
+        for _ in range(n_pages):
+            yield from cb.wait_front(1)
+            cb.pop_front(1)
+
+    return body
+
+
+def _lint(program):
+    return ProgramLinter().lint(program)
+
+
+class TestSeededDefects:
+    def test_wh001_l1_overflow(self):
+        # float32 page = 4 KiB; 400 pages = 1.6 MB > the 1.5 MB L1
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 400))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        report = _lint(program)
+        assert "WH001" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh002_consumer_pops_more_than_pushed(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 4))
+        program.add_kernel(
+            KernelSpec("prod", RiscvRole.NC, "data_movement", _producer(0, 1))
+        )
+        program.add_kernel(
+            KernelSpec("cons", RiscvRole.T1, "compute", _consumer(0, 3))
+        )
+        report = _lint(program)
+        assert "WH002" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh002_producer_pushes_more_than_popped_warns(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 4))
+        program.add_kernel(
+            KernelSpec("prod", RiscvRole.NC, "data_movement", _producer(0, 3))
+        )
+        program.add_kernel(
+            KernelSpec("cons", RiscvRole.T1, "compute", _consumer(0, 1))
+        )
+        report = _lint(program)
+        assert "WH002" in report.rules_fired()
+        assert report.ok  # unconsumed pages warn but do not gate
+
+    def test_wh003_request_exceeds_capacity(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 2))
+
+        def greedy(core, args):
+            cb = core.get_cb(0)
+            yield from cb.reserve_back(8)
+
+        program.add_kernel(KernelSpec("greedy", RiscvRole.NC,
+                                      "data_movement", greedy))
+        report = _lint(program)
+        assert "WH003" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh004_duplicate_cb_id(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 2))
+        # bypass add_cb's guard, as a hand-built Program could
+        program.cbs.append(CBConfig(0, 4))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        report = _lint(program)
+        assert "WH004" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh005_format_mismatch(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 4, DataFormat.FLOAT32))
+        program.add_kernel(KernelSpec(
+            "prod", RiscvRole.NC, "data_movement",
+            _producer(0, 2, fmt=DataFormat.BFLOAT16),
+        ))
+        program.add_kernel(
+            KernelSpec("cons", RiscvRole.T1, "compute", _consumer(0, 2))
+        )
+        report = _lint(program)
+        assert "WH005" in report.rules_fired()
+
+    def test_wh006_compute_kernel_on_data_movement_slot(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_kernel(KernelSpec("k", RiscvRole.NC, "compute", _noop))
+        report = _lint(program)
+        assert "WH006" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh007_missing_runtime_arg(self):
+        program = Program(core_range=CoreRange(0, 1))
+
+        def needs_arg(core, args):
+            _ = args["n_tiles"]
+            return
+            yield
+
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute",
+                                      needs_arg))
+        report = _lint(program)
+        assert "WH007" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh007_unused_runtime_arg_warns(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        program.set_runtime_args(0, {"dead": 1})
+        report = _lint(program)
+        assert "WH007" in report.rules_fired()
+        assert report.ok
+
+    def test_wh008_unknown_cb(self):
+        program = Program(core_range=CoreRange(0, 1))
+
+        def uses_ghost(core, args):
+            core.get_cb(42).try_wait_front(1)
+            return
+            yield
+
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute",
+                                      uses_ghost))
+        report = _lint(program)
+        assert "WH008" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh009_unused_cb(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(7, 4))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        report = _lint(program)
+        assert "WH009" in report.rules_fired()
+        assert report.ok
+
+    def test_wh010_core_range_off_grid(self):
+        program = Program(core_range=CoreRange(60, 70))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        report = _lint(program)
+        assert "WH010" in report.rules_fired()
+        assert not report.ok
+
+    def test_wh011_kernel_error_warns(self):
+        program = Program(core_range=CoreRange(0, 1))
+
+        def broken(core, args):
+            raise ValueError("boom")
+            yield
+
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", broken))
+        report = _lint(program)
+        assert "WH011" in report.rules_fired()
+
+
+class TestReportMechanics:
+    def test_raise_on_error_carries_report(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 400))
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute", _noop))
+        report = _lint(program)
+        with pytest.raises(LintError) as excinfo:
+            report.raise_on_error()
+        assert excinfo.value.report is report
+
+    def test_diagnostic_rejects_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            Diagnostic("WH999", Severity.ERROR, "nope")
+
+    def test_rule_catalogue_is_complete(self):
+        assert set(RULES) == {f"WH{i:03d}" for i in range(1, 12)}
+
+    def test_core_aggregation(self):
+        # the same missing arg on 4 cores folds into one diagnostic
+        program = Program(core_range=CoreRange(0, 4))
+
+        def needs_arg(core, args):
+            _ = args["n"]
+            return
+            yield
+
+        program.add_kernel(KernelSpec("k", RiscvRole.T1, "compute",
+                                      needs_arg))
+        report = _lint(program)
+        wh007 = [d for d in report if d.rule == "WH007"]
+        assert len(wh007) == 1
+        assert "3 more core(s)" in wh007[0].message
+
+    def test_format_mentions_rule_and_location(self):
+        program = Program(core_range=CoreRange(0, 1))
+        program.add_cb(CBConfig(0, 2))
+
+        def greedy(core, args):
+            yield from core.get_cb(0).reserve_back(8)
+
+        program.add_kernel(KernelSpec("greedy", RiscvRole.NC,
+                                      "data_movement", greedy))
+        text = _lint(program).format()
+        assert "WH003" in text and "cb 0" in text
+

@@ -189,3 +189,108 @@ class TestEndToEndPipeline:
         with pytest.raises(CommandQueueError):
             queue.record_host(-1.0)
         CloseDevice(dev)
+
+
+class TestQueueRegistry:
+    def test_queue_is_bound_to_device_object(self):
+        # id() values are recycled after garbage collection; a registry
+        # keyed by id(device) could hand a dead device's queue to a new
+        # device.  The queue lives on the device itself now.
+        import gc
+
+        dead = CreateDevice(0)
+        dead_id = id(dead)
+        del dead
+        gc.collect()
+        devices = [CreateDevice(i) for i in range(8)]
+        try:
+            for dev in devices:
+                queue = GetCommandQueue(dev)
+                assert queue.device is dev
+            recycled = [d for d in devices if id(d) == dead_id]
+            for dev in recycled:  # the recycled id must see its own queue
+                assert GetCommandQueue(dev).device is dev
+        finally:
+            for dev in devices:
+                CloseDevice(dev)
+
+    def test_two_live_devices_have_distinct_queues(self):
+        a, b = CreateDevice(0), CreateDevice(1)
+        assert GetCommandQueue(a) is not GetCommandQueue(b)
+        CloseDevice(a)
+        CloseDevice(b)
+
+
+class TestConfigValidation:
+    def test_cbconfig_rejects_nonpositive_capacity(self):
+        from repro.metalium import CBConfig
+
+        with pytest.raises(KernelError, match="capacity_pages"):
+            CBConfig(0, 0)
+        with pytest.raises(KernelError, match="capacity_pages"):
+            CBConfig(0, -3)
+
+    def test_cbconfig_rejects_negative_id(self):
+        from repro.metalium import CBConfig
+
+        with pytest.raises(KernelError, match="non-negative"):
+            CBConfig(-1, 2)
+
+    def test_phase_rejects_unknown_tag(self):
+        from repro.metalium.command_queue import Phase
+
+        with pytest.raises(CommandQueueError, match="phase tag"):
+            Phase("gpu", 1.0)
+
+    def test_phase_accepts_the_known_tags(self):
+        from repro.metalium.command_queue import PHASE_TAGS, Phase
+
+        for tag in PHASE_TAGS:
+            assert Phase(tag, 0.5).tag == tag
+
+
+class TestEnqueueLintGate:
+    def _broken_program(self):
+        program = CreateProgram(CoreRange(0, 1))
+        CreateCircularBuffer(program, 0, 400)  # 1.6 MB of CBs > 1.5 MB L1
+
+        def noop(core, args):
+            return
+            yield
+
+        CreateKernel(program, "noop", RiscvRole.T1, "compute", noop)
+        return program
+
+    def test_lint_error_blocks_dispatch(self):
+        from repro.errors import LintError
+
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        phases_before = len(queue.phases)
+        with pytest.raises(LintError) as excinfo:
+            EnqueueProgram(queue, self._broken_program(), lint="error")
+        assert "WH001" in str(excinfo.value)
+        assert len(queue.phases) == phases_before  # nothing executed
+        CloseDevice(dev)
+
+    def test_lint_warn_dispatches_with_warning(self):
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        program = CreateProgram(CoreRange(0, 1))
+
+        def noop(core, args):
+            return
+            yield
+
+        CreateKernel(program, "noop", RiscvRole.T1, "compute", noop)
+        SetRuntimeArgs(program, 0, {"dead": 1})  # warning-only finding
+        with pytest.warns(UserWarning, match="WH007"):
+            EnqueueProgram(queue, program, lint="warn")
+        CloseDevice(dev)
+
+    def test_invalid_lint_mode_rejected(self):
+        dev = CreateDevice(0)
+        queue = GetCommandQueue(dev)
+        with pytest.raises(HostApiError, match="lint mode"):
+            EnqueueProgram(queue, self._broken_program(), lint="loud")
+        CloseDevice(dev)
