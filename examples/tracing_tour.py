@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Tracing tour: watch one accelerated run through Scope's eyes.
+
+The observability layer ("Scope", ``repro.observability``) threads one
+``Trace`` through every layer of the stack.  This tour:
+
+1. runs a traced Hermite simulation with forces offloaded to the
+   simulated Wormhole — the trace records simulation phases, PCIe
+   transfers, program launches, and one concurrent span per Tensix core;
+2. walks the span tree and the modelled-time category split;
+3. reads the metrics registry the device layer filled in
+   (DRAM/NoC traffic, scheduler rounds, L1 high water, tiles/s);
+4. exports Chrome/Perfetto ``trace.json`` (open it in ui.perfetto.dev)
+   and prints the terminal flamegraph;
+5. traces a small resilient campaign — reset attempts, backoff sleeps
+   and per-job phase replays on the shared virtual clock.
+
+Run:  python examples/tracing_tour.py
+Docs: docs/OBSERVABILITY.md
+"""
+
+import json
+
+from repro import (
+    Campaign,
+    JobSpec,
+    Simulation,
+    Trace,
+    TTForceBackend,
+    plummer,
+    write_chrome_trace,
+)
+from repro.metalium import CreateDevice
+from repro.observability import format_flamegraph, validate_chrome_trace
+from repro.telemetry import RetryPolicy
+
+N = 1024
+CYCLES = 3
+CORES = 8
+
+
+def traced_simulation() -> Trace:
+    """A traced accelerated run; returns the filled trace."""
+    print(f"== Traced simulation: N = {N}, {CYCLES} cycles, "
+          f"{CORES} cores ==")
+    trace = Trace()
+    system = plummer(N, seed=3)
+    backend = TTForceBackend(CreateDevice(0), n_cores=CORES)
+    result = Simulation(system, backend, dt=1e-3, trace=trace).run(CYCLES)
+
+    assert abs(trace.duration_s - result.model_seconds) < 1e-9
+    print(f"  {len(trace.spans)} spans over {trace.duration_s:.4f} "
+          f"modelled s (== result.model_seconds)")
+
+    print("  modelled seconds by category:")
+    for category, seconds in sorted(trace.seconds_by_category().items()):
+        print(f"    {category:>8}: {seconds:.6f}")
+
+    # One EnqueueProgram, expanded: launch -> device -> concurrent cores.
+    enqueue = trace.find("EnqueueProgram")[0]
+    device_span = next(
+        s for s in trace.children_of(enqueue) if s.category == "device"
+    )
+    cores = trace.children_of(device_span)
+    worst = max(cores, key=lambda s: s.duration_s)
+    print(f"  one launch: {len(cores)} concurrent core spans; critical "
+          f"path core {worst.track} at {worst.duration_s * 1e3:.3f} ms")
+    return trace
+
+
+def inspect_metrics(trace: Trace) -> None:
+    print("\n== Metrics the device layer registered ==")
+    for name, record in sorted(trace.metrics.to_dict().items()):
+        value = record.get("value", record.get("mean"))
+        print(f"  {name:<34} {record['kind']:<9} {value:,.1f}")
+
+
+def export(trace: Trace) -> None:
+    print("\n== Exports ==")
+    path = write_chrome_trace(trace, "trace.json")
+    problems = validate_chrome_trace(json.loads(path.read_text()))
+    assert problems == [], problems
+    print(f"  {path} (schema-valid; open in ui.perfetto.dev)")
+    print(f"  {trace.metrics.write_json('trace.json.metrics.json')}")
+    print("\n" + format_flamegraph(trace, min_share=0.02))
+
+
+def traced_campaign() -> None:
+    print("\n== Traced campaign: 3 jobs, flaky resets, retries ==")
+    trace = Trace()
+    campaign = Campaign(
+        seed=11, n_cards=2, reset_failure_rate=0.5,
+        retry=RetryPolicy(max_attempts=4, base_backoff_s=5.0),
+        trace=trace,
+    )
+    for _ in range(3):
+        campaign.run_job(JobSpec.paper_accelerated())
+
+    assert abs(trace.now - campaign.clock.now()) < 1e-6
+    metrics = trace.metrics.to_dict()
+    print(f"  {metrics['campaign.reset_attempts']['value']:.0f} reset "
+          f"attempts over {metrics['campaign.jobs']['value']:.0f} jobs; "
+          f"cursor == virtual clock at {trace.now:.1f} s")
+    for job in trace.find("job"):
+        children = ", ".join(
+            f"{s.name}" for s in trace.children_of(job)
+        )
+        print(f"  job {job.attributes['index']}: attempts="
+              f"{job.attributes['attempts']} [{children}]")
+
+
+def main() -> None:
+    trace = traced_simulation()
+    inspect_metrics(trace)
+    export(trace)
+    traced_campaign()
+    print("\nDone. The full guide is docs/OBSERVABILITY.md; "
+          "`repro trace --help` is the CLI version of this tour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate: docs/API.md must mention every exported public symbol.
+
+Walks every package ``__init__.py`` under ``src/repro``, parses its
+``__all__`` list *statically* (no imports — the check cannot be fooled or
+broken by import-time side effects), and verifies each exported name
+appears somewhere in ``docs/API.md`` as a whole word.
+
+The check is deliberately a *mention* check, not a structure check: the
+reference is organised for humans, so a symbol may be documented in a
+table row, in running prose, or grouped with its siblings — any of those
+count.  What cannot happen is adding a public export and forgetting the
+reference entirely.
+
+Usage::
+
+    python scripts/check_api_docs.py            # repo root inferred
+    python scripts/check_api_docs.py --repo /path/to/repo
+
+Exits 0 when the reference is complete, 1 with a per-package report of
+missing symbols otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: Exported names the reference need not mention individually.
+IGNORED = {"__version__"}
+
+
+def exported_names(init_py: Path) -> list[str]:
+    """The ``__all__`` list of one ``__init__.py``, parsed statically."""
+    tree = ast.parse(init_py.read_text())
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "__all__" not in targets:
+            continue
+        value = ast.literal_eval(node.value)
+        return [name for name in value if name not in IGNORED]
+    return []
+
+
+def find_packages(src_root: Path) -> list[Path]:
+    """All package ``__init__.py`` files under ``src_root``, sorted."""
+    return sorted(src_root.rglob("__init__.py"))
+
+
+def check(repo: Path) -> int:
+    api_md = repo / "docs" / "API.md"
+    src_root = repo / "src" / "repro"
+    if not api_md.is_file():
+        print(f"error: {api_md} not found", file=sys.stderr)
+        return 2
+    if not src_root.is_dir():
+        print(f"error: {src_root} not found", file=sys.stderr)
+        return 2
+    text = api_md.read_text()
+
+    failures: dict[str, list[str]] = {}
+    total = 0
+    for init_py in find_packages(src_root):
+        package = ".".join(
+            init_py.parent.relative_to(repo / "src").parts
+        )
+        names = exported_names(init_py)
+        total += len(names)
+        missing = [
+            name for name in names
+            if re.search(rf"\b{re.escape(name)}\b", text) is None
+        ]
+        if missing:
+            failures[package] = missing
+
+    if failures:
+        print(f"docs/API.md is missing "
+              f"{sum(len(v) for v in failures.values())} exported symbols:")
+        for package, missing in sorted(failures.items()):
+            print(f"  {package}: {', '.join(missing)}")
+        print("\nAdd them to docs/API.md (a table row or a prose mention "
+              "both count), or stop exporting them.")
+        return 1
+    print(f"docs/API.md mentions all {total} exported symbols.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of scripts/)",
+    )
+    args = parser.parse_args(argv)
+    return check(args.repo)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ The package provides four layers (see DESIGN.md for the full inventory):
 * :mod:`repro.telemetry` — the measurement campaign: tt-smi/RAPL/IPMI
   simulacra, 1 Hz sampling, csv persistence, energy integration, and the
   reset/sleep/simulate/sleep job workflow.
+* :mod:`repro.observability` — "Scope", the unified tracing & metrics
+  layer: one :class:`Trace` threads through all of the above and exports
+  to Chrome/Perfetto ``trace.json`` (see docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -63,6 +66,13 @@ from .core import (
 from .cpuref import CPUForceBackend, OpenMPModel
 from .errors import ReproError
 from .nbody_tt import DeviceTimeModel, TTForceBackend
+from .observability import (
+    MetricsRegistry,
+    Trace,
+    format_flamegraph,
+    trace_from_env,
+    write_chrome_trace,
+)
 from .simclock import Stopwatch, VirtualClock
 from .telemetry import Campaign, CampaignSummary, JobSpec
 from .wormhole import DataFormat, WormholeDevice
@@ -105,6 +115,11 @@ __all__ = [
     "ReproError",
     "DeviceTimeModel",
     "TTForceBackend",
+    "MetricsRegistry",
+    "Trace",
+    "format_flamegraph",
+    "trace_from_env",
+    "write_chrome_trace",
     "Stopwatch",
     "VirtualClock",
     "Campaign",

@@ -8,7 +8,13 @@ Subcommands mirror the workflows a user of the paper's artifact would run:
 * ``repro validate`` — the paper's Section 3 accuracy gate (device vs
   double-precision golden reference);
 * ``repro campaign`` — the Section 4 measurement campaign, printing the
-  Fig. 3/5 statistics and optionally writing the power csv files.
+  Fig. 3/5 statistics and optionally writing the power csv files;
+* ``repro trace`` — run a traced workload and write a Chrome/Perfetto
+  ``trace.json`` plus a metrics dump and a text flamegraph summary.
+
+``repro simulate`` and ``repro campaign`` also honour the ``REPRO_TRACE``
+environment variable: set it to a path and the run writes its Scope trace
+there (metrics land next to it as ``<path>.metrics.json``).
 """
 
 from __future__ import annotations
@@ -93,6 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
     figs.add_argument("--ref-jobs", type=int, default=49)
     figs.add_argument("--seed", type=int, default=2025)
 
+    tr = sub.add_parser(
+        "trace",
+        help="run a traced workload and write a Chrome trace",
+        description="Integrate a Plummer cluster on the device backend "
+                    "with Scope tracing on, then write the Chrome/Perfetto "
+                    "trace.json, a metrics dump (JSON + CSV), and print a "
+                    "flamegraph-style summary.",
+    )
+    tr.add_argument("--n", type=int, default=1024, help="particle count")
+    tr.add_argument("--cycles", type=int, default=3, help="Hermite cycles")
+    tr.add_argument("--cores", type=int, default=8,
+                    help="Tensix cores (device backend)")
+    tr.add_argument("--dt", type=float, default=1e-3, help="fixed timestep")
+    tr.add_argument("--softening", type=float, default=0.0)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--out", type=str, default="trace.json",
+                    help="Chrome trace output path")
+    tr.add_argument("--min-share", type=float, default=0.01,
+                    help="hide flamegraph rows below this share (0-1)")
+
     smi = sub.add_parser("smi", help="tt-smi-style card status table")
     smi.add_argument("--cards", type=int, default=4)
     smi.add_argument("--seed", type=int, default=0)
@@ -147,6 +173,44 @@ def _cmd_info() -> int:
     return 0
 
 
+def _write_trace_outputs(trace, path) -> None:
+    """Write the Chrome trace plus its metrics dumps next to it."""
+    from .observability import write_chrome_trace
+
+    write_chrome_trace(trace, path)
+    trace.metrics.write_json(f"{path}.metrics.json")
+    print(f"trace written to {path} "
+          f"({len(trace.spans)} spans, {trace.duration_s:.4f} modelled s)")
+    print(f"metrics written to {path}.metrics.json")
+
+
+def _device_profile_text(device, queue, engine: str) -> str:
+    """The ``--profile`` report; never raises on an empty-counter device.
+
+    The per-core table needs per-core cycle counters.  When none exist for
+    the last evaluation (cleared counters, or an engine variant that does
+    not replay per-core work), fall back to the batch-level aggregate from
+    the command queue instead of crashing.
+    """
+    from .wormhole.profiler import profile_device
+
+    title = "Device occupancy (last force evaluation)"
+    if engine == "batched":
+        title += " [batched engine: charge-only replay]"
+    profile = profile_device(device, allow_empty=True)
+    if profile.active_cores > 0:
+        return f"{title}:\n{profile.table()}"
+    device_s = queue.device_seconds() if queue is not None else 0.0
+    host_s = queue.host_seconds() if queue is not None else 0.0
+    return (
+        f"{title}:\n"
+        f"no per-core profiler records for the last evaluation "
+        f"(engine={engine}); aggregated by batch: "
+        f"device {device_s:.6f} s across {len(device.cores)} cores, "
+        f"host+pcie+launch {host_s:.6f} s"
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .core import (
         ReferenceBackend,
@@ -156,6 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         plummer,
         save_npz,
     )
+    from .observability import trace_from_env
 
     system = plummer(args.n, seed=args.seed)
     initial = energy_report(system, softening=args.softening)
@@ -180,9 +245,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     kwargs = (
         {"timestep": SharedTimestep()} if args.adaptive else {"dt": args.dt}
     )
-    sim = Simulation(system, backend, **kwargs)
+    traced = trace_from_env()
+    sim = Simulation(
+        system, backend, **kwargs,
+        trace=traced[0] if traced is not None else None,
+    )
     result = sim.run(args.cycles)
     final = energy_report(system, softening=args.softening)
+    if traced is not None:
+        _write_trace_outputs(*traced)
 
     print(f"backend: {backend.name}")
     print(f"N = {args.n}, cycles = {args.cycles}, t = {system.time:.6f}")
@@ -198,10 +269,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.backend != "device":
             print("--profile requires the device backend; ignoring")
         else:
-            from .wormhole.profiler import profile_device
+            from .metalium import GetCommandQueue
 
-            print("\nDevice occupancy (last force evaluation):")
-            print(profile_device(device).table())
+            print()
+            print(_device_profile_text(
+                device, GetCommandQueue(device), backend.engine
+            ))
     return 0
 
 
@@ -225,13 +298,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .observability import trace_from_env
     from .telemetry import Campaign, CampaignSummary, JobSpec, RetryPolicy
 
+    traced = trace_from_env()
     if args.resume:
         if not args.checkpoint:
             print("--resume requires --checkpoint", file=sys.stderr)
             return 2
         campaign = Campaign.resume(args.checkpoint)
+        if traced is not None:
+            campaign.trace = traced[0]
         print(f"resuming from {args.checkpoint}: "
               f"{len(campaign.resumed_results)} jobs restored, "
               f"{len(campaign.remaining_schedule)} pending")
@@ -245,6 +322,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                               base_backoff_s=args.backoff),
             failover=args.failover,
             checkpoint=args.checkpoint,
+            trace=traced[0] if traced is not None else None,
         )
         schedule = (
             [JobSpec.paper_accelerated(n_particles=args.n,
@@ -284,6 +362,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         path = write_campaign_report(args.report, accel_results, ref_results)
         print(f"campaign report written to {path}")
+    if traced is not None:
+        _write_trace_outputs(*traced)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core import Simulation, energy_report, plummer
+    from .core.simulation import HostCostModel
+    from .metalium import CreateDevice
+    from .nbody_tt import TTForceBackend
+    from .observability import Trace, format_flamegraph
+    from .wormhole.params import DEFAULT_COSTS
+
+    trace = Trace()
+    system = plummer(args.n, seed=args.seed)
+    initial = energy_report(system, softening=args.softening)
+    device = CreateDevice(0)
+    backend = TTForceBackend(
+        device, n_cores=args.cores, softening=args.softening
+    )
+    # charge the host-resident double-precision work too, so the trace
+    # shows the paper's full phase structure (predict/correct are real
+    # phases, not zero-width markers)
+    host_cost = HostCostModel(
+        seconds_per_particle_cycle=DEFAULT_COSTS.host_per_particle_s,
+        init_seconds=2.0,
+    )
+    sim = Simulation(
+        system, backend, dt=args.dt, host_cost=host_cost, trace=trace
+    )
+    sim.run(args.cycles)
+    final = energy_report(system, softening=args.softening)
+
+    print(f"backend: {backend.name} (engine={backend.engine})")
+    print(f"N = {args.n}, cycles = {args.cycles}, "
+          f"energy drift |dE/E0| = {final.drift_from(initial):.3e}")
+    _write_trace_outputs(trace, args.out)
+    trace.metrics.write_csv(f"{args.out}.metrics.csv")
+    print(f"metrics csv written to {args.out}.metrics.csv")
+    print()
+    print("modelled seconds by category:")
+    for category, seconds in sorted(trace.seconds_by_category().items()):
+        print(f"  {category:>10}: {seconds:.6f} s")
+    print()
+    print(format_flamegraph(trace, min_share=args.min_share))
     return 0
 
 
@@ -340,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figures":
         from .bench.figures import generate_figure_data
 

@@ -139,10 +139,12 @@ class ClusterReport:
 
     @property
     def half_mass_radius(self) -> float:
+        """Radius enclosing half the cluster mass (the 50% Lagrangian radius)."""
         return float(self.lagrangian[1])
 
     @property
     def crossing_times_per_relaxation(self) -> float:
+        """Relaxation time in units of the Henon crossing time."""
         return self.t_relax / HENON_CROSSING_TIME
 
 

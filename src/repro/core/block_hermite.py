@@ -54,6 +54,7 @@ class BlockStats:
 
     def record_block(self, n_active: int, n_total: int,
                      levels: np.ndarray) -> None:
+        """Accumulate the work done by one block update."""
         self.block_steps += 1
         self.particle_updates += n_active
         self.force_pair_evaluations += n_active * n_total
@@ -138,6 +139,7 @@ class BlockHermiteIntegrator:
     # -- integration ----------------------------------------------------------
 
     def initialise(self) -> None:
+        """Compute initial forces and assign every particle a timestep level."""
         s = self.system
         all_idx = np.arange(s.n)
         acc, jerk = self._force(s.pos, s.vel, s.mass, all_idx)
@@ -152,6 +154,7 @@ class BlockHermiteIntegrator:
         self._initialised = True
 
     def next_block_time(self) -> float:
+        """Earliest pending update time across all particles."""
         return float(np.min(self._t + self._dt_of_level(self._level)))
 
     def step_block(self) -> int:

@@ -36,6 +36,7 @@ class EnergyReport:
 
     @property
     def total(self) -> float:
+        """Total energy E = T + W."""
         return self.kinetic + self.potential
 
     @property

@@ -55,6 +55,7 @@ class LeapfrogSimulation:
         return evaluation.acc
 
     def run(self, n_steps: int) -> ParticleSystem:
+        """Advance the system by ``n_steps`` kick-drift-kick steps."""
         if n_steps <= 0:
             raise ConfigurationError(f"n_steps must be positive, got {n_steps}")
         if not self._initialised:

@@ -36,6 +36,7 @@ class OrbitalElements:
 
     @property
     def bound(self) -> bool:
+        """True when the pair's relative orbit energy is negative."""
         return self.specific_energy < 0.0
 
     @property
@@ -47,12 +48,14 @@ class OrbitalElements:
 
     @property
     def periapsis(self) -> float:
+        """Closest-approach distance a(1 - e); raises for unbound pairs."""
         if not self.bound:
             raise NBodyError("periapsis of an unbound pair is undefined here")
         return self.semi_major_axis * (1.0 - self.eccentricity)
 
     @property
     def apoapsis(self) -> float:
+        """Largest separation a(1 + e); raises for unbound pairs."""
         if not self.bound:
             raise NBodyError("apoapsis of an unbound pair is undefined")
         return self.semi_major_axis * (1.0 + self.eccentricity)

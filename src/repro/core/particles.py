@@ -63,13 +63,16 @@ class ParticleSystem:
 
     @property
     def n(self) -> int:
+        """Number of particles."""
         return self.mass.shape[0]
 
     @property
     def total_mass(self) -> float:
+        """Sum of all particle masses."""
         return float(self.mass.sum())
 
     def copy(self) -> "ParticleSystem":
+        """Deep copy of every array and the current time."""
         return ParticleSystem(
             self.mass.copy(), self.pos.copy(), self.vel.copy(),
             self.acc.copy(), self.jerk.copy(), self.time,
@@ -78,9 +81,11 @@ class ParticleSystem:
     # -- frame utilities ----------------------------------------------------
 
     def center_of_mass(self) -> np.ndarray:
+        """Mass-weighted mean position, shape (3,)."""
         return (self.mass[:, None] * self.pos).sum(axis=0) / self.total_mass
 
     def center_of_mass_velocity(self) -> np.ndarray:
+        """Mass-weighted mean velocity, shape (3,)."""
         return (self.mass[:, None] * self.vel).sum(axis=0) / self.total_mass
 
     def to_center_of_mass_frame(self) -> None:

@@ -38,6 +38,7 @@ class PlummerProfile:
             raise ConfigurationError("profile parameters must be positive")
 
     def density(self, r) -> np.ndarray:
+        """rho(r) = 3M / (4 pi a^3) (1 + (r/a)^2)^(-5/2)."""
         r = _check_radius(r)
         a = self.scale_radius
         return (
@@ -46,11 +47,13 @@ class PlummerProfile:
         )
 
     def enclosed_mass(self, r) -> np.ndarray:
+        """M(r) = M r^3 / (r^2 + a^2)^(3/2)."""
         r = _check_radius(r)
         a = self.scale_radius
         return self.total_mass * r**3 / (r**2 + a**2) ** 1.5
 
     def potential(self, r) -> np.ndarray:
+        """phi(r) = -M / sqrt(r^2 + a^2)."""
         r = _check_radius(r)
         return -self.total_mass / np.sqrt(r**2 + self.scale_radius**2)
 
@@ -86,6 +89,7 @@ class HernquistProfile:
             raise ConfigurationError("profile parameters must be positive")
 
     def density(self, r) -> np.ndarray:
+        """rho(r) = M a / (2 pi r (r + a)^3)."""
         r = _check_radius(r)
         a = self.scale_radius
         with np.errstate(divide="ignore"):
@@ -95,11 +99,13 @@ class HernquistProfile:
             )
 
     def enclosed_mass(self, r) -> np.ndarray:
+        """M(r) = M r^2 / (r + a)^2."""
         r = _check_radius(r)
         a = self.scale_radius
         return self.total_mass * r**2 / (r + a) ** 2
 
     def potential(self, r) -> np.ndarray:
+        """phi(r) = -M / (r + a)."""
         r = _check_radius(r)
         return -self.total_mass / (r + self.scale_radius)
 
@@ -126,16 +132,19 @@ class UniformSphereProfile:
             raise ConfigurationError("profile parameters must be positive")
 
     def density(self, r) -> np.ndarray:
+        """Constant rho0 inside R, zero outside."""
         r = _check_radius(r)
         rho0 = 3.0 * self.total_mass / (4.0 * np.pi * self.radius**3)
         return np.where(r <= self.radius, rho0, 0.0)
 
     def enclosed_mass(self, r) -> np.ndarray:
+        """M (r/R)^3 inside R, M outside."""
         r = _check_radius(r)
         inside = self.total_mass * (r / self.radius) ** 3
         return np.where(r <= self.radius, inside, self.total_mass)
 
     def potential(self, r) -> np.ndarray:
+        """Parabolic well inside R, Keplerian -M/r outside."""
         r = _check_radius(r)
         R, M = self.radius, self.total_mass
         inside = -M * (3.0 * R**2 - r**2) / (2.0 * R**3)
@@ -155,4 +164,5 @@ class UniformSphereProfile:
 
     @property
     def half_mass_radius(self) -> float:
+        """M(r) = M/2 at r = R 2^(-1/3)."""
         return self.radius * 2.0 ** (-1.0 / 3.0)

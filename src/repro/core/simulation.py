@@ -15,13 +15,17 @@ at 1 Hz to produce the power traces of the paper's Fig. 4.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from .hermite import correct, predict
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from ..observability import Trace
 from .particles import ParticleSystem
 from .timestep import SharedTimestep
 from .units import G_NBODY
@@ -57,6 +61,7 @@ class ForceEvaluation:
 
     @property
     def model_seconds(self) -> float:
+        """Total modelled seconds across this evaluation's segments."""
         return sum(s.seconds for s in self.segments)
 
 
@@ -66,7 +71,9 @@ class ForceBackend(Protocol):
     name: str
 
     def compute(self, pos: np.ndarray, vel: np.ndarray,
-                mass: np.ndarray) -> ForceEvaluation: ...
+                mass: np.ndarray) -> ForceEvaluation:
+        """Evaluate accelerations and jerks for the given state."""
+        ...
 
 
 class ReferenceBackend:
@@ -79,6 +86,7 @@ class ReferenceBackend:
         self.G = G
 
     def compute(self, pos, vel, mass) -> ForceEvaluation:
+        """Evaluate float64 reference accelerations and jerks."""
         from .forces import accel_jerk_reference
 
         acc, jerk = accel_jerk_reference(
@@ -101,6 +109,7 @@ class HostCostModel:
     init_seconds: float = 0.0
 
     def cycle_segments(self, n: int) -> tuple[TimelineSegment, ...]:
+        """The predict/correct host segments for one cycle of ``n`` bodies."""
         if self.seconds_per_particle_cycle <= 0.0:
             return ()
         half = 0.5 * self.seconds_per_particle_cycle * n
@@ -135,6 +144,7 @@ class SimulationResult:
         return sum(s.seconds for s in self.timeline)
 
     def seconds_by_tag(self) -> dict[str, float]:
+        """Modelled seconds aggregated by segment tag (host/device/...)."""
         out: dict[str, float] = {}
         for seg in self.timeline:
             out[seg.tag] = out.get(seg.tag, 0.0) + seg.seconds
@@ -156,6 +166,14 @@ class Simulation:
         Adaptive :class:`SharedTimestep` scheme.
     host_cost:
         Modelled cost of host-resident work (zero for pure-physics runs).
+    trace:
+        Optional :class:`~repro.observability.Trace` ("Scope").  When
+        given, the run narrates itself as spans — ``simulation.run`` /
+        ``initialise`` / per-cycle ``cycle`` with ``predict`` / ``force``
+        / ``correct`` children — and the trace is handed to the backend
+        when it accepts one (``TTForceBackend`` then adds Metalium and
+        per-core device spans underneath ``force``).  ``None`` (the
+        default) costs the run nothing.
     """
 
     def __init__(
@@ -166,6 +184,7 @@ class Simulation:
         dt: float | None = None,
         timestep: SharedTimestep | None = None,
         host_cost: HostCostModel = HostCostModel(),
+        trace: "Trace | None" = None,
     ) -> None:
         if (dt is None) == (timestep is None):
             raise ConfigurationError(
@@ -178,24 +197,52 @@ class Simulation:
         self.fixed_dt = dt
         self.timestep = timestep
         self.host_cost = host_cost
+        self.trace = trace
+        #: backends that accept a trace (TTForceBackend) narrate their own
+        #: Metalium/device spans; for the rest the driver converts the
+        #: evaluation's timeline segments into leaf spans itself
+        self._backend_traced = trace is not None and hasattr(backend, "trace")
+        if self._backend_traced:
+            backend.trace = trace  # type: ignore[attr-defined]
         self._initialised = False
         self._snap = np.zeros_like(system.pos)
         self._crackle = np.zeros_like(system.pos)
 
+    def _trace_evaluation(self, evaluation: ForceEvaluation) -> None:
+        """Add an untraced backend's segments as leaf spans (traced runs)."""
+        assert self.trace is not None
+        if not self._backend_traced:
+            for seg in evaluation.segments:
+                self.trace.add_span(
+                    seg.detail or seg.tag, seg.seconds, category=seg.tag
+                )
+
     def initialise(self) -> list[TimelineSegment]:
         """Initial force evaluation (and host init cost)."""
-        segments: list[TimelineSegment] = []
-        if self.host_cost.init_seconds > 0.0:
-            segments.append(
-                TimelineSegment("host", self.host_cost.init_seconds, "init")
-            )
-        evaluation = self.backend.compute(
-            self.system.pos, self.system.vel, self.system.mass
+        trace = self.trace
+        span = (
+            trace.span("initialise", category="sim")
+            if trace is not None else nullcontext()
         )
-        self.system.acc = evaluation.acc
-        self.system.jerk = evaluation.jerk
-        segments.extend(evaluation.segments)
-        self._initialised = True
+        with span:
+            segments: list[TimelineSegment] = []
+            if self.host_cost.init_seconds > 0.0:
+                segments.append(
+                    TimelineSegment("host", self.host_cost.init_seconds, "init")
+                )
+                if trace is not None:
+                    trace.add_span(
+                        "init", self.host_cost.init_seconds, category="host"
+                    )
+            evaluation = self.backend.compute(
+                self.system.pos, self.system.vel, self.system.mass
+            )
+            if trace is not None:
+                self._trace_evaluation(evaluation)
+            self.system.acc = evaluation.acc
+            self.system.jerk = evaluation.jerk
+            segments.extend(evaluation.segments)
+            self._initialised = True
         return segments
 
     def _choose_dt(self, first: bool) -> float:
@@ -212,6 +259,27 @@ class Simulation:
         """Advance ``n_cycles`` Hermite cycles and return the result."""
         if n_cycles <= 0:
             raise ConfigurationError(f"n_cycles must be positive, got {n_cycles}")
+        trace = self.trace
+        run_span = (
+            trace.span(
+                "simulation.run", category="sim", n=self.system.n,
+                n_cycles=n_cycles, backend=self.backend.name,
+            )
+            if trace is not None else nullcontext()
+        )
+        with run_span:
+            timeline, records = self._run_cycles(n_cycles, trace)
+        return SimulationResult(
+            system=self.system,
+            cycles=records,
+            timeline=timeline,
+            backend_name=self.backend.name,
+        )
+
+    def _run_cycles(
+        self, n_cycles: int, trace: "Trace | None"
+    ) -> tuple[list[TimelineSegment], list[CycleRecord]]:
+        """The predict-evaluate-correct loop (inside the run span)."""
         timeline: list[TimelineSegment] = []
         if not self._initialised:
             timeline.extend(self.initialise())
@@ -220,19 +288,40 @@ class Simulation:
         for index in range(n_cycles):
             dt = self._choose_dt(first=(index == 0 and self.fixed_dt is None))
             cycle_segments = list(self.host_cost.cycle_segments(self.system.n))
-            # predictor (host, float64)
-            pos_p, vel_p = predict(
-                self.system.pos, self.system.vel,
-                self.system.acc, self.system.jerk, dt,
+            half_s = cycle_segments[0].seconds if cycle_segments else 0.0
+            cycle_span = (
+                trace.span("cycle", category="sim", index=index, dt=dt)
+                if trace is not None else nullcontext()
             )
-            # force evaluation (backend; the offloaded part)
-            evaluation = self.backend.compute(pos_p, vel_p, self.system.mass)
-            # corrector (host, float64)
-            step = correct(
-                self.system.pos, self.system.vel,
-                self.system.acc, self.system.jerk,
-                evaluation.acc, evaluation.jerk, dt,
-            )
+            with cycle_span:
+                # predictor (host, float64)
+                if trace is not None:
+                    trace.add_span("predict", half_s, category="host")
+                pos_p, vel_p = predict(
+                    self.system.pos, self.system.vel,
+                    self.system.acc, self.system.jerk, dt,
+                )
+                # force evaluation (backend; the offloaded part)
+                force_span = (
+                    trace.span(
+                        "force", category="sim", backend=self.backend.name
+                    )
+                    if trace is not None else nullcontext()
+                )
+                with force_span:
+                    evaluation = self.backend.compute(
+                        pos_p, vel_p, self.system.mass
+                    )
+                    if trace is not None:
+                        self._trace_evaluation(evaluation)
+                # corrector (host, float64)
+                step = correct(
+                    self.system.pos, self.system.vel,
+                    self.system.acc, self.system.jerk,
+                    evaluation.acc, evaluation.jerk, dt,
+                )
+                if trace is not None:
+                    trace.add_span("correct", half_s, category="host")
             self.system.pos = step.pos
             self.system.vel = step.vel
             self.system.acc = step.acc
@@ -260,9 +349,4 @@ class Simulation:
                     model_seconds=sum(s.seconds for s in segments),
                 )
             )
-        return SimulationResult(
-            system=self.system,
-            cycles=records,
-            timeline=timeline,
-            backend_name=self.backend.name,
-        )
+        return timeline, records

@@ -131,6 +131,7 @@ class SharedTimestep:
             )
 
     def first(self, acc: np.ndarray, jerk: np.ndarray) -> float:
+        """Startup timestep from the acc/jerk criterion, clipped to bounds."""
         dt = initial_timestep(acc, jerk, self.eta_start).min()
         return float(np.clip(dt, self.dt_min, self.dt_max))
 
@@ -141,6 +142,7 @@ class SharedTimestep:
         snap: np.ndarray,
         crackle: np.ndarray,
     ) -> float:
+        """Timestep from the full Aarseth (or simple) criterion, clipped to bounds."""
         if self.criterion == "simple":
             dt = initial_timestep(acc, jerk, self.eta).min()
         else:

@@ -72,29 +72,37 @@ class UnitSystem:
     # -- conversions to physical --
 
     def to_msun(self, mass_nbody: float | np.ndarray):
+        """N-body mass to solar masses."""
         return mass_nbody * self.mass_msun
 
     def to_pc(self, length_nbody: float | np.ndarray):
+        """N-body length to parsecs."""
         return length_nbody * self.length_pc
 
     def to_myr(self, time_nbody: float | np.ndarray):
+        """N-body time to megayears."""
         return time_nbody * self.time_myr
 
     def to_kms(self, velocity_nbody: float | np.ndarray):
+        """N-body velocity to km/s."""
         return velocity_nbody * self.velocity_kms
 
     # -- conversions from physical --
 
     def from_msun(self, mass_msun: float | np.ndarray):
+        """Solar masses to N-body mass."""
         return mass_msun / self.mass_msun
 
     def from_pc(self, length_pc: float | np.ndarray):
+        """Parsecs to N-body length."""
         return length_pc / self.length_pc
 
     def from_myr(self, time_myr: float | np.ndarray):
+        """Megayears to N-body time."""
         return time_myr / self.time_myr
 
     def from_kms(self, velocity_kms: float | np.ndarray):
+        """km/s to N-body velocity."""
         return velocity_kms / self.velocity_kms
 
     @property

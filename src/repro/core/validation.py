@@ -69,18 +69,23 @@ class ValidationReport:
 
     @property
     def acc_passed(self) -> bool:
+        """True when the acceleration error is within tolerance."""
         return self.max_acc_error <= self.acc_tolerance
 
     @property
     def jerk_passed(self) -> bool:
+        """True when the jerk error is within tolerance."""
         return self.max_jerk_error <= self.jerk_tolerance
 
     @property
     def passed(self) -> bool:
+        """True when both acceleration and jerk pass."""
         return self.acc_passed and self.jerk_passed
 
     def summary(self) -> str:
+        """One-line human-readable pass/fail report."""
         def fmt(err, tol, ok):
+            """Format one error/tolerance/verdict triple."""
             return f"{err:.3e} (tol {tol:.1e}) {'OK' if ok else 'FAIL'}"
 
         return (

@@ -16,7 +16,9 @@ from typing import Any
 from ..analysis import hooks
 from ..errors import CommandQueueError
 from ..wormhole.device import WormholeDevice
+from ..wormhole.dtypes import storage_bytes_per_element
 from ..wormhole.tensix import TensixCore
+from ..wormhole.tile import TILE_ELEMENTS
 from .buffer import DramBuffer
 from .kernel import Program
 
@@ -52,6 +54,9 @@ class CommandQueue:
     last_scheduler_rounds: dict = field(default_factory=dict)
     #: SanitizerReport of the last sanitized enqueue (None when unsanitized)
     last_sanitizer_report: Any = None
+    #: optional Scope :class:`~repro.observability.Trace`; when set, every
+    #: enqueue narrates itself as spans and feeds the trace's metrics
+    trace: Any = None
     _pending: int = 0
 
     # -- time accounting ------------------------------------------------------
@@ -61,6 +66,8 @@ class CommandQueue:
         if duration_s < 0:
             raise CommandQueueError(f"negative phase duration {duration_s}")
         self.phases.append(Phase("host", duration_s, detail))
+        if self.trace is not None:
+            self.trace.add_span(detail or "host", duration_s, category="host")
 
     @property
     def elapsed_s(self) -> float:
@@ -77,15 +84,26 @@ class CommandQueue:
 
     # -- buffer traffic ---------------------------------------------------------
 
+    def _trace_pcie(self, name: str, seconds: float,
+                    buffer: DramBuffer) -> None:
+        """Leaf span for one PCIe transfer (traced queues only)."""
+        if self.trace is not None:
+            self.trace.add_span(
+                name, seconds, category="pcie",
+                device=self.device.device_id, bytes=buffer.size_bytes,
+            )
+
     def enqueue_write_buffer(self, buffer: DramBuffer, tiles) -> None:
         """Host -> device transfer (blocking; PCIe cost on the timeline)."""
         seconds = buffer.host_write_tiles(tiles)
         self.phases.append(Phase("pcie", seconds, "write_buffer"))
+        self._trace_pcie("write_buffer", seconds, buffer)
 
     def enqueue_read_buffer(self, buffer: DramBuffer):
         """Device -> host transfer; returns the tiles."""
         tiles, seconds = buffer.host_read_tiles()
         self.phases.append(Phase("pcie", seconds, "read_buffer"))
+        self._trace_pcie("read_buffer", seconds, buffer)
         return tiles
 
     def charge_write_buffer(self, buffer: DramBuffer) -> None:
@@ -97,6 +115,7 @@ class CommandQueue:
         """
         seconds = buffer.host_write_cost()
         self.phases.append(Phase("pcie", seconds, "write_buffer"))
+        self._trace_pcie("write_buffer", seconds, buffer)
 
     def charge_read_buffer(self, buffer: DramBuffer) -> None:
         """Account a download whose values were produced out-of-band.
@@ -107,6 +126,7 @@ class CommandQueue:
         """
         seconds = buffer.host_read_cost()
         self.phases.append(Phase("pcie", seconds, "read_buffer"))
+        self._trace_pcie("read_buffer", seconds, buffer)
 
     # -- program execution -----------------------------------------------------
 
@@ -129,17 +149,33 @@ class CommandQueue:
         if not program.kernels:
             raise CommandQueueError("cannot enqueue a program with no kernels")
         ctx = self._resolve_sanitizer(sanitize)
+        trace = self.trace
+        if trace is None:
+            return self._execute_program(program, ctx, None)
+        with trace.span(
+            "EnqueueProgram", category="launch",
+            device=self.device.device_id,
+            n_cores=len(program.core_range),
+            kernels=",".join(spec.name for spec in program.kernels),
+        ):
+            return self._execute_program(program, ctx, trace)
 
+    def _execute_program(self, program: Program, ctx, trace) -> float:
+        """Run ``program`` on its core range (inside the EnqueueProgram span)."""
         if not program.built:
-            self.phases.append(
-                Phase("launch", self.device.costs.program_build_s, "program_build")
-            )
+            build_s = self.device.costs.program_build_s
+            self.phases.append(Phase("launch", build_s, "program_build"))
             program.built = True
-        self.phases.append(
-            Phase("launch", self.device.costs.host_launch_overhead_s, "dispatch")
-        )
+            if trace is not None:
+                trace.add_span("program_build", build_s, category="launch")
+        dispatch_s = self.device.costs.host_launch_overhead_s
+        self.phases.append(Phase("launch", dispatch_s, "dispatch"))
+        if trace is not None:
+            trace.add_span("dispatch", dispatch_s, category="launch")
+            counters_before = self._counters_snapshot()
 
         worst = 0.0
+        core_seconds: dict[int, float] = {}
         self.last_scheduler_rounds = {}
         self.last_sanitizer_report = ctx.report if ctx is not None else None
         if ctx is not None:
@@ -147,14 +183,90 @@ class CommandQueue:
         try:
             for core_index in program.core_range:
                 core = self.device.cores[core_index]
-                worst = max(
-                    worst, self._run_on_core(core, core_index, program, ctx)
-                )
+                seconds = self._run_on_core(core, core_index, program, ctx)
+                if trace is not None:
+                    core_seconds[core_index] = seconds
+                worst = max(worst, seconds)
         finally:
             if ctx is not None:
                 ctx.end_program(program)
         self.phases.append(Phase("device", worst, "program"))
+        if trace is not None:
+            self._trace_device_spans(program, trace, worst, core_seconds)
+            self._collect_metrics(program, trace, counters_before, worst)
         return worst
+
+    # -- Scope integration ------------------------------------------------------
+
+    def _trace_device_spans(self, program: Program, trace, worst: float,
+                            core_seconds: dict[int, float]) -> None:
+        """The ``device`` span with one concurrent child span per core.
+
+        Per-core spans land on per-core tracks (``dev<id>/core<idx>``): the
+        cores genuinely run in parallel, so stacking them on one track would
+        fake-nest them in a trace viewer.
+        """
+        kernels = ",".join(spec.name for spec in program.kernels)
+        with trace.span(
+            "device", category="device", device=self.device.device_id,
+        ) as dev_span:
+            start = trace.now
+            for core_index, seconds in core_seconds.items():
+                core = self.device.cores[core_index]
+                trace.add_concurrent_span(
+                    kernels or "kernels", start, seconds,
+                    category="core",
+                    track=f"dev{self.device.device_id}/core{core_index}",
+                    parent=dev_span,
+                    compute_cycles=core.counter.compute_cycles,
+                    datamove_cycles=core.counter.datamove_cycles,
+                    scheduler_rounds=self.last_scheduler_rounds.get(core_index),
+                )
+            trace.advance(worst)
+
+    def _counters_snapshot(self) -> tuple[float, ...]:
+        """Cumulative DRAM/NoC counters (delta'd around each program)."""
+        dram = self.device.dram
+        nocs = self.device.nocs
+        return (
+            dram.bytes_read,
+            dram.bytes_written,
+            sum(noc.stats.transactions for noc in nocs),
+            sum(noc.stats.total_bytes for noc in nocs),
+            sum(noc.stats.total_hops for noc in nocs),
+        )
+
+    def _collect_metrics(self, program: Program, trace,
+                         before: tuple[float, ...], worst: float) -> None:
+        """Feed this program's counter deltas into the trace's metrics."""
+        metrics = trace.metrics
+        prefix = f"device{self.device.device_id}"
+        after = self._counters_snapshot()
+        dram_read, dram_written, noc_tx, noc_bytes, noc_hops = (
+            a - b for a, b in zip(after, before)
+        )
+        metrics.counter(f"{prefix}.programs").inc()
+        metrics.counter(f"{prefix}.dram.bytes_read").add(dram_read)
+        metrics.counter(f"{prefix}.dram.bytes_written").add(dram_written)
+        metrics.counter(f"{prefix}.noc.transactions").add(noc_tx)
+        metrics.counter(f"{prefix}.noc.bytes").add(noc_bytes)
+        metrics.counter(f"{prefix}.noc.hops").add(noc_hops)
+        metrics.counter(f"{prefix}.cb.scheduler_rounds").add(
+            sum(self.last_scheduler_rounds.values())
+        )
+        cb_bytes = sum(
+            config.capacity_pages
+            * storage_bytes_per_element(config.fmt) * TILE_ELEMENTS
+            for config in program.cbs
+        )
+        metrics.gauge(f"{prefix}.l1.cb_high_water_bytes").set_max(cb_bytes)
+        if worst > 0 and noc_bytes > 0:
+            tile_bytes = (
+                storage_bytes_per_element(self.device.fmt) * TILE_ELEMENTS
+            )
+            metrics.histogram(f"{prefix}.tiles_per_s").observe(
+                noc_bytes / tile_bytes / worst
+            )
 
     def _resolve_sanitizer(self, sanitize: bool | None):
         """Pick the sanitizer context for one enqueue (None = unsanitized)."""
@@ -212,4 +324,9 @@ class CommandQueue:
         All operations in this in-order simulator are executed eagerly, so
         finish only reports the accumulated timeline.
         """
+        if self.trace is not None:
+            self.trace.add_span(
+                "Finish", 0.0, category="host",
+                device=self.device.device_id, elapsed_s=self.elapsed_s,
+            )
         return self.elapsed_s

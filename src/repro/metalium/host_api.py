@@ -140,6 +140,11 @@ def EnqueueProgram(queue: CommandQueue, program: Program, *,
         from ..analysis.linter import ProgramLinter
 
         report = ProgramLinter().lint(program, device=queue.device)
+        if queue.trace is not None:
+            queue.trace.add_span(
+                "lint", 0.0, category="analysis",
+                mode=mode, findings=len(report),
+            )
         if mode == "error":
             report.raise_on_error()
         if len(report):

@@ -173,6 +173,7 @@ class TTForceBackend:
         queues: list[CommandQueue] | None = None,
         cb_buffering: int = 2,
         engine: str | None = None,
+        trace=None,
     ) -> None:
         self.devices = [devices] if isinstance(devices, WormholeDevice) else list(devices)
         if not self.devices:
@@ -238,6 +239,29 @@ class TTForceBackend:
         self.name = (
             f"tt-wormhole-dev{len(self.devices)}-cores{self.n_cores}-{fmt.value}"
         )
+        self._trace = None
+        if trace is not None:
+            self.trace = trace
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def trace(self):
+        """The Scope trace this backend narrates into (``None`` = untraced).
+
+        Setting it (directly, via the constructor, or by
+        ``Simulation(trace=...)``, which assigns any backend exposing a
+        ``trace`` attribute) propagates to every command queue, so
+        Metalium-level spans — ``EnqueueProgram``, per-core execution, PCIe
+        transfers — land on the same trace as the driver's phases.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace) -> None:
+        self._trace = trace
+        for queue in self.queues:
+            queue.trace = trace
 
     # -- buffer management ----------------------------------------------------
 
@@ -361,6 +385,12 @@ class TTForceBackend:
                 result_bytes // len(self.devices)
             )
             segments.append(TimelineSegment("device", gather_s, "allgather"))
+            if self._trace is not None:
+                self._trace.add_span(
+                    "allgather", gather_s, category="device",
+                    bytes=result_bytes // len(self.devices),
+                    n_devices=len(self.devices),
+                )
 
         missing = [q for q in OUT_QUANTITIES if any(t is None for t in results[q])]
         if missing:
@@ -428,13 +458,16 @@ class TTForceBackend:
             return device_s, phase_mark, values
 
         active = [d for d in range(len(self.devices)) if device_tiles[d]]
-        if len(active) > 1:
+        if len(active) > 1 and self._trace is None:
             # the NumPy/native chunk math releases the GIL, so devices
             # genuinely overlap; each thread touches only its own device,
             # queue, and counters
             with ThreadPoolExecutor(max_workers=len(active)) as pool:
                 outcomes = dict(zip(active, pool.map(run_device, active)))
         else:
+            # traced runs go device-by-device: the trace cursor and span
+            # stack are single-threaded state, and modelled time is
+            # unchanged either way (wall clock is the only observer effect)
             outcomes = {d: run_device(d) for d in active}
 
         worst_device_s = 0.0

@@ -1,0 +1,80 @@
+"""Scope: the unified tracing and metrics layer.
+
+One :class:`Trace` threads through every layer of the reproduction —
+simulation phases from the Hermite driver, ``EnqueueProgram`` and queue
+traffic from the Metalium layer, per-core kernel execution from the
+device simulator, and whole jobs (resets, retries, failovers) from the
+campaign runner — alongside a flat :class:`MetricsRegistry` of counters,
+gauges, and histograms (DRAM bytes, NoC hops, scheduler stall rounds,
+L1 high-water, tiles/s, J per cycle).
+
+Exports go to Chrome/Perfetto ``trace.json``
+(:func:`write_chrome_trace`), JSON/CSV metrics dumps, and a text
+flamegraph (:func:`format_flamegraph`).  See ``docs/OBSERVABILITY.md``
+for the span taxonomy and attribute schema, and
+``examples/tracing_tour.py`` for the executable tour.
+
+Entry points::
+
+    from repro.observability import Trace
+
+    trace = Trace()
+    sim = Simulation(system, backend, dt=1e-3, trace=trace)
+    sim.run(10)
+    write_chrome_trace(trace, "trace.json")
+
+or ``repro trace`` from the command line, or ``REPRO_TRACE=trace.json``
+around any ``repro simulate`` / ``repro campaign`` invocation.
+
+This package sits at the *base* of the layer diagram
+(``docs/ARCHITECTURE.md``): it imports only :mod:`repro.errors` and the
+standard library, so every other layer can report into it without
+creating import cycles.
+"""
+
+import os
+from pathlib import Path
+
+from .export import (
+    chrome_trace_events,
+    format_flamegraph,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsError, MetricsRegistry
+from .trace import SPAN_CATEGORIES, Span, Trace, TraceError
+
+__all__ = [
+    "SPAN_CATEGORIES",
+    "Span",
+    "Trace",
+    "TraceError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "chrome_trace_events",
+    "format_flamegraph",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "trace_from_env",
+]
+
+#: Environment variable naming the trace output path (CLI integration).
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def trace_from_env() -> tuple[Trace, Path] | None:
+    """A fresh trace plus its output path when ``REPRO_TRACE`` is set.
+
+    Returns ``None`` when the variable is unset or empty — callers guard
+    their instrumentation on that, keeping the untraced path free.  The
+    caller owns writing the trace (``write_chrome_trace(trace, path)``)
+    once the workload finishes; metrics conventionally land next to it
+    as ``<path>.metrics.json``.
+    """
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not value:
+        return None
+    return Trace(), Path(value)

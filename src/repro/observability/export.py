@@ -1,0 +1,200 @@
+"""Scope exporters: Chrome/Perfetto ``trace.json`` and text flamegraphs.
+
+Two consumers of a finished :class:`~repro.observability.trace.Trace`:
+
+* :func:`write_chrome_trace` emits the Trace Event Format JSON that both
+  ``chrome://tracing`` and https://ui.perfetto.dev open directly — one
+  complete ("ph": "X") event per span, with tracks mapped to thread
+  lanes and span attributes preserved under ``args``;
+* :func:`format_flamegraph` renders the same spans as an indented text
+  tree aggregated by span-name path, with inclusive time, share of the
+  total, and call counts — the quick look for terminals and CI logs.
+
+:func:`validate_chrome_trace` is the schema gate the docs tests use: it
+checks the structural invariants a viewer relies on, so a refactor that
+breaks the export fails loudly instead of producing a file Perfetto
+silently mis-renders.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import SPAN_CATEGORIES, Trace
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "format_flamegraph",
+]
+
+#: Process id used for every event (one modelled job = one process).
+_PID = 0
+
+
+def _track_ids(trace: Trace) -> dict[str, int]:
+    """Stable track -> tid mapping: first-seen order, 'main' always 0."""
+    ids: dict[str, int] = {"main": 0}
+    for span in trace.spans:
+        if span.track not in ids:
+            ids[span.track] = len(ids)
+    return ids
+
+
+def chrome_trace_events(trace: Trace) -> list[dict]:
+    """The ``traceEvents`` list for a trace (metadata + complete events).
+
+    Timestamps are microseconds of modelled time.  Each track becomes one
+    thread lane, named by a ``thread_name`` metadata event; spans become
+    ``"ph": "X"`` complete events carrying their category and attributes.
+    """
+    tracks = _track_ids(trace)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro (modelled time)"},
+        }
+    ]
+    for track, tid in tracks.items():
+        events.append({
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": track},
+        })
+    for span in trace.spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start_s * 1e6,
+            "dur": span.duration_s * 1e6,
+            "pid": _PID,
+            "tid": tracks[span.track],
+            "args": dict(span.attributes),
+        })
+    return events
+
+
+def write_chrome_trace(trace: Trace, path: str | Path) -> Path:
+    """Write the Chrome/Perfetto trace JSON for ``trace``; returns the path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.observability",
+            "timebase": "modelled seconds (not wall clock)",
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Schema-check a trace payload; returns a list of problems (empty = ok).
+
+    Checks the invariants viewers depend on: a ``traceEvents`` list, every
+    event carrying ``ph``/``pid``/``tid``, complete events with
+    non-negative numeric ``ts``/``dur`` and a known category, and every
+    referenced tid introduced by a ``thread_name`` metadata event.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    named_tids = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                problems.append(f"event {i} missing {key!r}")
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event.get("tid"))
+        elif ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"event {i} ({event.get('name')!r}) has bad "
+                        f"{key}={value!r}"
+                    )
+            if event.get("cat") not in SPAN_CATEGORIES:
+                problems.append(
+                    f"event {i} ({event.get('name')!r}) has unknown "
+                    f"category {event.get('cat')!r}"
+                )
+        else:
+            problems.append(f"event {i} has unsupported ph {ph!r}")
+    for i, event in enumerate(events):
+        if event.get("ph") == "X" and event.get("tid") not in named_tids:
+            problems.append(
+                f"event {i} references unnamed tid {event.get('tid')!r}"
+            )
+    return problems
+
+
+def _aggregate(trace: Trace):
+    """name-path -> [inclusive seconds, count, depth], insertion-ordered."""
+    paths: dict[tuple[str, ...], list] = {}
+    span_paths: list[tuple[str, ...]] = []
+    for span in trace.spans:
+        if span.parent is None:
+            path = (span.name,)
+        else:
+            path = span_paths[span.parent] + (span.name,)
+        span_paths.append(path)
+        entry = paths.setdefault(path, [0.0, 0])
+        entry[0] += span.duration_s
+        entry[1] += 1
+    return paths
+
+
+def format_flamegraph(trace: Trace, *, min_share: float = 0.0) -> str:
+    """Indented inclusive-time summary of a trace, aggregated by span path.
+
+    Sibling entries sort by inclusive seconds; ``min_share`` (0-1) hides
+    paths below that fraction of the trace total.  Per-core spans roll up
+    like any other children, so a hot kernel shows up as a deep, wide row.
+    """
+    paths = _aggregate(trace)
+    if not paths:
+        return "(empty trace)"
+    total = sum(
+        seconds for (path, (seconds, _)) in paths.items() if len(path) == 1
+    )
+    lines = [f"{'seconds':>12} {'share':>7} {'count':>6}  span"]
+
+    def emit(prefix: tuple[str, ...], depth: int) -> None:
+        """Append the rows under ``prefix``, widest subtree first."""
+        children = sorted(
+            (
+                (path, entry) for path, entry in paths.items()
+                if len(path) == depth + 1 and path[:depth] == prefix
+            ),
+            key=lambda item: item[1][0],
+            reverse=True,
+        )
+        for path, (seconds, count) in children:
+            share = seconds / total if total > 0 else 0.0
+            if share < min_share:
+                continue
+            lines.append(
+                f"{seconds:>12.6f} {share:>6.1%} {count:>6}  "
+                f"{'  ' * depth}{path[-1]}"
+            )
+            emit(path, depth + 1)
+
+    emit((), 0)
+    lines.append(f"{total:>12.6f} {'100.0%':>7} {'':>6}  (total)")
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Scope metrics: a flat registry of counters, gauges, and histograms.
+
+The metrics half of :mod:`repro.observability`.  Where spans answer *when
+did it run*, metrics answer *how much of it happened*: DRAM bytes moved,
+NoC transactions and hop counts, scheduler stall rounds (the CB
+back-pressure proxy), L1 high-water marks, tiles per second, joules per
+cycle.  Instruments are created on first use and addressed by dotted
+name, so call sites stay one-liners::
+
+    metrics.counter("device0.dram.bytes_read").add(4096)
+    metrics.gauge("device0.l1.cb_high_water_bytes").set(196608)
+    metrics.histogram("device0.tiles_per_s").observe(1.2e6)
+
+The registry dumps to JSON (full state, including histogram summaries)
+and to a flat CSV (one instrument per row) for spreadsheet diffing.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsError",
+]
+
+
+class MetricsError(ReproError):
+    """Raised on metrics misuse (bad names, negative counter increments)."""
+
+
+def _check_name(name: str) -> None:
+    if not name or any(c.isspace() for c in name):
+        raise MetricsError(f"metric name must be non-empty, no spaces: {name!r}")
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total (events, bytes, retries)."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise MetricsError(
+                f"counter {self.name!r} cannot decrease (add({amount}))"
+            )
+        self.value += amount
+
+    def inc(self) -> None:
+        """Increase the counter by one."""
+        self.add(1.0)
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways (high-water marks)."""
+
+    name: str
+    value: float = 0.0
+    #: number of times the gauge was set (0 = never observed)
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self.value = float(value)
+        self.updates += 1
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (high-water-mark semantics)."""
+        if self.updates == 0 or value > self.value:
+            self.value = float(value)
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """A streaming distribution: count/sum/min/max plus every sample.
+
+    Sample counts in this repository are small (one per program enqueue or
+    campaign job), so the histogram keeps the raw samples; percentiles are
+    computed on demand.
+    """
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if not math.isfinite(value):
+            raise MetricsError(
+                f"histogram {self.name!r} rejects non-finite sample {value}"
+            )
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all recorded samples."""
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples (0.0 when empty)."""
+        return self.sum / self.count if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) by nearest-rank (0.0 when empty)."""
+        if not (0.0 <= q <= 100.0):
+            raise MetricsError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """count/sum/min/mean/p50/p95/max snapshot of the distribution."""
+        if not self.samples:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.samples),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind is an error (it would
+    silently fork the series).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        _check_name(name)
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise MetricsError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"requested as {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if new)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if new)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created if new)."""
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full registry state, JSON-serialisable, sorted by name."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"kind": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {
+                    "kind": "gauge",
+                    "value": instrument.value,
+                    "updates": instrument.updates,
+                }
+            else:
+                out[name] = {"kind": "histogram", **instrument.summary()}
+        return out
+
+    def write_json(self, path: str | Path) -> Path:
+        """Dump :meth:`to_dict` as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Dump a flat ``name,kind,value,count,sum`` CSV; returns the path.
+
+        ``value`` is the counter/gauge value, or the histogram mean;
+        ``count``/``sum`` are empty for counters and gauges.
+        """
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["name", "kind", "value", "count", "sum"])
+            for name in self.names():
+                instrument = self._instruments[name]
+                if isinstance(instrument, Counter):
+                    writer.writerow([name, "counter", instrument.value, "", ""])
+                elif isinstance(instrument, Gauge):
+                    writer.writerow([name, "gauge", instrument.value, "", ""])
+                else:
+                    writer.writerow([
+                        name, "histogram", instrument.mean,
+                        instrument.count, instrument.sum,
+                    ])
+        return path

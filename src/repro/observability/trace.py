@@ -1,0 +1,268 @@
+"""Scope spans: the tracing half of :mod:`repro.observability`.
+
+A :class:`Trace` is an append-only record of *spans* — named, categorised
+intervals on the repository's modelled timeline.  Every layer that charges
+modelled seconds can narrate what it charged: the simulation driver opens
+spans for Hermite phases, the Metalium command queue opens spans for
+``EnqueueProgram`` (with one child span per participating Tensix core),
+and the campaign runner opens spans for whole jobs on the virtual clock.
+
+Time model
+----------
+
+The repository's clocks are *modelled*, not measured, so spans do not wrap
+``time.perf_counter()``.  Instead the trace keeps a monotonically advancing
+**cursor** (seconds):
+
+* :meth:`Trace.add_span` places a leaf span at the cursor and advances it
+  by the span's duration — exactly how the layers already append
+  :class:`~repro.core.simulation.TimelineSegment` / ``Phase`` records;
+* :meth:`Trace.span` (a context manager) opens a parent span at the cursor
+  and closes it wherever the children moved the cursor to;
+* :meth:`Trace.add_concurrent_span` places a span at an *explicit* start
+  time without touching the cursor — used for the per-core device spans,
+  which genuinely overlap;
+* :meth:`Trace.jump_to` re-anchors the cursor to an absolute time, which
+  is how the campaign keeps the trace in lock-step with its
+  :class:`~repro.simclock.VirtualClock`.
+
+Zero overhead when off
+----------------------
+
+Tracing is opt-in: every instrumented layer holds ``trace=None`` by
+default and guards with a single ``is None`` check, so the untraced hot
+paths pay one attribute load.  There is no ambient global state.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ReproError
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "SPAN_CATEGORIES", "Trace", "TraceError"]
+
+#: The closed set of span categories ("cat" in the Chrome trace).  They
+#: extend the timeline ``PHASE_TAGS`` with the trace-only kinds: ``sim``
+#: (driver phases), ``core`` (per-Tensix-core execution), ``job``
+#: (campaign orchestration), and ``analysis`` (lint/sanitize passes).
+SPAN_CATEGORIES = (
+    "host", "pcie", "device", "launch", "sim", "core", "job", "analysis",
+)
+
+#: Track spans land on unless they (or an enclosing span) say otherwise.
+DEFAULT_TRACK = "main"
+
+
+class TraceError(ReproError):
+    """Raised on structural misuse of a :class:`Trace` (unbalanced spans,
+    bad categories, negative durations)."""
+
+
+@dataclass
+class Span:
+    """One named interval on the modelled timeline.
+
+    ``parent`` is the index of the enclosing span in ``Trace.spans`` (or
+    ``None`` for a root span); ``track`` names the horizontal lane the
+    span renders on (per-core spans get per-core tracks so concurrent
+    execution does not fake-nest in a viewer).
+    """
+
+    name: str
+    category: str
+    start_s: float
+    duration_s: float
+    track: str = DEFAULT_TRACK
+    parent: int | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        """Span end time in seconds (``start_s + duration_s``)."""
+        return self.start_s + self.duration_s
+
+
+class Trace:
+    """An append-only span log plus a metrics registry.
+
+    Thread-safe for appends: the multi-device fan-out may add spans from
+    worker threads.  The cursor and the open-span stack belong to the
+    thread that drives the trace (the simulation/campaign main thread);
+    concurrent writers must use :meth:`add_concurrent_span`.
+    """
+
+    def __init__(self, *, start_s: float = 0.0) -> None:
+        if start_s < 0:
+            raise TraceError(f"negative trace start time {start_s}")
+        self.spans: list[Span] = []
+        self.metrics = MetricsRegistry()
+        self._cursor = float(start_s)
+        self._stack: list[int] = []
+        self._lock = threading.Lock()
+
+    # -- cursor -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The cursor: where on the modelled timeline new spans begin."""
+        return self._cursor
+
+    def advance(self, seconds: float) -> None:
+        """Move the cursor forward by ``seconds`` without adding a span."""
+        if seconds < 0:
+            raise TraceError(f"cannot advance by negative time {seconds}")
+        self._cursor += seconds
+
+    def jump_to(self, t: float) -> None:
+        """Re-anchor the cursor to absolute time ``t`` (never backwards)."""
+        if t < self._cursor - 1e-12:
+            raise TraceError(
+                f"cursor cannot move backwards ({self._cursor} -> {t})"
+            )
+        self._cursor = float(t)
+
+    # -- span construction ---------------------------------------------------
+
+    def _check(self, name: str, category: str, duration_s: float) -> None:
+        if not name:
+            raise TraceError("span name must be non-empty")
+        if category not in SPAN_CATEGORIES:
+            raise TraceError(
+                f"span category must be one of {SPAN_CATEGORIES}, "
+                f"got {category!r}"
+            )
+        if duration_s < 0:
+            raise TraceError(f"negative span duration {duration_s}")
+
+    def _parent_track(self) -> str:
+        if self._stack:
+            return self.spans[self._stack[-1]].track
+        return DEFAULT_TRACK
+
+    def add_span(self, name: str, duration_s: float, *,
+                 category: str = "host", track: str | None = None,
+                 **attributes: Any) -> Span:
+        """Append a leaf span at the cursor and advance by its duration."""
+        self._check(name, category, duration_s)
+        span = Span(
+            name=name,
+            category=category,
+            start_s=self._cursor,
+            duration_s=float(duration_s),
+            track=track if track is not None else self._parent_track(),
+            parent=self._stack[-1] if self._stack else None,
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self.spans.append(span)
+        self._cursor += span.duration_s
+        return span
+
+    def add_concurrent_span(self, name: str, start_s: float,
+                            duration_s: float, *, category: str = "core",
+                            track: str, parent: Span | None = None,
+                            **attributes: Any) -> Span:
+        """Append a span at an explicit start time; the cursor is untouched.
+
+        For work that overlaps other spans (per-core device execution,
+        overlapping kernels): such spans must name their own ``track``.
+        """
+        self._check(name, category, duration_s)
+        if start_s < 0:
+            raise TraceError(f"negative span start {start_s}")
+        with self._lock:
+            parent_index = (
+                self.spans.index(parent) if parent is not None
+                else (self._stack[-1] if self._stack else None)
+            )
+            span = Span(
+                name=name,
+                category=category,
+                start_s=float(start_s),
+                duration_s=float(duration_s),
+                track=track,
+                parent=parent_index,
+                attributes=dict(attributes),
+            )
+            self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "sim",
+             track: str | None = None,
+             **attributes: Any) -> Iterator[Span]:
+        """Open a parent span at the cursor; close it where the cursor ends.
+
+        Children added inside the ``with`` block (via :meth:`add_span` or
+        nested :meth:`span`) advance the cursor; the parent's duration is
+        whatever its children (plus explicit :meth:`advance` calls) added.
+        """
+        self._check(name, category, 0.0)
+        span = Span(
+            name=name,
+            category=category,
+            start_s=self._cursor,
+            duration_s=0.0,
+            track=track if track is not None else self._parent_track(),
+            parent=self._stack[-1] if self._stack else None,
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self.spans.append(span)
+            index = len(self.spans) - 1
+        self._stack.append(index)
+        try:
+            yield span
+        finally:
+            popped = self._stack.pop()
+            if popped != index:  # pragma: no cover - structural invariant
+                raise TraceError("unbalanced span nesting")
+            span.duration_s = max(0.0, self._cursor - span.start_s)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Overall extent of the trace: latest span end minus earliest start."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start_s for s in self.spans)
+        end = max(s.end_s for s in self.spans)
+        return end - start
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in append order."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in append order."""
+        index = self.spans.index(span)
+        return [s for s in self.spans if s.parent == index]
+
+    def roots(self) -> list[Span]:
+        """Spans with no parent, in append order."""
+        return [s for s in self.spans if s.parent is None]
+
+    def seconds_by_category(self) -> dict[str, float]:
+        """Leaf-span seconds aggregated by category.
+
+        Only spans without children contribute, so nested parents do not
+        double-count their children's time; concurrent (per-core) spans
+        are excluded — their time is already covered by the enclosing
+        device span.
+        """
+        has_child = {
+            s.parent for s in self.spans
+            if s.parent is not None and s.category != "core"
+        }
+        out: dict[str, float] = {}
+        for i, span in enumerate(self.spans):
+            if i in has_child or span.category == "core":
+                continue
+            out[span.category] = out.get(span.category, 0.0) + span.duration_s
+        return out

@@ -208,6 +208,12 @@ class Campaign:
     exhausted retries (``"none"``, ``"card"`` — rotate to the other cards,
     ``"cpu"`` — run the reference code instead); ``checkpoint`` names a
     JSON-lines file written after every job for :meth:`resume`.
+
+    ``trace`` attaches a Scope :class:`~repro.observability.Trace`: every
+    job becomes a ``job`` span (reset attempts, backoffs, sleeps, and the
+    simulate window with its per-segment children) anchored to the virtual
+    clock, and campaign metrics (jobs, retries, failovers, time- and
+    energy-to-solution) accumulate in ``trace.metrics``.
     """
 
     def __init__(
@@ -224,6 +230,7 @@ class Campaign:
         failover: str = "none",
         checkpoint: str | Path | None = None,
         sample_interval_s: float = 1.0,
+        trace=None,
     ) -> None:
         if sleep_s < 0:
             raise CampaignError(f"negative sleep {sleep_s}")
@@ -253,6 +260,10 @@ class Campaign:
         if self.csv_dir is not None:
             self.csv_dir.mkdir(parents=True, exist_ok=True)
         self._job_counter = 0
+        #: optional Scope trace; job phases are narrated as spans anchored
+        #: to the virtual clock.  Not serialised into checkpoints — a
+        #: resumed campaign starts a fresh trace if it wants one.
+        self.trace = trace
         self.checkpoint = (
             CampaignCheckpoint(checkpoint) if checkpoint is not None else None
         )
@@ -324,19 +335,36 @@ class Campaign:
         time; failed attempts that will be retried add the policy's backoff
         sleep.  Returns ``(succeeded, attempts, last_failure)``.
         """
+        trace = self.trace
+        reset_s = self.device_costs.reset_duration_s
         last: DeviceResetError | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             try:
                 self.fault_model.check()
             except DeviceResetError as exc:
                 last = exc
-                self.clock.advance(self.device_costs.reset_duration_s)
+                self.clock.advance(reset_s)
+                if trace is not None:
+                    trace.add_span(
+                        "reset", reset_s, category="job",
+                        attempt=attempt, ok=False,
+                    )
                 if (attempt < self.retry.max_attempts
                         and self.retry.retryable(exc)):
-                    self.clock.sleep(self.retry.backoff_s(attempt, self.rng))
+                    backoff_s = self.retry.backoff_s(attempt, self.rng)
+                    self.clock.sleep(backoff_s)
+                    if trace is not None:
+                        trace.add_span(
+                            "backoff", backoff_s, category="job",
+                            attempt=attempt,
+                        )
                     continue
                 return False, attempt, last
-            self.clock.advance(self.device_costs.reset_duration_s)
+            self.clock.advance(reset_s)
+            if trace is not None:
+                trace.add_span(
+                    "reset", reset_s, category="job", attempt=attempt, ok=True
+                )
             return True, attempt, None
         raise AssertionError("unreachable: retry loop always returns")
 
@@ -370,6 +398,11 @@ class Campaign:
             csv_path=csv_path,
         )
 
+    def _trace_sync(self) -> None:
+        """Catch the trace cursor up with the virtual clock (traced runs)."""
+        if self.trace is not None and self.clock.now() > self.trace.now:
+            self.trace.jump_to(self.clock.now())
+
     def run_job(self, spec: JobSpec) -> JobResult:
         """Run one job: reset, sleep, simulate, sleep — with sampling.
 
@@ -377,6 +410,50 @@ class Campaign:
         mode; the returned result carries the attempt count and, when
         degradation kicked in, a ``failover`` note.
         """
+        trace = self.trace
+        if trace is None:
+            return self._run_job_inner(spec)
+        self._trace_sync()
+        with trace.span(
+            "job", category="job", index=self._job_counter + 1,
+            accelerated=spec.accelerated, n=spec.n_particles,
+            n_cycles=spec.n_cycles,
+        ) as span:
+            result = self._run_job_inner(spec)
+            self._trace_sync()
+            span.attributes.update(
+                completed=result.completed,
+                attempts=result.attempts,
+                failover=result.failover,
+            )
+        self._record_job_metrics(result)
+        return result
+
+    def _record_job_metrics(self, result: JobResult) -> None:
+        """Campaign-level metrics for one finished job (traced runs)."""
+        metrics = self.trace.metrics
+        metrics.counter("campaign.jobs").inc()
+        metrics.counter("campaign.reset_attempts").add(result.attempts)
+        if result.attempts > 1:
+            metrics.counter("campaign.jobs_retried").inc()
+        if result.failover is not None:
+            metrics.counter("campaign.failovers").inc()
+        if not result.completed:
+            metrics.counter("campaign.jobs_failed").inc()
+            return
+        metrics.counter("campaign.jobs_completed").inc()
+        if result.time_to_solution is not None:
+            metrics.histogram("campaign.time_to_solution_s").observe(
+                result.time_to_solution
+            )
+        if result.energy is not None and result.spec.n_cycles > 0:
+            metrics.histogram("campaign.joules_per_cycle").observe(
+                result.energy.total_kj * 1e3 / result.spec.n_cycles
+            )
+
+    def _run_job_inner(self, spec: JobSpec) -> JobResult:
+        """The job body (inside the ``job`` span when traced)."""
+        trace = self.trace
         self._job_counter += 1
         job_start = self.clock.now()
 
@@ -417,6 +494,8 @@ class Campaign:
                 return self._failed_result(spec, job_start, attempts, failure)
 
         self.clock.sleep(self.sleep_s)
+        if trace is not None:
+            trace.add_span("sleep", self.sleep_s, category="job")
 
         noise_sigma = (
             DEVICE_RUN_NOISE_SIGMA if run_spec.accelerated
@@ -435,8 +514,20 @@ class Campaign:
         timeline = JobTimeline(sim_start, segments)
         self.clock.advance(timeline.duration)
         time_to_solution = watch.stop()
+        if trace is not None:
+            with trace.span(
+                "simulate", category="job", n=run_spec.n_particles,
+                n_cycles=run_spec.n_cycles, accelerated=run_spec.accelerated,
+            ):
+                for seg in segments:
+                    trace.add_span(
+                        seg.detail or seg.tag, seg.seconds, category=seg.tag
+                    )
+            self._trace_sync()
 
         self.clock.sleep(self.sleep_s)
+        if trace is not None:
+            trace.add_span("sleep", self.sleep_s, category="job")
         job_end = self.clock.now()
 
         rows = self.sampler.sample_job(

@@ -39,6 +39,8 @@ class DeviceProfile:
 
     def table(self, *, top: int = 8) -> str:
         """Render the busiest cores as a fixed-width table."""
+        if not self.cores:
+            return "(no per-core profiler records)"
         lines = [
             f"{'core':>4} {'busy [ms]':>10} {'util':>6} "
             f"{'compute':>10} {'datamove':>10}  top ops"
@@ -61,10 +63,25 @@ class DeviceProfile:
         return "\n".join(lines)
 
 
-def profile_device(device: WormholeDevice) -> DeviceProfile:
-    """Snapshot per-core occupancy from the device's counters."""
+def profile_device(device: WormholeDevice, *,
+                   allow_empty: bool = False) -> DeviceProfile:
+    """Snapshot per-core occupancy from the device's counters.
+
+    A device with no accumulated work (no program run, or counters
+    cleared) raises :class:`~repro.errors.ConfigurationError` by default;
+    with ``allow_empty=True`` it returns an empty profile (no cores, zero
+    critical path) so callers like ``repro simulate --profile`` can fall
+    back to an aggregate report instead of crashing.
+    """
     critical = device.busy_seconds()
     if critical <= 0.0:
+        if allow_empty:
+            return DeviceProfile(
+                cores=(),
+                critical_path_seconds=0.0,
+                mean_utilisation=0.0,
+                active_cores=0,
+            )
         raise ConfigurationError(
             "device has no accumulated work to profile (run a program "
             "first, or the counters were cleared)"

@@ -1,0 +1,30 @@
+"""The observability tour example must run clean, end to end."""
+
+from __future__ import annotations
+
+import json
+import runpy
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def test_tracing_tour_runs_and_exports_a_valid_trace(tmp_path, monkeypatch,
+                                                     capsys):
+    from repro.observability import validate_chrome_trace
+
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(REPO / "examples" / "tracing_tour.py"),
+                   run_name="__main__")
+
+    out = capsys.readouterr().out
+    assert "spans over" in out
+    assert "EnqueueProgram" in out          # the flamegraph shows launches
+    assert "reset attempts over 3 jobs" in out
+
+    payload = json.loads((tmp_path / "trace.json").read_text())
+    assert validate_chrome_trace(payload) == []
+    metrics = json.loads(
+        (tmp_path / "trace.json.metrics.json").read_text()
+    )
+    assert metrics["device0.programs"]["value"] == 4

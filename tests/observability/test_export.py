@@ -1,0 +1,128 @@
+"""Unit tests for the Scope exporters and the REPRO_TRACE hook."""
+
+import json
+from pathlib import Path
+
+from repro.observability import (
+    chrome_trace_events,
+    format_flamegraph,
+    trace_from_env,
+    validate_chrome_trace,
+    write_chrome_trace,
+    Trace,
+)
+
+
+def sample_trace():
+    trace = Trace()
+    with trace.span("run", n=3):
+        trace.add_span("host_bit", 1.0, category="host")
+        with trace.span("device", category="device") as dev:
+            start = trace.now
+            trace.add_concurrent_span(
+                "k", start, 2.0, track="dev0/core0", parent=dev, cycles=7,
+            )
+            trace.advance(2.0)
+    return trace
+
+
+class TestChromeTrace:
+    def test_events_cover_metadata_and_spans(self):
+        events = chrome_trace_events(sample_trace())
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert len(spans) == 4
+        # microsecond timestamps of modelled seconds
+        host = next(e for e in spans if e["name"] == "host_bit")
+        assert host["ts"] == 0.0 and host["dur"] == 1.0e6
+
+    def test_tracks_become_thread_lanes(self):
+        events = chrome_trace_events(sample_trace())
+        lanes = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e.get("name") == "thread_name"
+        }
+        assert lanes["main"] == 0
+        assert lanes["dev0/core0"] == 1
+        core = next(e for e in events if e["name"] == "k")
+        assert core["tid"] == 1 and core["args"] == {"cycles": 7}
+
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        path = write_chrome_trace(sample_trace(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["timebase"].startswith("modelled")
+
+
+class TestValidator:
+    def test_flags_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["payload has no traceEvents list"]
+
+    def test_flags_bad_category_negative_time_unknown_tid(self):
+        payload = {"traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+             "args": {"name": "main"}},
+            {"ph": "X", "name": "a", "cat": "gpu", "ts": 0, "dur": 1,
+             "pid": 0, "tid": 0},
+            {"ph": "X", "name": "b", "cat": "host", "ts": -5, "dur": 1,
+             "pid": 0, "tid": 0},
+            {"ph": "X", "name": "c", "cat": "host", "ts": 0, "dur": 1,
+             "pid": 0, "tid": 9},
+        ]}
+        problems = validate_chrome_trace(payload)
+        assert any("unknown category 'gpu'" in p for p in problems)
+        assert any("bad ts=-5" in p for p in problems)
+        assert any("unnamed tid 9" in p for p in problems)
+
+    def test_flags_unsupported_phase(self):
+        problems = validate_chrome_trace({"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0},
+        ]})
+        assert any("unsupported ph 'B'" in p for p in problems)
+
+
+class TestFlamegraph:
+    def test_empty_trace(self):
+        assert format_flamegraph(Trace()) == "(empty trace)"
+
+    def test_aggregates_by_path_and_indents(self):
+        text = format_flamegraph(sample_trace())
+        lines = text.splitlines()
+        assert lines[1].endswith("run")          # root, widest
+        assert "  device" in text                # indented child
+        assert "    k" in text                   # per-core leaf, deeper
+        assert lines[-1].endswith("(total)")
+        assert "100.0%" in lines[-1]
+
+    def test_min_share_hides_thin_paths(self):
+        trace = sample_trace()
+        full = format_flamegraph(trace)
+        pruned = format_flamegraph(trace, min_share=0.5)
+        assert "host_bit" in full
+        assert "host_bit" not in pruned          # 1.0 / 3.0 < 0.5
+        assert "device" in pruned
+
+    def test_repeated_spans_merge_with_counts(self):
+        trace = Trace()
+        for _ in range(3):
+            trace.add_span("cycle", 1.0, category="sim")
+        text = format_flamegraph(trace)
+        (row,) = [ln for ln in text.splitlines() if ln.endswith("cycle")]
+        assert " 3 " in row and "3.000000" in row
+
+
+class TestTraceFromEnv:
+    def test_unset_or_blank_returns_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace_from_env() is None
+        monkeypatch.setenv("REPRO_TRACE", "   ")
+        assert trace_from_env() is None
+
+    def test_set_returns_fresh_trace_and_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "out/my_trace.json")
+        got = trace_from_env()
+        assert got is not None
+        trace, path = got
+        assert isinstance(trace, Trace) and not trace.spans
+        assert path == Path("out/my_trace.json")

@@ -1,0 +1,123 @@
+"""Unit tests for the Scope metrics registry."""
+
+import csv
+import json
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.metrics import MetricsError
+
+
+class TestCounter:
+    def test_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs")
+        c.inc()
+        c.add(2.5)
+        assert c.value == 3.5
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            c.add(-1.0)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc()
+        assert reg.counter("x").value == 2.0
+        assert len(reg) == 1
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("l1")
+        g.set(10.0)
+        g.set(5.0)
+        assert g.value == 5.0
+        g.set_max(3.0)
+        assert g.value == 5.0
+        g.set_max(7.0)
+        assert g.value == 7.0
+        assert g.updates == 4
+
+    def test_set_max_on_a_fresh_gauge_takes_any_value(self):
+        g = MetricsRegistry().gauge("hw")
+        g.set_max(-2.0)  # first observation wins even if below default 0.0
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = MetricsRegistry().histogram("tts")
+        for v in [3.0, 1.0, 2.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.percentile(50) == 2.0
+        assert h.percentile(100) == 4.0
+        s = h.summary()
+        assert s["min"] == 1.0 and s["max"] == 4.0 and s["count"] == 4
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.mean == 0.0
+        assert h.percentile(95) == 0.0
+        assert h.summary() == {"count": 0, "sum": 0.0}
+
+    def test_rejects_non_finite(self):
+        h = MetricsRegistry().histogram("x")
+        with pytest.raises(MetricsError, match="non-finite"):
+            h.observe(float("nan"))
+
+
+class TestRegistry:
+    def test_kind_clash_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricsError, match="is a Counter"):
+            reg.gauge("x")
+
+    def test_name_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="no spaces"):
+            reg.counter("bad name")
+        with pytest.raises(MetricsError):
+            reg.counter("")
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+
+
+class TestExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("dev.bytes").add(4096)
+        reg.gauge("dev.l1").set_max(128.0)
+        reg.histogram("dev.tiles_per_s").observe(100.0)
+        reg.histogram("dev.tiles_per_s").observe(300.0)
+        return reg
+
+    def test_to_dict_shapes(self):
+        d = self._registry().to_dict()
+        assert d["dev.bytes"] == {"kind": "counter", "value": 4096.0}
+        assert d["dev.l1"]["kind"] == "gauge"
+        assert d["dev.tiles_per_s"]["mean"] == 200.0
+
+    def test_json_roundtrip(self, tmp_path):
+        path = self._registry().write_json(tmp_path / "m.json")
+        assert json.loads(path.read_text()) == self._registry().to_dict()
+
+    def test_csv_layout(self, tmp_path):
+        path = self._registry().write_csv(tmp_path / "m.csv")
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["name", "kind", "value", "count", "sum"]
+        by_name = {r[0]: r for r in rows[1:]}
+        assert by_name["dev.bytes"][1:3] == ["counter", "4096.0"]
+        assert by_name["dev.tiles_per_s"][1:] == [
+            "histogram", "200.0", "2", "400.0",
+        ]

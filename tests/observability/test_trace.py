@@ -1,0 +1,150 @@
+"""Unit tests for the Scope span/cursor model."""
+
+import pytest
+
+from repro.observability import SPAN_CATEGORIES, Trace, TraceError
+
+
+class TestCursor:
+    def test_starts_at_zero_by_default(self):
+        assert Trace().now == 0.0
+
+    def test_explicit_start(self):
+        assert Trace(start_s=12.5).now == 12.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TraceError, match="negative trace start"):
+            Trace(start_s=-1.0)
+
+    def test_leaf_spans_advance_the_cursor(self):
+        trace = Trace()
+        trace.add_span("a", 1.5)
+        trace.add_span("b", 0.5)
+        assert trace.now == 2.0
+        assert trace.spans[1].start_s == 1.5
+
+    def test_advance_and_jump(self):
+        trace = Trace()
+        trace.advance(3.0)
+        trace.jump_to(10.0)
+        assert trace.now == 10.0
+
+    def test_cursor_never_moves_backwards(self):
+        trace = Trace()
+        trace.jump_to(5.0)
+        with pytest.raises(TraceError, match="backwards"):
+            trace.jump_to(4.0)
+        with pytest.raises(TraceError, match="negative"):
+            trace.advance(-1.0)
+
+    def test_jump_to_tolerates_float_dust(self):
+        trace = Trace()
+        trace.jump_to(1.0)
+        trace.jump_to(1.0 - 1e-13)  # accumulation noise, not a real rewind
+        assert trace.now == pytest.approx(1.0)
+
+
+class TestStructure:
+    def test_parent_duration_covers_children(self):
+        trace = Trace()
+        with trace.span("parent") as parent:
+            trace.add_span("a", 1.0)
+            trace.add_span("b", 2.0)
+        assert parent.duration_s == 3.0
+        assert [s.name for s in trace.children_of(parent)] == ["a", "b"]
+        assert trace.roots() == [parent]
+
+    def test_nesting_three_deep(self):
+        trace = Trace()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                trace.add_span("leaf", 4.0, category="device")
+        outer, inner, leaf = trace.spans
+        assert leaf.parent == 1 and inner.parent == 0 and outer.parent is None
+        assert outer.duration_s == inner.duration_s == 4.0
+
+    def test_concurrent_spans_share_time_on_own_tracks(self):
+        trace = Trace()
+        with trace.span("device", category="device") as dev:
+            start = trace.now
+            for core in range(4):
+                trace.add_concurrent_span(
+                    "kernels", start, 1.0 + core, track=f"dev0/core{core}",
+                    parent=dev,
+                )
+            trace.advance(4.0)  # the critical path: the worst core
+        assert dev.duration_s == 4.0
+        cores = trace.children_of(dev)
+        assert len(cores) == 4
+        assert all(s.start_s == start for s in cores)
+        assert len({s.track for s in cores}) == 4
+
+    def test_concurrent_span_requires_a_track(self):
+        with pytest.raises(TypeError):
+            Trace().add_concurrent_span("x", 0.0, 1.0)
+
+    def test_attributes_are_copied_and_mutable_afterwards(self):
+        trace = Trace()
+        with trace.span("job", category="job", index=1) as span:
+            pass
+        span.attributes.update(completed=True)
+        assert trace.spans[0].attributes == {"index": 1, "completed": True}
+
+
+class TestValidation:
+    def test_category_must_be_known(self):
+        with pytest.raises(TraceError, match="category"):
+            Trace().add_span("x", 1.0, category="gpu")
+
+    def test_name_must_be_non_empty(self):
+        with pytest.raises(TraceError, match="non-empty"):
+            Trace().add_span("", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TraceError, match="negative span duration"):
+            Trace().add_span("x", -0.5)
+
+    def test_phase_tags_are_a_prefix_of_span_categories(self):
+        from repro.metalium.command_queue import PHASE_TAGS
+
+        assert SPAN_CATEGORIES[: len(PHASE_TAGS)] == PHASE_TAGS
+
+
+class TestQueries:
+    def _sample(self):
+        trace = Trace()
+        with trace.span("run"):
+            trace.add_span("host_bit", 1.0, category="host")
+            with trace.span("launchy", category="launch"):
+                trace.add_span("pcie_bit", 0.5, category="pcie")
+            with trace.span("device", category="device") as dev:
+                start = trace.now
+                trace.add_concurrent_span(
+                    "k", start, 2.0, track="dev0/core0", parent=dev
+                )
+                trace.advance(2.0)
+        return trace
+
+    def test_duration_spans_the_whole_trace(self):
+        assert self._sample().duration_s == 3.5
+
+    def test_find(self):
+        trace = self._sample()
+        assert len(trace.find("pcie_bit")) == 1
+        assert trace.find("nope") == []
+
+    def test_seconds_by_category_counts_leaves_once(self):
+        by_cat = self._sample().seconds_by_category()
+        # The parent run/launchy spans must not double-count children;
+        # the device span counts as a leaf (its only children are
+        # concurrent per-core spans, which are excluded).
+        assert by_cat == pytest.approx(
+            {"host": 1.0, "pcie": 0.5, "device": 2.0}
+        )
+        assert sum(by_cat.values()) == pytest.approx(3.5)
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.duration_s == 0.0
+        assert trace.seconds_by_category() == {}
+        assert trace.roots() == []

@@ -1,0 +1,109 @@
+"""Pinning tests for JobTimeline's merge/lookup semantics.
+
+Scope (repro.observability) replays the same TimelineSegment lists as
+leaf spans inside campaign `simulate` spans, so the exact boundary,
+zero-duration and aggregation behaviour of JobTimeline is load-bearing
+beyond the power samplers.  These tests freeze it.
+"""
+
+import pytest
+
+from repro.core.simulation import TimelineSegment
+from repro.errors import TelemetryError
+from repro.telemetry import JobTimeline
+
+
+def seg(tag, seconds, detail=""):
+    return TimelineSegment(tag=tag, seconds=seconds, detail=detail)
+
+
+class TestBoundaries:
+    def test_segments_abut_exactly_start_inclusive_end_exclusive(self):
+        tl = JobTimeline(100.0, [seg("host", 2.0), seg("device", 3.0)])
+        # The boundary instant belongs to the *later* phase.
+        assert tl.phase_at(100.0) == "host"
+        assert tl.phase_at(102.0 - 1e-9) == "host"
+        assert tl.phase_at(102.0) == "device"
+        assert tl.phase_at(105.0 - 1e-9) == "device"
+        # The job's end is exclusive.
+        assert tl.phase_at(105.0) is None
+        assert tl.end_time == 105.0
+
+    def test_outside_the_window(self):
+        tl = JobTimeline(10.0, [seg("host", 1.0)])
+        assert tl.phase_at(9.999) is None
+        assert tl.phase_at(11.0) is None
+        assert tl.phase_at(0.0) is None
+
+    def test_zero_duration_segments_never_shadow_neighbours(self):
+        # A zero-length phase between two real ones is dropped entirely:
+        # it can never be "the phase running at t".
+        tl = JobTimeline(0.0, [
+            seg("host", 1.0), seg("launch", 0.0), seg("device", 1.0),
+        ])
+        assert tl.phase_at(1.0) == "device"
+        assert "launch" not in tl.seconds_by_tag()
+        assert tl.duration == 2.0
+
+    def test_empty_segment_list(self):
+        tl = JobTimeline(50.0, [])
+        assert tl.duration == 0.0
+        assert tl.phase_at(50.0) is None
+        assert tl.seconds_by_tag() == {}
+        assert not tl.kernel_invoked_by(1e9)
+
+
+class TestAggregation:
+    def test_seconds_by_tag_merges_repeated_tags(self):
+        # A 3-cycle run interleaves host/device repeatedly; the per-tag
+        # sums merge across all occurrences, order-independently.
+        segments = [
+            seg("host", 0.5, "predict"), seg("device", 2.0, "force"),
+            seg("host", 0.5, "correct"),
+        ] * 3
+        tl = JobTimeline(0.0, segments)
+        assert tl.seconds_by_tag() == pytest.approx(
+            {"host": 3.0, "device": 6.0}
+        )
+        assert tl.duration == pytest.approx(9.0)
+
+    def test_details_do_not_split_tags(self):
+        tl = JobTimeline(0.0, [
+            seg("pcie", 1.0, "write_buffer"), seg("pcie", 2.0, "read_buffer"),
+        ])
+        assert tl.seconds_by_tag() == {"pcie": 3.0}
+
+
+class TestDevicePredicates:
+    def test_device_active_only_during_device_phases(self):
+        tl = JobTimeline(0.0, [
+            seg("host", 1.0), seg("device", 1.0), seg("host", 1.0),
+            seg("device", 1.0),
+        ])
+        assert not tl.device_active_at(0.5)
+        assert tl.device_active_at(1.5)
+        assert not tl.device_active_at(2.5)
+        assert tl.device_active_at(3.5)
+
+    def test_kernel_invoked_by_latches_at_first_device_phase(self):
+        tl = JobTimeline(10.0, [
+            seg("host", 2.0), seg("device", 1.0), seg("host", 5.0),
+        ])
+        assert not tl.kernel_invoked_by(11.999)
+        assert tl.kernel_invoked_by(12.0)     # the first device start
+        assert tl.kernel_invoked_by(17.9)     # stays latched after it ends
+        assert tl.kernel_invoked_by(1e9)      # ... forever
+
+    def test_reference_job_never_invokes_the_kernel(self):
+        tl = JobTimeline(0.0, [seg("host", 10.0)])
+        assert not tl.kernel_invoked_by(1e9)
+
+
+class TestValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(TelemetryError, match="negative start"):
+            JobTimeline(-1.0, [])
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(TelemetryError, match="negative segment"):
+            JobTimeline(0.0, [seg("host", -0.1)])

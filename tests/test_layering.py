@@ -1,0 +1,125 @@
+"""Import-graph test enforcing the layer map in docs/ARCHITECTURE.md.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports are
+executed) and checks that each package only imports from the packages
+the architecture document allows.  If this test fails you either added
+an import that violates the layering — move the shared code down a
+layer instead — or you deliberately changed the architecture, in which
+case update ``ALLOWED_DEPS`` *and* docs/ARCHITECTURE.md together.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: package -> intra-repro packages it may import from.  Top-level
+#: modules (config, errors, simclock) count as packages of their own
+#: name; the aggregation surfaces (``cli``, ``bench`` and the package
+#: ``__init__``) may import anything and are exempted below.
+ALLOWED_DEPS: dict[str, set[str]] = {
+    "errors": set(),
+    "config": set(),
+    "simclock": {"errors"},
+    "observability": {"errors"},
+    "core": {"errors", "observability"},
+    "wormhole": {"errors"},
+    "analysis": {"errors", "wormhole"},
+    "metalium": {"errors", "wormhole", "analysis"},
+    "cpuref": {"errors", "core"},
+    "nbody_tt": {"errors", "core", "wormhole", "metalium"},
+    "telemetry": {
+        "errors", "simclock", "core", "cpuref", "nbody_tt", "wormhole",
+    },
+}
+
+#: Modules allowed to import from any layer: the user-facing
+#: aggregation points, by design at the top of the stack.
+EXEMPT = {"cli", "bench", "__init__"}
+
+
+def _package_of(path: Path) -> str:
+    """The layer name a source file belongs to."""
+    rel = path.relative_to(SRC)
+    if len(rel.parts) == 1:
+        return rel.stem            # top-level module: config.py, cli.py...
+    return rel.parts[0]            # subpackage: core/, wormhole/...
+
+
+def _imported_packages(path: Path) -> set[str]:
+    """Intra-repro packages imported by one module (static analysis)."""
+    tree = ast.parse(path.read_text())
+    rel = path.relative_to(SRC)
+    targets: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0:
+                if module == "repro" or module.startswith("repro."):
+                    parts = module.split(".")
+                    targets.add(parts[1] if len(parts) > 1 else "__init__")
+                continue
+            # Relative import: resolve against this file's location.
+            # depth = how many package levels up `level` dots reach.
+            depth = len(rel.parts) - 1 - (node.level - 1)
+            if depth <= 0:
+                # Climbed to the repro package root (or its top-level
+                # modules): `from ..errors import ...` etc.
+                parts = module.split(".") if module else []
+                if parts:
+                    targets.add(parts[0])
+                else:
+                    # `from .. import x` — names are top-level modules
+                    # or subpackages.
+                    targets.update(alias.name for alias in node.names)
+            # depth > 0 means a sibling import inside the same
+            # package — always allowed.
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    parts = alias.name.split(".")
+                    targets.add(parts[1] if len(parts) > 1 else "__init__")
+    return targets
+
+
+def test_every_package_is_in_the_layer_map():
+    packages = {
+        _package_of(p) for p in SRC.rglob("*.py")
+    } - EXEMPT
+    unmapped = packages - set(ALLOWED_DEPS)
+    assert not unmapped, (
+        f"packages missing from ALLOWED_DEPS (add them here and to "
+        f"docs/ARCHITECTURE.md): {sorted(unmapped)}"
+    )
+
+
+def test_layering():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        package = _package_of(path)
+        if package in EXEMPT or path.name == "__init__.py" and len(
+            path.relative_to(SRC).parts
+        ) == 1:
+            continue
+        allowed = ALLOWED_DEPS[package]
+        for target in sorted(_imported_packages(path)):
+            if target == package or target == "__init__":
+                continue
+            if target not in allowed:
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}: layer '{package}' "
+                    f"imports '{target}' (allowed: {sorted(allowed)})"
+                )
+    assert not violations, "\n".join(violations)
+
+
+def test_architecture_doc_lists_every_layer():
+    doc = (
+        Path(__file__).resolve().parent.parent / "docs" / "ARCHITECTURE.md"
+    ).read_text()
+    missing = [name for name in ALLOWED_DEPS if f"`{name}`" not in doc]
+    assert not missing, (
+        f"docs/ARCHITECTURE.md does not mention layers: {missing}"
+    )
