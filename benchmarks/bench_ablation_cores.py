@@ -16,11 +16,11 @@ quantifies the decomposition:
 import pytest
 
 from repro import plummer
+from repro.backends import make_backend
 from repro.bench import ExperimentReport
 from repro.config import PAPER_N_PARTICLES
 from repro.cpuref import OpenMPModel
-from repro.metalium import CreateDevice
-from repro.nbody_tt import DeviceTimeModel, TTForceBackend
+from repro.nbody_tt import DeviceTimeModel
 
 CORE_SWEEP = [1, 2, 4, 8, 16, 32, 64]
 
@@ -56,10 +56,9 @@ def test_core_scaling_functional(benchmark):
     """The kernels really spread the tiles: functional times match the
     analytic model across core counts."""
     system = plummer(4096, seed=7)
-    device = CreateDevice(0)
 
     def device_seconds(n_cores):
-        backend = TTForceBackend(device, n_cores=n_cores)
+        backend = make_backend("tt", cores=n_cores)
         ev = backend.compute(system.pos, system.vel, system.mass)
         return sum(s.seconds for s in ev.segments if s.tag == "device")
 

@@ -17,9 +17,8 @@ import numpy as np
 import pytest
 
 from repro import plummer
+from repro.backends import make_backend
 from repro.bench import ExperimentReport
-from repro.metalium import CreateDevice, GetCommandQueue
-from repro.nbody_tt import TTForceBackend
 
 DEPTHS = [1, 2, 4]
 N = 4096
@@ -30,10 +29,9 @@ def runs():
     system = plummer(N, seed=31)
     out = {}
     for depth in DEPTHS:
-        device = CreateDevice(0)
-        backend = TTForceBackend(device, n_cores=2, cb_buffering=depth)
+        backend = make_backend("tt", cores=2, cb_buffering=depth)
         ev = backend.compute(system.pos, system.vel, system.mass)
-        queue = GetCommandQueue(device)
+        queue = backend.queues[0]
         rounds = max(queue.last_scheduler_rounds.values())
         l1_used = depth * 7 * 4096 + 6 * 4096 + 2 * 6 * 4096
         out[depth] = {"ev": ev, "rounds": rounds, "l1": l1_used}

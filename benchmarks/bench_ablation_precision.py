@@ -18,11 +18,10 @@ import numpy as np
 import pytest
 
 from repro import plummer
+from repro.backends import make_backend
 from repro.bench import ExperimentReport, PaperValue
 from repro.core.forces import accel_jerk_reference
 from repro.core.validation import ACC_TOLERANCE, JERK_TOLERANCE, compare_to_reference
-from repro.metalium import CreateDevice
-from repro.nbody_tt import TTForceBackend
 from repro.wormhole import DataFormat, dst_tile_capacity
 
 N = 2048
@@ -37,8 +36,7 @@ def workload():
 
 def run_format(fmt, workload):
     s, acc_ref, jerk_ref = workload
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8, fmt=fmt)
+    backend = make_backend("tt", cores=8, fmt=fmt)
     ev = backend.compute(s.pos, s.vel, s.mass)
     return compare_to_reference(ev.acc, ev.jerk, acc_ref, jerk_ref)
 

@@ -20,10 +20,10 @@ import numpy as np
 import pytest
 
 from repro import plummer
+from repro.backends import make_backend
 from repro.bench import ExperimentReport
 from repro.config import PAPER_N_PARTICLES
-from repro.metalium import CreateDevice
-from repro.nbody_tt import DeviceTimeModel, TTForceBackend
+from repro.nbody_tt import DeviceTimeModel
 
 DEVICES = [1, 2, 4]
 
@@ -85,17 +85,15 @@ def test_weak_scaling(benchmark):
 
 
 def test_multidevice_functional_equivalence(benchmark):
-    """Two devices, each computing half the i-tiles, reproduce the
-    single-device forces exactly (same tile math, same order)."""
+    """Two cards, each computing half the i-tiles, reproduce the
+    single-card forces exactly (same tile math, same order)."""
     system = plummer(4096, seed=9)
 
     def run():
-        dev_a = CreateDevice(0)
-        single = TTForceBackend(dev_a, n_cores=4).compute(
+        single = make_backend("tt", cores=4).compute(
             system.pos, system.vel, system.mass
         )
-        dev_b, dev_c = CreateDevice(1), CreateDevice(2)
-        double = TTForceBackend([dev_b, dev_c], n_cores=4).compute(
+        double = make_backend("tt", cores=4, cards=2).compute(
             system.pos, system.vel, system.mass
         )
         return single, double

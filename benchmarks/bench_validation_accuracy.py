@@ -13,10 +13,9 @@ Default sizes keep the functional simulation fast; set
 import pytest
 
 from repro import paper_scale_enabled, plummer, validate_forces
+from repro.backends import make_backend
 from repro.bench import ExperimentReport, PaperValue
 from repro.core.validation import ACC_TOLERANCE, JERK_TOLERANCE
-from repro.metalium import CreateDevice
-from repro.nbody_tt import TTForceBackend
 
 SIZES = [1024, 2048, 4096]
 if paper_scale_enabled():
@@ -25,8 +24,7 @@ if paper_scale_enabled():
 
 def run_validation(n):
     system = plummer(n, seed=100 + n)
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8)
+    backend = make_backend("tt", cores=8)
     evaluation = backend.compute(system.pos, system.vel, system.mass)
     return validate_forces(
         system.pos, system.vel, system.mass,

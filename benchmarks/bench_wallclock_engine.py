@@ -23,9 +23,8 @@ import numpy as np
 import pytest
 
 from repro import plummer
+from repro.backends import make_backend
 from repro.bench import ExperimentReport
-from repro.metalium import CreateDevice
-from repro.nbody_tt import TTForceBackend
 
 #: Sizes recorded in BENCH_engine.json (script mode).
 SIZES = (2048, 8192, 32768)
@@ -41,7 +40,7 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 def _time_engine(engine: str, n: int, evals: int = 2):
     """(timings, last evaluation) for one backend configuration."""
     system = plummer(n, seed=42)
-    backend = TTForceBackend(CreateDevice(0), n_cores=N_CORES, engine=engine)
+    backend = make_backend("tt", cores=N_CORES, engine=engine)
     times = []
     ev = None
     for _ in range(evals):

@@ -15,9 +15,8 @@ Run:  python examples/black_hole_binary.py
 
 import numpy as np
 
-from repro import Simulation, TTForceBackend, cluster_with_binary, energy_report
+from repro import Simulation, cluster_with_binary, energy_report, make_backend
 from repro.core import binary_elements, hardness_ratio
-from repro.metalium import CreateDevice
 
 N_BACKGROUND = 1022            # +2 binary components = 1024 total
 BINARY_MASS_FRACTION = 0.02
@@ -51,8 +50,7 @@ def main() -> None:
           "(>> 1: a hard binary)\n")
 
     initial = energy_report(system)
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8)
+    backend = make_backend("tt", cores=8)
     sim = Simulation(system, backend, dt=DT)
 
     print(f"{'t':>9} {'orbits':>7} {'a':>9} {'e':>6} {'r12':>9} "

@@ -22,11 +22,10 @@ import numpy as np
 from repro import (
     SharedTimestep,
     Simulation,
-    TTForceBackend,
     energy_report,
+    make_backend,
     uniform_sphere,
 )
-from repro.metalium import CreateDevice
 
 N = 1024
 SOFTENING = 0.05
@@ -50,8 +49,7 @@ def main() -> None:
     print(f"  E0 = {initial.total:+.5f},  Q0 = {initial.virial_ratio:.3f} "
           "(cold: Q = 0)\n")
 
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8, softening=SOFTENING)
+    backend = make_backend("tt", cores=8, softening=SOFTENING)
     timestep = SharedTimestep(eta=0.01, eta_start=0.005, dt_max=0.01)
     sim = Simulation(system, backend, timestep=timestep)
 

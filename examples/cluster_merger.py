@@ -13,9 +13,8 @@ Run:  python examples/cluster_merger.py
 
 import numpy as np
 
-from repro import Simulation, TTForceBackend, energy_report
+from repro import Simulation, energy_report, make_backend
 from repro.core import cluster_collision, density_center, lagrangian_radii
-from repro.metalium import CreateDevice
 
 N1, N2 = 768, 256        # 3:1 merger, 1024 particles total
 SOFTENING = 0.02
@@ -47,8 +46,7 @@ def main() -> None:
     initial = energy_report(system, softening=SOFTENING)
     print(f"  E0 = {initial.total:+.5f}\n")
 
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8, softening=SOFTENING)
+    backend = make_backend("tt", cores=8, softening=SOFTENING)
     sim = Simulation(system, backend, dt=DT)
 
     print(f"{'t':>7} {'separation':>11} {'r50 (all)':>10} {'|dE/E0|':>9}")

@@ -20,12 +20,11 @@ import numpy as np
 from repro import (
     ReferenceBackend,
     Simulation,
-    TTForceBackend,
     energy_report,
+    make_backend,
     plummer,
     validate_forces,
 )
-from repro.metalium import CreateDevice
 
 N = 2048
 DT = 1e-3
@@ -49,8 +48,7 @@ def main() -> None:
 
     # --- the same run, offloaded to the simulated Wormhole ---------------
     print("Creating Wormhole n300 device (reset + open) ...")
-    device = CreateDevice(0)
-    backend = TTForceBackend(device, n_cores=8)
+    backend = make_backend("tt", cores=8)
     print(f"  backend: {backend.name}\n")
 
     dev_system = system.copy()

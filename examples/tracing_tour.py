@@ -26,11 +26,10 @@ from repro import (
     JobSpec,
     Simulation,
     Trace,
-    TTForceBackend,
+    make_backend,
     plummer,
     write_chrome_trace,
 )
-from repro.metalium import CreateDevice
 from repro.observability import format_flamegraph, validate_chrome_trace
 from repro.telemetry import RetryPolicy
 
@@ -45,7 +44,7 @@ def traced_simulation() -> Trace:
           f"{CORES} cores ==")
     trace = Trace()
     system = plummer(N, seed=3)
-    backend = TTForceBackend(CreateDevice(0), n_cores=CORES)
+    backend = make_backend("tt", cores=CORES)
     result = Simulation(system, backend, dt=1e-3, trace=trace).run(CYCLES)
 
     assert abs(trace.duration_s - result.model_seconds) < 1e-9

@@ -1,0 +1,99 @@
+"""The force-backend protocol: the seam between the driver and the engines.
+
+Historically :class:`ForceBackend`, :class:`ForceEvaluation` and
+:class:`TimelineSegment` lived inside ``repro.core.simulation``; they are
+now defined here — the *floor* of the backends layer — and re-exported from
+:mod:`repro.core` for compatibility.  This module is deliberately
+dependency-free (NumPy only): it sits *below* ``repro.core`` in the import
+graph so the driver, the CPU reference, and the Wormhole port can all
+implement or consume the protocol without cycles, while the rest of
+:mod:`repro.backends` (registry, sharded composite) sits *above* the
+competitors and composes them.
+
+Tracing contract
+----------------
+
+A backend may expose an optional ``trace`` attribute (see
+:class:`TracedForceBackend`).  Backends that have one narrate their own
+Scope spans — Metalium dispatches, per-core device execution, per-card
+fan-out — and :class:`repro.core.Simulation` hands its trace over instead
+of converting the evaluation's timeline segments into leaf spans itself.
+Backends without the attribute stay untraced and the driver narrates for
+them.  Use :func:`accepts_trace` to test which side of the contract a
+backend is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "TimelineSegment",
+    "ForceEvaluation",
+    "ForceBackend",
+    "TracedForceBackend",
+    "accepts_trace",
+]
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One phase of modelled job time: tag in {host, device, pcie, launch}."""
+
+    tag: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ForceEvaluation:
+    """Result of one force evaluation by a backend."""
+
+    acc: np.ndarray
+    jerk: np.ndarray
+    segments: tuple[TimelineSegment, ...] = ()
+
+    @property
+    def model_seconds(self) -> float:
+        """Total modelled seconds across this evaluation's segments."""
+        return sum(s.seconds for s in self.segments)
+
+
+@runtime_checkable
+class ForceBackend(Protocol):
+    """Anything that can evaluate accelerations and jerks."""
+
+    name: str
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        """Evaluate accelerations and jerks for the given state."""
+        ...
+
+
+@runtime_checkable
+class TracedForceBackend(ForceBackend, Protocol):
+    """A backend that narrates its own Scope spans.
+
+    The ``trace`` attribute is the *explicit* form of the contract the
+    driver used to probe with ``hasattr``: backends that expose it
+    (``TTForceBackend``, ``ShardedTTBackend``) receive the simulation's
+    trace by assignment and open their own device/Metalium spans; the
+    sharded composite additionally fans the trace out to its per-card
+    children.  ``None`` means tracing is off.
+    """
+
+    trace: Any  # repro.observability.Trace | None
+
+
+def accepts_trace(backend: object) -> bool:
+    """True when ``backend`` takes ownership of Scope narration.
+
+    The runtime form of :class:`TracedForceBackend`: a backend that exposes
+    a ``trace`` attribute will be handed the simulation's trace and is then
+    responsible for its own spans.
+    """
+    return hasattr(backend, "trace")

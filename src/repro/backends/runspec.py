@@ -1,0 +1,192 @@
+"""RunSpec: one declarative object describing a whole simulation run.
+
+Before this existed, every entry point plumbed its own ad-hoc argument
+bundle — ``cli.py`` carried an argparse namespace through each subcommand,
+``telemetry/campaign.py`` had :class:`JobSpec`, and each benchmark script
+hardcoded its own N/seed/softening — and the trace/lint/sanitize switches
+were resolved from environment variables at three different depths of the
+stack.  :class:`RunSpec` is the single declarative form: problem size and
+integration parameters, the :class:`~repro.backends.registry.BackendSpec`
+to run on, and the observability flags, with a JSON round-trip (campaign
+schedules and checkpoints can persist it) and **one** env/CLI resolution
+path:
+
+* :meth:`RunSpec.from_cli` builds a spec from the ``repro simulate``
+  argparse namespace plus the environment — CLI values win, then
+  ``REPRO_TRACE`` / ``REPRO_LINT`` / ``REPRO_SANITIZE`` fill the gaps;
+* :meth:`RunSpec.environ_updates` is the inverse: the env-var settings a
+  runner must export so the Metalium layer honours the spec's lint and
+  sanitize choices.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from .protocol import ForceBackend
+from .registry import BackendSpec, backend_entry, make_backend
+
+__all__ = ["RunSpec"]
+
+#: CLI argument -> backend option name (identity unless listed here).
+#: ``softening`` is deliberately absent: :attr:`RunSpec.softening` is its
+#: single carrier, injected by :meth:`RunSpec.make_backend`.
+_CLI_OPTION_NAMES = {"cores": "cores", "threads": "threads",
+                     "cards": "cards", "format": "fmt"}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run."""
+
+    n: int = 2048
+    cycles: int = 10
+    dt: float = 1e-3
+    adaptive: bool = False
+    softening: float = 0.0
+    seed: int = 0
+    backend: BackendSpec = field(default_factory=lambda: BackendSpec("tt"))
+    #: Scope trace output path (``None``: tracing off) — ``REPRO_TRACE``.
+    trace_path: str | None = None
+    #: pre-dispatch lint mode: off | warn | error — ``REPRO_LINT``.
+    lint: str = "off"
+    #: checked (sanitized) kernel execution — ``REPRO_SANITIZE``.
+    sanitize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be positive, got {self.n}")
+        if self.cycles < 0:
+            raise ConfigurationError(
+                f"cycles must be >= 0, got {self.cycles}"
+            )
+        if self.lint not in ("off", "warn", "error"):
+            raise ConfigurationError(
+                f"lint must be off|warn|error, got {self.lint!r}"
+            )
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "cycles": self.cycles,
+            "dt": self.dt,
+            "adaptive": self.adaptive,
+            "softening": self.softening,
+            "seed": self.seed,
+            "backend": self.backend.to_dict(),
+            "trace_path": self.trace_path,
+            "lint": self.lint,
+            "sanitize": self.sanitize,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        known = dict(data)
+        backend = known.pop("backend", None)
+        unknown = sorted(
+            set(known) - {f for f in cls.__dataclass_fields__}
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"run spec does not accept key(s) {unknown}"
+            )
+        if backend is not None:
+            known["backend"] = BackendSpec.from_dict(backend)
+        return cls(**known)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- env / CLI resolution (the single path) ----------------------------
+
+    @classmethod
+    def from_cli(cls, args: Any, env: Mapping[str, str] | None = None,
+                 **overrides: Any) -> "RunSpec":
+        """Resolve a spec from a ``repro simulate``-shaped namespace + env.
+
+        Backend options are filtered against the registry: only the knobs
+        the chosen backend actually declares are forwarded (``--threads``
+        never reaches the device backend, ``--cores`` never reaches the
+        CPU one), so one flat CLI surface serves every registered backend.
+        """
+        name = getattr(args, "backend", "tt")
+        declared = {o.name for o in backend_entry(name).options}
+        options: dict[str, Any] = {}
+        for arg_name, option_name in _CLI_OPTION_NAMES.items():
+            value = getattr(args, arg_name, None)
+            if value is not None and option_name in declared:
+                options[option_name] = value
+        spec = cls(
+            n=getattr(args, "n", cls.n),
+            cycles=getattr(args, "cycles", cls.cycles),
+            dt=getattr(args, "dt", cls.dt),
+            adaptive=getattr(args, "adaptive", False),
+            softening=getattr(args, "softening", cls.softening),
+            seed=getattr(args, "seed", cls.seed),
+            backend=BackendSpec(name, options),
+            **overrides,
+        )
+        return spec.resolved_from_env(env) if env is not None else spec
+
+    def resolved_from_env(self, env: Mapping[str, str]) -> "RunSpec":
+        """Fill unset observability flags from the environment."""
+        updates: dict[str, Any] = {}
+        if self.trace_path is None and env.get("REPRO_TRACE", "").strip():
+            updates["trace_path"] = env["REPRO_TRACE"].strip()
+        if self.lint == "off" and env.get("REPRO_LINT"):
+            updates["lint"] = env["REPRO_LINT"]
+        if not self.sanitize and env.get("REPRO_SANITIZE", "") not in ("", "0"):
+            updates["sanitize"] = True
+        return replace(self, **updates) if updates else self
+
+    def environ_updates(self) -> dict[str, str]:
+        """Env-var exports that make the Metalium layer honour this spec."""
+        updates: dict[str, str] = {}
+        if self.lint != "off":
+            updates["REPRO_LINT"] = self.lint
+        if self.sanitize:
+            updates["REPRO_SANITIZE"] = "1"
+        return updates
+
+    # -- realisation -------------------------------------------------------
+
+    def with_backend(self, name: str, **options: Any) -> "RunSpec":
+        return replace(self, backend=BackendSpec(name, options))
+
+    def make_backend(self, **extra: Any) -> ForceBackend:
+        """Realise the backend, forcing the spec's softening."""
+        entry = backend_entry(self.backend.name)
+        declared = {o.name for o in entry.options}
+        if "softening" in declared and "softening" not in self.backend.options:
+            extra.setdefault("softening", self.softening)
+        return make_backend(self.backend, **extra)
+
+    def make_system(self):
+        """The Plummer initial conditions this spec describes."""
+        from ..core import plummer
+
+        return plummer(self.n, seed=self.seed)
+
+    def make_simulation(self, system=None, backend=None, *, trace=None,
+                        host_cost=None):
+        """A ready-to-run :class:`~repro.core.Simulation` for this spec."""
+        from ..core import SharedTimestep, Simulation
+
+        system = system if system is not None else self.make_system()
+        backend = backend if backend is not None else self.make_backend()
+        kwargs: dict[str, Any] = (
+            {"timestep": SharedTimestep()} if self.adaptive
+            else {"dt": self.dt}
+        )
+        if host_cost is not None:
+            kwargs["host_cost"] = host_cost
+        return Simulation(system, backend, trace=trace, **kwargs)

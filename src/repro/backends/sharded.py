@@ -1,0 +1,247 @@
+"""Multi-card domain decomposition: one batched engine per n300, ring gather.
+
+The paper's host carries four n300 cards but its campaign only ever drives
+one, leaving the rest idling at 10-11 W.  :class:`ShardedTTBackend` is the
+classic direct-summation decomposition (Belleman et al. 2008; Nitadori,
+Makino & Hut 2006) applied to that idle capacity: the i-particle tile
+blocks are split into contiguous shards, one per card, every card streams
+the full replicated j-set (all-pairs needs it), and the per-card partial
+results are exchanged over the QSFP-DD ring modelled by
+:mod:`repro.wormhole.ethernet`.
+
+Guarantees:
+
+* **bit identity** — each card runs the same
+  :class:`~repro.nbody_tt.engine.BatchedDispatchEngine` on its shard, and
+  every i-tile's accumulation order over the j-stream is fixed and
+  card-independent, so the merged result is bit-for-bit the single-card
+  batched engine's (pinned by ``tests/backends/test_sharded.py``);
+* **per-card accounting** — every child's queue phases come back as
+  ``card<N>:`` timeline segments, :attr:`last_card_costs` carries the
+  per-card phase/cost breakdown the CLI ``--profile`` report prints, and a
+  traced run fans out one ``card`` span per child;
+* **honest interconnect cost** — the result gather is priced as a ring
+  allgather of the largest shard's contribution.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..wormhole.dtypes import DataFormat
+from ..wormhole.ethernet import EthernetFabric
+from ..wormhole.tile import TILE_ELEMENTS
+from .protocol import ForceEvaluation, TimelineSegment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nbody_tt.offload import TTForceBackend
+
+__all__ = ["ShardedTTBackend", "CardCost", "shard_tiles"]
+
+
+def shard_tiles(n_tiles: int, n_cards: int) -> list[list[int]]:
+    """Contiguous i-tile blocks, one per card, sizes within one tile.
+
+    Contiguous (not round-robin) so each card owns a spatially coherent
+    block of the particle ordering — the shape a real domain decomposition
+    would hand out — while the leading cards absorb the remainder.
+    """
+    if n_tiles <= 0 or n_cards <= 0:
+        raise ConfigurationError(
+            f"need positive tile and card counts, got {n_tiles}, {n_cards}"
+        )
+    base, extra = divmod(n_tiles, n_cards)
+    shards: list[list[int]] = []
+    start = 0
+    for card in range(n_cards):
+        count = base + (1 if card < extra else 0)
+        shards.append(list(range(start, start + count)))
+        start += count
+    return shards
+
+
+@dataclass(frozen=True)
+class CardCost:
+    """Per-card cost accounting for one sharded force evaluation."""
+
+    card: int
+    n_tiles: int
+    device_seconds: float
+    gather_bytes: int
+    seconds_by_tag: dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One table row for the ``--profile`` report."""
+        tags = ", ".join(
+            f"{tag} {seconds:.6f} s"
+            for tag, seconds in sorted(self.seconds_by_tag.items())
+        )
+        return (
+            f"card {self.card}: {self.n_tiles} i-tiles, "
+            f"device {self.device_seconds:.6f} s, "
+            f"gather {self.gather_bytes} B"
+            + (f", {tags}" if tags else "")
+        )
+
+
+class ShardedTTBackend:
+    """Force evaluation sharded across several (simulated) n300 cards."""
+
+    def __init__(
+        self,
+        n_cards: int = 2,
+        *,
+        n_cores: int = 8,
+        softening: float = 0.0,
+        fmt: DataFormat | str = DataFormat.FLOAT32,
+        cb_buffering: int = 2,
+        engine: str | None = None,
+        devices=None,
+        trace=None,
+    ) -> None:
+        # lazy imports: this module loads while repro.nbody_tt may still be
+        # mid-import (it imports repro.backends.protocol)
+        from ..metalium.host_api import CreateDevice
+        from ..nbody_tt.offload import TTForceBackend
+        from ..nbody_tt.tiling import TilizeCache
+
+        if n_cards < 2:
+            raise ConfigurationError(
+                f"sharding needs at least 2 cards, got {n_cards}; "
+                "use the plain tt backend for a single card"
+            )
+        fmt = DataFormat(fmt) if not isinstance(fmt, DataFormat) else fmt
+        if devices is None:
+            devices = [CreateDevice(card) for card in range(n_cards)]
+        if len(devices) != n_cards:
+            raise ConfigurationError(
+                f"got {len(devices)} devices for {n_cards} cards"
+            )
+        #: one single-card backend per shard; children never gather on
+        #: their own (each holds exactly one device)
+        self.children: list[TTForceBackend] = [
+            TTForceBackend(
+                device, n_cores=n_cores, softening=softening, fmt=fmt,
+                cb_buffering=cb_buffering, engine=engine,
+            )
+            for device in devices
+        ]
+        self.n_cards = n_cards
+        self.n_cores = n_cores
+        self.softening = softening
+        self.fmt = fmt
+        self.engine = self.children[0].engine
+        self.fabric = EthernetFabric(n_cards, devices[0].chip)
+        self._tilize_cache = TilizeCache()
+        #: per-card accounting of the most recent evaluation
+        self.last_card_costs: list[CardCost] = []
+        self.name = (
+            f"tt-sharded-cards{n_cards}-cores{n_cores}-{fmt.value}"
+        )
+        self._trace = None
+        if trace is not None:
+            self.trace = trace
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def trace(self):
+        """The Scope trace, fanned out to every per-card child.
+
+        Assigning it (directly or via ``Simulation(trace=...)``) hands the
+        same trace to each child backend — and through them to each card's
+        command queue — so a traced sharded run shows one ``card`` span per
+        shard with the child's Metalium/device spans underneath.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace) -> None:
+        self._trace = trace
+        for child in self.children:
+            child.trace = trace
+
+    # -- devices (profile / introspection) ---------------------------------
+
+    @property
+    def devices(self):
+        """The per-card devices, in shard order (card 0 first)."""
+        return [child.devices[0] for child in self.children]
+
+    @property
+    def queues(self):
+        """The per-card command queues, in shard order."""
+        return [child.queues[0] for child in self.children]
+
+    # -- main entry --------------------------------------------------------
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        """Evaluate all forces: shard i-tiles, compute per card, gather."""
+        from ..nbody_tt.tiling import OUT_QUANTITIES, ParticleTiles
+
+        tiles = ParticleTiles.from_arrays(
+            pos, vel, mass, self.fmt, cache=self._tilize_cache
+        )
+        shards = shard_tiles(tiles.n_tiles, self.n_cards)
+        results = {q: [None] * tiles.n_tiles for q in OUT_QUANTITIES}
+        segments: list[TimelineSegment] = []
+        card_costs: list[CardCost] = []
+        trace = self._trace
+        worst_device_s = 0.0
+        page_bytes = TILE_ELEMENTS * 4 * len(OUT_QUANTITIES)
+
+        for card, (child, shard) in enumerate(zip(self.children, shards)):
+            gather_bytes = len(shard) * page_bytes
+            if not shard:
+                card_costs.append(CardCost(card, 0, 0.0, 0))
+                continue
+            span = (
+                trace.span(
+                    "card", category="device", card=card,
+                    n_tiles=len(shard), device=child.devices[0].device_id,
+                )
+                if trace is not None else nullcontext()
+            )
+            with span:
+                partial, child_segments, device_s = child.compute_partial(
+                    tiles, shard
+                )
+            worst_device_s = max(worst_device_s, device_s)
+            by_tag: dict[str, float] = {"device": device_s}
+            for seg in child_segments:
+                segments.append(TimelineSegment(
+                    seg.tag, seg.seconds, f"card{card}:{seg.detail or seg.tag}"
+                ))
+                by_tag[seg.tag] = by_tag.get(seg.tag, 0.0) + seg.seconds
+            for q in OUT_QUANTITIES:
+                for it in shard:
+                    results[q][it] = partial[q][it]
+            card_costs.append(CardCost(
+                card, len(shard), device_s, gather_bytes, by_tag
+            ))
+
+        # cards run concurrently: the evaluation is bound by the slowest
+        segments.append(TimelineSegment("device", worst_device_s, "force"))
+
+        # ring allgather of the per-card partials; each step is paced by
+        # the largest contribution travelling the ring
+        max_contribution = max(c.gather_bytes for c in card_costs)
+        gather_s = self.fabric.allgather_seconds(max_contribution)
+        segments.append(TimelineSegment("device", gather_s, "allgather"))
+        if trace is not None:
+            trace.add_span(
+                "allgather", gather_s, category="device",
+                n_cards=self.n_cards, bytes_per_card=max_contribution,
+            )
+
+        self.last_card_costs = card_costs
+        acc, jerk = ParticleTiles.results_to_arrays(
+            {q: results[q] for q in OUT_QUANTITIES}, tiles.n
+        )
+        return ForceEvaluation(acc, jerk, segments=tuple(segments))

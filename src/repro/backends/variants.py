@@ -1,0 +1,152 @@
+"""Ablation variants as first-class backends.
+
+The double-single and tensor-FPU distance variants already existed as
+functional kernels plus cost models (:mod:`repro.nbody_tt.ds_variant`,
+:mod:`repro.nbody_tt.matmul_variant`), but only the ablation benches could
+run them.  Wrapping them in the :class:`~repro.backends.protocol.ForceBackend`
+protocol puts them in the registry: the CLI can simulate with them, the
+parity suite holds them to the paper's validation gates, and the CI backend
+matrix smoke-tests them alongside the real competitors.
+
+Both are O(N^2)-memory ablations — keep N at ablation sizes (the registry
+help says so, and :func:`repro.nbody_tt.ds_variant.ds_accel_jerk` enforces
+its own ceiling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .protocol import ForceEvaluation, TimelineSegment
+
+__all__ = ["DSVariantBackend", "MatmulVariantBackend"]
+
+#: particles per Gram block — gram_r2_block is fixed at 1024x1024 pairs
+_MATMUL_BLOCK = 1024
+
+
+class DSVariantBackend:
+    """Every pairwise operation in double-single arithmetic (E13).
+
+    Values come from :func:`~repro.nbody_tt.ds_variant.ds_accel_jerk`; the
+    device-time segment is priced by
+    :class:`~repro.nbody_tt.ds_variant.DSCostModel`, whose op-count
+    multiplier is the whole point of the ablation.
+    """
+
+    def __init__(self, *, softening: float = 0.0, n_cores: int = 8) -> None:
+        from ..nbody_tt.ds_variant import DSCostModel
+
+        self.softening = softening
+        self.n_cores = n_cores
+        self.cost_model = DSCostModel()
+        self.name = f"tt-ds-cores{n_cores}"
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        from ..nbody_tt.ds_variant import ds_accel_jerk
+
+        acc, jerk = ds_accel_jerk(pos, vel, mass, softening=self.softening)
+        n = mass.shape[0]
+        device_s = self.cost_model.device_eval_seconds(n, self.n_cores)
+        return ForceEvaluation(acc, jerk, segments=(
+            TimelineSegment("device", device_s, "force (double-single)"),
+        ))
+
+
+class MatmulVariantBackend:
+    """Pair distances via tensor-FPU Gram matmuls, force chain in FP32 (E9).
+
+    Each 1024x1024 pair block's r^2 comes from
+    :func:`~repro.nbody_tt.matmul_variant.gram_r2_block` (running through
+    the simulated FPU, inner dimension padded 3 -> 32); the remaining
+    element-wise chain — exactly the work the matmul cannot absorb — runs
+    in plain FP32 here as it would on the SFPU.  N that is not a multiple
+    of 1024 is padded with massless particles at distinct far offsets, so
+    the padding can never collide with a real particle (or each other) and
+    contributes exactly zero force.
+    """
+
+    def __init__(self, *, softening: float = 0.0, n_cores: int = 8) -> None:
+        from ..nbody_tt.matmul_variant import MatmulVariantModel
+
+        self.softening = softening
+        self.n_cores = n_cores
+        self.model = MatmulVariantModel()
+        self.name = f"tt-matmul-cores{n_cores}"
+
+    def _padded(self, pos, vel, mass):
+        n = mass.shape[0]
+        n_pad = -(-n // _MATMUL_BLOCK) * _MATMUL_BLOCK
+        if n_pad == n:
+            return pos, vel, mass
+        pad = n_pad - n
+        span = float(np.abs(pos).max()) if n else 1.0
+        pos_p = np.zeros((n_pad, 3), dtype=pos.dtype)
+        pos_p[:n] = pos
+        # distinct offsets far outside the cluster: pairwise r2 > 0 even at
+        # softening == 0, so the rsqrt never sees the Gram zero
+        pos_p[n:, 0] = 1e3 * span * (np.arange(1, pad + 1) + 1.0)
+        vel_p = np.zeros((n_pad, 3), dtype=vel.dtype)
+        vel_p[:n] = vel
+        mass_p = np.zeros(n_pad, dtype=mass.dtype)
+        mass_p[:n] = mass
+        return pos_p, vel_p, mass_p
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        from ..nbody_tt.matmul_variant import gram_r2_block
+        from ..wormhole.fpu import Fpu
+
+        n = mass.shape[0]
+        pos_p, vel_p, mass_p = self._padded(pos, vel, mass)
+        n_pad = mass_p.shape[0]
+        n_blocks = n_pad // _MATMUL_BLOCK
+
+        posf = pos_p.astype(np.float32)
+        velf = vel_p.astype(np.float32)
+        massf = mass_p.astype(np.float32)
+        acc = np.zeros((n_pad, 3), dtype=np.float32)
+        jerk = np.zeros((n_pad, 3), dtype=np.float32)
+        fpu = Fpu()
+
+        for bi in range(n_blocks):
+            si = slice(bi * _MATMUL_BLOCK, (bi + 1) * _MATMUL_BLOCK)
+            for bj in range(n_blocks):
+                sj = slice(bj * _MATMUL_BLOCK, (bj + 1) * _MATMUL_BLOCK)
+                r2 = gram_r2_block(
+                    posf[si], posf[sj], fpu, softening=self.softening
+                )
+                # Gram cancellation can leave tiny negatives; the true
+                # diagonal (self-pairs at softening 0) lands at ~0 too —
+                # both get rinv = 0, which zeroes their contribution
+                safe = r2 > np.float32(0.0)
+                rinv = np.zeros_like(r2)
+                np.sqrt(r2, out=rinv, where=safe)
+                np.divide(np.float32(1.0), rinv, out=rinv, where=safe)
+                if bi == bj and self.softening == 0.0:
+                    np.fill_diagonal(rinv, np.float32(0.0))
+                rinv2 = rinv * rinv
+                mr3 = massf[sj][None, :] * rinv2 * rinv
+
+                dr = posf[sj][None, :, :] - posf[si][:, None, :]
+                dv = velf[sj][None, :, :] - velf[si][:, None, :]
+                rv = np.einsum("ijk,ijk->ij", dr, dv)
+                alpha = np.float32(3.0) * rv * rinv2
+                acc[si] += np.einsum("ij,ijk->ik", mr3, dr)
+                jerk[si] += np.einsum(
+                    "ij,ijk->ik", mr3, dv - alpha[:, :, None] * dr
+                )
+
+        # block pairs split across cores; the worst core paces the device
+        worst_pairs = -(-n_blocks * n_blocks // self.n_cores)
+        device_s = (
+            self.model.total_cycles_per_tile_pair() * worst_pairs
+            / self.model.chip.clock_hz
+        )
+        return ForceEvaluation(
+            acc[:n].astype(np.float64), jerk[:n].astype(np.float64),
+            segments=(
+                TimelineSegment("device", device_s, "force (gram matmul)"),
+            ),
+        )

@@ -36,24 +36,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print simulated hardware parameters")
 
+    from .backends import backend_choices_help, backend_names
+
     sim = sub.add_parser("simulate", help="integrate a Plummer cluster")
     sim.add_argument("--n", type=int, default=2048, help="particle count")
     sim.add_argument("--cycles", type=int, default=10, help="Hermite cycles")
     sim.add_argument("--dt", type=float, default=1e-3, help="fixed timestep")
     sim.add_argument("--adaptive", action="store_true",
                      help="use the adaptive Aarseth shared timestep")
-    sim.add_argument("--backend", choices=("reference", "cpu", "device"),
-                     default="device")
-    sim.add_argument("--cores", type=int, default=8,
-                     help="Tensix cores (device backend)")
-    sim.add_argument("--threads", type=int, default=8,
-                     help="OpenMP threads (cpu backend)")
+    # no argparse choices= here: the registry is open (register_backend),
+    # and unknown names get the registry's own exit-2 diagnostic
+    sim.add_argument("--backend", default="device",
+                     help="registered force backend, one of: "
+                          f"{', '.join(backend_names())} "
+                          f"({backend_choices_help()})")
+    sim.add_argument("--cores", type=int, default=None,
+                     help="Tensix cores (tt backends; registry default 8)")
+    sim.add_argument("--cards", type=int, default=None,
+                     help="n300 cards to shard i-blocks across "
+                          "(tt backends; default 1)")
+    sim.add_argument("--threads", type=int, default=None,
+                     help="OpenMP threads (cpu backend; registry default 32)")
     sim.add_argument("--softening", type=float, default=0.0)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--snapshot", type=str, default=None,
                      help="write the final state to this .npz path")
     sim.add_argument("--profile", action="store_true",
-                     help="print per-core device occupancy (device backend)")
+                     help="print per-core device occupancy, per card "
+                          "(tt backends)")
 
     val = sub.add_parser("validate",
                          help="device accuracy vs the golden reference")
@@ -211,52 +221,58 @@ def _device_profile_text(device, queue, engine: str) -> str:
     )
 
 
+def _profile_report(backend) -> str:
+    """The ``--profile`` section for any backend shape.
+
+    A sharded composite reports its per-card cost accounting plus one
+    occupancy table per card; a single-card offload reports its one table;
+    anything else (reference, cpu, the ablation variants) explains why
+    there is nothing to profile.
+    """
+    children = getattr(backend, "children", None)
+    if children is not None:
+        lines = ["Per-card cost accounting (last force evaluation):"]
+        lines += [f"  {cost.format()}" for cost in backend.last_card_costs]
+        for child in children:
+            lines.append("")
+            lines.append(f"-- card {child.devices[0].device_id} --")
+            lines.append(_device_profile_text(
+                child.devices[0], child.queues[0], child.engine
+            ))
+        return "\n".join(lines)
+    if getattr(backend, "queues", None):
+        return _device_profile_text(
+            backend.devices[0], backend.queues[0], backend.engine
+        )
+    return "--profile requires a tt backend; ignoring"
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .core import (
-        ReferenceBackend,
-        SharedTimestep,
-        Simulation,
-        energy_report,
-        plummer,
-        save_npz,
-    )
-    from .observability import trace_from_env
+    import os
 
-    system = plummer(args.n, seed=args.seed)
-    initial = energy_report(system, softening=args.softening)
+    from .backends import RunSpec
+    from .core import energy_report, save_npz
+    from .errors import UnknownBackendError
+    from .observability import Trace
 
-    if args.backend == "reference":
-        backend = ReferenceBackend(softening=args.softening)
-    elif args.backend == "cpu":
-        from .cpuref import CPUForceBackend
+    try:
+        spec = RunSpec.from_cli(args, os.environ)
+        backend = spec.make_backend()
+    except UnknownBackendError as exc:
+        print(f"repro simulate: {exc}", file=sys.stderr)
+        return 2
 
-        backend = CPUForceBackend(
-            args.threads, softening=args.softening, noisy=False
-        )
-    else:
-        from .metalium import CreateDevice
-        from .nbody_tt import TTForceBackend
-
-        device = CreateDevice(0)
-        backend = TTForceBackend(
-            device, n_cores=args.cores, softening=args.softening
-        )
-
-    kwargs = (
-        {"timestep": SharedTimestep()} if args.adaptive else {"dt": args.dt}
-    )
-    traced = trace_from_env()
-    sim = Simulation(
-        system, backend, **kwargs,
-        trace=traced[0] if traced is not None else None,
-    )
-    result = sim.run(args.cycles)
-    final = energy_report(system, softening=args.softening)
-    if traced is not None:
-        _write_trace_outputs(*traced)
+    system = spec.make_system()
+    initial = energy_report(system, softening=spec.softening)
+    trace = Trace() if spec.trace_path else None
+    sim = spec.make_simulation(system, backend, trace=trace)
+    result = sim.run(spec.cycles)
+    final = energy_report(system, softening=spec.softening)
+    if trace is not None:
+        _write_trace_outputs(trace, spec.trace_path)
 
     print(f"backend: {backend.name}")
-    print(f"N = {args.n}, cycles = {args.cycles}, t = {system.time:.6f}")
+    print(f"N = {spec.n}, cycles = {spec.cycles}, t = {system.time:.6f}")
     print(f"energy drift |dE/E0| = {final.drift_from(initial):.3e}")
     if result.model_seconds > 0:
         for tag, seconds in sorted(result.seconds_by_tag().items()):
@@ -266,29 +282,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         save_npz(args.snapshot, system)
         print(f"snapshot written to {args.snapshot}")
     if getattr(args, "profile", False):
-        if args.backend != "device":
-            print("--profile requires the device backend; ignoring")
-        else:
-            from .metalium import GetCommandQueue
-
-            print()
-            print(_device_profile_text(
-                device, GetCommandQueue(device), backend.engine
-            ))
+        print()
+        print(_profile_report(backend))
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from .backends import make_backend
     from .core import plummer, validate_forces
-    from .metalium import CreateDevice
-    from .nbody_tt import TTForceBackend
-    from .wormhole import DataFormat
 
     system = plummer(args.n, seed=args.seed)
-    device = CreateDevice(0)
-    backend = TTForceBackend(
-        device, n_cores=args.cores, fmt=DataFormat(args.format)
-    )
+    backend = make_backend("tt", cores=args.cores, fmt=args.format)
     ev = backend.compute(system.pos, system.vel, system.mass)
     report = validate_forces(
         system.pos, system.vel, system.mass, ev.acc, ev.jerk
@@ -368,19 +372,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from .backends import make_backend
     from .core import Simulation, energy_report, plummer
     from .core.simulation import HostCostModel
-    from .metalium import CreateDevice
-    from .nbody_tt import TTForceBackend
     from .observability import Trace, format_flamegraph
     from .wormhole.params import DEFAULT_COSTS
 
     trace = Trace()
     system = plummer(args.n, seed=args.seed)
     initial = energy_report(system, softening=args.softening)
-    device = CreateDevice(0)
-    backend = TTForceBackend(
-        device, n_cores=args.cores, softening=args.softening
+    backend = make_backend(
+        "tt", cores=args.cores, softening=args.softening
     )
     # charge the host-resident double-precision work too, so the trace
     # shows the paper's full phase structure (predict/correct are real
@@ -412,10 +414,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import ProgramLinter
-    from .metalium import CloseDevice, CreateDevice
-    from .nbody_tt import TTForceBackend
+    from .backends import make_backend
+    from .metalium import CloseDevice
     from .nbody_tt.tiling import assign_tiles_to_cores
-    from .wormhole import DataFormat
     from .wormhole.tile import tiles_needed
 
     variants = {
@@ -424,11 +425,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "both": (False, True),
     }[args.engine]
 
-    device = CreateDevice(0)
+    backend = make_backend("tt", cores=args.cores, fmt=args.format)
+    device = backend.devices[0]
     try:
-        backend = TTForceBackend(
-            device, n_cores=args.cores, fmt=DataFormat(args.format)
-        )
         n_tiles = tiles_needed(args.n)
         backend._ensure_buffers(n_tiles)
         device_tiles = assign_tiles_to_cores(n_tiles, 1)[0]

@@ -17,10 +17,19 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+# the protocol now lives in the backends layer (its dependency-free floor);
+# re-exported here so `from repro.core.simulation import ForceBackend, ...`
+# keeps working for existing callers
+from ..backends.protocol import (
+    ForceBackend,
+    ForceEvaluation,
+    TimelineSegment,
+    accepts_trace,
+)
 from ..errors import ConfigurationError
 from .hermite import correct, predict
 
@@ -40,40 +49,6 @@ __all__ = [
     "SimulationResult",
     "Simulation",
 ]
-
-
-@dataclass(frozen=True)
-class TimelineSegment:
-    """One phase of modelled job time: tag in {host, device, pcie, launch}."""
-
-    tag: str
-    seconds: float
-    detail: str = ""
-
-
-@dataclass(frozen=True)
-class ForceEvaluation:
-    """Result of one force evaluation by a backend."""
-
-    acc: np.ndarray
-    jerk: np.ndarray
-    segments: tuple[TimelineSegment, ...] = ()
-
-    @property
-    def model_seconds(self) -> float:
-        """Total modelled seconds across this evaluation's segments."""
-        return sum(s.seconds for s in self.segments)
-
-
-class ForceBackend(Protocol):
-    """Anything that can evaluate accelerations and jerks."""
-
-    name: str
-
-    def compute(self, pos: np.ndarray, vel: np.ndarray,
-                mass: np.ndarray) -> ForceEvaluation:
-        """Evaluate accelerations and jerks for the given state."""
-        ...
 
 
 class ReferenceBackend:
@@ -198,10 +173,11 @@ class Simulation:
         self.timestep = timestep
         self.host_cost = host_cost
         self.trace = trace
-        #: backends that accept a trace (TTForceBackend) narrate their own
+        #: backends on the TracedForceBackend side of the contract
+        #: (TTForceBackend, ShardedTTBackend) narrate their own
         #: Metalium/device spans; for the rest the driver converts the
         #: evaluation's timeline segments into leaf spans itself
-        self._backend_traced = trace is not None and hasattr(backend, "trace")
+        self._backend_traced = trace is not None and accepts_trace(backend)
         if self._backend_traced:
             backend.trace = trace  # type: ignore[attr-defined]
         self._initialised = False

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.simulation import ForceEvaluation, TimelineSegment
+from ..backends.protocol import ForceEvaluation, TimelineSegment
 from ..errors import ConfigurationError
 from .mpi import FakeComm, split_counts
 from .openmp import OpenMPModel, chunk_ranges

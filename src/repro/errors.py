@@ -19,6 +19,15 @@ class ConfigurationError(ReproError):
     """Invalid configuration value or combination of parameters."""
 
 
+class UnknownBackendError(ConfigurationError):
+    """A backend name that is not in the :mod:`repro.backends` registry.
+
+    Carries the registered names in its message so user-facing surfaces
+    (the CLI, campaign schedules) can report actionable errors instead of
+    tracebacks.
+    """
+
+
 # --------------------------------------------------------------------------
 # Device / simulator faults
 # --------------------------------------------------------------------------

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.simulation import ForceEvaluation, TimelineSegment
+from ..backends.protocol import ForceEvaluation, TimelineSegment
 from ..errors import ConfigurationError, HostApiError, NBodyError
 from ..metalium.buffer import DramBuffer
 from ..metalium.command_queue import CommandQueue
@@ -225,10 +225,12 @@ class TTForceBackend:
         self._buffers: dict[int, dict[str, DramBuffer]] = {}
         self._out_buffers: dict[int, dict[str, DramBuffer]] = {}
         self._n_tiles_allocated: int | None = None
-        #: compiled programs are cached per (device, charge_only), as the
-        #: real host code compiles its kernels once and re-enqueues them
-        #: every evaluation
-        self._programs: dict[tuple[int, bool], Program] = {}
+        #: compiled programs are cached per (device, charge_only, tile
+        #: assignment), as the real host code compiles its kernels once and
+        #: re-enqueues them every evaluation; the assignment is part of the
+        #: key because a sharded composite may hand this backend different
+        #: i-tile subsets of the same geometry
+        self._programs: dict[tuple[int, bool, tuple[int, ...]], Program] = {}
         #: tilize cache: unchanged particle columns skip re-quantisation
         self._tilize_cache = TilizeCache()
         #: upload cache: column tile-lists (by identity) currently resident
@@ -294,7 +296,8 @@ class TTForceBackend:
         replay) run the same kernels with the data movement and force math
         elided — identical charges, CB dynamics and scheduler rounds.
         """
-        cached = self._programs.get((d, charge_only))
+        cache_key = (d, charge_only, tuple(my_device_tiles))
+        cached = self._programs.get(cache_key)
         if cached is not None:
             return cached
         program = Program(core_range=CoreRange(0, self.n_cores))
@@ -332,7 +335,7 @@ class TTForceBackend:
             program.set_runtime_args(
                 core_index, {"my_tiles": mine, "n_tiles": n_tiles}
             )
-        self._programs[(d, charge_only)] = program
+        self._programs[cache_key] = program
         return program
 
     # -- main entry ---------------------------------------------------------
@@ -355,15 +358,32 @@ class TTForceBackend:
                 queue.enqueue_write_buffer(self._buffers[d][q], col)
                 uploaded[q] = col
 
-    def compute(self, pos: np.ndarray, vel: np.ndarray,
-                mass: np.ndarray) -> ForceEvaluation:
-        tiles = ParticleTiles.from_arrays(
-            pos, vel, mass, self.fmt, cache=self._tilize_cache
-        )
+    def compute_partial(
+        self, tiles: ParticleTiles, tile_indices: list[int]
+    ) -> tuple[dict[str, list[Tile | None]], list[TimelineSegment], float]:
+        """Evaluate forces for a subset of i-tiles against the full j-set.
+
+        The seam a multi-card composite (``repro.backends.sharded``)
+        shards over: ``tile_indices`` are global i-tile indices, the whole
+        replicated ``tiles`` set streams as the j-side, and each requested
+        tile's accumulation order over the j-stream is fixed regardless of
+        which subset it arrives in — so per-card partials merge
+        bit-identically to a single-card evaluation.
+
+        Returns the per-quantity result tiles (indexed globally, ``None``
+        outside the subset), the queue phase segments (device time
+        excluded), and the slowest device's compute seconds.
+        """
         self._ensure_buffers(tiles.n_tiles)
 
-        # Distribute i-tiles over devices (round-robin), then over cores.
-        device_tiles = assign_tiles_to_cores(tiles.n_tiles, len(self.devices))
+        # Distribute the requested i-tiles over devices (round-robin),
+        # then over cores.
+        device_tiles = [
+            [tile_indices[k] for k in mine]
+            for mine in assign_tiles_to_cores(
+                len(tile_indices), len(self.devices)
+            )
+        ]
         results: dict[str, list[Tile | None]] = {
             q: [None] * tiles.n_tiles for q in OUT_QUANTITIES
         }
@@ -377,6 +397,23 @@ class TTForceBackend:
             worst_device_s = self._run_per_block(
                 tiles, device_tiles, results, segments
             )
+
+        missing = [
+            q for q in OUT_QUANTITIES
+            if any(results[q][it] is None for it in tile_indices)
+        ]
+        if missing:
+            raise NBodyError(f"device returned incomplete results for {missing}")
+        return results, segments, worst_device_s
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        tiles = ParticleTiles.from_arrays(
+            pos, vel, mass, self.fmt, cache=self._tilize_cache
+        )
+        results, segments, worst_device_s = self.compute_partial(
+            tiles, list(range(tiles.n_tiles))
+        )
 
         segments.append(TimelineSegment("device", worst_device_s, "force"))
         if len(self.devices) > 1:
@@ -392,9 +429,6 @@ class TTForceBackend:
                     n_devices=len(self.devices),
                 )
 
-        missing = [q for q in OUT_QUANTITIES if any(t is None for t in results[q])]
-        if missing:
-            raise NBodyError(f"device returned incomplete results for {missing}")
         acc, jerk = ParticleTiles.results_to_arrays(
             {q: results[q] for q in OUT_QUANTITIES}, tiles.n
         )

@@ -36,11 +36,14 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..core.simulation import TimelineSegment
+from ..backends.protocol import TimelineSegment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.runspec import RunSpec
 from ..cpuref.openmp import OpenMPModel
 from ..cpuref.params import CpuCostParams, DEFAULT_CPU_COSTS
 from ..errors import CampaignError, DeviceResetError
@@ -103,6 +106,57 @@ class JobSpec:
     def paper_reference(cls, **overrides) -> "JobSpec":
         overrides.setdefault("n_threads", 32)
         return cls(accelerated=False, **overrides)
+
+    # -- RunSpec bridge ----------------------------------------------------
+
+    def to_runspec(self, **overrides) -> "RunSpec":
+        """This job as a declarative :class:`repro.backends.RunSpec`.
+
+        Accelerated jobs map to the registry's ``tt`` backend (``cards``
+        carrying the multi-card count), reference jobs to ``cpu`` — so a
+        campaign schedule can be persisted, inspected, or re-run through
+        exactly the machinery ``repro simulate`` uses.
+        """
+        from ..backends import BackendSpec, RunSpec
+
+        if self.accelerated:
+            backend = BackendSpec("tt", {
+                "cores": self.n_cores, "cards": self.n_devices,
+            })
+        else:
+            backend = BackendSpec("cpu", {"threads": self.n_threads})
+        return RunSpec(
+            n=self.n_particles, cycles=self.n_cycles, backend=backend,
+            **overrides,
+        )
+
+    @classmethod
+    def from_runspec(cls, spec: "RunSpec", **overrides) -> "JobSpec":
+        """Build a campaign job from a :class:`repro.backends.RunSpec`.
+
+        The inverse of :meth:`to_runspec`: any ``tt``-family backend maps
+        to an accelerated job, everything else to a reference job.
+        """
+        from ..backends import backend_entry
+
+        name = backend_entry(spec.backend.name).name
+        options = dict(spec.backend.options)
+        if name.startswith("tt"):
+            fields = dict(
+                accelerated=True,
+                n_cores=options.get("cores", 64),
+                n_devices=options.get("cards", 1),
+                n_threads=1,
+            )
+        else:
+            fields = dict(
+                accelerated=False,
+                n_threads=options.get("threads", 32),
+            )
+        fields.update(
+            n_particles=spec.n, n_cycles=spec.cycles, **overrides
+        )
+        return cls(**fields)
 
     def kind(self, n_cards: int | None = None) -> JobKind:
         """Power-model description of this job.

@@ -1,0 +1,51 @@
+"""Every registered backend stays inside the paper's accuracy gates.
+
+The gate is the paper's validation criterion: per-component relative
+error within 0.05% for acceleration and 0.2% for jerk against the
+float64 golden reference (``validate_forces`` encodes the thresholds).
+"""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.core import plummer, validate_forces
+
+#: Per-backend problem size: small enough to stay fast, large enough to
+#: exercise tiling/padding.  tt-ds runs O(N^2) pair matrices in NumPy and
+#: tt-matmul pads to 1024-blocks, so they get tailored sizes.
+PARITY_N = {
+    "reference": 1024,
+    "cpu": 1024,
+    "tt": 1024,
+    "tt-per-block": 1024,
+    "tt-ds": 512,
+    "tt-matmul": 1024,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PARITY_N))
+def test_backend_passes_paper_gates(name):
+    system = plummer(PARITY_N[name], seed=2)
+    backend = make_backend(name)
+    ev = backend.compute(system.pos, system.vel, system.mass)
+    report = validate_forces(
+        system.pos, system.vel, system.mass, ev.acc, ev.jerk
+    )
+    assert report.passed, f"{name}: {report.summary()}"
+
+
+def test_parity_table_covers_every_registered_backend():
+    """New registry entries must join the parity matrix above."""
+    from repro.backends import backend_names
+
+    assert set(PARITY_N) == set(backend_names())
+
+
+def test_sharded_passes_paper_gates():
+    system = plummer(2048, seed=2)
+    backend = make_backend("tt", cards=2, cores=2)
+    ev = backend.compute(system.pos, system.vel, system.mass)
+    report = validate_forces(
+        system.pos, system.vel, system.mass, ev.acc, ev.jerk
+    )
+    assert report.passed, report.summary()

@@ -1,0 +1,157 @@
+"""RunSpec: JSON round-trip, the single env/CLI path, JobSpec bridge."""
+
+from argparse import Namespace
+
+import pytest
+
+from repro.backends import BackendSpec, RunSpec, make_backend
+from repro.errors import ConfigurationError
+from repro.telemetry import JobSpec
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        spec = RunSpec(
+            n=512, cycles=3, dt=2e-3, adaptive=True, softening=0.01,
+            seed=7, backend=BackendSpec("tt", {"cores": 4, "cards": 2}),
+            trace_path="trace.json", lint="warn", sanitize=True,
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_round_trip(self):
+        spec = RunSpec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert spec.backend == BackendSpec("tt")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="wibble"):
+            RunSpec.from_dict({"n": 64, "wibble": 1})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(n=0)
+        with pytest.raises(ConfigurationError):
+            RunSpec(lint="loud")
+
+
+class TestFromCli:
+    """One flat CLI surface; the registry filters per-backend knobs."""
+
+    @staticmethod
+    def _args(**overrides):
+        defaults = dict(
+            backend="tt", n=256, cycles=2, dt=1e-3, adaptive=False,
+            softening=0.0, seed=0, cores=None, threads=None, cards=None,
+        )
+        defaults.update(overrides)
+        return Namespace(**defaults)
+
+    def test_device_alias_and_cores_forwarded(self):
+        spec = RunSpec.from_cli(self._args(backend="device", cores=4))
+        assert spec.backend == BackendSpec("device", {"cores": 4})
+        assert spec.n == 256 and spec.cycles == 2
+
+    def test_threads_never_reach_the_device_backend(self):
+        spec = RunSpec.from_cli(self._args(cores=4, threads=16))
+        assert spec.backend.options == {"cores": 4}
+
+    def test_cores_never_reach_the_cpu_backend(self):
+        spec = RunSpec.from_cli(
+            self._args(backend="cpu", cores=4, threads=16)
+        )
+        assert spec.backend.options == {"threads": 16}
+
+    def test_format_maps_to_fmt(self):
+        spec = RunSpec.from_cli(self._args(format="bfloat16"))
+        assert spec.backend.options == {"fmt": "bfloat16"}
+
+    def test_unset_options_stay_unset(self):
+        spec = RunSpec.from_cli(self._args())
+        assert spec.backend.options == {}
+
+
+class TestEnvResolution:
+    def test_trace_path_from_env_is_stripped(self):
+        spec = RunSpec().resolved_from_env({"REPRO_TRACE": "  out.json  "})
+        assert spec.trace_path == "out.json"
+
+    def test_blank_trace_env_is_unset(self):
+        assert RunSpec().resolved_from_env({"REPRO_TRACE": "   "}) == RunSpec()
+
+    def test_cli_value_wins_over_env(self):
+        spec = RunSpec(trace_path="cli.json", lint="error")
+        resolved = spec.resolved_from_env(
+            {"REPRO_TRACE": "env.json", "REPRO_LINT": "warn"}
+        )
+        assert resolved.trace_path == "cli.json"
+        assert resolved.lint == "error"
+
+    def test_lint_and_sanitize_fill_from_env(self):
+        resolved = RunSpec().resolved_from_env(
+            {"REPRO_LINT": "warn", "REPRO_SANITIZE": "1"}
+        )
+        assert resolved.lint == "warn"
+        assert resolved.sanitize is True
+
+    def test_sanitize_zero_means_off(self):
+        assert RunSpec().resolved_from_env({"REPRO_SANITIZE": "0"}) == RunSpec()
+
+    def test_environ_updates_is_the_inverse(self):
+        assert RunSpec().environ_updates() == {}
+        assert RunSpec(lint="error", sanitize=True).environ_updates() == {
+            "REPRO_LINT": "error", "REPRO_SANITIZE": "1",
+        }
+
+
+class TestRealisation:
+    def test_make_backend_forces_spec_softening(self):
+        spec = RunSpec(softening=0.02, backend=BackendSpec("reference"))
+        assert spec.make_backend().softening == 0.02
+
+    def test_explicit_backend_softening_wins(self):
+        spec = RunSpec(
+            softening=0.02,
+            backend=BackendSpec("reference", {"softening": 0.5}),
+        )
+        assert spec.make_backend().softening == 0.5
+
+    def test_make_simulation_runs(self):
+        spec = RunSpec(n=128, cycles=2, backend=BackendSpec("reference"))
+        result = spec.make_simulation().run(spec.cycles)
+        assert len(result.cycles) == 2
+
+    def test_adaptive_spec_uses_shared_timestep(self):
+        spec = RunSpec(
+            n=64, adaptive=True, backend=BackendSpec("reference")
+        )
+        sim = spec.make_simulation()
+        result = sim.run(1)
+        assert result.cycles[0].dt > 0
+
+
+class TestJobSpecBridge:
+    def test_accelerated_round_trip(self):
+        job = JobSpec.paper_accelerated(
+            n_particles=2048, n_cycles=4, n_cores=16, n_devices=2
+        )
+        spec = job.to_runspec()
+        assert spec.backend == BackendSpec("tt", {"cores": 16, "cards": 2})
+        assert spec.n == 2048 and spec.cycles == 4
+        assert JobSpec.from_runspec(spec) == job
+
+    def test_reference_round_trip(self):
+        job = JobSpec.paper_reference(n_particles=1024, n_cycles=3)
+        spec = job.to_runspec()
+        assert spec.backend == BackendSpec("cpu", {"threads": 32})
+        assert JobSpec.from_runspec(spec) == job
+
+    def test_device_alias_maps_to_accelerated(self):
+        spec = RunSpec(backend=BackendSpec("device"))
+        assert JobSpec.from_runspec(spec).accelerated is True
+
+
+def test_runspec_backend_realises_sharded():
+    spec = RunSpec(backend=BackendSpec("tt", {"cards": 2, "cores": 2}))
+    backend = spec.make_backend()
+    assert backend.n_cards == 2
+    assert isinstance(backend, type(make_backend("tt", cards=2, cores=2)))

@@ -1,0 +1,114 @@
+"""ShardedTTBackend: bit identity, per-card accounting, trace fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.backends import ShardedTTBackend, make_backend, shard_tiles
+from repro.core import plummer
+from repro.errors import ConfigurationError
+from repro.observability import Trace
+
+
+class TestShardTiles:
+    def test_contiguous_split_with_remainder(self):
+        assert shard_tiles(5, 2) == [[0, 1, 2], [3, 4]]
+
+    def test_more_cards_than_tiles(self):
+        assert shard_tiles(2, 4) == [[0], [1], [], []]
+
+    def test_sizes_within_one_tile(self):
+        for n_tiles in range(1, 12):
+            for n_cards in range(1, 6):
+                sizes = [len(s) for s in shard_tiles(n_tiles, n_cards)]
+                assert sum(sizes) == n_tiles
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            shard_tiles(0, 2)
+
+
+class TestBitIdentity:
+    """The headline guarantee: sharding never changes a single bit."""
+
+    @pytest.fixture(scope="class")
+    def single_card(self):
+        system = plummer(4096, seed=5)
+        backend = make_backend("tt", cores=4)
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        return system, ev
+
+    @pytest.mark.parametrize("cards", [2, 4])
+    def test_bit_identical_to_single_card(self, single_card, cards):
+        system, reference = single_card
+        backend = make_backend("tt", cores=4, cards=cards)
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        assert np.array_equal(ev.acc, reference.acc)
+        assert np.array_equal(ev.jerk, reference.jerk)
+
+    def test_single_tile_shard(self):
+        """N below one tile-block: one card computes, the rest idle."""
+        system = plummer(256, seed=5)
+        reference = make_backend("tt", cores=4).compute(
+            system.pos, system.vel, system.mass
+        )
+        ev = make_backend("tt", cores=4, cards=2).compute(
+            system.pos, system.vel, system.mass
+        )
+        assert np.array_equal(ev.acc, reference.acc)
+        assert np.array_equal(ev.jerk, reference.jerk)
+
+
+class TestAccounting:
+    def test_per_card_costs_and_segments(self):
+        system = plummer(4096, seed=5)
+        backend = make_backend("tt", cores=4, cards=2)
+        ev = backend.compute(system.pos, system.vel, system.mass)
+
+        costs = backend.last_card_costs
+        assert [c.card for c in costs] == [0, 1]
+        assert sum(c.n_tiles for c in costs) == 4
+        assert all(c.device_seconds > 0 for c in costs)
+        assert all(c.gather_bytes > 0 for c in costs)
+        assert all("i-tiles" in c.format() for c in costs)
+
+        details = [s.detail for s in ev.segments]
+        assert "allgather" in details
+        assert "force" in details
+        assert any(d.startswith("card0:") for d in details)
+        assert any(d.startswith("card1:") for d in details)
+
+    def test_evaluation_priced_by_slowest_card_plus_gather(self):
+        system = plummer(4096, seed=5)
+        backend = make_backend("tt", cores=4, cards=2)
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        force = next(s for s in ev.segments if s.detail == "force")
+        gather = next(s for s in ev.segments if s.detail == "allgather")
+        worst = max(c.device_seconds for c in backend.last_card_costs)
+        assert force.seconds == worst
+        assert gather.seconds > 0
+
+    def test_requires_two_cards(self):
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            ShardedTTBackend(1)
+
+
+class TestTraceFanOut:
+    def test_trace_setter_reaches_children_and_queues(self):
+        backend = make_backend("tt", cores=2, cards=2)
+        trace = Trace()
+        backend.trace = trace
+        assert backend.trace is trace
+        for child in backend.children:
+            assert child.trace is trace
+
+    def test_traced_run_has_one_card_span_per_shard(self):
+        system = plummer(2048, seed=5)
+        backend = make_backend("tt", cores=2, cards=2)
+        backend.trace = Trace()
+        backend.compute(system.pos, system.vel, system.mass)
+
+        cards = backend.trace.find("card")
+        assert [s.attributes["card"] for s in cards] == [0, 1]
+        assert sum(s.attributes["n_tiles"] for s in cards) == 2
+        assert len(backend.trace.find("allgather")) == 1

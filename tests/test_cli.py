@@ -46,6 +46,31 @@ class TestSimulate:
         assert rc == 0
         assert "cpu-ref-omp2" in capsys.readouterr().out
 
+    def test_unknown_backend_exits_2_without_traceback(self, capsys):
+        rc = main(["simulate", "--n", "64", "--backend", "warp-drive"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "unknown backend 'warp-drive'" in captured.err
+        assert "registered backends:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_registry_backend_name_accepted(self, capsys):
+        rc = main(["simulate", "--n", "512", "--cycles", "1",
+                   "--backend", "tt-ds"])
+        assert rc == 0
+        assert "tt-ds-cores8" in capsys.readouterr().out
+
+    def test_multi_card_profile_shows_per_card_costs(self, capsys):
+        rc = main(["simulate", "--n", "2048", "--cycles", "1",
+                   "--backend", "tt", "--cores", "2", "--cards", "2",
+                   "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tt-sharded-cards2" in out
+        assert "Per-card cost accounting" in out
+        assert "card 0:" in out and "card 1:" in out
+        assert "-- card 0 --" in out and "-- card 1 --" in out
+
     def test_snapshot_written(self, tmp_path, capsys):
         path = tmp_path / "final.npz"
         rc = main(["simulate", "--n", "64", "--cycles", "1",
