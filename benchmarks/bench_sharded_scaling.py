@@ -1,0 +1,185 @@
+"""Host wall-clock scaling of the sharded multi-card backend.
+
+``ShardedTTBackend`` always *modelled* concurrent cards; with the
+executor layer (``repro.backends.shardexec``) the host actually runs the
+per-card shards in parallel, and with the native kernels each card's
+shard is cheap enough that the fan-out pays off in wall clock.  This
+bench times one functional force evaluation at N = 32768 (fp32, 64
+cores, 4 cards) under every worker mode, asserts every mode is
+bit-identical to the single-card batched engine, and gates the
+``workers=process`` configuration at >= 3x the *committed* single-card
+steady wall clock from ``BENCH_engine.json``.  Script mode records the
+numbers in ``BENCH_shards.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+
+Pytest collection (``pytest benchmarks/bench_sharded_scaling.py``)
+re-runs the gate configuration live and cross-checks the committed JSON,
+mirroring the ``BENCH_engine.json`` arrangement.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import plummer
+from repro.backends import make_backend
+from repro.bench import ExperimentReport
+
+N_GATE = 32768
+N_CORES = 64
+N_CARDS = 4
+GATE_WORKERS = "process"
+GATE_SPEEDUP = 3.0
+WORKER_MODES = ("serial", "thread", "process")
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_shards.json"
+ENGINE_JSON = ROOT / "BENCH_engine.json"
+
+
+def baseline_steady_s() -> float:
+    """The committed single-card batched steady wall clock at N_GATE."""
+    payload = json.loads(ENGINE_JSON.read_text())
+    return float(payload["sizes"][str(N_GATE)]["batched"]["steady_s"])
+
+
+def _time_backend(backend, system, evals=3):
+    """(timings, last evaluation) for one backend configuration."""
+    times = []
+    ev = None
+    for _ in range(evals):
+        t0 = time.perf_counter()
+        ev = backend.compute(system.pos, system.vel, system.mass)
+        times.append(time.perf_counter() - t0)
+    steady = min(times[1:]) if len(times) > 1 else times[0]
+    return {"first_s": round(times[0], 4), "steady_s": round(steady, 4)}, ev
+
+
+def measure(n=N_GATE, modes=WORKER_MODES):
+    """Single-card vs 4-card wall clock for each worker mode at one N.
+
+    Every sharded result is asserted bit-identical to the single card's
+    before any timing is reported — a faster wrong answer must never
+    land in the JSON.
+    """
+    system = plummer(n, seed=42)
+    single, single_ev = _time_backend(
+        make_backend("tt", cores=N_CORES), system
+    )
+    results = {"single_card": single, "workers": {}}
+    for mode in modes:
+        backend = make_backend(
+            "tt", cores=N_CORES, cards=N_CARDS, workers=mode
+        )
+        timing, ev = _time_backend(backend, system)
+        backend.close()
+        assert np.array_equal(single_ev.acc, ev.acc, equal_nan=True), mode
+        assert np.array_equal(single_ev.jerk, ev.jerk, equal_nan=True), mode
+        results["workers"][mode] = timing
+    return results
+
+
+def report(results, baseline: float) -> ExperimentReport:
+    rep = ExperimentReport(
+        "SHARDS", "sharded multi-card host wall clock"
+    )
+    rep.add(
+        f"N={N_GATE} single card (fp32, {N_CORES} cores)",
+        f"committed baseline {baseline:.3f}s",
+        f"{results['single_card']['steady_s']:.3f}s steady",
+    )
+    for mode, timing in results["workers"].items():
+        speedup = baseline / timing["steady_s"]
+        rep.add(
+            f"N={N_GATE}, {N_CARDS} cards, workers={mode}",
+            f">= {GATE_SPEEDUP}x vs baseline (workers={GATE_WORKERS})",
+            f"{timing['steady_s']:.3f}s ({speedup:.1f}x), bit-identical",
+        )
+    rep.note("baseline is the committed single-card batched steady_s from "
+             "BENCH_engine.json; modelled device time is unchanged by the "
+             "host executor")
+    return rep
+
+
+@pytest.fixture(scope="module")
+def gate_results():
+    return measure(modes=(GATE_WORKERS,))
+
+
+def test_committed_gate_passed():
+    """The committed BENCH_shards.json must carry a passing gate."""
+    payload = json.loads(BENCH_JSON.read_text())
+    gate = payload["gate"]
+    assert gate["n"] == N_GATE
+    assert gate["cards"] == N_CARDS
+    assert gate["workers"] == GATE_WORKERS
+    assert gate["required_speedup"] == GATE_SPEEDUP
+    assert gate["passed"] is True
+    assert gate["measured_speedup"] >= GATE_SPEEDUP
+
+
+def test_wall_clock_gate_live(benchmark, gate_results):
+    """Re-run the gate configuration: >= 3x the committed baseline."""
+    results = benchmark.pedantic(lambda: gate_results, rounds=1, iterations=1)
+    baseline = baseline_steady_s()
+    report(results, baseline).print()
+    steady = results["workers"][GATE_WORKERS]["steady_s"]
+    assert baseline / steady >= GATE_SPEEDUP, (baseline, steady)
+
+
+def test_all_worker_modes_bit_identical(benchmark):
+    """measure() asserts identity internally; exercise every mode small."""
+    results = benchmark.pedantic(
+        lambda: measure(n=4096, modes=WORKER_MODES), rounds=1, iterations=1
+    )
+    assert set(results["workers"]) == set(WORKER_MODES)
+
+
+def main() -> None:
+    baseline = baseline_steady_s()
+    results = measure()
+    report(results, baseline).print()
+    gate_steady = results["workers"][GATE_WORKERS]["steady_s"]
+    speedup = round(baseline / gate_steady, 2)
+    payload = {
+        "benchmark": "bench_sharded_scaling",
+        "config": {
+            "fmt": "float32",
+            "n_cores": N_CORES,
+            "n_cards": N_CARDS,
+            "n": N_GATE,
+            "baseline": "BENCH_engine.json single-card batched steady_s",
+            "note": "seconds of host wall clock per functional force "
+                    "evaluation; every mode asserted bit-identical to the "
+                    "single-card batched engine before timing is recorded",
+        },
+        "baseline_single_card_steady_s": baseline,
+        "measured_single_card": results["single_card"],
+        "workers": {
+            mode: {
+                **timing,
+                "speedup_vs_baseline": round(
+                    baseline / timing["steady_s"], 2
+                ),
+            }
+            for mode, timing in results["workers"].items()
+        },
+        "gate": {
+            "n": N_GATE,
+            "cards": N_CARDS,
+            "workers": GATE_WORKERS,
+            "required_speedup": GATE_SPEEDUP,
+            "measured_speedup": speedup,
+            "passed": speedup >= GATE_SPEEDUP,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

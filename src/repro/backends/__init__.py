@@ -15,7 +15,9 @@ Three pieces:
 * :mod:`~repro.backends.sharded` — :class:`ShardedTTBackend`, the
   multi-card composite that shards i-particle blocks across simulated
   n300 cards and gathers over the Ethernet ring, bit-identical to the
-  single-card batched engine.
+  single-card batched engine, with :mod:`~repro.backends.shardexec`
+  supplying the host executors (``serial`` | ``thread`` | ``process``)
+  that actually run the per-card shards concurrently.
 """
 
 from .protocol import (
@@ -37,6 +39,7 @@ from .registry import (
 )
 from .runspec import RunSpec
 from .sharded import CardCost, ShardedTTBackend, shard_tiles
+from .shardexec import EXECUTOR_MODES, make_executor, resolve_workers
 from .variants import DSVariantBackend, MatmulVariantBackend
 
 __all__ = [
@@ -57,6 +60,9 @@ __all__ = [
     "CardCost",
     "ShardedTTBackend",
     "shard_tiles",
+    "EXECUTOR_MODES",
+    "make_executor",
+    "resolve_workers",
     "DSVariantBackend",
     "MatmulVariantBackend",
 ]

@@ -237,7 +237,7 @@ def _make_cpu(*, threads: int, softening: float, noisy: bool) -> ForceBackend:
     return CPUForceBackend(threads, softening=softening, noisy=noisy)
 
 
-def _tt_common(cores, cards, softening, fmt, cb_buffering, engine):
+def _tt_common(cores, cards, softening, fmt, cb_buffering, engine, workers):
     """Shared body of the ``tt`` / ``tt-per-block`` factories."""
     from ..wormhole.dtypes import DataFormat
 
@@ -245,6 +245,7 @@ def _tt_common(cores, cards, softening, fmt, cb_buffering, engine):
     if cards < 1:
         raise ConfigurationError(f"cards must be >= 1, got {cards}")
     if cards == 1:
+        # a single card has no shard fan-out; `workers` is meaningless
         from ..metalium.host_api import CreateDevice
         from ..nbody_tt.offload import TTForceBackend
 
@@ -256,16 +257,18 @@ def _tt_common(cores, cards, softening, fmt, cb_buffering, engine):
 
     return ShardedTTBackend(
         cards, n_cores=cores, softening=softening, fmt=fmt,
-        cb_buffering=cb_buffering, engine=engine,
+        cb_buffering=cb_buffering, engine=engine, workers=workers,
     )
 
 
-def _make_tt(*, cores, cards, softening, fmt, cb_buffering, engine):
-    return _tt_common(cores, cards, softening, fmt, cb_buffering, engine)
+def _make_tt(*, cores, cards, softening, fmt, cb_buffering, engine, workers):
+    return _tt_common(cores, cards, softening, fmt, cb_buffering, engine,
+                      workers)
 
 
-def _make_tt_per_block(*, cores, cards, softening, fmt, cb_buffering):
-    return _tt_common(cores, cards, softening, fmt, cb_buffering, "per-block")
+def _make_tt_per_block(*, cores, cards, softening, fmt, cb_buffering, workers):
+    return _tt_common(cores, cards, softening, fmt, cb_buffering, "per-block",
+                      workers)
 
 
 def _make_tt_ds(*, softening: float, cores: int) -> ForceBackend:
@@ -289,6 +292,10 @@ _TT_OPTIONS = (
     _SOFTENING,
     OptionSpec("fmt", str, "float32", "device data format"),
     OptionSpec("cb_buffering", int, 2, "j-stream CB depth in page groups"),
+    OptionSpec("workers", str, None,
+               "host executor for the per-card fan-out when cards>1 "
+               "(serial | thread | process; default: REPRO_SHARD_WORKERS "
+               "or thread)"),
 )
 
 register_backend(

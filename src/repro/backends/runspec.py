@@ -35,7 +35,8 @@ __all__ = ["RunSpec"]
 #: ``softening`` is deliberately absent: :attr:`RunSpec.softening` is its
 #: single carrier, injected by :meth:`RunSpec.make_backend`.
 _CLI_OPTION_NAMES = {"cores": "cores", "threads": "threads",
-                     "cards": "cards", "format": "fmt"}
+                     "cards": "cards", "format": "fmt",
+                     "workers": "workers"}
 
 
 @dataclass(frozen=True)

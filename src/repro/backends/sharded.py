@@ -35,8 +35,9 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..wormhole.dtypes import DataFormat
 from ..wormhole.ethernet import EthernetFabric
-from ..wormhole.tile import TILE_ELEMENTS
+from ..wormhole.tile import TILE_ELEMENTS, tiles_needed
 from .protocol import ForceEvaluation, TimelineSegment
+from .shardexec import make_executor, resolve_workers, run_card
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nbody_tt.offload import TTForceBackend
@@ -101,6 +102,7 @@ class ShardedTTBackend:
         fmt: DataFormat | str = DataFormat.FLOAT32,
         cb_buffering: int = 2,
         engine: str | None = None,
+        workers: str | None = None,
         devices=None,
         trace=None,
     ) -> None:
@@ -108,7 +110,6 @@ class ShardedTTBackend:
         # mid-import (it imports repro.backends.protocol)
         from ..metalium.host_api import CreateDevice
         from ..nbody_tt.offload import TTForceBackend
-        from ..nbody_tt.tiling import TilizeCache
 
         if n_cards < 2:
             raise ConfigurationError(
@@ -136,8 +137,17 @@ class ShardedTTBackend:
         self.softening = softening
         self.fmt = fmt
         self.engine = self.children[0].engine
+        #: host executor mode (serial | thread | process); traced runs
+        #: always execute serially regardless of this setting
+        self.workers = resolve_workers(workers)
+        self._executor = None
         self.fabric = EthernetFabric(n_cards, devices[0].chip)
-        self._tilize_cache = TilizeCache()
+        #: cross-timestep residency generation, forwarded to every card's
+        #: tilize cache (see TTForceBackend.data_generation)
+        self.data_generation: int | None = None
+        #: most recent per-card residency counters (worker-reported in
+        #: process mode, where the parent's children never compute)
+        self._card_residency: dict[int, dict[str, int]] = {}
         #: per-card accounting of the most recent evaluation
         self.last_card_costs: list[CardCost] = []
         self.name = (
@@ -178,40 +188,111 @@ class ShardedTTBackend:
         """The per-card command queues, in shard order."""
         return [child.queues[0] for child in self.children]
 
+    # -- host execution ----------------------------------------------------
+
+    def _get_executor(self):
+        if self._executor is None or self._executor.mode != self.workers:
+            if self._executor is not None:
+                self._executor.close()
+            self._executor = make_executor(self.workers, self.children)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down any worker processes (no-op for serial/thread)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    # -- cross-timestep residency ------------------------------------------
+
+    def residency_counters(self) -> dict[str, int]:
+        """Aggregated tilize/upload residency counters across all cards."""
+        totals = {
+            "tilize_cache_hits": 0,
+            "tilize_cache_misses": 0,
+            "upload_skipped_bytes": 0,
+        }
+        for card, child in enumerate(self.children):
+            counters = self._card_residency.get(card)
+            if counters is None:
+                counters = child.residency_counters()
+            for name in totals:
+                totals[name] += counters.get(name, 0)
+        return totals
+
+    def invalidate_residency(self) -> None:
+        """Force every card to re-tilize and re-upload on the next call."""
+        for child in self.children:
+            child.invalidate_residency()
+        if self._executor is not None:
+            self._executor.invalidate()
+
+    def _sync_residency_metrics(self) -> None:
+        trace = self._trace
+        metrics = getattr(trace, "metrics", None) if trace is not None else None
+        if metrics is None:
+            return
+        for name, total in self.residency_counters().items():
+            counter = metrics.counter(f"residency.{name}")
+            if total > counter.value:
+                counter.add(total - counter.value)
+
     # -- main entry --------------------------------------------------------
 
     def compute(self, pos: np.ndarray, vel: np.ndarray,
                 mass: np.ndarray) -> ForceEvaluation:
-        """Evaluate all forces: shard i-tiles, compute per card, gather."""
+        """Evaluate all forces: shard i-tiles, compute per card, gather.
+
+        Each card tilizes through its own caches and evaluates its shard
+        under the configured executor; the merge below always walks cards
+        in ascending index order, so segments, costs and result bits are
+        independent of executor scheduling.
+        """
         from ..nbody_tt.tiling import OUT_QUANTITIES, ParticleTiles
 
-        tiles = ParticleTiles.from_arrays(
-            pos, vel, mass, self.fmt, cache=self._tilize_cache
-        )
-        shards = shard_tiles(tiles.n_tiles, self.n_cards)
-        results = {q: [None] * tiles.n_tiles for q in OUT_QUANTITIES}
+        n = mass.shape[0]
+        n_tiles = max(1, tiles_needed(n))
+        shards = shard_tiles(n_tiles, self.n_cards)
+        results = {q: [None] * n_tiles for q in OUT_QUANTITIES}
         segments: list[TimelineSegment] = []
         card_costs: list[CardCost] = []
         trace = self._trace
         worst_device_s = 0.0
         page_bytes = TILE_ELEMENTS * 4 * len(OUT_QUANTITIES)
+        active = [card for card in range(self.n_cards) if shards[card]]
+        generation = self.data_generation
 
-        for card, (child, shard) in enumerate(zip(self.children, shards)):
+        if trace is not None or self.workers == "serial":
+            # serial, in-line: traced runs must stay single-threaded (the
+            # trace cursor is shared state), and get per-card spans
+            outcomes = {}
+            for card in active:
+                child = self.children[card]
+                span = (
+                    trace.span(
+                        "card", category="device", card=card,
+                        n_tiles=len(shards[card]),
+                        device=child.devices[0].device_id,
+                    )
+                    if trace is not None else nullcontext()
+                )
+                with span:
+                    outcomes[card] = run_card(
+                        child, pos, vel, mass, shards[card], generation
+                    )
+        else:
+            outcomes = self._get_executor().run(
+                active, (pos, vel, mass, shards, generation)
+            )
+
+        for card in range(self.n_cards):
+            shard = shards[card]
             gather_bytes = len(shard) * page_bytes
             if not shard:
                 card_costs.append(CardCost(card, 0, 0.0, 0))
                 continue
-            span = (
-                trace.span(
-                    "card", category="device", card=card,
-                    n_tiles=len(shard), device=child.devices[0].device_id,
-                )
-                if trace is not None else nullcontext()
-            )
-            with span:
-                partial, child_segments, device_s = child.compute_partial(
-                    tiles, shard
-                )
+            partial, child_segments, device_s, residency = outcomes[card]
+            self._card_residency[card] = residency
             worst_device_s = max(worst_device_s, device_s)
             by_tag: dict[str, float] = {"device": device_s}
             for seg in child_segments:
@@ -220,8 +301,8 @@ class ShardedTTBackend:
                 ))
                 by_tag[seg.tag] = by_tag.get(seg.tag, 0.0) + seg.seconds
             for q in OUT_QUANTITIES:
-                for it in shard:
-                    results[q][it] = partial[q][it]
+                for it, tile in partial[q].items():
+                    results[q][it] = tile
             card_costs.append(CardCost(
                 card, len(shard), device_s, gather_bytes, by_tag
             ))
@@ -240,8 +321,11 @@ class ShardedTTBackend:
                 n_cards=self.n_cards, bytes_per_card=max_contribution,
             )
 
+        # stable reporting order regardless of executor scheduling
+        card_costs.sort(key=lambda c: c.card)
         self.last_card_costs = card_costs
         acc, jerk = ParticleTiles.results_to_arrays(
-            {q: results[q] for q in OUT_QUANTITIES}, tiles.n
+            {q: results[q] for q in OUT_QUANTITIES}, n
         )
+        self._sync_residency_metrics()
         return ForceEvaluation(acc, jerk, segments=tuple(segments))

@@ -1,0 +1,215 @@
+"""Pluggable host executors for the sharded backend's per-card fan-out.
+
+``ShardedTTBackend`` models four cards computing concurrently, but until
+this layer existed the host drove the per-card ``compute_partial`` calls
+one after another on a single thread — the modelled timeline assumed a
+concurrency the wall clock never delivered.  Three executors close that
+gap, selected by the ``workers=`` backend option or the
+``REPRO_SHARD_WORKERS`` environment variable:
+
+* ``serial`` — the original in-line loop.  Also forced whenever a Scope
+  trace is attached: the trace cursor is single-threaded state, and
+  modelled time is identical either way.
+* ``thread`` (default) — one thread per card.  The native kernels and
+  NumPy reductions release the GIL, so cards genuinely overlap on
+  multi-core hosts; each thread touches only its own child backend.
+* ``process`` — one long-lived forked worker per card, communicating
+  over pipes.  Fork (POSIX-only) is required: the per-card children hold
+  compiled kernel programs containing closures that cannot cross a spawn
+  boundary, but are inherited by memory copy.  Each card keeps the same
+  worker across evaluations, so worker-side tilize/upload residency
+  caches stay warm between timesteps.
+
+Every executor produces per-card results keyed by card index and the
+caller merges them in ascending card order, so scheduling can never
+reorder (or change a bit of) the gathered result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ConfigurationError, NBodyError
+
+__all__ = ["EXECUTOR_MODES", "resolve_workers", "make_executor"]
+
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+#: threads overlap wherever the host has cores and cost nothing where it
+#: does not, so they are the safe default
+_DEFAULT_MODE = "thread"
+
+
+def resolve_workers(workers: str | None = None, env=None) -> str:
+    """The executor mode: explicit option > REPRO_SHARD_WORKERS > default."""
+    if env is None:
+        env = os.environ
+    mode = workers or env.get("REPRO_SHARD_WORKERS") or _DEFAULT_MODE
+    if mode not in EXECUTOR_MODES:
+        raise ConfigurationError(
+            f"unknown shard workers mode {mode!r}; "
+            f"expected one of {EXECUTOR_MODES}"
+        )
+    return mode
+
+
+def run_card(child, pos, vel, mass, shard, generation):
+    """One card's work, executor-agnostic (runs in-process or in a fork).
+
+    Tilizes through the child's own caches (so residency survives within
+    whichever process owns the child) and filters the partial results down
+    to the shard's tiles — the only part that must cross a process
+    boundary.  Returns ``(results, segments, device_seconds, residency)``.
+    """
+    from ..nbody_tt.tiling import OUT_QUANTITIES
+
+    partial, segments, device_s = child.compute_shard(
+        pos, vel, mass, shard, generation=generation
+    )
+    filtered = {
+        q: {it: partial[q][it] for it in shard} for q in OUT_QUANTITIES
+    }
+    return filtered, list(segments), device_s, child.residency_counters()
+
+
+class SerialExecutor:
+    """Cards one after another on the calling thread."""
+
+    mode = "serial"
+
+    def __init__(self, children) -> None:
+        self._children = children
+
+    def run(self, cards, payload):
+        pos, vel, mass, shards, generation = payload
+        return {
+            card: run_card(
+                self._children[card], pos, vel, mass, shards[card], generation
+            )
+            for card in cards
+        }
+
+    def invalidate(self) -> None:
+        pass  # the backend invalidates its in-process children directly
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor(SerialExecutor):
+    """One thread per card; native kernels release the GIL."""
+
+    mode = "thread"
+
+    def run(self, cards, payload):
+        pos, vel, mass, shards, generation = payload
+        with ThreadPoolExecutor(max_workers=len(cards)) as pool:
+            futures = {
+                card: pool.submit(
+                    run_card, self._children[card],
+                    pos, vel, mass, shards[card], generation,
+                )
+                for card in cards
+            }
+            return {card: fut.result() for card, fut in futures.items()}
+
+
+def _worker_main(child, conn) -> None:
+    """Forked worker loop: serve compute/invalidate requests for one card."""
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except EOFError:
+            return
+        if kind == "compute":
+            pos, vel, mass, shard, generation = payload
+            try:
+                conn.send(
+                    ("ok", run_card(child, pos, vel, mass, shard, generation))
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced to the parent
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        elif kind == "invalidate":
+            child.invalidate_residency()
+            conn.send(("ok", None))
+        elif kind == "close":
+            conn.close()
+            return
+
+
+class ProcessExecutor:
+    """One long-lived forked worker process per card."""
+
+    mode = "process"
+
+    def __init__(self, children) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "workers=process requires the fork start method "
+                "(unavailable on this platform); use workers=thread"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._children = children
+        self._workers: dict[int, tuple] = {}
+
+    def _conn(self, card: int):
+        entry = self._workers.get(card)
+        if entry is not None and entry[0].is_alive():
+            return entry[1]
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._children[card], child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._workers[card] = (proc, parent_conn)
+        return parent_conn
+
+    def run(self, cards, payload):
+        pos, vel, mass, shards, generation = payload
+        conns = {}
+        for card in cards:
+            conn = self._conn(card)
+            conn.send(("compute", (pos, vel, mass, shards[card], generation)))
+            conns[card] = conn
+        out = {}
+        for card in cards:
+            status, value = conns[card].recv()
+            if status != "ok":
+                raise NBodyError(f"shard worker for card {card} failed: {value}")
+            out[card] = value
+        return out
+
+    def invalidate(self) -> None:
+        for proc, conn in self._workers.values():
+            if proc.is_alive():
+                conn.send(("invalidate", None))
+                conn.recv()
+
+    def close(self) -> None:
+        for proc, conn in self._workers.values():
+            if proc.is_alive():
+                try:
+                    conn.send(("close", None))
+                except OSError:
+                    pass
+            conn.close()
+            proc.join(timeout=5)
+        self._workers.clear()
+
+
+def make_executor(mode: str, children):
+    """Instantiate the executor for a resolved mode."""
+    if mode == "serial":
+        return SerialExecutor(children)
+    if mode == "thread":
+        return ThreadExecutor(children)
+    if mode == "process":
+        return ProcessExecutor(children)
+    raise ConfigurationError(
+        f"unknown shard workers mode {mode!r}; expected one of {EXECUTOR_MODES}"
+    )

@@ -21,6 +21,46 @@ from .protocol import ForceEvaluation, TimelineSegment
 
 __all__ = ["DSVariantBackend", "MatmulVariantBackend"]
 
+
+def _gram_chain_products(r2, mj, i_arrs, j_arrs, mask_diag):
+    """Six per-pair product matrices for one Gram block.
+
+    The elementwise chain downstream of the FPU-produced ``r^2`` runs
+    through the fused native kernel when available, else through the
+    NumPy transcription below — same IEEE ops in the same order, so the
+    two paths are bit-identical.  The caller owns the j-reduction
+    (NumPy ``sum(axis=1)``) on both paths.
+    """
+    from ..nbody_tt._native import native_gram_kernel
+
+    native = native_gram_kernel()
+    if native is not None:
+        return native(r2, mj, i_arrs, j_arrs, mask_diag)
+    xi, yi, zi, vxi, vyi, vzi = i_arrs
+    xj, yj, zj, vxj, vyj, vzj = j_arrs
+    safe = r2 > np.float32(0.0)
+    rinv = np.zeros_like(r2)
+    np.sqrt(r2, out=rinv, where=safe)
+    np.divide(np.float32(1.0), rinv, out=rinv, where=safe)
+    if mask_diag:
+        np.fill_diagonal(rinv, np.float32(0.0))
+    rinv2 = rinv * rinv
+    mr3 = mj[None, :] * rinv2 * rinv
+    dx = xj[None, :] - xi[:, None]
+    dy = yj[None, :] - yi[:, None]
+    dz = zj[None, :] - zi[:, None]
+    dvx = vxj[None, :] - vxi[:, None]
+    dvy = vyj[None, :] - vyi[:, None]
+    dvz = vzj[None, :] - vzi[:, None]
+    rv = (dx * dvx + dy * dvy) + dz * dvz
+    alpha = np.float32(3.0) * rv * rinv2
+    return [
+        mr3 * dx, mr3 * dy, mr3 * dz,
+        mr3 * (dvx - alpha * dx),
+        mr3 * (dvy - alpha * dy),
+        mr3 * (dvz - alpha * dz),
+    ]
+
 #: particles per Gram block — gram_r2_block is fixed at 1024x1024 pairs
 _MATMUL_BLOCK = 1024
 
@@ -106,37 +146,31 @@ class MatmulVariantBackend:
         posf = pos_p.astype(np.float32)
         velf = vel_p.astype(np.float32)
         massf = mass_p.astype(np.float32)
+        # contiguous per-component columns for the fused chain kernel
+        cols = [np.ascontiguousarray(posf[:, k]) for k in range(3)]
+        cols += [np.ascontiguousarray(velf[:, k]) for k in range(3)]
         acc = np.zeros((n_pad, 3), dtype=np.float32)
         jerk = np.zeros((n_pad, 3), dtype=np.float32)
         fpu = Fpu()
 
         for bi in range(n_blocks):
             si = slice(bi * _MATMUL_BLOCK, (bi + 1) * _MATMUL_BLOCK)
+            i_arrs = [c[si] for c in cols]
             for bj in range(n_blocks):
                 sj = slice(bj * _MATMUL_BLOCK, (bj + 1) * _MATMUL_BLOCK)
-                r2 = gram_r2_block(
+                r2 = np.ascontiguousarray(gram_r2_block(
                     posf[si], posf[sj], fpu, softening=self.softening
-                )
+                ))
                 # Gram cancellation can leave tiny negatives; the true
                 # diagonal (self-pairs at softening 0) lands at ~0 too —
                 # both get rinv = 0, which zeroes their contribution
-                safe = r2 > np.float32(0.0)
-                rinv = np.zeros_like(r2)
-                np.sqrt(r2, out=rinv, where=safe)
-                np.divide(np.float32(1.0), rinv, out=rinv, where=safe)
-                if bi == bj and self.softening == 0.0:
-                    np.fill_diagonal(rinv, np.float32(0.0))
-                rinv2 = rinv * rinv
-                mr3 = massf[sj][None, :] * rinv2 * rinv
-
-                dr = posf[sj][None, :, :] - posf[si][:, None, :]
-                dv = velf[sj][None, :, :] - velf[si][:, None, :]
-                rv = np.einsum("ijk,ijk->ij", dr, dv)
-                alpha = np.float32(3.0) * rv * rinv2
-                acc[si] += np.einsum("ij,ijk->ik", mr3, dr)
-                jerk[si] += np.einsum(
-                    "ij,ijk->ik", mr3, dv - alpha[:, :, None] * dr
+                prods = _gram_chain_products(
+                    r2, massf[sj], i_arrs, [c[sj] for c in cols],
+                    bi == bj and self.softening == 0.0,
                 )
+                for k in range(3):
+                    acc[si, k] += prods[k].sum(axis=1)
+                    jerk[si, k] += prods[3 + k].sum(axis=1)
 
         # block pairs split across cores; the worst core paces the device
         worst_pairs = -(-n_blocks * n_blocks // self.n_cores)

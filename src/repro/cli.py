@@ -55,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--cards", type=int, default=None,
                      help="n300 cards to shard i-blocks across "
                           "(tt backends; default 1)")
+    sim.add_argument("--workers", default=None,
+                     choices=("serial", "thread", "process"),
+                     help="host executor for the per-card fan-out "
+                          "(tt backends with --cards > 1; default: "
+                          "REPRO_SHARD_WORKERS or thread)")
     sim.add_argument("--threads", type=int, default=None,
                      help="OpenMP threads (cpu backend; registry default 32)")
     sim.add_argument("--softening", type=float, default=0.0)
@@ -233,6 +238,7 @@ def _profile_report(backend) -> str:
     if children is not None:
         lines = ["Per-card cost accounting (last force evaluation):"]
         lines += [f"  {cost.format()}" for cost in backend.last_card_costs]
+        lines += _residency_lines(backend)
         for child in children:
             lines.append("")
             lines.append(f"-- card {child.devices[0].device_id} --")
@@ -241,10 +247,27 @@ def _profile_report(backend) -> str:
             ))
         return "\n".join(lines)
     if getattr(backend, "queues", None):
-        return _device_profile_text(
-            backend.devices[0], backend.queues[0], backend.engine
+        return "\n".join(
+            [_device_profile_text(
+                backend.devices[0], backend.queues[0], backend.engine
+            )]
+            + _residency_lines(backend)
         )
     return "--profile requires a tt backend; ignoring"
+
+
+def _residency_lines(backend) -> list[str]:
+    """Cross-timestep residency counters, when the backend tracks them."""
+    counters_fn = getattr(backend, "residency_counters", None)
+    if counters_fn is None:
+        return []
+    counters = counters_fn()
+    return [
+        "Residency (cumulative across timesteps): "
+        f"tilize cache {counters['tilize_cache_hits']} hits / "
+        f"{counters['tilize_cache_misses']} misses, "
+        f"{counters['upload_skipped_bytes']} upload bytes skipped"
+    ]
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import NBodyError
 from ..wormhole.double_single import DS, DS_OP_COSTS
 from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
+from ._native import native_ds_kernel
 from .force_kernel import weighted_ops_per_j
 
 __all__ = ["ds_accel_jerk", "DSCostModel"]
@@ -56,6 +57,35 @@ def ds_accel_jerk(
         raise NBodyError(
             "ds_accel_jerk builds O(N^2) DS pair matrices; keep N <= 2048"
         )
+
+    native = native_ds_kernel()
+    if native is not None:
+        # fused C transcription of the same DS primitives, emitting the
+        # identical six float64 product matrices in one pass
+        products = native(
+            np.asarray(pos, dtype=np.float64),
+            np.asarray(vel, dtype=np.float64),
+            np.asarray(mass, dtype=np.float64),
+            float(softening),
+        )
+    else:
+        products = _pair_products_numpy(pos, vel, mass, softening)
+
+    # NumPy owns the j-reduction on both paths: same pairwise tree,
+    # so native and fallback results are bit-identical
+    acc = np.column_stack([p.sum(axis=1) for p in products[:3]])
+    jerk = np.column_stack([p.sum(axis=1) for p in products[3:]])
+    return acc, jerk
+
+
+def _pair_products_numpy(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    softening: float,
+) -> list[np.ndarray]:
+    """The six (n, n) float64 pairwise product matrices, all-DS chain."""
+    n = mass.shape[0]
 
     def pair_ds(column: np.ndarray) -> DS:
         a = DS.from_float64(column[None, :].repeat(n, axis=0))
@@ -93,19 +123,12 @@ def ds_accel_jerk(
     rv = dx.mul(dvx).add(dy.mul(dvy)).add(dz.mul(dvz))
     alpha = rv.mul_f32(3.0).mul(rinv2)
 
-    def reduce_ds(term: DS) -> np.ndarray:
-        # accumulate along j in DS: sequential compensated summation
-        total = term.to_float64().sum(axis=1)
-        return total
-
-    acc = np.column_stack([
-        reduce_ds(mr3.mul(d)) for d in (dx, dy, dz)
-    ])
-    jerk = np.column_stack([
-        reduce_ds(mr3.mul(dv.sub(alpha.mul(d))))
+    products = [mr3.mul(d).to_float64() for d in (dx, dy, dz)]
+    products += [
+        mr3.mul(dv.sub(alpha.mul(d))).to_float64()
         for dv, d in ((dvx, dx), (dvy, dy), (dvz, dz))
-    ])
-    return acc, jerk
+    ]
+    return products
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,7 @@ import numpy as np
 from ..errors import NBodyError
 from ..wormhole.dtypes import DataFormat, quantize
 from ..wormhole.tile import TILE_ELEMENTS
-from ._native import native_force_kernel
+from ._native import native_force_kernel, native_tile_kernel
 from .tiling import J_QUANTITIES, OUT_QUANTITIES, ParticleTiles
 
 __all__ = ["BatchedDispatchEngine"]
@@ -61,6 +61,11 @@ class BatchedDispatchEngine:
         self.softening = softening
         self._native = (
             native_force_kernel() if fmt is DataFormat.FLOAT32 else None
+        )
+        #: fused chunk+reduction kernel (None unless its load-time
+        #: pairwise self-test against np.sum passed — see _native)
+        self._fused = (
+            native_tile_kernel() if fmt is DataFormat.FLOAT32 else None
         )
         self._n_tiles = 0
         self._j: dict[str, np.ndarray] = {}
@@ -135,6 +140,17 @@ class BatchedDispatchEngine:
         eps2 = np.float32(self.softening * self.softening)
         width = self._n_tiles * TILE_ELEMENTS
         accs = [np.zeros(TILE_ELEMENTS, dtype=np.float32) for _ in range(6)]
+        base = it * TILE_ELEMENTS
+
+        if self._fused is not None:
+            # one call per i-tile: products never leave L1, and the
+            # reduction runs NumPy's pairwise tree in C (self-tested at
+            # load time), accumulating in ascending j-tile order exactly
+            # like _reduce_f32
+            i_chunk = [a[base : base + TILE_ELEMENTS] for a in i_arrs]
+            self._fused(i_chunk, j_arrs, float(eps2), TILE_ELEMENTS,
+                        width, base, accs)
+            return accs
 
         native = self._native
         rows = _ROWS_NATIVE if native is not None else _ROWS_NUMPY
@@ -143,7 +159,6 @@ class BatchedDispatchEngine:
             width if native is not None
             else min(width, _WTILES_NUMPY * TILE_ELEMENTS)
         )
-        base = it * TILE_ELEMENTS
         for r0 in range(0, TILE_ELEMENTS, rows):
             i_chunk = [a[base + r0 : base + r0 + rows] for a in i_arrs]
             for c0 in range(0, width, wcols):

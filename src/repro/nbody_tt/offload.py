@@ -26,7 +26,7 @@ from ..metalium.buffer import DramBuffer
 from ..metalium.command_queue import CommandQueue
 from ..metalium.kernel import CBConfig, CoreRange, KernelSpec, Program
 from ..wormhole.device import WormholeDevice
-from ..wormhole.dtypes import DataFormat
+from ..wormhole.dtypes import DataFormat, storage_bytes_per_element
 from ..wormhole.ethernet import EthernetFabric
 from ..wormhole.params import ChipParams, CostParams, DEFAULT_COSTS, WORMHOLE_N300
 from ..wormhole.riscv import RiscvRole
@@ -236,6 +236,11 @@ class TTForceBackend:
         #: upload cache: column tile-lists (by identity) currently resident
         #: in each device's DRAM input buffers
         self._uploaded: dict[int, dict[str, list[Tile]]] = {}
+        #: cross-timestep residency: callers bump this (or call
+        #: invalidate_residency) when particle state changes; identical
+        #: generations let the tilize cache skip even the value comparison
+        self.data_generation: int | None = None
+        self._upload_skipped_bytes = 0
         self._engine_obj: BatchedDispatchEngine | None = None
         self._placeholder = Tile.zeros(fmt)
         self.name = (
@@ -264,6 +269,32 @@ class TTForceBackend:
         self._trace = trace
         for queue in self.queues:
             queue.trace = trace
+
+    # -- cross-timestep residency ---------------------------------------------
+
+    def residency_counters(self) -> dict[str, int]:
+        """Monotonic counters for the tilize and upload caches."""
+        return {
+            "tilize_cache_hits": self._tilize_cache.hits,
+            "tilize_cache_misses": self._tilize_cache.misses,
+            "upload_skipped_bytes": self._upload_skipped_bytes,
+        }
+
+    def invalidate_residency(self) -> None:
+        """Force the next evaluation to re-tilize and re-upload everything."""
+        self._tilize_cache.invalidate()
+        self._uploaded.clear()
+
+    def _sync_residency_metrics(self) -> None:
+        """Mirror the residency counters into the trace's MetricsRegistry."""
+        trace = self._trace
+        metrics = getattr(trace, "metrics", None) if trace is not None else None
+        if metrics is None:
+            return
+        for name, total in self.residency_counters().items():
+            counter = metrics.counter(f"residency.{name}")
+            if total > counter.value:
+                counter.add(total - counter.value)
 
     # -- buffer management ----------------------------------------------------
 
@@ -350,10 +381,14 @@ class TTForceBackend:
         host-side re-encode and store.
         """
         uploaded = self._uploaded.setdefault(d, {})
+        column_bytes = (
+            tiles.n_tiles * TILE_ELEMENTS * storage_bytes_per_element(self.fmt)
+        )
         for q in J_QUANTITIES:
             col = tiles.columns[q]
             if uploaded.get(q) is col:
                 queue.charge_write_buffer(self._buffers[d][q])
+                self._upload_skipped_bytes += column_bytes
             else:
                 queue.enqueue_write_buffer(self._buffers[d][q], col)
                 uploaded[q] = col
@@ -406,10 +441,28 @@ class TTForceBackend:
             raise NBodyError(f"device returned incomplete results for {missing}")
         return results, segments, worst_device_s
 
+    def compute_shard(
+        self, pos: np.ndarray, vel: np.ndarray, mass: np.ndarray,
+        tile_indices: list[int], *, generation: int | None = None,
+    ) -> tuple[dict[str, list[Tile | None]], list[TimelineSegment], float]:
+        """Tilize through this backend's caches and evaluate a shard.
+
+        The executor-friendly wrapper around :meth:`compute_partial`: raw
+        particle arrays in (cheap to ship to a worker process), partial
+        tiles out.  The tilize/upload caches live with the backend, so a
+        worker that keeps its child across timesteps keeps residency too.
+        """
+        tiles = ParticleTiles.from_arrays(
+            pos, vel, mass, self.fmt, cache=self._tilize_cache,
+            generation=generation,
+        )
+        return self.compute_partial(tiles, tile_indices)
+
     def compute(self, pos: np.ndarray, vel: np.ndarray,
                 mass: np.ndarray) -> ForceEvaluation:
         tiles = ParticleTiles.from_arrays(
-            pos, vel, mass, self.fmt, cache=self._tilize_cache
+            pos, vel, mass, self.fmt, cache=self._tilize_cache,
+            generation=self.data_generation,
         )
         results, segments, worst_device_s = self.compute_partial(
             tiles, list(range(tiles.n_tiles))
@@ -432,6 +485,7 @@ class TTForceBackend:
         acc, jerk = ParticleTiles.results_to_arrays(
             {q: results[q] for q in OUT_QUANTITIES}, tiles.n
         )
+        self._sync_residency_metrics()
         return ForceEvaluation(acc, jerk, segments=tuple(segments))
 
     def _run_per_block(self, tiles, device_tiles, results, segments) -> float:

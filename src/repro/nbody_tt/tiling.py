@@ -57,21 +57,47 @@ class TilizeCache:
     """
 
     def __init__(self) -> None:
-        self._entries: dict[str, tuple[DataFormat, np.ndarray, list[Tile]]] = {}
+        self._entries: dict[
+            str, tuple[DataFormat, np.ndarray, list[Tile], int | None]
+        ] = {}
+        #: cross-timestep residency counters (exported through the
+        #: backends' ``residency_counters()`` and Scope metrics)
+        self.hits = 0
+        self.misses = 0
 
     def get_or_build(self, name: str, source: np.ndarray, fmt: DataFormat,
-                     builder) -> list[Tile]:
-        """Tiles for ``source``, reusing the previous build when unchanged."""
+                     builder, *, generation: int | None = None) -> list[Tile]:
+        """Tiles for ``source``, reusing the previous build when unchanged.
+
+        With a ``generation`` counter, a column whose stored generation
+        matches is returned without even comparing the source array — the
+        caller vouches that the data did not change since that generation
+        was recorded.  On a generation mismatch (or no generation) the
+        value comparison decides, so constant columns such as masses still
+        hit across generations.
+        """
         entry = self._entries.get(name)
-        if (
-            entry is not None
-            and entry[0] is fmt
-            and np.array_equal(entry[1], source)
-        ):
-            return entry[2]
+        if entry is not None and entry[0] is fmt:
+            if generation is not None and entry[3] == generation:
+                self.hits += 1
+                return entry[2]
+            if np.array_equal(entry[1], source):
+                self.hits += 1
+                self._entries[name] = (entry[0], entry[1], entry[2], generation)
+                return entry[2]
+        self.misses += 1
         tiles = builder()
-        self._entries[name] = (fmt, np.array(source, dtype=np.float64), tiles)
+        self._entries[name] = (
+            fmt, np.array(source, dtype=np.float64), tiles, generation
+        )
         return tiles
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop one column (or all of them), forcing a re-tilize next call."""
+        if name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(name, None)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -95,6 +121,7 @@ class ParticleTiles:
         fmt: DataFormat = DataFormat.FLOAT32,
         *,
         cache: TilizeCache | None = None,
+        generation: int | None = None,
     ) -> "ParticleTiles":
         n = mass.shape[0]
         if n == 0:
@@ -107,7 +134,9 @@ class ParticleTiles:
         def column(name: str, source: np.ndarray, builder) -> list[Tile]:
             if cache is None:
                 return builder()
-            return cache.get_or_build(name, source, fmt, builder)
+            return cache.get_or_build(
+                name, source, fmt, builder, generation=generation
+            )
 
         # phantom lanes: zero mass, distinct far-away positions (a spread
         # avoids phantom-phantom coincidences), zero velocity

@@ -1,0 +1,148 @@
+"""Native (C) acceleration for the tilize/pack layer, plus the shared
+compile-and-cache machinery every native kernel module in this repository
+uses.
+
+Two things live here, deliberately at the bottom of the layering
+(``wormhole`` imports nothing but ``errors``):
+
+* :func:`compile_library` — compile a C source string into a shared
+  library with the project's bit-identity flags (``-ffp-contract=off``,
+  no ``-ffast-math``) and cache the resulting ``.so`` on disk keyed by a
+  hash of (source, flags, compiler).  Re-imports, forked workers and
+  repeated test sessions reuse the artifact instead of re-invoking the
+  compiler.  Any failure returns ``None``; callers fall back to NumPy.
+* the bfloat16 pack kernel — round-to-nearest-even truncation of the
+  FP32 bit pattern, the exact integer twiddle
+  ``(bits + (((bits >> 16) & 1) + 0x7FFF)) & 0xFFFF0000`` that
+  :func:`repro.wormhole.dtypes._round_to_bfloat16` performs with NumPy.
+  Pure integer arithmetic, so bit-identity is trivial; the win is one
+  fused pass instead of four full-array temporaries on the tilize path.
+
+``REPRO_NATIVE=0`` disables every native kernel at once.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["compile_library", "native_enabled", "native_bf16_round"]
+
+#: -ffp-contract=off forbids FMA contraction (would change rounding);
+#: -fno-math-errno lets sqrtf vectorise while staying correctly rounded.
+CFLAGS = [
+    "-O3", "-march=native", "-funroll-loops",
+    "-fno-math-errno", "-ffp-contract=off",
+    "-shared", "-fPIC",
+]
+
+
+def native_enabled() -> bool:
+    """False when ``REPRO_NATIVE=0`` opts out of all compiled kernels."""
+    return os.environ.get("REPRO_NATIVE", "1") != "0"
+
+
+def compile_library(source: str, tag: str) -> ctypes.CDLL | None:
+    """Compile ``source`` into a cached shared library; ``None`` on failure.
+
+    The artifact lands in the system temp directory under a name derived
+    from the hash of (source, flags, compiler), so identical sources load
+    without recompiling — across processes, fork-spawned shard workers,
+    and repeated test sessions.  The build itself goes to a private temp
+    file and is moved into place atomically, so concurrent builders never
+    observe a half-written library.
+    """
+    cc = os.environ.get("CC", "cc")
+    digest = hashlib.sha256(
+        "\x00".join([source, " ".join(CFLAGS), cc]).encode()
+    ).hexdigest()[:16]
+    cached = os.path.join(
+        tempfile.gettempdir(), f"repro-native-{tag}-{digest}.so"
+    )
+    try:
+        if os.path.exists(cached):
+            return ctypes.CDLL(cached)
+    except OSError:
+        pass  # stale/corrupt cache entry: rebuild below
+    build_dir = tempfile.mkdtemp(prefix=f"repro-native-{tag}-")
+    src = os.path.join(build_dir, f"{tag}.c")
+    lib = os.path.join(build_dir, f"{tag}.so")
+    with open(src, "w") as fh:
+        fh.write(source)
+    try:
+        subprocess.run(
+            [cc, *CFLAGS, src, "-o", lib, "-lm"],
+            check=True, capture_output=True, timeout=120,
+        )
+        try:
+            os.replace(lib, cached)
+            return ctypes.CDLL(cached)
+        except OSError:
+            return ctypes.CDLL(lib)
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+_BF16_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Round-to-nearest-even bfloat16 truncation of fp32 bit patterns.
+ * Integer-only: identical to the NumPy twiddle in repro.wormhole.dtypes
+ * by construction. */
+void bf16_round_f32(const float *in, float *out, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        uint32_t bits;
+        memcpy(&bits, &in[i], sizeof bits);
+        uint32_t bias = ((bits >> 16) & 1u) + 0x7FFFu;
+        bits = (bits + bias) & 0xFFFF0000u;
+        memcpy(&out[i], &bits, sizeof bits);
+    }
+}
+"""
+
+_lock = threading.Lock()
+_bf16_fn = None
+_bf16_attempted = False
+
+
+def native_bf16_round(values: np.ndarray) -> np.ndarray | None:
+    """bfloat16-round a float32 array natively; ``None`` when unavailable.
+
+    Input must be a float32 ndarray; the result is a fresh float32 array
+    bit-identical to the NumPy rounding path.
+    """
+    global _bf16_fn, _bf16_attempted
+    if not native_enabled():
+        return None
+    if not _bf16_attempted:
+        with _lock:
+            if not _bf16_attempted:
+                lib = compile_library(_BF16_SOURCE, "bf16pack")
+                fn = getattr(lib, "bf16_round_f32", None) if lib else None
+                if fn is not None:
+                    fn.restype = None
+                    fn.argtypes = [
+                        ctypes.POINTER(ctypes.c_float),
+                        ctypes.POINTER(ctypes.c_float),
+                        ctypes.c_int64,
+                    ]
+                _bf16_fn = fn
+                _bf16_attempted = True
+    if _bf16_fn is None:
+        return None
+    flat = np.ascontiguousarray(values, dtype=np.float32)
+    out = np.empty(flat.size, dtype=np.float32)
+    _bf16_fn(
+        flat.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_float)),
+        ctypes.c_int64(flat.size),
+    )
+    return out.reshape(np.shape(values))

@@ -27,6 +27,7 @@ import enum
 import numpy as np
 
 from ..errors import DataFormatError
+from ._native_pack import native_bf16_round
 
 __all__ = ["DataFormat", "quantize", "storage_bytes_per_element", "dst_tile_capacity"]
 
@@ -79,6 +80,10 @@ def dst_tile_capacity(fmt: DataFormat, *, dst_bytes: int = 32 * 1024,
 def _round_to_bfloat16(values: np.ndarray) -> np.ndarray:
     """Round float32 values to bfloat16 via round-to-nearest-even."""
     f32 = np.ascontiguousarray(values, dtype=np.float32)
+    native = native_bf16_round(f32)
+    if native is not None:
+        # same integer twiddle in one fused pass (bit-identical)
+        return native
     bits = f32.view(np.uint32)
     # Round-to-nearest-even on the truncated 16 low bits.
     rounding_bias = ((bits >> 16) & 1).astype(np.uint32) + np.uint32(0x7FFF)

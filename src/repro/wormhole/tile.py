@@ -192,8 +192,16 @@ def tilize_1d(values: np.ndarray, fmt: DataFormat = DataFormat.FLOAT32,
     n_tiles = max(1, tiles_needed(arr.size))
     padded = np.full(n_tiles * TILE_ELEMENTS, float(pad_value))
     padded[: arr.size] = arr
+    # quantise the whole padded column in one vectorised (and, for
+    # bfloat16, natively fused) pass, then wrap per-tile slices without
+    # re-rounding.  Identical bits: all formats round elementwise except
+    # BFP8, whose 16-element shared-exponent blocks divide the 1024-tile
+    # boundary exactly.
+    rounded = quantize(padded, fmt)
     return [
-        Tile(padded[i * TILE_ELEMENTS : (i + 1) * TILE_ELEMENTS], fmt)
+        Tile.from_quantized(
+            rounded[i * TILE_ELEMENTS : (i + 1) * TILE_ELEMENTS], fmt
+        )
         for i in range(n_tiles)
     ]
 

@@ -1,0 +1,169 @@
+"""The shard executor layer: mode resolution, parallel bit-identity,
+worker failure surfacing, and the option plumbing down from the CLI."""
+
+import argparse
+
+import numpy as np
+import pytest
+
+from repro import plummer
+from repro.backends import RunSpec, make_backend
+from repro.backends.shardexec import (
+    EXECUTOR_MODES,
+    make_executor,
+    resolve_workers,
+)
+from repro.errors import ConfigurationError, NBodyError
+
+
+class TestResolveWorkers:
+    def test_default_is_thread(self):
+        assert resolve_workers(env={}) == "thread"
+
+    def test_env_variable(self):
+        env = {"REPRO_SHARD_WORKERS": "process"}
+        assert resolve_workers(env=env) == "process"
+
+    def test_explicit_option_beats_env(self):
+        env = {"REPRO_SHARD_WORKERS": "process"}
+        assert resolve_workers("serial", env=env) == "serial"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers mode"):
+            resolve_workers("greenlet", env={})
+
+    def test_unknown_env_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers mode"):
+            resolve_workers(env={"REPRO_SHARD_WORKERS": "turbo"})
+
+    def test_all_modes_resolve(self):
+        for mode in EXECUTOR_MODES:
+            assert resolve_workers(mode, env={}) == mode
+
+
+class TestExecutorBitIdentity:
+    """Every executor, at every card count, is bit-for-bit the single card."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        return plummer(4096, seed=7)
+
+    @pytest.fixture(scope="class")
+    def single(self, system):
+        backend = make_backend("tt", cores=4)
+        return backend.compute(system.pos, system.vel, system.mass)
+
+    @pytest.mark.parametrize("cards", [2, 4])
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_matches_single_card(self, system, single, mode, cards):
+        backend = make_backend("tt", cores=4, cards=cards, workers=mode)
+        try:
+            ev = backend.compute(system.pos, system.vel, system.mass)
+        finally:
+            backend.close()
+        assert backend.workers == mode
+        assert np.array_equal(single.acc, ev.acc, equal_nan=True)
+        assert np.array_equal(single.jerk, ev.jerk, equal_nan=True)
+
+    def test_parallel_modes_match_serial_across_steps(self, system):
+        """Repeated evaluations (warm residency caches) stay identical."""
+        evals = {}
+        for mode in EXECUTOR_MODES:
+            backend = make_backend("tt", cores=4, cards=2, workers=mode)
+            try:
+                backend.compute(system.pos, system.vel, system.mass)
+                evals[mode] = backend.compute(
+                    system.pos, system.vel, system.mass
+                )
+            finally:
+                backend.close()
+        for mode in ("thread", "process"):
+            assert np.array_equal(
+                evals["serial"].acc, evals[mode].acc, equal_nan=True
+            ), mode
+            assert np.array_equal(
+                evals["serial"].jerk, evals[mode].jerk, equal_nan=True
+            ), mode
+
+    def test_card_costs_stable_order(self, system):
+        """Costs come back sorted by card index whatever the scheduling."""
+        backend = make_backend("tt", cores=4, cards=4, workers="process")
+        try:
+            backend.compute(system.pos, system.vel, system.mass)
+        finally:
+            backend.close()
+        assert [c.card for c in backend.last_card_costs] == [0, 1, 2, 3]
+        assert all(c.n_tiles == 1 for c in backend.last_card_costs)
+
+    def test_mode_switch_recreates_executor(self, system):
+        backend = make_backend("tt", cores=4, cards=2, workers="thread")
+        try:
+            first = backend.compute(system.pos, system.vel, system.mass)
+            backend.workers = "process"
+            second = backend.compute(system.pos, system.vel, system.mass)
+        finally:
+            backend.close()
+        assert np.array_equal(first.acc, second.acc, equal_nan=True)
+        assert np.array_equal(first.jerk, second.jerk, equal_nan=True)
+
+
+class _ExplodingChild:
+    """A stand-in card whose compute always fails (picklable via fork)."""
+
+    def compute_shard(self, *args, **kwargs):
+        raise ValueError("kaput")
+
+    def residency_counters(self):
+        return {}
+
+    def invalidate_residency(self):
+        pass
+
+
+def test_process_worker_error_surfaces_in_parent():
+    executor = make_executor("process", [_ExplodingChild()])
+    try:
+        with pytest.raises(NBodyError, match=r"card 0.*ValueError: kaput"):
+            executor.run([0], (None, None, None, [[0]], None))
+    finally:
+        executor.close()
+
+
+def test_make_executor_rejects_unknown_mode():
+    with pytest.raises(ConfigurationError, match="workers mode"):
+        make_executor("fibers", [])
+
+
+class TestOptionPlumbing:
+    """workers flows CLI -> RunSpec -> registry -> backend."""
+
+    def test_registry_accepts_workers(self):
+        backend = make_backend("tt", cards=2, workers="serial")
+        assert backend.workers == "serial"
+
+    def test_registry_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError, match="workers mode"):
+            make_backend("tt", cards=2, workers="turbo")
+
+    def test_single_card_ignores_workers(self):
+        backend = make_backend("tt", workers="process")
+        assert not hasattr(backend, "workers")
+
+    def test_runspec_forwards_workers_for_tt(self):
+        args = argparse.Namespace(
+            backend="tt", cards=2, workers="process", n=256
+        )
+        spec = RunSpec.from_cli(args)
+        assert spec.backend.options["workers"] == "process"
+        backend = spec.make_backend()
+        assert backend.workers == "process"
+
+    def test_runspec_filters_workers_for_cpu(self):
+        args = argparse.Namespace(backend="cpu", workers="process", n=256)
+        spec = RunSpec.from_cli(args)
+        assert "workers" not in spec.backend.options
+
+    def test_env_default_reaches_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_WORKERS", "serial")
+        backend = make_backend("tt", cards=2)
+        assert backend.workers == "serial"

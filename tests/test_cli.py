@@ -70,6 +70,29 @@ class TestSimulate:
         assert "Per-card cost accounting" in out
         assert "card 0:" in out and "card 1:" in out
         assert "-- card 0 --" in out and "-- card 1 --" in out
+        assert "Residency" in out and "tilize cache" in out
+
+    def test_workers_flag_selects_executor(self, capsys):
+        rc = main(["simulate", "--n", "2048", "--cycles", "1",
+                   "--backend", "tt", "--cores", "2", "--cards", "2",
+                   "--workers", "process", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tt-sharded-cards2" in out
+        assert "Residency" in out
+
+    def test_workers_flag_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--n", "64", "--backend", "tt",
+                  "--cards", "2", "--workers", "turbo"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_single_card_profile_shows_residency(self, capsys):
+        rc = main(["simulate", "--n", "1024", "--cycles", "2",
+                   "--backend", "device", "--cores", "2", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Residency" in out and "hits" in out
 
     def test_snapshot_written(self, tmp_path, capsys):
         path = tmp_path / "final.npz"
