@@ -21,10 +21,12 @@ path:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
+from ..config import env_flag, env_str
 from ..errors import ConfigurationError
 from .protocol import ForceBackend
 from .registry import BackendSpec, backend_entry, make_backend
@@ -107,6 +109,50 @@ class RunSpec:
     def from_json(cls, text: str) -> "RunSpec":
         return cls.from_dict(json.loads(text))
 
+    # -- canonical identity ------------------------------------------------
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The resolved, alias-free dict that defines this spec's identity.
+
+        Two specs that describe the same run must canonicalise
+        identically, however they were written down:
+
+        * the backend name is resolved through the registry, so the
+          ``device`` alias and ``tt`` collapse to one name;
+        * backend options are resolved against the registered
+          :class:`~repro.backends.registry.OptionSpec` table — defaults
+          filled in and values coerced — so ``{}`` and an explicit
+          ``{"cores": 8}`` are the same spec (unknown options raise);
+        * ``trace_path`` is excluded: where a host writes its trace says
+          nothing about *what* is being computed.
+
+        ``lint``/``sanitize`` stay in: they change how the run executes
+        (checked vs unchecked), and a result cache must not serve a
+        sanitized request from an unsanitized run.
+        """
+        entry = backend_entry(self.backend.name)
+        data = self.to_dict()
+        del data["trace_path"]
+        data["backend"] = {
+            "name": entry.name,
+            "options": entry.resolve_options(self.backend.options),
+        }
+        return data
+
+    def canonical_hash(self) -> str:
+        """Stable sha256 over the canonical JSON form of this spec.
+
+        The JSON serialisation is fully canonical — sorted keys, no
+        whitespace — so the hash is independent of dict insertion order,
+        alias spelling, and defaulted-vs-explicit options.  This is the
+        dedupe/cache key of the service layer; its stability across
+        releases is pinned by a golden-hash test.
+        """
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- env / CLI resolution (the single path) ----------------------------
 
     @classmethod
@@ -139,13 +185,22 @@ class RunSpec:
         return spec.resolved_from_env(env) if env is not None else spec
 
     def resolved_from_env(self, env: Mapping[str, str]) -> "RunSpec":
-        """Fill unset observability flags from the environment."""
+        """Fill unset observability flags from the environment.
+
+        Boolean variables go through :func:`repro.config.env_flag`, so
+        ``REPRO_SANITIZE=false`` / ``off`` / ``no`` really mean *off* —
+        historically any non-empty value other than ``"0"`` enabled the
+        sanitizer, which turned an explicit opt-out into an opt-in.
+        """
         updates: dict[str, Any] = {}
-        if self.trace_path is None and env.get("REPRO_TRACE", "").strip():
-            updates["trace_path"] = env["REPRO_TRACE"].strip()
-        if self.lint == "off" and env.get("REPRO_LINT"):
-            updates["lint"] = env["REPRO_LINT"]
-        if not self.sanitize and env.get("REPRO_SANITIZE", "") not in ("", "0"):
+        trace = env_str(env, "REPRO_TRACE")
+        if self.trace_path is None and trace:
+            updates["trace_path"] = trace
+        lint = env_str(env, "REPRO_LINT")
+        if self.lint == "off" and lint:
+            updates["lint"] = lint
+        if not self.sanitize and env_flag(env.get("REPRO_SANITIZE"),
+                                          name="REPRO_SANITIZE"):
             updates["sanitize"] = True
         return replace(self, **updates) if updates else self
 

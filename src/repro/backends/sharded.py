@@ -203,6 +203,17 @@ class ShardedTTBackend:
             self._executor.close()
             self._executor = None
 
+    def __enter__(self) -> "ShardedTTBackend":
+        """Context-manager support: ``with make_backend(...) as backend:``.
+
+        Guarantees :meth:`close` on exit, so a ``workers=process`` backend
+        can never leak its forked card workers past the ``with`` block.
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- cross-timestep residency ------------------------------------------
 
     def residency_counters(self) -> dict[str, int]:

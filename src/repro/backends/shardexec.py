@@ -27,10 +27,13 @@ reorder (or change a bit of) the gathered result.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 
+from ..config import env_str
 from ..errors import ConfigurationError, NBodyError
 
 __all__ = ["EXECUTOR_MODES", "resolve_workers", "make_executor"]
@@ -43,10 +46,15 @@ _DEFAULT_MODE = "thread"
 
 
 def resolve_workers(workers: str | None = None, env=None) -> str:
-    """The executor mode: explicit option > REPRO_SHARD_WORKERS > default."""
+    """The executor mode: explicit option > REPRO_SHARD_WORKERS > default.
+
+    The environment value goes through :func:`repro.config.env_str`, so a
+    blank or whitespace-only ``REPRO_SHARD_WORKERS`` means "unset" rather
+    than producing an unknown-mode error.
+    """
     if env is None:
         env = os.environ
-    mode = workers or env.get("REPRO_SHARD_WORKERS") or _DEFAULT_MODE
+    mode = workers or env_str(env, "REPRO_SHARD_WORKERS") or _DEFAULT_MODE
     if mode not in EXECUTOR_MODES:
         raise ConfigurationError(
             f"unknown shard workers mode {mode!r}; "
@@ -139,12 +147,38 @@ def _worker_main(child, conn) -> None:
             return
 
 
+#: Live process executors, reaped at interpreter exit.  A weak set: an
+#: executor that was properly closed (or garbage collected along with its
+#: backend) simply disappears from here; whatever is left when the
+#: interpreter shuts down still owns forked workers and must be torn down
+#: so a dropped ``ShardedTTBackend`` cannot leak processes.
+_LIVE_EXECUTORS: "weakref.WeakSet[ProcessExecutor]" = weakref.WeakSet()
+
+
+def _reap_live_executors() -> None:
+    """Close every process executor that is still alive (atexit hook)."""
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor.close()
+        except Exception:  # noqa: BLE001 - interpreter is going down
+            pass
+
+
+atexit.register(_reap_live_executors)
+
+
 class ProcessExecutor:
-    """One long-lived forked worker process per card."""
+    """One long-lived forked worker process per card.
+
+    ``join_timeout`` bounds how long :meth:`close` waits for a worker to
+    exit cooperatively before escalating to ``terminate()`` (and, as a
+    last resort, ``kill()``) — a worker wedged inside a compute request
+    can never hold shutdown hostage.
+    """
 
     mode = "process"
 
-    def __init__(self, children) -> None:
+    def __init__(self, children, *, join_timeout: float = 5.0) -> None:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise ConfigurationError(
                 "workers=process requires the fork start method "
@@ -152,7 +186,9 @@ class ProcessExecutor:
             )
         self._ctx = multiprocessing.get_context("fork")
         self._children = children
+        self._join_timeout = join_timeout
         self._workers: dict[int, tuple] = {}
+        _LIVE_EXECUTORS.add(self)
 
     def _conn(self, card: int):
         entry = self._workers.get(card)
@@ -174,15 +210,49 @@ class ProcessExecutor:
         conns = {}
         for card in cards:
             conn = self._conn(card)
-            conn.send(("compute", (pos, vel, mass, shards[card], generation)))
+            try:
+                conn.send(
+                    ("compute", (pos, vel, mass, shards[card], generation))
+                )
+            except (BrokenPipeError, OSError):
+                self._raise_dead_worker(card)
             conns[card] = conn
         out = {}
         for card in cards:
-            status, value = conns[card].recv()
+            try:
+                status, value = conns[card].recv()
+            except (EOFError, OSError):
+                # the worker died mid-step (killed, OOMed, crashed hard
+                # enough to skip the error protocol): reap it and surface
+                # an attributable application error instead of a bare
+                # EOFError — or a hang on a half-closed pipe
+                self._raise_dead_worker(card)
             if status != "ok":
-                raise NBodyError(f"shard worker for card {card} failed: {value}")
+                # worker-side exception: the worker itself is fine, but
+                # siblings may still have results in flight; reset them
+                # all so a later run() cannot read a stale result
+                self.close()
+                raise NBodyError(
+                    f"shard worker for card {card} failed: {value}"
+                )
             out[card] = value
         return out
+
+    def _raise_dead_worker(self, card: int) -> "None":
+        """Reap a dead worker and raise with card + exit code attribution.
+
+        The surviving siblings are reset too: their pipes may hold results
+        for the aborted step, which a subsequent ``run()`` must never
+        mistake for its own.
+        """
+        proc, _ = self._workers[card]
+        proc.join(timeout=self._join_timeout)
+        exitcode = proc.exitcode
+        self.close()
+        raise NBodyError(
+            f"shard worker for card {card} died mid-step "
+            f"(exit code {exitcode}); all shard workers were reset"
+        ) from None
 
     def invalidate(self) -> None:
         for proc, conn in self._workers.values():
@@ -191,25 +261,41 @@ class ProcessExecutor:
                 conn.recv()
 
     def close(self) -> None:
+        """Shut every worker down, escalating on the unresponsive.
+
+        Cooperative close first (the ``close`` message plus dropping the
+        parent end of the pipe), then ``terminate()`` after
+        ``join_timeout``, then ``kill()`` — so close() always returns with
+        every worker dead, wedged or not.
+        """
         for proc, conn in self._workers.values():
             if proc.is_alive():
                 try:
                     conn.send(("close", None))
-                except OSError:
+                except (BrokenPipeError, OSError):
                     pass
-            conn.close()
-            proc.join(timeout=5)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            proc.join(timeout=self._join_timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self._join_timeout)
+            if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
+                proc.kill()
+                proc.join()
         self._workers.clear()
 
 
-def make_executor(mode: str, children):
+def make_executor(mode: str, children, **options):
     """Instantiate the executor for a resolved mode."""
     if mode == "serial":
         return SerialExecutor(children)
     if mode == "thread":
         return ThreadExecutor(children)
     if mode == "process":
-        return ProcessExecutor(children)
+        return ProcessExecutor(children, **options)
     raise ConfigurationError(
         f"unknown shard workers mode {mode!r}; expected one of {EXECUTOR_MODES}"
     )

@@ -156,6 +156,61 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--warnings-as-errors", action="store_true",
                       help="exit nonzero on warning findings too")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service job server",
+        description="Accept RunSpec submissions over HTTP, schedule them "
+                    "across a simulated multi-card farm, dedupe identical "
+                    "specs through the canonical-hash result cache, and "
+                    "enforce per-tenant quotas.",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8321,
+                     help="listen port (0 picks a free one)")
+    srv.add_argument("--cards", type=int, default=4,
+                     help="concurrent card slots in the farm")
+    srv.add_argument("--mode", choices=("modelled", "functional"),
+                     default="modelled",
+                     help="modelled: analytic campaign timeline (ms/job); "
+                          "functional: really integrate on the backend")
+    srv.add_argument("--sleep", type=float, default=0.0,
+                     help="modelled campaign sleep padding per job, seconds")
+    srv.add_argument("--max-queued", type=int, default=256,
+                     help="per-tenant queued-job quota")
+    srv.add_argument("--max-active", type=int, default=8,
+                     help="per-tenant concurrent-run quota")
+    srv.add_argument("--max-pending", type=int, default=4096,
+                     help="global pending bound (backpressure valve)")
+    srv.add_argument("--cache-entries", type=int, default=1024,
+                     help="result-cache capacity")
+
+    sbm = sub.add_parser(
+        "submit",
+        help="submit one run to a repro service and print the result",
+    )
+    sbm.add_argument("--url", default="http://127.0.0.1:8321",
+                     help="service base URL")
+    sbm.add_argument("--tenant", default="default")
+    sbm.add_argument("--n", type=int, default=2048, help="particle count")
+    sbm.add_argument("--cycles", type=int, default=10, help="Hermite cycles")
+    sbm.add_argument("--dt", type=float, default=1e-3, help="fixed timestep")
+    sbm.add_argument("--adaptive", action="store_true",
+                     help="use the adaptive Aarseth shared timestep")
+    sbm.add_argument("--backend", default="device",
+                     help="registered force backend, one of: "
+                          f"{', '.join(backend_names())}")
+    sbm.add_argument("--cores", type=int, default=None)
+    sbm.add_argument("--cards", type=int, default=None)
+    sbm.add_argument("--workers", default=None,
+                     choices=("serial", "thread", "process"))
+    sbm.add_argument("--threads", type=int, default=None)
+    sbm.add_argument("--softening", type=float, default=0.0)
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--follow", action="store_true",
+                     help="stream the job's progress events (NDJSON)")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="return the job id immediately, don't wait")
+
     return parser
 
 
@@ -336,6 +391,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         campaign = Campaign.resume(args.checkpoint)
         if traced is not None:
             campaign.trace = traced[0]
+        if campaign.repaired_tail is not None:
+            print("warning: checkpoint ended in a torn record (crash while "
+                  "writing); it was dropped and the job in flight will be "
+                  "re-run", file=sys.stderr)
         print(f"resuming from {args.checkpoint}: "
               f"{len(campaign.resumed_results)} jobs restored, "
               f"{len(campaign.remaining_schedule)} pending")
@@ -474,6 +533,74 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import JobServer, QuotaPolicy, ServerConfig
+
+    config = ServerConfig(
+        host=args.host, port=args.port, n_cards=args.cards,
+        mode=args.mode, sleep_s=args.sleep,
+        policy=QuotaPolicy(
+            max_queued=args.max_queued,
+            max_active=args.max_active,
+            max_pending_total=args.max_pending,
+        ),
+        cache_entries=args.cache_entries,
+    )
+
+    async def _run() -> None:
+        server = JobServer(config)
+        await server.start()
+        print(f"repro service listening on {server.url} "
+              f"({config.n_cards} cards, {config.mode} mode)")
+        sys.stdout.flush()
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.stop()
+            stats = server.stats()
+            print(f"served {stats['jobs']['finished']} jobs, "
+                  f"cache hit rate {stats['cache']['hit_rate']:.0%}, "
+                  f"{stats['quota']['rejections_total']} quota rejections")
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from .backends import RunSpec
+    from .errors import QuotaExceededError, ServiceError
+    from .service import ServiceClient
+
+    spec = RunSpec.from_cli(args, env=os.environ)
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(spec, tenant=args.tenant)
+        if args.follow and not job["state"] in ("done", "failed"):
+            for event in client.events(job["id"]):
+                print(json_mod.dumps(event))
+            job = client.job(job["id"])
+        elif not args.no_wait and job["state"] not in ("done", "failed"):
+            job = client.wait(job["id"])
+    except QuotaExceededError as exc:
+        print(f"rejected: {exc} "
+              f"(retry after ~{exc.retry_after_s:.0f} modelled s)",
+              file=sys.stderr)
+        return 1
+    except (ServiceError, OSError) as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    print(json_mod.dumps(job, indent=2, sort_keys=True))
+    return 1 if job["state"] == "failed" else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=6, suppress=True)
@@ -509,6 +636,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -173,6 +173,32 @@ class CheckpointError(CampaignError):
 
 
 # --------------------------------------------------------------------------
+# Service layer (repro.service)
+# --------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for the simulation-as-a-service job server."""
+
+
+class QuotaExceededError(ServiceError):
+    """A submission was rejected for quota or queue backpressure.
+
+    ``retry_after_s`` is the service's estimate, in modelled (virtual
+    clock) seconds, of when the rejected tenant should retry; the HTTP
+    surface maps it to a 429 response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class JobNotFoundError(ServiceError):
+    """Lookup of an unknown job id (the HTTP surface maps it to 404)."""
+
+
+# --------------------------------------------------------------------------
 # Failure taxonomy
 # --------------------------------------------------------------------------
 #
@@ -213,6 +239,9 @@ FAILURE_KINDS: tuple[tuple[type[Exception], str], ...] = (
     (CheckpointError, "checkpoint"),
     (CampaignError, "campaign"),
     (TelemetryError, "telemetry"),
+    (QuotaExceededError, "quota"),
+    (JobNotFoundError, "job-not-found"),
+    (ServiceError, "service"),
     (ConfigurationError, "configuration"),
     (ReproError, "repro"),
 )

@@ -1,0 +1,49 @@
+"""repro.service — simulation-as-a-service on the simulated card farm.
+
+The top layer of the stack: an asyncio job server that accepts
+declarative :class:`~repro.backends.RunSpec` submissions over HTTP,
+schedules them across simulated n300 card slots, dedupes identical specs
+through a result cache keyed by :meth:`RunSpec.canonical_hash`, streams
+per-job progress derived from Scope traces, and enforces per-tenant
+quotas with explicit 429 backpressure priced on the virtual clock.
+
+Pieces:
+
+* :mod:`~repro.service.queue` — :class:`Job` (one submission's whole
+  lifecycle + event log) and the tenant-aware :class:`JobQueue`;
+* :mod:`~repro.service.quota` — :class:`QuotaPolicy` /
+  :class:`QuotaLedger` admission control;
+* :mod:`~repro.service.cache` — :class:`ResultCache`, the bounded LRU
+  that turns deterministic execution into free duplicate answers;
+* :mod:`~repro.service.scheduler` — :class:`CardFarm` (modelled or
+  functional execution of one spec per card slot) and the
+  :class:`Scheduler` worker tasks;
+* :mod:`~repro.service.server` — :class:`JobServer` (the HTTP surface),
+  :class:`ServerConfig`, and :class:`ServiceThread` (a server on a
+  background event-loop thread for synchronous callers);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  stdlib-only HTTP client the CLI and benchmarks use.
+"""
+
+from .cache import ResultCache
+from .client import ServiceClient
+from .queue import JOB_STATES, Job, JobQueue
+from .quota import QuotaLedger, QuotaPolicy
+from .scheduler import EXECUTION_MODES, CardFarm, Scheduler
+from .server import JobServer, ServerConfig, ServiceThread
+
+__all__ = [
+    "ResultCache",
+    "ServiceClient",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "QuotaLedger",
+    "QuotaPolicy",
+    "EXECUTION_MODES",
+    "CardFarm",
+    "Scheduler",
+    "JobServer",
+    "ServerConfig",
+    "ServiceThread",
+]

@@ -1,0 +1,78 @@
+"""Result cache keyed by :meth:`RunSpec.canonical_hash`.
+
+Every run the service executes is deterministic — the cost models, the
+fault injector, and the integrator all run from explicit seeds — so two
+submissions with the same canonical RunSpec hash *must* produce the same
+result.  That turns result caching from an optimisation into a contract:
+a duplicate submission is answered from the cache without touching the
+card farm, which is what makes a million users submitting the same
+handful of popular scenarios affordable.
+
+The cache is a bounded LRU.  Eviction never changes an answer (a miss is
+re-computed identically); it only bounds memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU of job-result payloads, keyed by canonical spec hash."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"cache needs at least one entry, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key`` (counting a hit), else ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Insert (or refresh) one result, evicting the LRU tail if full."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for the stats endpoint and the benchmark."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,132 @@
+"""Blocking HTTP client for the job service (stdlib ``urllib`` only).
+
+The client is deliberately dumb: it speaks exactly the JSON the server
+emits and raises the same exception taxonomy the library uses everywhere
+else — a 429 becomes :class:`QuotaExceededError` with the server's
+retry-after hint attached, a 404 on a job id becomes
+:class:`JobNotFoundError` — so code driving a remote farm reads the same
+as code driving an in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from ..backends.runspec import RunSpec
+from ..errors import JobNotFoundError, QuotaExceededError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.JobServer` over HTTP."""
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        req = urllib.request.Request(
+            self.url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = self._error_payload(exc)
+            message = payload.get("error", str(exc))
+            if exc.code == 429:
+                raise QuotaExceededError(
+                    message,
+                    retry_after_s=float(payload.get("retry_after_s", 1.0)),
+                ) from None
+            if exc.code == 404 and payload.get("kind") == "job-not-found":
+                raise JobNotFoundError(message) from None
+            raise ServiceError(
+                f"HTTP {exc.code} from {path}: {message}"
+            ) from None
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> dict[str, Any]:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    # -- API surface -------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceError, urllib.error.URLError, OSError):
+            return False
+
+    def submit(self, spec: RunSpec, *,
+               tenant: str = "default") -> dict[str, Any]:
+        """Submit one spec; returns the job document (maybe already done)."""
+        return self._request("POST", "/v1/jobs", {
+            "tenant": tenant, "spec": spec.to_dict(),
+        })
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Block (server-side) until the job finishes; returns it."""
+        return self._request("GET", f"/v1/jobs/{job_id}/wait")
+
+    def submit_and_wait(self, spec: RunSpec, *, tenant: str = "default",
+                        retry_quota: bool = False) -> dict[str, Any]:
+        """Submit then wait; optionally sleep out 429s and resubmit.
+
+        ``retry_quota`` backs off briefly on a 429 and resubmits, which is
+        what a well-behaved tenant does.  The sleep is wall time and capped
+        well below the server's hint: the hint is in *modelled* seconds,
+        and the farm drains modelled time orders of magnitude faster.
+        """
+        while True:
+            try:
+                job = self.submit(spec, tenant=tenant)
+            except QuotaExceededError as exc:
+                if not retry_quota:
+                    raise
+                time.sleep(min(0.25, 0.001 * exc.retry_after_s + 0.01))
+                continue
+            if job["state"] in ("done", "failed"):
+                return job
+            return self.wait(job["id"])
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream the job's NDJSON progress events until it finishes."""
+        req = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/events", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = self._error_payload(exc)
+            raise JobNotFoundError(
+                payload.get("error", str(exc))
+            ) from None
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._request("POST", "/v1/shutdown")

@@ -1,0 +1,178 @@
+"""The job model and the FIFO the card farm drains.
+
+A :class:`Job` is one submitted :class:`~repro.backends.RunSpec` plus its
+whole service lifecycle: queued → running → done/failed, with wall-clock
+stamps for latency accounting, the canonical spec hash that dedupes it,
+and an append-only event log that the progress-streaming endpoint replays
+(events are derived from the Scope trace spans of the execution).
+
+:class:`JobQueue` is deliberately not a plain ``asyncio.Queue``: the
+scheduler needs "the first job whose tenant is under its concurrency
+cap", not "the first job" — otherwise one tenant's burst at the head of
+the queue would block other tenants' runnable work behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.runspec import RunSpec
+
+__all__ = ["Job", "JobQueue", "JOB_STATES"]
+
+#: Lifecycle states a job can be observed in.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_JOB_IDS = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One submitted run and everything the service knows about it."""
+
+    tenant: str
+    spec: "RunSpec"
+    spec_hash: str
+    id: str = field(default_factory=lambda: f"job-{next(_JOB_IDS):06d}")
+    state: str = "queued"
+    #: answered from the result cache (or by piggybacking on an identical
+    #: in-flight job) without occupying a card
+    cached: bool = False
+    #: id of the identical in-flight job this one piggybacked on
+    deduped_from: str | None = None
+    card: int | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    error_kind: str | None = None
+    submitted_wall: float = field(default_factory=time.monotonic)
+    started_wall: float | None = None
+    finished_wall: float | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+    _changed: asyncio.Event = field(default_factory=asyncio.Event,
+                                    repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    @property
+    def latency_s(self) -> float | None:
+        """Submit-to-finish wall latency (None while in flight)."""
+        if self.finished_wall is None:
+            return None
+        return self.finished_wall - self.submitted_wall
+
+    def add_event(self, event: str, **attrs: Any) -> None:
+        """Append one progress event and wake any streaming readers."""
+        self.events.append({
+            "event": event,
+            "seq": len(self.events),
+            "job": self.id,
+            **attrs,
+        })
+        self._changed.set()
+
+    async def wait_finished(self) -> None:
+        """Block until the job reaches ``done`` or ``failed``.
+
+        The event is cleared *before* checking state so a finish that
+        lands between the check and the wait still wakes us.
+        """
+        while True:
+            self._changed.clear()
+            if self.finished:
+                return
+            await self._changed.wait()
+
+    async def stream_events(self, start: int = 0):
+        """Yield progress events from ``start``, following until finished.
+
+        Replays the existing log, then blocks for new events; terminates
+        once the job is finished and fully replayed.  Late subscribers see
+        the identical stream an early subscriber saw.
+        """
+        idx = start
+        while True:
+            self._changed.clear()
+            while idx < len(self.events):
+                yield self.events[idx]
+                idx += 1
+            if self.finished:
+                return
+            await self._changed.wait()
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON shape of ``GET /v1/jobs/<id>``."""
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "hash": self.spec_hash,
+            "state": self.state,
+            "cached": self.cached,
+            "deduped_from": self.deduped_from,
+            "card": self.card,
+            "result": self.result,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "latency_s": self.latency_s,
+            "n_events": len(self.events),
+        }
+
+
+class JobQueue:
+    """FIFO of queued jobs with tenant-aware dispatch and a depth gauge."""
+
+    def __init__(self) -> None:
+        self._jobs: deque[Job] = deque()
+        self._cond: asyncio.Condition = asyncio.Condition()
+        self._closed = False
+        #: deepest the queue has ever been (the benchmark's gate that the
+        #: service really absorbed >= 1000 queued jobs at once)
+        self.depth_peak = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    async def put(self, job: Job) -> None:
+        """Enqueue one admitted job (admission control happens before)."""
+        async with self._cond:
+            self._jobs.append(job)
+            self.depth_peak = max(self.depth_peak, len(self._jobs))
+            self._cond.notify_all()
+
+    async def get(self, can_start: Callable[[str], bool]) -> Job | None:
+        """The first queued job whose tenant may start, else block.
+
+        Skips over jobs whose tenant is at its concurrency cap so one
+        tenant's backlog cannot head-of-line-block another's runnable
+        work.  Returns ``None`` once the queue is closed and drained.
+        """
+        async with self._cond:
+            while True:
+                for i, job in enumerate(self._jobs):
+                    if can_start(job.tenant):
+                        del self._jobs[i]
+                        return job
+                if self._closed:
+                    return None
+                await self._cond.wait()
+
+    async def kick(self) -> None:
+        """Wake waiting workers (a concurrency slot was released)."""
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def close(self) -> list[Job]:
+        """Stop accepting dispatch; return the jobs still queued."""
+        async with self._cond:
+            self._closed = True
+            leftover = list(self._jobs)
+            self._jobs.clear()
+            self._cond.notify_all()
+            return leftover

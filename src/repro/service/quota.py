@@ -1,0 +1,138 @@
+"""Per-tenant admission control: bounded queues with explicit backpressure.
+
+The north-star workload is many tenants sharing one simulated card farm.
+Fairness there is an *admission* problem: one tenant must not be able to
+bury the queue under a million specs while everyone else starves.  The
+ledger enforces two caps per tenant — jobs waiting in the queue and jobs
+actually running — plus a global pending bound across all tenants, and
+rejects over-limit submissions with a :class:`QuotaExceededError` carrying
+a ``retry_after_s`` hint (the service maps it to a 429 response with a
+``Retry-After`` header).
+
+``retry_after_s`` is expressed on the **virtual clock**: it estimates the
+modelled seconds until the tenant's backlog drains through the farm, which
+the scheduler supplies as its running average of modelled job duration.
+The cost model is deterministic, so the hint is honest in a way wall-clock
+guesses never are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, QuotaExceededError
+
+__all__ = ["QuotaPolicy", "QuotaLedger"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Admission limits for one tenant (and the global pending bound).
+
+    ``max_queued`` bounds a tenant's waiting jobs, ``max_active`` its
+    concurrently running jobs, and ``max_pending_total`` the whole queue
+    across all tenants — the service's last-ditch backpressure valve.
+    """
+
+    max_queued: int = 256
+    max_active: int = 8
+    max_pending_total: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise ConfigurationError(
+                f"max_queued must be >= 1, got {self.max_queued}"
+            )
+        if self.max_active < 1:
+            raise ConfigurationError(
+                f"max_active must be >= 1, got {self.max_active}"
+            )
+        if self.max_pending_total < 1:
+            raise ConfigurationError(
+                f"max_pending_total must be >= 1, got {self.max_pending_total}"
+            )
+
+
+class QuotaLedger:
+    """Tracks per-tenant queued/active counts against a :class:`QuotaPolicy`.
+
+    Single-threaded by design: every mutation happens on the server's
+    event loop, so plain integer bookkeeping is race-free.
+    """
+
+    def __init__(self, policy: QuotaPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else QuotaPolicy()
+        self._queued: dict[str, int] = {}
+        self._active: dict[str, int] = {}
+        #: submissions rejected for quota/backpressure, by tenant
+        self.rejections: dict[str, int] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def queued(self, tenant: str) -> int:
+        return self._queued.get(tenant, 0)
+
+    def active(self, tenant: str) -> int:
+        return self._active.get(tenant, 0)
+
+    @property
+    def total_pending(self) -> int:
+        """Queued + active jobs across every tenant."""
+        return sum(self._queued.values()) + sum(self._active.values())
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tenant counters for the stats endpoint."""
+        tenants = set(self._queued) | set(self._active) | set(self.rejections)
+        return {
+            tenant: {
+                "queued": self.queued(tenant),
+                "active": self.active(tenant),
+                "rejected": self.rejections.get(tenant, 0),
+            }
+            for tenant in sorted(tenants)
+        }
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, tenant: str, *, drain_rate_s: float = 1.0) -> None:
+        """Admit one submission for ``tenant`` or raise with a retry hint.
+
+        ``drain_rate_s`` is the scheduler's estimate of modelled seconds
+        per job per card-slot; the retry-after hint scales the blocking
+        backlog by it.  On success the tenant's queued count is taken —
+        call :meth:`mark_active` / :meth:`release` as the job moves on.
+        """
+        policy = self.policy
+        queued = self.queued(tenant)
+        backlog = None
+        if self.total_pending >= policy.max_pending_total:
+            backlog = self.total_pending
+            reason = (
+                f"service queue is full "
+                f"({backlog}/{policy.max_pending_total} pending)"
+            )
+        elif queued >= policy.max_queued:
+            backlog = queued
+            reason = (
+                f"tenant {tenant!r} has {queued} queued jobs "
+                f"(limit {policy.max_queued})"
+            )
+        if backlog is not None:
+            self.rejections[tenant] = self.rejections.get(tenant, 0) + 1
+            retry_after = max(1.0, backlog * max(drain_rate_s, 1e-9))
+            raise QuotaExceededError(reason, retry_after_s=retry_after)
+        self._queued[tenant] = queued + 1
+
+    def mark_active(self, tenant: str) -> None:
+        """Move one of ``tenant``'s jobs from queued to active."""
+        self._queued[tenant] = max(0, self.queued(tenant) - 1)
+        self._active[tenant] = self.active(tenant) + 1
+
+    def release(self, tenant: str, *, was_active: bool = True) -> None:
+        """A job finished (or was dropped before running): give back a slot."""
+        key = self._active if was_active else self._queued
+        key[tenant] = max(0, key.get(tenant, 0) - 1)
+
+    def can_start(self, tenant: str) -> bool:
+        """True while ``tenant`` is under its concurrent-run cap."""
+        return self.active(tenant) < self.policy.max_active

@@ -1,0 +1,481 @@
+"""Simulation-as-a-service: the asyncio job server.
+
+One process, one event loop, no third-party dependencies: HTTP/1.1 is
+hand-rolled on :func:`asyncio.start_server` streams (one request per
+connection, ``Connection: close``), which is all a job-submission API
+needs and keeps the service runnable anywhere the library is.
+
+The flow for a submission (``POST /v1/jobs``):
+
+1. the spec is canonicalised — :meth:`RunSpec.canonical_hash` collapses
+   aliases, fills option defaults, and drops output-only fields — so two
+   requests that *mean* the same run get the same key;
+2. a **cache hit** answers instantly from :class:`ResultCache` without
+   occupying a card;
+3. an identical **in-flight** job absorbs the submission as a follower
+   (dedupe): one execution, many waiters;
+4. otherwise the :class:`QuotaLedger` admits or rejects with 429 +
+   ``Retry-After`` (priced in modelled seconds from the scheduler's
+   running average), and the job enters the tenant-aware queue the card
+   farm drains.
+
+Endpoints::
+
+    GET  /healthz               liveness
+    POST /v1/jobs               submit {"tenant": ..., "spec": {...}}
+    GET  /v1/jobs/<id>          job status + result
+    GET  /v1/jobs/<id>/wait     block until the job finishes
+    GET  /v1/jobs/<id>/events   NDJSON progress stream (trace-derived)
+    GET  /v1/stats              throughput, latency percentiles, cache,
+                                queue and quota counters
+    POST /v1/shutdown           drain and stop
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..backends.runspec import RunSpec
+from ..errors import (
+    ConfigurationError,
+    JobNotFoundError,
+    QuotaExceededError,
+    ReproError,
+    failure_kind,
+)
+from .cache import ResultCache
+from .queue import Job, JobQueue
+from .quota import QuotaLedger, QuotaPolicy
+from .scheduler import CardFarm, Scheduler
+
+__all__ = ["ServerConfig", "JobServer", "ServiceThread"]
+
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_LINES = 64
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (q in [0, 1]); None on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`JobServer` needs to come up."""
+
+    host: str = "127.0.0.1"
+    #: 0 means "pick a free port" (the bound port lands on ``server.port``)
+    port: int = 0
+    n_cards: int = 4
+    #: ``modelled`` (analytic campaign timeline, ms per job) or
+    #: ``functional`` (really integrate on the spec's backend)
+    mode: str = "modelled"
+    #: campaign sleep padding for modelled jobs (the paper's 120 s default
+    #: would dominate queue time, so the service defaults to none)
+    sleep_s: float = 0.0
+    policy: QuotaPolicy = field(default_factory=QuotaPolicy)
+    cache_entries: int = 1024
+
+
+class JobServer:
+    """The service: queue + quota + cache + scheduler behind HTTP."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.queue = JobQueue()
+        self.ledger = QuotaLedger(self.config.policy)
+        self.cache = ResultCache(self.config.cache_entries)
+        self.farm = CardFarm(self.config.n_cards, mode=self.config.mode,
+                             sleep_s=self.config.sleep_s)
+        self.scheduler = Scheduler(self.farm, self.queue, self.ledger,
+                                   on_finished=self._job_finished)
+        #: every job ever submitted, by id (status endpoint's source)
+        self.jobs: dict[str, Job] = {}
+        #: hash → the job currently executing/queued for that spec
+        self._inflight: dict[str, Job] = {}
+        #: primary job id → followers waiting on its result
+        self._followers: dict[str, list[Job]] = {}
+        self._latencies: list[float] = []
+        self.submitted_total = 0
+        self.cached_served = 0
+        self.deduped_served = 0
+        self.port: int | None = None
+        self.started_monotonic: float | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the card workers."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_monotonic = time.monotonic()
+        self.scheduler.start()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight jobs, fail whatever never ran."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        leftover = await self.scheduler.stop()
+        for job in leftover:
+            job.state = "failed"
+            job.error = "server shut down before the job ran"
+            job.error_kind = "service"
+            job.finished_wall = time.monotonic()
+            job.add_event("failed", reason="shutdown")
+            self.ledger.release(job.tenant, was_active=False)
+            self._job_finished(job)
+
+    async def wait_shutdown(self) -> None:
+        """Block until ``POST /v1/shutdown`` (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise ConfigurationError("server is not started")
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- core submission logic (HTTP-independent, used directly by tests) --
+
+    async def submit(self, tenant: str, spec: RunSpec) -> Job:
+        """Admit one spec: cache hit, dedupe, or queue — or raise 429."""
+        self.submitted_total += 1
+        spec_hash = spec.canonical_hash()
+
+        cached = self.cache.get(spec_hash)
+        if cached is not None:
+            job = Job(tenant=tenant, spec=spec, spec_hash=spec_hash,
+                      state="done", cached=True, result=cached)
+            job.finished_wall = time.monotonic()
+            job.add_event("done", cached=True)
+            self.jobs[job.id] = job
+            self.cached_served += 1
+            self._latencies.append(job.latency_s or 0.0)
+            return job
+
+        primary = self._inflight.get(spec_hash)
+        if primary is not None and not primary.finished:
+            job = Job(tenant=tenant, spec=spec, spec_hash=spec_hash,
+                      deduped_from=primary.id)
+            job.add_event("deduped", primary=primary.id)
+            self.jobs[job.id] = job
+            self._followers.setdefault(primary.id, []).append(job)
+            return job
+
+        # fresh work: this is the only path that consumes farm capacity,
+        # so it is the only path admission control prices
+        self.ledger.admit(tenant, drain_rate_s=self.scheduler.drain_rate_s)
+        job = Job(tenant=tenant, spec=spec, spec_hash=spec_hash)
+        job.add_event("queued", tenant=tenant, hash=spec_hash)
+        self.jobs[job.id] = job
+        self._inflight[spec_hash] = job
+        await self.queue.put(job)
+        return job
+
+    def _job_finished(self, job: Job) -> None:
+        """Scheduler callback: fill the cache, settle followers, count."""
+        if self._inflight.get(job.spec_hash) is job:
+            del self._inflight[job.spec_hash]
+        if job.state == "done" and job.result is not None:
+            self.cache.put(job.spec_hash, job.result)
+        self._latencies.append(job.latency_s or 0.0)
+        for follower in self._followers.pop(job.id, []):
+            follower.state = job.state
+            follower.result = job.result
+            follower.error = job.error
+            follower.error_kind = job.error_kind
+            follower.card = job.card
+            follower.finished_wall = time.monotonic()
+            follower.add_event(job.state, deduped_from=job.id)
+            self.deduped_served += 1
+            self._latencies.append(follower.latency_s or 0.0)
+
+    def get_job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id!r}")
+        return job
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/v1/stats`` payload (also the benchmark's raw material)."""
+        finished = len(self._latencies)
+        elapsed = (
+            time.monotonic() - self.started_monotonic
+            if self.started_monotonic is not None else 0.0
+        )
+        return {
+            "mode": self.farm.mode,
+            "n_cards": self.farm.n_cards,
+            "uptime_s": round(elapsed, 3),
+            "jobs": {
+                "submitted": self.submitted_total,
+                "finished": finished,
+                "executed_ok": self.scheduler.jobs_done,
+                "executed_failed": self.scheduler.jobs_failed,
+                "cached": self.cached_served,
+                "deduped": self.deduped_served,
+                "per_card": {
+                    str(c): n
+                    for c, n in sorted(self.scheduler.per_card_jobs.items())
+                },
+            },
+            "queue": {
+                "depth": len(self.queue),
+                "depth_peak": self.queue.depth_peak,
+            },
+            "cache": self.cache.stats(),
+            "quota": {
+                "tenants": self.ledger.snapshot(),
+                "rejections_total": sum(self.ledger.rejections.values()),
+            },
+            "latency": {
+                "count": finished,
+                "p50_s": _percentile(self._latencies, 0.50),
+                "p99_s": _percentile(self._latencies, 0.99),
+                "mean_s": (
+                    sum(self._latencies) / finished if finished else None
+                ),
+            },
+            "throughput_jobs_per_s": (
+                round(finished / elapsed, 3) if elapsed > 0 else None
+            ),
+            "virtual_s_total": round(self.scheduler.virtual_s_total, 3),
+            "drain_rate_s": round(self.scheduler.drain_rate_s, 6),
+        }
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                method, path, body = request
+                await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                self._write_json(writer, 500, {
+                    "error": str(exc), "kind": failure_kind(exc),
+                })
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _version = request_line.decode("ascii").split()
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed request line: {request_line!r}"
+            ) from None
+        content_length = 0
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        else:
+            raise ConfigurationError("too many request headers")
+        if content_length > MAX_BODY_BYTES:
+            raise ConfigurationError(
+                f"request body too large ({content_length} bytes)"
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return method.upper(), path, body
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        if path == "/healthz" and method == "GET":
+            self._write_json(writer, 200, {"ok": True})
+        elif path == "/v1/jobs" and method == "POST":
+            await self._handle_submit(body, writer)
+        elif path == "/v1/stats" and method == "GET":
+            self._write_json(writer, 200, self.stats())
+        elif path == "/v1/shutdown" and method == "POST":
+            self._write_json(writer, 200, {"ok": True, "stopping": True})
+            self.request_shutdown()
+        elif path.startswith("/v1/jobs/"):
+            await self._handle_job_path(method, path, writer)
+        else:
+            self._write_json(writer, 404, {"error": f"no route: {path}"})
+
+    async def _handle_submit(self, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ConfigurationError("submission body must be an object")
+            tenant = str(payload.get("tenant", "default"))
+            spec = RunSpec.from_dict(payload.get("spec", {}))
+            job = await self.submit(tenant, spec)
+        except QuotaExceededError as exc:
+            self._write_json(
+                writer, 429,
+                {"error": str(exc), "kind": "quota",
+                 "retry_after_s": exc.retry_after_s},
+                extra_headers=(
+                    ("Retry-After", str(math.ceil(exc.retry_after_s))),
+                ),
+            )
+        except (ReproError, ValueError, TypeError,
+                json.JSONDecodeError) as exc:
+            self._write_json(writer, 400, {
+                "error": str(exc), "kind": failure_kind(exc),
+            })
+        else:
+            status = 200 if job.finished else 201
+            self._write_json(writer, status, job.to_dict())
+
+    async def _handle_job_path(self, method: str, path: str,
+                               writer: asyncio.StreamWriter) -> None:
+        if method != "GET":
+            self._write_json(writer, 405, {"error": "GET only"})
+            return
+        parts = path.removeprefix("/v1/jobs/").split("/")
+        try:
+            job = self.get_job(parts[0])
+        except JobNotFoundError as exc:
+            self._write_json(writer, 404, {
+                "error": str(exc), "kind": "job-not-found",
+            })
+            return
+        if len(parts) == 1:
+            self._write_json(writer, 200, job.to_dict())
+        elif parts[1:] == ["wait"]:
+            await job.wait_finished()
+            self._write_json(writer, 200, job.to_dict())
+        elif parts[1:] == ["events"]:
+            await self._stream_events(job, writer)
+        else:
+            self._write_json(writer, 404, {"error": f"no route: {path}"})
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON: replay the job's event log, then follow until done."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for event in job.stream_events():
+            writer.write(json.dumps(event).encode("utf-8") + b"\n")
+            await writer.drain()
+
+    def _write_json(self, writer: asyncio.StreamWriter, status: int,
+                    payload: dict[str, Any],
+                    extra_headers: tuple[tuple[str, str], ...] = ()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+
+
+class ServiceThread:
+    """A :class:`JobServer` on a background event-loop thread.
+
+    The synchronous face of the service: the benchmark, the CI smoke test
+    and ``repro submit``'s self-hosting mode all want to drive the server
+    from plain blocking code over real sockets.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.server: JobServer | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> str:
+        """Start the loop thread; returns the service URL once bound."""
+        if self._thread is not None:
+            raise ConfigurationError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ConfigurationError("service failed to start in time")
+        if self._startup_error is not None:
+            raise ConfigurationError(
+                f"service failed to start: {self._startup_error}"
+            )
+        assert self.server is not None
+        return self.server.url
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        server = JobServer(self.config)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self._ready.set()
+        await server.wait_shutdown()
+        await server.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join the loop thread."""
+        if self._thread is None:
+            return
+        if self.server is not None and self._loop is not None:
+            # the event lives on the service thread's loop; setting it from
+            # here must go through call_soon_threadsafe to wake that loop
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ConfigurationError("service thread did not stop in time")
+        self._thread = None

@@ -325,6 +325,8 @@ class Campaign:
         self._jobs_recorded = 0
         #: results restored by :meth:`resume` (empty for a fresh campaign)
         self.resumed_results: list[JobResult] = []
+        #: torn checkpoint line dropped by :meth:`resume` (None: clean file)
+        self.repaired_tail: str | None = None
         #: schedule still pending after :meth:`resume` / a partial run
         self.remaining_schedule: list[JobSpec] = []
 
@@ -722,6 +724,11 @@ class Campaign:
         instrument view, not an input to any result.
         """
         loaded = CampaignCheckpoint.load(checkpoint_path)
+        if loaded.torn_tail is not None:
+            # a crash tore the final record; truncate it away *before* any
+            # new append, or the next job record would be glued onto the
+            # partial line and corrupt the file beyond recovery
+            CampaignCheckpoint(checkpoint_path).repair()
         cfg = loaded.config
         campaign = cls(
             seed=cfg["seed"],
@@ -737,6 +744,7 @@ class Campaign:
             sample_interval_s=cfg.get("sample_interval_s", 1.0),
         )
         campaign._checkpoint_started = True
+        campaign.repaired_tail = loaded.torn_tail
         if loaded.states:
             last = loaded.states[-1]
             campaign.clock.jump_to(last["clock"])

@@ -24,6 +24,7 @@ into a live campaign.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
@@ -103,12 +104,19 @@ def _result_from_dict(data: dict[str, Any]):
 
 @dataclass(frozen=True)
 class LoadedCheckpoint:
-    """Parsed checkpoint: config, full planned schedule, finished results."""
+    """Parsed checkpoint: config, full planned schedule, finished results.
+
+    ``torn_tail`` carries the partial trailing line that a crash left
+    behind (``None`` for a cleanly written file) — the job that was in
+    flight when the process died.  Its work is lost, but everything before
+    it is intact and the campaign resumes from the last complete record.
+    """
 
     config: dict[str, Any]
     schedule: list
     results: list
     states: list[dict[str, Any]]
+    torn_tail: str | None = None
 
     @property
     def remaining(self) -> list:
@@ -125,8 +133,54 @@ class CampaignCheckpoint:
     # -- writing -----------------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> None:
+        """Append one record durably: flush *and* fsync per write.
+
+        The checkpoint's whole job is surviving a crash; without the
+        fsync, a record "written after every job" could still sit in the
+        OS page cache when the machine dies, tearing the final JSONL line
+        and losing jobs that the campaign believed were persisted.
+        """
         with self.path.open("a") as fh:
             fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def repair(self) -> str | None:
+        """Drop a torn trailing record so new appends start on a fresh line.
+
+        Returns the partial line that was removed, or ``None`` when the
+        file was already well-formed.  :meth:`~repro.telemetry.campaign.
+        Campaign.resume` calls this before appending: without the repair,
+        the next ``_append`` would concatenate onto the torn prefix and
+        corrupt a *middle* record — turning a recoverable crash into an
+        unreadable checkpoint.
+        """
+        if not self.path.exists():
+            return None
+        raw = self.path.read_bytes()
+        if not raw:
+            return None
+        lines = raw.splitlines(keepends=True)
+        last = lines[-1]
+        text = last.decode("utf-8", errors="replace").strip()
+        try:
+            parses = bool(text) and json.loads(text) is not None
+        except ValueError:
+            parses = False
+        if parses:
+            if not last.endswith(b"\n"):
+                # complete record that lost only its newline terminator:
+                # keep it, just restore the line boundary
+                with self.path.open("ab") as fh:
+                    fh.write(b"\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            return None
+        with self.path.open("wb") as fh:
+            fh.write(b"".join(lines[:-1]))
+            fh.flush()
+            os.fsync(fh.fileno())
+        return last.decode("utf-8", errors="replace")
 
     def write_header(self, config: dict[str, Any]) -> None:
         """Start a fresh checkpoint; refuses to clobber an existing one."""
@@ -164,14 +218,17 @@ class CampaignCheckpoint:
         """Parse a checkpoint file; raises :class:`CheckpointError` on damage.
 
         A truncated trailing line (the record being written when the
-        process died) is tolerated and dropped; anything else malformed is
-        an error.
+        process died) is tolerated, dropped, and reported via
+        ``LoadedCheckpoint.torn_tail``; anything else malformed is an
+        error.  Call :meth:`repair` before appending to a file that
+        loaded with a torn tail.
         """
         path = Path(path)
         if not path.exists():
             raise CheckpointError(f"checkpoint not found: {path}")
         lines = path.read_text().splitlines()
         records: list[dict[str, Any]] = []
+        torn_tail: str | None = None
         for i, line in enumerate(lines):
             if not line.strip():
                 continue
@@ -179,6 +236,7 @@ class CampaignCheckpoint:
                 records.append(json.loads(line))
             except json.JSONDecodeError:
                 if i == len(lines) - 1:
+                    torn_tail = line
                     break  # torn final write: the job in flight is lost
                 raise CheckpointError(
                     f"{path}: corrupt record on line {i + 1}"
@@ -223,5 +281,6 @@ class CampaignCheckpoint:
                 f"{len(schedule)} scheduled specs"
             )
         return LoadedCheckpoint(
-            config=config, schedule=schedule, results=results, states=states
+            config=config, schedule=schedule, results=results, states=states,
+            torn_tail=torn_tail,
         )

@@ -96,11 +96,106 @@ class TestEnvResolution:
     def test_sanitize_zero_means_off(self):
         assert RunSpec().resolved_from_env({"REPRO_SANITIZE": "0"}) == RunSpec()
 
+    @pytest.mark.parametrize(
+        "value", ["false", "False", "FALSE", "no", "off", "Off", "", "  "]
+    )
+    def test_sanitize_falsy_spellings_mean_off(self, value):
+        """``REPRO_SANITIZE=false`` must be an opt-out, not an opt-in.
+
+        The historical parser treated any non-empty value other than
+        ``"0"`` as true, so users who wrote ``false``/``off`` silently
+        got the sanitizer (and its overhead) turned *on*.
+        """
+        resolved = RunSpec().resolved_from_env({"REPRO_SANITIZE": value})
+        assert resolved.sanitize is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "ON"])
+    def test_sanitize_truthy_spellings_mean_on(self, value):
+        resolved = RunSpec().resolved_from_env({"REPRO_SANITIZE": value})
+        assert resolved.sanitize is True
+
+    def test_sanitize_garbage_rejected(self):
+        with pytest.raises(ConfigurationError, match="REPRO_SANITIZE"):
+            RunSpec().resolved_from_env({"REPRO_SANITIZE": "maybe"})
+
     def test_environ_updates_is_the_inverse(self):
         assert RunSpec().environ_updates() == {}
         assert RunSpec(lint="error", sanitize=True).environ_updates() == {
             "REPRO_LINT": "error", "REPRO_SANITIZE": "1",
         }
+
+
+class TestCanonicalHash:
+    """The dedupe/cache key of the service layer: one identity per run."""
+
+    #: Golden hash of the all-defaults spec.  If this changes, every
+    #: deployed result cache silently invalidates — bump it only for a
+    #: deliberate, release-noted identity change.
+    GOLDEN_DEFAULT = (
+        "61879e83f45cc7076240170a55710be52584e5f6de17b399d6b4c822e1731778"
+    )
+
+    def test_golden_default_hash(self):
+        assert RunSpec().canonical_hash() == self.GOLDEN_DEFAULT
+
+    def test_alias_collapses(self):
+        """``device`` is an alias of ``tt``: same run, same hash."""
+        a = RunSpec(backend=BackendSpec("device"))
+        b = RunSpec(backend=BackendSpec("tt"))
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_defaulted_and_explicit_options_match(self):
+        """``{}`` and the registry defaults written out are the same spec."""
+        implicit = RunSpec(backend=BackendSpec("tt"))
+        explicit = RunSpec(backend=BackendSpec("tt", {"cores": 8}))
+        assert implicit.canonical_hash() == explicit.canonical_hash()
+
+    def test_key_order_irrelevant(self):
+        a = RunSpec.from_dict({"n": 512, "cycles": 3, "seed": 1})
+        b = RunSpec.from_dict({"seed": 1, "cycles": 3, "n": 512})
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_trace_path_excluded(self):
+        """Where the trace lands says nothing about what is computed."""
+        a = RunSpec(trace_path=None)
+        b = RunSpec(trace_path="/tmp/trace.json")
+        assert a.canonical_hash() == b.canonical_hash()
+
+    def test_execution_mode_included(self):
+        """lint/sanitize change how the run executes: distinct identity."""
+        base = RunSpec()
+        assert base.canonical_hash() != RunSpec(sanitize=True).canonical_hash()
+        assert base.canonical_hash() != RunSpec(lint="warn").canonical_hash()
+
+    @pytest.mark.parametrize("field, value", [
+        ("n", 4096), ("cycles", 7), ("dt", 5e-4), ("adaptive", True),
+        ("softening", 0.01), ("seed", 42),
+    ])
+    def test_each_physics_field_changes_the_hash(self, field, value):
+        from dataclasses import replace
+
+        assert (replace(RunSpec(), **{field: value}).canonical_hash()
+                != RunSpec().canonical_hash())
+
+    def test_distinct_backend_options_distinct_hash(self):
+        a = RunSpec(backend=BackendSpec("tt", {"cores": 4}))
+        b = RunSpec(backend=BackendSpec("tt", {"cores": 8}))
+        assert a.canonical_hash() != b.canonical_hash()
+
+    def test_different_backend_family_distinct_hash(self):
+        a = RunSpec(backend=BackendSpec("cpu"))
+        b = RunSpec(backend=BackendSpec("tt"))
+        assert a.canonical_hash() != b.canonical_hash()
+
+    def test_unknown_option_rejected(self):
+        spec = RunSpec(backend=BackendSpec("tt", {"warp": 9}))
+        with pytest.raises(ConfigurationError):
+            spec.canonical_hash()
+
+    def test_hash_is_hex_sha256(self):
+        digest = RunSpec().canonical_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
 
 
 class TestRealisation:

@@ -1,7 +1,13 @@
 """The shard executor layer: mode resolution, parallel bit-identity,
-worker failure surfacing, and the option plumbing down from the CLI."""
+worker failure surfacing, worker lifecycle (wedged/killed workers,
+interpreter-exit reaping), and the option plumbing down from the CLI."""
 
 import argparse
+import multiprocessing
+import os
+import signal
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -10,6 +16,8 @@ from repro import plummer
 from repro.backends import RunSpec, make_backend
 from repro.backends.shardexec import (
     EXECUTOR_MODES,
+    _LIVE_EXECUTORS,
+    _reap_live_executors,
     make_executor,
     resolve_workers,
 )
@@ -35,6 +43,11 @@ class TestResolveWorkers:
     def test_unknown_env_mode_rejected(self):
         with pytest.raises(ConfigurationError, match="workers mode"):
             resolve_workers(env={"REPRO_SHARD_WORKERS": "turbo"})
+
+    @pytest.mark.parametrize("blank", ["", "   ", "\t"])
+    def test_blank_env_means_unset(self, blank):
+        """``REPRO_SHARD_WORKERS=''`` is "unset", not an unknown mode."""
+        assert resolve_workers(env={"REPRO_SHARD_WORKERS": blank}) == "thread"
 
     def test_all_modes_resolve(self):
         for mode in EXECUTOR_MODES:
@@ -132,6 +145,118 @@ def test_process_worker_error_surfaces_in_parent():
 def test_make_executor_rejects_unknown_mode():
     with pytest.raises(ConfigurationError, match="workers mode"):
         make_executor("fibers", [])
+
+
+class _WedgedChild:
+    """A stand-in card whose compute never returns (picklable via fork)."""
+
+    def compute_shard(self, *args, **kwargs):
+        time.sleep(600)
+
+    def residency_counters(self):
+        return {}
+
+    def invalidate_residency(self):
+        pass
+
+
+class TestWorkerLifecycle:
+    """The bugfixes: wedged workers, killed workers, leaked workers."""
+
+    def test_close_escalates_on_wedged_worker(self):
+        """close() must terminate a worker stuck inside a compute request.
+
+        The worker is busy sleeping, so it never reads the cooperative
+        close message; a close() that joins without a timeout would hang
+        the host forever.
+        """
+        executor = make_executor(
+            "process", [_WedgedChild()], join_timeout=0.2
+        )
+        conn = executor._conn(0)
+        conn.send(("compute", (None, None, None, [0], 0)))
+        proc = executor._workers[0][0]
+        deadline = time.monotonic() + 5.0
+        while proc.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)  # let the fork get into compute_shard
+            break
+        t0 = time.monotonic()
+        executor.close()
+        assert time.monotonic() - t0 < 5.0
+        assert not proc.is_alive()
+        assert executor._workers == {}
+
+    def test_killed_worker_raises_attributable_error(self):
+        """SIGKILL mid-step surfaces card + exit code, not a bare EOFError.
+
+        Before the fix the parent's ``conn.recv()`` raised ``EOFError``
+        straight through (or, with the write half still open, blocked
+        forever), leaving a zombie and no indication of which card died.
+        """
+        executor = make_executor(
+            "process", [_WedgedChild()], join_timeout=2.0
+        )
+        proc_holder = {}
+
+        def kill_soon():
+            proc_holder["proc"].kill()
+
+        killer = threading.Timer(0.3, kill_soon)
+        try:
+            conn = executor._conn(0)
+            del conn
+            proc_holder["proc"] = executor._workers[0][0]
+            killer.start()
+            with pytest.raises(
+                NBodyError,
+                match=r"card 0 died mid-step \(exit code -9\)",
+            ):
+                executor.run([0], (None, None, None, [[0]], 0))
+        finally:
+            killer.cancel()
+        assert not proc_holder["proc"].is_alive()
+        assert executor._workers == {}
+
+    def test_worker_error_resets_all_workers(self):
+        """A worker-side exception resets the fleet (no stale pipe data)."""
+        executor = make_executor("process", [_ExplodingChild()])
+        with pytest.raises(NBodyError, match="kaput"):
+            executor.run([0], (None, None, None, [[0]], 0))
+        assert executor._workers == {}
+
+    def test_backend_context_manager_reaps_workers(self):
+        system = plummer(256, seed=3)
+        with make_backend("tt", cores=4, cards=2, workers="process") as b:
+            b.compute(system.pos, system.vel, system.mass)
+            workers = [
+                entry[0] for entry in b._executor._workers.values()
+            ]
+            assert workers and all(p.is_alive() for p in workers)
+        assert all(not p.is_alive() for p in workers)
+        assert multiprocessing.active_children() == []
+
+    def test_atexit_reaper_closes_leaked_executors(self):
+        """An executor nobody closed is torn down by the atexit hook."""
+        executor = make_executor("process", [_WedgedChild()])
+        executor._conn(0)
+        proc = executor._workers[0][0]
+        assert executor in _LIVE_EXECUTORS
+        assert proc.is_alive()
+        _reap_live_executors()
+        assert not proc.is_alive()
+        assert executor._workers == {}
+
+    def test_live_set_does_not_keep_executors_alive(self):
+        """_LIVE_EXECUTORS is weak: it must never extend executor lifetime."""
+        import gc
+        import weakref
+
+        executor = make_executor("process", [_WedgedChild()])
+        executor.close()
+        ref = weakref.ref(executor)
+        del executor
+        gc.collect()
+        assert ref() is None
 
 
 class TestOptionPlumbing:

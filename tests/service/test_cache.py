@@ -1,0 +1,56 @@
+"""The bounded LRU result cache keyed by canonical spec hashes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import ResultCache
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ConfigurationError):
+        ResultCache(0)
+
+
+def test_miss_then_hit():
+    cache = ResultCache()
+    assert cache.get("k") is None
+    cache.put("k", {"x": 1})
+    assert cache.get("k") == {"x": 1}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+
+
+def test_hit_rate_before_any_lookup_is_zero():
+    assert ResultCache().hit_rate == 0.0
+
+
+def test_eviction_is_lru_not_fifo():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    assert cache.get("a") is not None  # refresh a: b is now the LRU
+    cache.put("c", {"v": 3})
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.evictions == 1
+
+
+def test_put_refresh_updates_value_without_eviction():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("a", {"v": 2})
+    assert len(cache) == 1
+    assert cache.get("a") == {"v": 2}
+    assert cache.evictions == 0
+
+
+def test_stats_shape():
+    cache = ResultCache(max_entries=4)
+    cache.put("a", {})
+    cache.get("a")
+    cache.get("zzz")
+    stats = cache.stats()
+    assert stats == {
+        "entries": 1, "max_entries": 4, "hits": 1, "misses": 1,
+        "evictions": 0, "hit_rate": 0.5,
+    }

@@ -1,0 +1,164 @@
+"""Job lifecycle model and the tenant-aware FIFO."""
+
+import asyncio
+
+from repro.backends import RunSpec
+from repro.service import Job, JobQueue
+
+
+def _job(tenant="t", **kwargs):
+    spec = RunSpec(n=64, cycles=1)
+    return Job(tenant=tenant, spec=spec, spec_hash=spec.canonical_hash(),
+               **kwargs)
+
+
+class TestJob:
+    def test_ids_are_unique_and_ordered(self):
+        a, b = _job(), _job()
+        assert a.id != b.id
+        assert a.id < b.id
+
+    def test_latency_none_until_finished(self):
+        job = _job()
+        assert job.latency_s is None
+        job.finished_wall = job.submitted_wall + 1.5
+        assert job.latency_s == 1.5
+
+    def test_events_carry_sequence_numbers(self):
+        job = _job()
+        job.add_event("queued")
+        job.add_event("started", card=2)
+        assert [e["seq"] for e in job.events] == [0, 1]
+        assert job.events[1]["card"] == 2
+        assert all(e["job"] == job.id for e in job.events)
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        job = _job()
+        json.dumps(job.to_dict())  # raises if not serialisable
+
+    def test_wait_finished_returns_immediately_when_done(self):
+        async def main():
+            job = _job(state="done")
+            await asyncio.wait_for(job.wait_finished(), timeout=1.0)
+
+        asyncio.run(main())
+
+    def test_wait_finished_wakes_on_completion(self):
+        async def main():
+            job = _job()
+
+            async def finish_later():
+                await asyncio.sleep(0.01)
+                job.state = "done"
+                job.add_event("done")
+
+            asyncio.create_task(finish_later())
+            await asyncio.wait_for(job.wait_finished(), timeout=2.0)
+
+        asyncio.run(main())
+
+    def test_stream_events_replays_then_follows(self):
+        async def main():
+            job = _job()
+            job.add_event("queued")
+
+            async def produce():
+                await asyncio.sleep(0.01)
+                job.add_event("started")
+                await asyncio.sleep(0.01)
+                job.state = "done"
+                job.add_event("done")
+
+            asyncio.create_task(produce())
+            seen = [e["event"] async for e in job.stream_events()]
+            assert seen == ["queued", "started", "done"]
+
+            # a late subscriber sees the identical stream
+            late = [e["event"] async for e in job.stream_events()]
+            assert late == seen
+
+        asyncio.run(main())
+
+
+class TestJobQueue:
+    def test_fifo_within_a_tenant(self):
+        async def main():
+            q = JobQueue()
+            a, b = _job(), _job()
+            await q.put(a)
+            await q.put(b)
+            assert await q.get(lambda t: True) is a
+            assert await q.get(lambda t: True) is b
+
+        asyncio.run(main())
+
+    def test_capped_tenant_does_not_head_of_line_block(self):
+        async def main():
+            q = JobQueue()
+            blocked, runnable = _job("alice"), _job("bob")
+            await q.put(blocked)
+            await q.put(runnable)
+            got = await q.get(lambda tenant: tenant != "alice")
+            assert got is runnable
+            assert len(q) == 1  # alice's job still queued
+
+        asyncio.run(main())
+
+    def test_get_blocks_until_put_or_close(self):
+        async def main():
+            q = JobQueue()
+
+            async def put_later():
+                await asyncio.sleep(0.01)
+                await q.put(_job())
+
+            asyncio.create_task(put_later())
+            job = await asyncio.wait_for(q.get(lambda t: True), timeout=2.0)
+            assert job is not None
+
+            async def close_later():
+                await asyncio.sleep(0.01)
+                await q.close()
+
+            asyncio.create_task(close_later())
+            assert await asyncio.wait_for(
+                q.get(lambda t: True), timeout=2.0
+            ) is None
+
+        asyncio.run(main())
+
+    def test_kick_rechecks_a_waiting_worker(self):
+        async def main():
+            q = JobQueue()
+            allowed = {"ok": False}
+            await q.put(_job())
+
+            async def allow_later():
+                await asyncio.sleep(0.01)
+                allowed["ok"] = True
+                await q.kick()
+
+            asyncio.create_task(allow_later())
+            job = await asyncio.wait_for(
+                q.get(lambda t: allowed["ok"]), timeout=2.0
+            )
+            assert job is not None
+
+        asyncio.run(main())
+
+    def test_close_returns_leftovers_and_depth_peak_tracks(self):
+        async def main():
+            q = JobQueue()
+            jobs = [_job() for _ in range(5)]
+            for job in jobs:
+                await q.put(job)
+            assert q.depth_peak == 5
+            await q.get(lambda t: True)
+            leftover = await q.close()
+            assert leftover == jobs[1:]
+            assert len(q) == 0
+            assert q.depth_peak == 5  # peak is sticky
+
+        asyncio.run(main())

@@ -1,0 +1,107 @@
+"""Per-tenant admission control: caps, backpressure, retry-after pricing."""
+
+import pytest
+
+from repro.errors import ConfigurationError, QuotaExceededError
+from repro.service import QuotaLedger, QuotaPolicy
+
+
+class TestPolicyValidation:
+    def test_defaults_are_sane(self):
+        p = QuotaPolicy()
+        assert p.max_queued >= 1
+        assert p.max_active >= 1
+        assert p.max_pending_total >= p.max_queued
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queued": 0}, {"max_active": 0}, {"max_pending_total": 0},
+        {"max_queued": -3},
+    ])
+    def test_rejects_non_positive_limits(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QuotaPolicy(**kwargs)
+
+
+class TestAdmission:
+    def test_admit_up_to_the_cap_then_reject(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=3))
+        for _ in range(3):
+            ledger.admit("alice")
+        with pytest.raises(QuotaExceededError, match="alice"):
+            ledger.admit("alice")
+        assert ledger.rejections["alice"] == 1
+
+    def test_tenants_are_independent(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=2))
+        ledger.admit("alice")
+        ledger.admit("alice")
+        with pytest.raises(QuotaExceededError):
+            ledger.admit("alice")
+        # bob is unaffected by alice's full queue
+        ledger.admit("bob")
+        assert ledger.queued("bob") == 1
+
+    def test_global_pending_bound(self):
+        ledger = QuotaLedger(
+            QuotaPolicy(max_queued=10, max_pending_total=3)
+        )
+        ledger.admit("a")
+        ledger.admit("b")
+        ledger.admit("c")
+        with pytest.raises(QuotaExceededError, match="queue is full"):
+            ledger.admit("d")
+
+    def test_retry_after_scales_with_backlog_and_drain_rate(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=4))
+        for _ in range(4):
+            ledger.admit("t")
+        with pytest.raises(QuotaExceededError) as exc_info:
+            ledger.admit("t", drain_rate_s=10.0)
+        assert exc_info.value.retry_after_s == pytest.approx(40.0)
+
+    def test_retry_after_floor_is_one_second(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=1))
+        ledger.admit("t")
+        with pytest.raises(QuotaExceededError) as exc_info:
+            ledger.admit("t", drain_rate_s=1e-6)
+        assert exc_info.value.retry_after_s == 1.0
+
+
+class TestLifecycleAccounting:
+    def test_queued_to_active_to_released(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=2, max_active=1))
+        ledger.admit("t")
+        assert (ledger.queued("t"), ledger.active("t")) == (1, 0)
+        ledger.mark_active("t")
+        assert (ledger.queued("t"), ledger.active("t")) == (0, 1)
+        assert not ledger.can_start("t")  # at the active cap
+        ledger.release("t")
+        assert ledger.active("t") == 0
+        assert ledger.can_start("t")
+
+    def test_release_unqueued_job(self):
+        """A job dropped before running gives back a *queued* slot."""
+        ledger = QuotaLedger(QuotaPolicy(max_queued=1))
+        ledger.admit("t")
+        ledger.release("t", was_active=False)
+        assert ledger.queued("t") == 0
+        ledger.admit("t")  # slot really is free again
+
+    def test_active_slots_free_queue_capacity(self):
+        """Quota is on *waiting* jobs: running ones free their queue slot."""
+        ledger = QuotaLedger(QuotaPolicy(max_queued=1, max_active=8))
+        ledger.admit("t")
+        ledger.mark_active("t")
+        ledger.admit("t")  # the queued slot was vacated by mark_active
+        assert ledger.total_pending == 2
+
+    def test_snapshot_covers_all_tenants(self):
+        ledger = QuotaLedger(QuotaPolicy(max_queued=1))
+        ledger.admit("a")
+        ledger.admit("b")
+        ledger.mark_active("b")
+        with pytest.raises(QuotaExceededError):
+            ledger.admit("a")
+        snap = ledger.snapshot()
+        assert snap["a"] == {"queued": 1, "active": 0, "rejected": 1}
+        assert snap["b"] == {"queued": 0, "active": 1, "rejected": 0}

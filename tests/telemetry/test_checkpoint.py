@@ -84,6 +84,104 @@ class TestCheckpointFile:
         assert campaign.remaining_schedule == SCHEDULE
 
 
+class TestDurability:
+    """Crash-safety of the append path: fsync per record, torn-tail repair."""
+
+    def test_append_fsyncs_every_record(self, tmp_path, monkeypatch):
+        """Every record write reaches the disk, not just the page cache."""
+        import repro.telemetry.checkpoint as ckpt_mod
+
+        synced = []
+        real_fsync = ckpt_mod.os.fsync
+        monkeypatch.setattr(
+            ckpt_mod.os, "fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)) and None,
+        )
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:3])
+        # header + schedule + one record per job, each individually synced
+        assert len(synced) >= 2 + 3
+
+    def test_load_reports_torn_tail(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:3])
+        text = path.read_text()
+        path.write_text(text[: text.rfind("clock")])
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded.torn_tail is not None
+        assert loaded.torn_tail.startswith("{")
+        assert len(loaded.results) == 2
+        clean = CampaignCheckpoint.load(
+            self._clean_copy(tmp_path, SCHEDULE[:3])
+        )
+        assert clean.torn_tail is None
+
+    @staticmethod
+    def _clean_copy(tmp_path, schedule):
+        path = tmp_path / "clean.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(schedule)
+        return path
+
+    def test_resume_after_torn_tail_appends_cleanly(self, tmp_path):
+        """Appending after a torn tail must not corrupt a middle record.
+
+        Without the repair step, the first record appended on resume is
+        glued onto the torn partial line, so the *next* load fails with a
+        corrupt-record error in the middle of the file — a recoverable
+        crash turned into an unreadable checkpoint.
+        """
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE)
+        text = path.read_text()
+        path.write_text(text[: text.rfind("clock")])  # tear the last record
+
+        campaign = Campaign.resume(path)
+        assert campaign.repaired_tail is not None
+        combined = campaign.run_remaining()
+        assert len(combined) == len(SCHEDULE)
+
+        # the file must be fully parseable again, with every job present
+        reloaded = CampaignCheckpoint.load(path)
+        assert reloaded.torn_tail is None
+        assert len(reloaded.results) == len(SCHEDULE)
+        # ... and the rerun of the lost job is bit-identical to the
+        # uninterrupted campaign
+        assert (CampaignSummary.from_results(combined)
+                == CampaignSummary.from_results(run_straight_through()))
+
+    def test_repair_restores_missing_newline(self, tmp_path):
+        """A complete last record that lost only its ``\\n`` is kept."""
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:2])
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))
+        assert CampaignCheckpoint(path).repair() is None
+        assert path.read_bytes().endswith(b"\n")
+        assert len(CampaignCheckpoint.load(path).results) == 2
+
+    def test_repair_drops_torn_tail(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:2])
+        text = path.read_text()
+        path.write_text(text[: text.rfind("clock")])
+        dropped = CampaignCheckpoint(path).repair()
+        assert dropped is not None and "clock" not in dropped
+        assert CampaignCheckpoint.load(path).torn_tail is None
+
+    def test_repair_noop_on_clean_file(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        Campaign(**CONFIG, checkpoint=path).run_schedule(SCHEDULE[:2])
+        before = path.read_bytes()
+        assert CampaignCheckpoint(path).repair() is None
+        assert path.read_bytes() == before
+
+    def test_repair_noop_on_missing_or_empty(self, tmp_path):
+        assert CampaignCheckpoint(tmp_path / "nope.jsonl").repair() is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert CampaignCheckpoint(empty).repair() is None
+
+
 class TestResume:
     @pytest.mark.parametrize("k", [1, 4, 8])
     def test_interrupted_run_matches_straight_run(self, tmp_path, k):

@@ -21,7 +21,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 #: ``__init__``) may import anything and are exempted below.
 ALLOWED_DEPS: dict[str, set[str]] = {
     "errors": set(),
-    "config": set(),
+    "config": {"errors"},
     "simclock": {"errors"},
     "observability": {"errors"},
     "core": {"errors", "observability", "backends"},
@@ -43,6 +43,9 @@ ALLOWED_DEPS: dict[str, set[str]] = {
         "errors", "simclock", "core", "cpuref", "nbody_tt", "wormhole",
         "backends",
     },
+    # The job server executes RunSpecs either as modelled campaign
+    # replays (telemetry, lazily) or real integrations (core, lazily).
+    "service": {"errors", "backends", "observability", "telemetry", "core"},
 }
 
 #: Modules allowed to import from any layer: the user-facing

@@ -116,3 +116,56 @@ class TestWorkloadScale:
         for value in ("0", "false", "False", ""):
             monkeypatch.setenv("REPRO_PAPER_SCALE", value)
             assert not paper_scale_enabled(), value
+
+
+class TestEnvFlag:
+    """The shared boolean-env parser every REPRO_* switch goes through.
+
+    Historically each call site hand-rolled its own truthiness test, and
+    the sanitizer's ("any non-empty value other than '0'") treated
+    ``REPRO_SANITIZE=false`` as *on* — an explicit opt-out read as an
+    opt-in.  These tests pin the shared spellings.
+    """
+
+    def test_unset_returns_default(self):
+        from repro.config import env_flag
+
+        assert env_flag(None) is False
+        assert env_flag(None, default=True) is True
+
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "Yes", "on", "On"])
+    def test_truthy_spellings(self, value):
+        from repro.config import env_flag
+
+        assert env_flag(value) is True
+        assert env_flag(value, default=False) is True
+
+    @pytest.mark.parametrize(
+        "value", ["", "  ", "0", "false", "FALSE", "No", "off", "Off"]
+    )
+    def test_falsy_spellings(self, value):
+        from repro.config import env_flag
+
+        assert env_flag(value) is False
+        # an explicit falsy spelling beats a truthy default (that is the
+        # whole point: "off" must mean off)
+        if value.strip():
+            assert env_flag(value, default=True) is False
+        else:
+            # blank is "unset", which falls back to the default
+            assert env_flag(value, default=True) is True
+
+    def test_garbage_rejected_with_name(self):
+        from repro.config import env_flag
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="REPRO_SANITIZE"):
+            env_flag("maybe", name="REPRO_SANITIZE")
+
+    def test_env_str_blank_is_none(self):
+        from repro.config import env_str
+
+        assert env_str({}, "X") is None
+        assert env_str({"X": ""}, "X") is None
+        assert env_str({"X": "   "}, "X") is None
+        assert env_str({"X": " v "}, "X") == "v"
