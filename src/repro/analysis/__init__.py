@@ -12,13 +12,20 @@ Two complementary correctness layers for device programs:
   double-free/leak hazards are caught *as they happen* with kernel/core
   attribution, at zero cost when disabled.
 
-This package depends only on :mod:`repro.wormhole` and
-:mod:`repro.errors`; it never imports :mod:`repro.metalium` (programs are
-duck-typed), which lets the Metalium layer call into it without cycles.
+A third leg, Watcher-Host (:mod:`repro.analysis.hostlint`), points the
+same Diagnostic machinery back at the repo itself: a pure-``ast`` lint
+pass with stable ``RHxxx`` rule ids covering concurrency, determinism
+and resource-lifecycle invariants of the host-side Python stack.
+
+This package depends only on :mod:`repro.wormhole`, :mod:`repro.config`
+and :mod:`repro.errors`; it never imports :mod:`repro.metalium`
+(programs are duck-typed), which lets the Metalium layer call into it
+without cycles.
 """
 
-from .diagnostics import Diagnostic, LintReport, RULES, Severity
+from .diagnostics import Diagnostic, HOST_RULES, LintReport, RULES, Severity
 from .hooks import active, env_sanitize_enabled, install, uninstall
+from .hostlint import Baseline, HostLinter, host_rules
 from .linter import ProgramLinter, cb_l1_bytes
 from .recording import (
     CoreTrace,
@@ -37,10 +44,14 @@ from .sanitizer import (
 )
 
 __all__ = [
+    "Baseline",
     "Diagnostic",
+    "HOST_RULES",
+    "HostLinter",
     "LintReport",
     "RULES",
     "Severity",
+    "host_rules",
     "ProgramLinter",
     "cb_l1_bytes",
     "CoreTrace",

@@ -1,10 +1,13 @@
-"""Structured diagnostics for the program linter.
+"""Structured diagnostics for the program and host linters.
 
-Every finding the :class:`~repro.analysis.ProgramLinter` emits is a
-:class:`Diagnostic` with a stable rule id (``WH001``...), a severity, the
-program location it refers to (core / kernel / circular buffer), and a fix
-hint.  Rule ids are stable across releases so CI gates, suppression lists,
-and the seeded-defect test suite can key on them.
+Every finding the :class:`~repro.analysis.ProgramLinter` or the
+:class:`~repro.analysis.hostlint.HostLinter` emits is a
+:class:`Diagnostic` with a stable rule id, a severity, the location it
+refers to, and a fix hint.  Device findings (``WH001``...) locate by
+core / kernel / circular buffer; host findings (``RH001``...) locate by
+source path and line.  Rule ids are stable across releases so CI gates,
+suppression lists, baselines, and the seeded-defect test suites can key
+on them.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["Severity", "Diagnostic", "LintReport", "RULES"]
+__all__ = ["Severity", "Diagnostic", "LintReport", "RULES", "HOST_RULES"]
 
 
 class Severity(enum.Enum):
@@ -35,6 +38,25 @@ RULES: dict[str, str] = {
     "WH009": "configured circular buffer is never accessed by any kernel",
     "WH010": "core range exceeds the device's Tensix grid",
     "WH011": "dry run incomplete: kernel aborted or step budget exhausted",
+    "RH001": "blocking call inside an async function stalls the event loop",
+    "RH002": "wall-clock time source used in a modelled-time module",
+    "RH003": "unseeded global RNG breaks run-to-run reproducibility",
+    "RH004": "iteration over an unordered set feeds results "
+             "(nondeterministic order)",
+    "RH005": "resource acquired without `with` or close-on-all-paths",
+    "RH006": "raw os.environ boolean read bypasses config.env_flag",
+    "RH007": "durability-critical append write without flush + fsync",
+    "RH008": "exception handler silently swallows broad exceptions",
+    "RH009": "import violates the ARCHITECTURE layer map",
+    "RH010": "module-level mutable global mutated from shard-worker code",
+    "RH011": "asyncio task created and dropped (may be garbage-collected "
+             "mid-flight)",
+    "RH012": "lock acquired without release on all paths",
+}
+
+#: The host-lint (``RH``) subset of :data:`RULES`, in catalogue order.
+HOST_RULES: dict[str, str] = {
+    rule: text for rule, text in RULES.items() if rule.startswith("RH")
 }
 
 
@@ -49,6 +71,8 @@ class Diagnostic:
     core: int | None = None
     kernel: str | None = None
     cb_id: int | None = None
+    path: str | None = None
+    line: int | None = None
 
     def __post_init__(self) -> None:
         if self.rule not in RULES:
@@ -56,6 +80,11 @@ class Diagnostic:
 
     def location(self) -> str:
         parts = []
+        if self.path is not None:
+            where = self.path
+            if self.line is not None:
+                where += f":{self.line}"
+            parts.append(where)
         if self.core is not None:
             parts.append(f"core {self.core}")
         if self.kernel is not None:

@@ -54,7 +54,9 @@ def uninstall(ctx) -> None:
 
 def env_sanitize_enabled() -> bool:
     """True when ``REPRO_SANITIZE`` requests process-wide sanitizing."""
-    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+    from ..config import env_flag
+
+    return env_flag(os.environ.get("REPRO_SANITIZE"), name="REPRO_SANITIZE")
 
 
 def _maybe_install_from_env() -> None:

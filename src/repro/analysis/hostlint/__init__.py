@@ -1,0 +1,45 @@
+"""Watcher-Host: repo-wide AST lint for the host-side Python stack.
+
+The device-program linter (:mod:`repro.analysis.linter`, ``WH`` rules)
+checks what we *dispatch to the card*; this package checks the Python
+that does the dispatching.  Twelve ``RH`` rules cover the invariants the
+repo's own history shows get broken: event-loop stalls, wall-clock reads
+in modelled time, unseeded RNG, set-order nondeterminism, leaked
+executors and file handles, raw ``os.environ`` truthiness, un-fsynced
+journal writes, silent broad excepts, layer-map violations, worker-shared
+mutable globals, dropped asyncio tasks, and unreleased locks.
+
+Everything is stdlib ``ast`` — no module under lint is ever imported —
+and every finding flows through the same
+:class:`~repro.analysis.diagnostics.Diagnostic` /
+:class:`~repro.analysis.diagnostics.LintReport` model as the device
+linter, keyed by stable rule ids so suppressions
+(``# repro-lint: disable=RH006``), the committed baseline
+(``hostlint-baseline.json``) and the seeded-defect tests stay valid
+across refactors.
+
+Run it via ``repro-lint --host`` (exit 0 clean / 1 findings / 2 error).
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .engine import HostLinter, ModuleUnit
+from .layering import ALLOWED_DEPS, EXEMPT, imported_packages, package_of
+from .reporting import render_json, render_text
+from .rules import Finding, HostRule, host_rules, register_rule
+
+__all__ = [
+    "ALLOWED_DEPS",
+    "Baseline",
+    "BaselineEntry",
+    "EXEMPT",
+    "Finding",
+    "HostLinter",
+    "HostRule",
+    "ModuleUnit",
+    "host_rules",
+    "imported_packages",
+    "package_of",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,163 @@
+"""Accepted-debt baseline for the host linter.
+
+A baseline entry fingerprints one known finding — rule id, file path,
+enclosing scope qualname, and the normalized source-line text — plus a
+mandatory human justification for why it is allowed to stay.  Matching
+findings are absorbed out of the gating report (tracked on
+``HostLinter.baselined``); anything *not* in the baseline still fails.
+
+Fingerprints deliberately avoid line numbers: editing an unrelated part
+of the file must not invalidate the baseline, but changing the flagged
+line itself (or moving it to another function) does — the entry goes
+stale and the finding resurfaces, which is the point.
+
+The committed file lives at the repo root as ``hostlint-baseline.json``;
+the target steady state is an *empty* entry list, with deliberate
+exceptions carried as inline ``# repro-lint: disable=`` comments next to
+the code they excuse.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...errors import ConfigurationError
+from ..diagnostics import Diagnostic
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted legacy finding."""
+
+    rule: str
+    path: str
+    scope: str
+    line_text: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str, str]:
+        return (self.rule, self.path, self.scope, self.line_text)
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings, loaded from / saved to JSON."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    #: entry keys not consumed by any finding in the last lint run —
+    #: stale debt that should be deleted from the file.
+    unmatched: list[BaselineEntry] = field(default_factory=list)
+    _pool: dict[tuple[str, str, str, str], int] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-arm every entry for a fresh lint run."""
+        self._pool = {}
+        for entry in self.entries:
+            self._pool[entry.key()] = self._pool.get(entry.key(), 0) + 1
+
+    def matches(self, diag: Diagnostic, *, scope: str,
+                line_text: str) -> bool:
+        """Consume one matching entry for ``diag`` if the baseline has one."""
+        key = (diag.rule, diag.path or "", scope, line_text)
+        remaining = self._pool.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._pool[key] = remaining - 1
+        return True
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries no current finding consumed (fixed or moved code)."""
+        leftovers: list[BaselineEntry] = []
+        counts = dict(self._pool)
+        for entry in self.entries:
+            if counts.get(entry.key(), 0) > 0:
+                counts[entry.key()] -= 1
+                leftovers.append(entry)
+        return leftovers
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ConfigurationError(f"baseline file not found: {path}")
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"baseline file {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or \
+                payload.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"baseline file {path} has unsupported format "
+                f"(want version {_FORMAT_VERSION})"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        scope=raw["scope"],
+                        line_text=raw["line_text"],
+                        justification=raw.get("justification", ""),
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise ConfigurationError(
+                    f"baseline file {path} has a malformed entry: {raw!r}"
+                ) from exc
+        return cls(entries=entries)
+
+    def save(self, path: Path | str) -> None:
+        path = Path(path)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "scope": e.scope,
+                    "line_text": e.line_text,
+                    "justification": e.justification,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.scope)
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings, *, scopes, line_texts,
+                      justification: str = "accepted legacy finding"
+                      ) -> "Baseline":
+        """Build a baseline absorbing ``findings`` (parallel iterables)."""
+        entries = [
+            BaselineEntry(
+                rule=diag.rule,
+                path=diag.path or "",
+                scope=scope,
+                line_text=line_text,
+                justification=justification,
+            )
+            for diag, scope, line_text in zip(findings, scopes, line_texts)
+        ]
+        return cls(entries=entries)

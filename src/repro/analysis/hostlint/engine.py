@@ -1,0 +1,326 @@
+"""Watcher-Host engine: walk Python sources, run RH rules, filter, report.
+
+The engine owns everything rule implementations should not have to think
+about:
+
+* **parsing** each source file once into a :class:`ModuleUnit` (AST,
+  import-alias map, layer classification, enclosing-scope index);
+* **suppressions** — a trailing ``# repro-lint: disable=RH006`` comment
+  silences matching findings on its own line, a comment-only disable
+  line covers the next code line (a justification may span several
+  comment lines), and ``# repro-lint: disable-file=RH004`` silences a
+  rule module-wide;
+* **baseline filtering** — findings whose fingerprint is in the committed
+  :class:`~repro.analysis.hostlint.baseline.Baseline` are legacy debt,
+  reported separately instead of failing the gate;
+* **rendering** everything into the same
+  :class:`~repro.analysis.diagnostics.LintReport` of
+  :class:`~repro.analysis.diagnostics.Diagnostic` s the device linter
+  emits, so reporters, CI gates and tests share one model.
+
+Rules are plugins: see :mod:`repro.analysis.hostlint.rules` for the
+registry and the RH001–RH012 implementations.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...errors import AnalysisError, ConfigurationError
+from ..diagnostics import Diagnostic, LintReport
+from .layering import package_of
+
+__all__ = ["HostLinter", "ModuleUnit", "dotted_name"]
+
+#: ``# repro-lint: disable=RH001,RH002`` (optionally followed by prose).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<rules>RH\d{3}(?:\s*,\s*RH\d{3})*)"
+)
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _alias_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> qualified module/symbol path, from import statements."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{module}.{alias.name}" if module \
+                    else alias.name
+    return aliases
+
+
+@dataclass
+class _Scope:
+    qualname: str
+    start: int
+    end: int
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source module, ready for rule checks."""
+
+    path: Path | None
+    relpath: str
+    rel_parts: tuple[str, ...]
+    package: str
+    tree: ast.Module
+    lines: list[str]
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: line -> rule ids suppressed on that line (and the one above it)
+    suppressed_lines: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file
+    suppressed_file: set[str] = field(default_factory=set)
+    scopes: list[_Scope] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, *, relpath: str,
+                    path: Path | None = None) -> "ModuleUnit":
+        """Parse ``source`` as the module at ``relpath`` (``repro/...``)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"{relpath}: cannot lint, file does not parse: {exc}"
+            ) from exc
+        parts = Path(relpath).parts
+        rel_parts = parts[1:] if parts and parts[0] == "repro" else parts
+        unit = cls(
+            path=path,
+            relpath=str(Path(relpath).as_posix()),
+            rel_parts=rel_parts,
+            package=package_of(rel_parts) if rel_parts else "<unknown>",
+            tree=tree,
+            lines=source.splitlines(),
+            aliases=_alias_map(tree),
+        )
+        unit._index_suppressions()
+        unit._index_scopes()
+        return unit
+
+    def _index_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group(1) == "disable-file":
+                self.suppressed_file |= rules
+                continue
+            # A trailing comment suppresses its own line; a comment-only
+            # line suppresses the next code line (skipping further
+            # comment lines, so a justification may span several).
+            target = lineno
+            if text.strip().startswith("#"):
+                for ahead in range(lineno + 1, len(self.lines) + 1):
+                    if not self.lines[ahead - 1].strip().startswith("#"):
+                        target = ahead
+                        break
+            self.suppressed_lines.setdefault(target, set()).update(rules)
+
+    def _index_scopes(self) -> None:
+        def visit(node, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    qualname = f"{prefix}{child.name}"
+                    self.scopes.append(
+                        _Scope(qualname, child.lineno, child.end_lineno or
+                               child.lineno)
+                    )
+                    visit(child, f"{qualname}.")
+                else:
+                    visit(child, prefix)
+
+        visit(self.tree, "")
+
+    def scope_at(self, line: int) -> str:
+        """Innermost def/class qualname containing ``line``, or <module>."""
+        best = "<module>"
+        best_span = None
+        for scope in self.scopes:
+            if scope.start <= line <= scope.end:
+                span = scope.end - scope.start
+                if best_span is None or span <= best_span:
+                    best, best_span = scope.qualname, span
+        return best
+
+    def qualname_of(self, expr: ast.expr) -> str | None:
+        """Dotted call target with its head resolved through imports.
+
+        ``np.random.rand`` becomes ``numpy.random.rand`` when the module
+        did ``import numpy as np``; ``perf_counter`` becomes
+        ``time.perf_counter`` after ``from time import perf_counter``.
+        """
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self.aliases.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.suppressed_file:
+            return True
+        return rule in self.suppressed_lines.get(line, set())
+
+
+class HostLinter:
+    """Repo-wide AST lint: RH-rule analysis of the host-side Python stack.
+
+    ``rules`` restricts the pass to a subset of rule ids (default: every
+    registered rule); ``baseline`` is a
+    :class:`~repro.analysis.hostlint.baseline.Baseline` whose entries are
+    filtered out of the report (legacy findings tracked as accepted debt).
+    """
+
+    def __init__(self, *, rules=None, baseline=None,
+                 root: Path | None = None) -> None:
+        from .rules import host_rules
+
+        registry = host_rules()
+        if rules is None:
+            selected = list(registry)
+        else:
+            selected = list(rules)
+            unknown = [r for r in selected if r not in registry]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown host lint rule(s) {', '.join(sorted(unknown))}; "
+                    f"known: {', '.join(registry)}"
+                )
+        self.rules = {rid: registry[rid] for rid in sorted(set(selected))}
+        self.baseline = baseline
+        self.root = root
+        #: findings matched (and absorbed) by the baseline in the last run
+        self.baselined: list[Diagnostic] = []
+        #: findings silenced by inline suppressions in the last run
+        self.suppressed_count = 0
+        #: (diagnostic, scope qualname, normalized line text) for every
+        #: reported finding — the raw material for ``--write-baseline``
+        self.fingerprints: list[tuple[Diagnostic, str, str]] = []
+
+    # -- entry points -------------------------------------------------------
+
+    def lint_paths(self, paths) -> LintReport:
+        """Lint every ``*.py`` under the given files/directories."""
+        files: list[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(
+                    p for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+            else:
+                raise ConfigurationError(
+                    f"cannot lint {path}: not a .py file or directory"
+                )
+        self._reset_run()
+        diagnostics: list[Diagnostic] = []
+        for path in files:
+            unit = self._unit_for(path)
+            diagnostics.extend(self._check_unit(unit))
+        return LintReport(diagnostics)
+
+    def lint_source(self, source: str, *,
+                    relpath: str = "repro/<string>.py") -> LintReport:
+        """Lint one in-memory module as though it lived at ``relpath``.
+
+        The virtual ``relpath`` (``repro/telemetry/x.py`` style) drives
+        the layer classification the package-sensitive rules use — the
+        seeded-defect fixtures lean on this to place themselves in any
+        layer they need.
+        """
+        self._reset_run()
+        unit = ModuleUnit.from_source(source, relpath=relpath)
+        return LintReport(self._check_unit(unit))
+
+    # -- internals ----------------------------------------------------------
+
+    def _reset_run(self) -> None:
+        self.baselined = []
+        self.suppressed_count = 0
+        self.fingerprints = []
+        if self.baseline is not None:
+            self.baseline.reset()
+
+    def _unit_for(self, path: Path) -> ModuleUnit:
+        resolved = path.resolve()
+        root = self.root
+        if root is None:
+            # infer <root>/repro/... from the path itself
+            for parent in resolved.parents:
+                if parent.name == "repro":
+                    root = parent.parent
+                    break
+        try:
+            relpath = str(resolved.relative_to(root).as_posix()) \
+                if root is not None else resolved.name
+        except ValueError:
+            relpath = resolved.name
+        return ModuleUnit.from_source(
+            path.read_text(), relpath=relpath, path=path
+        )
+
+    def _check_unit(self, unit: ModuleUnit) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for rule_id, rule in self.rules.items():
+            for finding in rule.check(unit):
+                if unit.is_suppressed(rule_id, finding.line):
+                    self.suppressed_count += 1
+                    continue
+                diag = Diagnostic(
+                    rule_id,
+                    finding.severity or rule.severity,
+                    finding.message,
+                    hint=finding.hint or rule.hint,
+                    path=unit.relpath,
+                    line=finding.line,
+                )
+                scope = unit.scope_at(finding.line)
+                line_text = unit.line_text(finding.line)
+                if self.baseline is not None and self.baseline.matches(
+                    diag, scope=scope, line_text=line_text,
+                ):
+                    self.baselined.append(diag)
+                    continue
+                self.fingerprints.append((diag, scope, line_text))
+                out.append(diag)
+        out.sort(key=lambda d: (d.path or "", d.line or 0, d.rule))
+        return out

@@ -1,0 +1,73 @@
+"""Text and JSON renderings of a host-lint run.
+
+Both reporters take the :class:`~repro.analysis.diagnostics.LintReport`
+plus the :class:`~repro.analysis.hostlint.HostLinter` that produced it,
+because the interesting run metadata — how many findings the baseline
+absorbed, how many inline suppressions fired, which rules ran — lives on
+the linter, not in the report.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..diagnostics import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, *, linter=None) -> str:
+    """Human-readable summary, one finding per line plus run counters."""
+    lines = [d.format() for d in report]
+    summary = f"{len(report.errors)} error(s), {len(report.warnings)} " \
+              f"warning(s)"
+    if linter is not None:
+        extras = []
+        if linter.baselined:
+            extras.append(f"{len(linter.baselined)} baselined")
+        if linter.suppressed_count:
+            extras.append(f"{linter.suppressed_count} suppressed inline")
+        if linter.baseline is not None:
+            stale = linter.baseline.stale_entries()
+            if stale:
+                extras.append(f"{len(stale)} stale baseline entr"
+                              f"{'y' if len(stale) == 1 else 'ies'}")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+    if not report.diagnostics:
+        lines.append(f"clean: no findings ({summary})" if linter is not None
+                     else "clean: no findings")
+    else:
+        lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, *, linter=None) -> str:
+    """Machine-readable run payload for CI artifacts and tooling."""
+    payload: dict = {
+        "ok": report.ok,
+        "counts": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+        },
+        "findings": [
+            {
+                "rule": d.rule,
+                "severity": d.severity.value,
+                "path": d.path,
+                "line": d.line,
+                "message": d.message,
+                "hint": d.hint,
+            }
+            for d in report
+        ],
+    }
+    if linter is not None:
+        payload["rules"] = sorted(linter.rules)
+        payload["counts"]["baselined"] = len(linter.baselined)
+        payload["counts"]["suppressed"] = linter.suppressed_count
+        if linter.baseline is not None:
+            payload["counts"]["stale_baseline"] = len(
+                linter.baseline.stale_entries()
+            )
+    return json.dumps(payload, indent=2)

@@ -170,8 +170,11 @@ def register_backend(
     if not name:
         raise ConfigurationError("backend name must be non-empty")
     entry = RegisteredBackend(name, factory, description, options, aliases)
+    # repro-lint: disable=RH010 - registration happens at import time,
+    # before any shard worker forks; workers only read the registry.
     _REGISTRY[name] = entry
     for alias in aliases:
+        # repro-lint: disable=RH010 - same import-time-only write as above
         _ALIASES[alias] = name
     return entry
 

@@ -160,7 +160,9 @@ def _reap_live_executors() -> None:
     for executor in list(_LIVE_EXECUTORS):
         try:
             executor.close()
-        except Exception:  # noqa: BLE001 - interpreter is going down
+        # repro-lint: disable=RH008 - atexit reaper: the interpreter is
+        # going down, there is nobody left to report a close failure to.
+        except Exception:  # noqa: BLE001
             pass
 
 
@@ -188,6 +190,8 @@ class ProcessExecutor:
         self._children = children
         self._join_timeout = join_timeout
         self._workers: dict[int, tuple] = {}
+        # repro-lint: disable=RH010 - WeakSet of live executors for the
+        # atexit reaper; add-only from __init__, entries expire on their own.
         _LIVE_EXECUTORS.add(self)
 
     def _conn(self, card: int):

@@ -140,10 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="statically lint the device programs (repro-lint)",
-        description="Build the N-body device programs exactly as the "
-                    "engines would and run the WH-rule linter over them, "
-                    "without dispatching anything.",
+        help="statically lint device programs or the host stack "
+             "(repro-lint)",
+        description="Without --host: build the N-body device programs "
+                    "exactly as the engines would and run the WH-rule "
+                    "linter over them, without dispatching anything.  "
+                    "With --host: run the RH-rule Watcher-Host AST pass "
+                    "over the repro Python sources themselves.  Exit "
+                    "codes: 0 clean, 1 findings, 2 usage or internal "
+                    "error.",
     )
     lint.add_argument("--engine", choices=("both", "per-block", "batched"),
                       default="both",
@@ -155,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Tensix cores in the program's range")
     lint.add_argument("--warnings-as-errors", action="store_true",
                       help="exit nonzero on warning findings too")
+    lint.add_argument("--host", action="store_true",
+                      help="run the Watcher-Host (RH-rule) pass over the "
+                           "Python sources instead of device programs")
+    lint.add_argument("--paths", nargs="+", metavar="PATH",
+                      help="files/directories to host-lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--rules", metavar="RH001,RH006,...",
+                      help="restrict the host pass to these rule ids")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="accepted-debt baseline JSON; matching findings "
+                           "are reported separately and do not gate")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite --baseline with the current findings "
+                           "instead of failing on them")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the host-lint report as JSON")
 
     srv = sub.add_parser(
         "serve",
@@ -495,6 +516,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit-code contract (device and host): 0 clean, 1 findings, 2 error."""
+    from .errors import ReproError
+
+    try:
+        if args.host:
+            return _cmd_lint_host(args)
+        return _cmd_lint_device(args)
+    except ReproError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_lint_host(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+
+    from .analysis.hostlint import Baseline, HostLinter, render_json, \
+        render_text
+    from .errors import ConfigurationError
+
+    if args.write_baseline and not args.baseline:
+        raise ConfigurationError("--write-baseline requires --baseline FILE")
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+
+    paths = args.paths or [Path(repro.__file__).parent]
+    linter = HostLinter(rules=rules, baseline=baseline)
+    report = linter.lint_paths(paths)
+
+    if args.write_baseline:
+        new = Baseline.from_findings(
+            [d for d, _, _ in linter.fingerprints],
+            scopes=[s for _, s, _ in linter.fingerprints],
+            line_texts=[t for _, _, t in linter.fingerprints],
+        )
+        new.save(args.baseline)
+        print(f"wrote {len(new)} baseline entr"
+              f"{'y' if len(new) == 1 else 'ies'} to {args.baseline}")
+        return 0
+
+    print(render_json(report, linter=linter) if args.json
+          else render_text(report, linter=linter))
+    if not report.ok:
+        return 1
+    if args.warnings_as_errors and report.warnings:
+        return 1
+    return 0
+
+
+def _cmd_lint_device(args: argparse.Namespace) -> int:
     from .analysis import ProgramLinter
     from .backends import make_backend
     from .metalium import CloseDevice

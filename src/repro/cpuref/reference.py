@@ -43,6 +43,8 @@ class CPUForceBackend:
         self.G = G
         self.comm = comm if comm is not None else FakeComm()
         self.costs = costs
+        # repro-lint: disable=RH003 - injectable RNG; campaigns pass a
+        # seeded generator, the entropy default is the explicit noise mode.
         rng = rng if rng is not None else np.random.default_rng()
         # One multiplicative time factor per job: system load / scheduling
         # variability is correlated within a run, not per evaluation.

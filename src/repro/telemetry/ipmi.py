@@ -33,6 +33,8 @@ class Ipmi:
             raise SamplerError(f"negative chassis baseline {baseline_w}")
         self.baseline_w = baseline_w
         self.noise_w = noise_w
+        # repro-lint: disable=RH003 - injectable RNG; campaigns pass a
+        # seeded generator, the entropy default is the explicit noise mode.
         self._rng = rng if rng is not None else np.random.default_rng()
 
     def dcmi_power_reading(self, host_w: float, cards_w: float) -> float:

@@ -31,6 +31,8 @@ class TTSMI:
     ) -> None:
         if n_cards < 1:
             raise SamplerError(f"need at least one card, got {n_cards}")
+        # repro-lint: disable=RH003 - injectable RNG; campaigns pass a
+        # seeded generator, the entropy default is the explicit noise mode.
         rng = rng if rng is not None else np.random.default_rng()
         self.n_cards = n_cards
         self.cards = [

@@ -44,8 +44,12 @@ CFLAGS = [
 
 
 def native_enabled() -> bool:
-    """False when ``REPRO_NATIVE=0`` opts out of all compiled kernels."""
-    return os.environ.get("REPRO_NATIVE", "1") != "0"
+    """False when ``REPRO_NATIVE=0`` (or false/no/off) opts out of all
+    compiled kernels; unset or empty means on."""
+    from ..config import env_flag
+
+    return env_flag(os.environ.get("REPRO_NATIVE"), name="REPRO_NATIVE",
+                    default=True)
 
 
 def compile_library(source: str, tag: str) -> ctypes.CDLL | None:

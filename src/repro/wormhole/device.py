@@ -48,6 +48,8 @@ class ResetFaultModel:
                 f"failure rate must be in [0, 1], got {failure_rate}"
             )
         self.failure_rate = failure_rate
+        # repro-lint: disable=RH003 - injectable RNG; campaigns pass a
+        # seeded generator, the entropy default is the explicit noise mode.
         self.rng = rng if rng is not None else np.random.default_rng()
         self.attempts = 0
         self.failures = 0

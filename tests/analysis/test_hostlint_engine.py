@@ -1,0 +1,235 @@
+"""Watcher-Host engine behaviour: suppressions, baseline, self-application.
+
+The rule-by-rule detection behaviour lives in
+``test_hostlint_rules.py``; this module covers the machinery around the
+rules — inline suppression placement, the accepted-debt baseline
+round-trip, input validation, and the gate the CI job runs: the full
+pass over ``src/repro`` must be clean against the committed baseline.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.hostlint import Baseline, BaselineEntry, HostLinter
+from repro.errors import AnalysisError, ConfigurationError
+
+REPO = Path(__file__).resolve().parent.parent.parent
+SRC = REPO / "src" / "repro"
+
+BAD = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_its_line(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter():\n"
+            "    return random.random()  # repro-lint: disable=RH003\n"
+        )
+        linter = HostLinter()
+        report = linter.lint_source(source)
+        assert not report.diagnostics
+        assert linter.suppressed_count == 1
+
+    def test_comment_line_above_suppresses_next_code_line(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter():\n"
+            "    # repro-lint: disable=RH003 - fixture noise\n"
+            "    return random.random()\n"
+        )
+        report = HostLinter().lint_source(source)
+        assert not report.diagnostics
+
+    def test_justification_may_span_several_comment_lines(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter():\n"
+            "    # repro-lint: disable=RH003 - a justification that\n"
+            "    # needs a second line to explain itself properly\n"
+            "    return random.random()\n"
+        )
+        report = HostLinter().lint_source(source)
+        assert not report.diagnostics
+
+    def test_suppression_is_rule_specific(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter():\n"
+            "    return random.random()  # repro-lint: disable=RH004\n"
+        )
+        report = HostLinter().lint_source(source)
+        assert report.rules_fired() == {"RH003"}
+
+    def test_disable_file_covers_the_whole_module(self):
+        source = (
+            "# repro-lint: disable-file=RH003\n"
+            "import random\n"
+            "\n"
+            "def jitter():\n"
+            "    return random.random()\n"
+            "\n"
+            "def shuffle(xs):\n"
+            "    random.shuffle(xs)\n"
+        )
+        linter = HostLinter()
+        report = linter.lint_source(source)
+        assert not report.diagnostics
+        assert linter.suppressed_count == 2
+
+    def test_comma_separated_rule_list(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter(items):\n"
+            "    # repro-lint: disable=RH003,RH004\n"
+            "    return [random.random() for _ in set(items)]\n"
+        )
+        report = HostLinter().lint_source(source)
+        assert not report.diagnostics
+
+
+class TestRuleSelection:
+    def test_unknown_rule_id_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="RH999"):
+            HostLinter(rules=["RH999"])
+
+    def test_restricting_rules_runs_only_those(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def jitter(items):\n"
+            "    return [random.random() for _ in set(items)]\n"
+        )
+        report = HostLinter(rules=["RH004"]).lint_source(source)
+        assert report.rules_fired() == {"RH004"}
+
+    def test_syntax_error_is_an_analysis_error(self):
+        with pytest.raises(AnalysisError, match="does not parse"):
+            HostLinter().lint_source("def broken(:\n")
+
+    def test_non_python_path_is_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        with pytest.raises(ConfigurationError, match="not a .py file"):
+            HostLinter().lint_paths([target])
+
+
+class TestBaseline:
+    def _write_fixture(self, tmp_path):
+        pkg = tmp_path / "repro" / "cpuref"
+        pkg.mkdir(parents=True)
+        module = pkg / "noise.py"
+        module.write_text(BAD)
+        return module
+
+    def test_round_trip_absorbs_known_findings(self, tmp_path):
+        module = self._write_fixture(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+
+        # First pass: record the finding into a baseline.
+        first = HostLinter()
+        report = first.lint_paths([module])
+        assert len(report) == 1
+        recorded = Baseline.from_findings(
+            [d for d, _, _ in first.fingerprints],
+            scopes=[s for _, s, _ in first.fingerprints],
+            line_texts=[t for _, _, t in first.fingerprints],
+            justification="legacy noise source, tracked",
+        )
+        recorded.save(baseline_file)
+
+        # Second pass: the loaded baseline absorbs it; the gate is clean.
+        loaded = Baseline.load(baseline_file)
+        assert loaded.entries[0].justification == \
+            "legacy noise source, tracked"
+        second = HostLinter(baseline=loaded)
+        report = second.lint_paths([module])
+        assert not report.diagnostics
+        assert len(second.baselined) == 1
+        assert not loaded.stale_entries()
+
+    def test_fixed_finding_turns_the_entry_stale(self, tmp_path):
+        module = self._write_fixture(tmp_path)
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RH003", path="repro/cpuref/noise.py", scope="jitter",
+            line_text="return random.random()",
+        )])
+        linter = HostLinter(baseline=baseline)
+        assert not linter.lint_paths([module]).diagnostics
+
+        module.write_text(
+            "import random\n"
+            "\n"
+            "def jitter(seed):\n"
+            "    return random.Random(seed).random()\n"
+        )
+        report = linter.lint_paths([module])
+        assert not report.diagnostics
+        assert baseline.stale_entries() == list(baseline.entries)
+
+    def test_baseline_does_not_match_other_locations(self, tmp_path):
+        """Fingerprints pin rule+path+scope+text: a second identical
+        defect elsewhere still fails the gate."""
+        module = self._write_fixture(tmp_path)
+        other = module.parent / "more_noise.py"
+        other.write_text(BAD)
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="RH003", path="repro/cpuref/noise.py", scope="jitter",
+            line_text="return random.random()",
+        )])
+        report = HostLinter(baseline=baseline).lint_paths(
+            [module, other]
+        )
+        assert len(report) == 1
+        assert report.diagnostics[0].path == "repro/cpuref/more_noise.py"
+
+    def test_missing_baseline_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            Baseline.load(tmp_path / "nope.json")
+
+    def test_malformed_baseline_file(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            Baseline.load(bad)
+        bad.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConfigurationError, match="unsupported format"):
+            Baseline.load(bad)
+
+
+class TestSelfApplication:
+    """The gate CI runs: src/repro is clean under the committed baseline."""
+
+    def test_repo_sources_are_clean(self):
+        baseline = Baseline.load(REPO / "hostlint-baseline.json")
+        linter = HostLinter(baseline=baseline)
+        report = linter.lint_paths([SRC])
+        assert not report.diagnostics, report.format()
+
+    def test_committed_baseline_carries_no_unjustified_debt(self):
+        baseline = Baseline.load(REPO / "hostlint-baseline.json")
+        unjustified = [
+            entry for entry in baseline.entries if not entry.justification
+        ]
+        assert not unjustified, (
+            "every committed baseline entry needs a justification: "
+            f"{unjustified}"
+        )
+
+    def test_diagnostics_carry_paths_and_lines(self):
+        report = HostLinter().lint_source(BAD)
+        diag = report.diagnostics[0]
+        assert diag.path == "repro/<string>.py"
+        assert diag.line == 4
+        assert "repro/<string>.py:4" in diag.format()

@@ -1,0 +1,544 @@
+"""Seeded-defect fixtures for every Watcher-Host rule.
+
+Each RH rule gets one minimal bad module that makes it fire *exactly
+once* under the full rule registry (so no fixture trips a neighbouring
+rule by accident), paired with the corrected version that stays clean.
+The fixtures are linted in-memory via :meth:`HostLinter.lint_source`
+with a virtual ``relpath`` that places them in whatever layer the rule
+cares about.
+"""
+
+import pytest
+
+from repro.analysis.hostlint import HostLinter, host_rules
+from repro.analysis.diagnostics import HOST_RULES, Severity
+
+
+def fire(source: str, relpath: str):
+    """Lint one fixture under the full registry; return the report."""
+    return HostLinter().lint_source(source, relpath=relpath)
+
+
+def assert_fires_once(rule: str, source: str, relpath: str):
+    report = fire(source, relpath)
+    hits = [d for d in report if d.rule == rule]
+    assert len(hits) == 1, (
+        f"expected exactly one {rule} finding, got:\n{report.format()}"
+    )
+    assert report.rules_fired() == {rule}, (
+        f"fixture for {rule} trips other rules:\n{report.format()}"
+    )
+    return hits[0]
+
+
+def assert_clean(source: str, relpath: str):
+    report = fire(source, relpath)
+    assert not report.diagnostics, report.format()
+
+
+class TestRegistry:
+    def test_every_catalogue_rule_is_implemented(self):
+        assert set(host_rules()) == set(HOST_RULES)
+
+    def test_rules_carry_hints_and_descriptions(self):
+        for rule in host_rules().values():
+            assert rule.hint
+            assert rule.description
+
+
+class TestRH001BlockingInAsync:
+    BAD = (
+        "import time\n"
+        "\n"
+        "async def handler(job):\n"
+        "    time.sleep(0.1)\n"
+        "    return job\n"
+    )
+    GOOD = (
+        "import asyncio\n"
+        "import time\n"
+        "\n"
+        "async def handler(job):\n"
+        "    await asyncio.sleep(0.1)\n"
+        "    return job\n"
+        "\n"
+        "def sync_worker():\n"
+        "    time.sleep(0.1)\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once(
+            "RH001", self.BAD, "repro/service/handlers.py"
+        )
+        assert diag.line == 4
+        assert "time.sleep" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/service/handlers.py")
+
+    def test_nested_sync_def_inside_async_is_not_flagged(self):
+        source = (
+            "import time\n"
+            "\n"
+            "async def handler():\n"
+            "    def helper():\n"
+            "        time.sleep(0.1)\n"
+            "    return helper\n"
+        )
+        assert_clean(source, "repro/service/handlers.py")
+
+
+class TestRH002WallClock:
+    BAD = (
+        "import time\n"
+        "\n"
+        "def sample():\n"
+        "    return time.monotonic()\n"
+    )
+    GOOD = (
+        "def sample(clock):\n"
+        "    return clock.now()\n"
+    )
+
+    def test_fires_once_in_modelled_layer(self):
+        diag = assert_fires_once(
+            "RH002", self.BAD, "repro/telemetry/sampler.py"
+        )
+        assert "time.monotonic" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/telemetry/sampler.py")
+
+    def test_service_layer_may_read_wall_clock(self):
+        """The job server measures real request latency: not modelled."""
+        assert_clean(self.BAD, "repro/service/latency.py")
+
+    def test_from_import_alias_is_resolved(self):
+        source = (
+            "from time import perf_counter\n"
+            "\n"
+            "def sample():\n"
+            "    return perf_counter()\n"
+        )
+        assert_fires_once("RH002", source, "repro/core/timing.py")
+
+
+class TestRH003UnseededRng:
+    BAD = (
+        "import random\n"
+        "\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    )
+    GOOD = (
+        "import random\n"
+        "\n"
+        "import numpy as np\n"
+        "\n"
+        "def jitter(seed):\n"
+        "    return random.Random(seed).random()\n"
+        "\n"
+        "def noise(seed):\n"
+        "    return np.random.default_rng(seed).normal()\n"
+    )
+
+    def test_fires_once(self):
+        assert_fires_once("RH003", self.BAD, "repro/cpuref/noise.py")
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/cpuref/noise.py")
+
+    def test_seedless_numpy_default_rng(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def noise():\n"
+            "    return np.random.default_rng().normal()\n"
+        )
+        assert_fires_once("RH003", source, "repro/cpuref/noise.py")
+
+    def test_legacy_numpy_global_state(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def noise():\n"
+            "    return np.random.rand(3)\n"
+        )
+        assert_fires_once("RH003", source, "repro/cpuref/noise.py")
+
+
+class TestRH004SetIteration:
+    BAD = (
+        "def collect(items):\n"
+        "    out = []\n"
+        "    for item in set(items):\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+    GOOD = (
+        "def collect(items):\n"
+        "    out = []\n"
+        "    for item in sorted(set(items)):\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once("RH004", self.BAD, "repro/core/order.py")
+        assert diag.severity is Severity.WARNING
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/core/order.py")
+
+    def test_comprehension_over_set_literal(self):
+        source = "SQUARES = [x * x for x in {3, 1, 2}]\n"
+        assert_fires_once("RH004", source, "repro/core/order.py")
+
+
+class TestRH005ResourceLifecycle:
+    BAD = (
+        "import subprocess\n"
+        "\n"
+        "def run(cmd):\n"
+        "    proc = subprocess.Popen(cmd)\n"
+        "    proc.wait()\n"
+    )
+    GOOD = (
+        "import subprocess\n"
+        "\n"
+        "def run(cmd):\n"
+        "    with subprocess.Popen(cmd) as proc:\n"
+        "        proc.wait()\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once("RH005", self.BAD, "repro/service/spawn.py")
+        assert "never closed" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/service/spawn.py")
+
+    def test_close_outside_finally_is_still_flagged(self):
+        source = (
+            "def read(path):\n"
+            "    fh = open(path)\n"
+            "    data = fh.read()\n"
+            "    fh.close()\n"
+            "    return data\n"
+        )
+        diag = assert_fires_once("RH005", source, "repro/service/io.py")
+        assert "not on exception paths" in diag.message
+
+    def test_close_in_finally_is_clean(self):
+        source = (
+            "def read(path):\n"
+            "    fh = open(path)\n"
+            "    try:\n"
+            "        return fh.read()\n"
+            "    finally:\n"
+            "        fh.close()\n"
+        )
+        assert_clean(source, "repro/service/io.py")
+
+    def test_returned_resource_is_callers_problem(self):
+        source = (
+            "def acquire(path):\n"
+            "    return open(path)\n"
+        )
+        assert_clean(source, "repro/service/io.py")
+
+    def test_attribute_resource_with_close_method_is_clean(self):
+        source = (
+            "import subprocess\n"
+            "\n"
+            "class Worker:\n"
+            "    def __init__(self, cmd):\n"
+            "        self.proc = subprocess.Popen(cmd)\n"
+            "\n"
+            "    def close(self):\n"
+            "        self.proc.terminate()\n"
+        )
+        assert_clean(source, "repro/service/spawn.py")
+
+    def test_attribute_resource_never_closed_fires(self):
+        source = (
+            "import subprocess\n"
+            "\n"
+            "class Worker:\n"
+            "    def __init__(self, cmd):\n"
+            "        self.proc = subprocess.Popen(cmd)\n"
+        )
+        assert_fires_once("RH005", source, "repro/service/spawn.py")
+
+
+class TestRH006RawEnvBool:
+    BAD = (
+        "import os\n"
+        "\n"
+        "def debug_enabled():\n"
+        "    if os.environ.get(\"REPRO_DEBUG\"):\n"
+        "        return True\n"
+        "    return False\n"
+    )
+    GOOD = (
+        "import os\n"
+        "\n"
+        "from ..config import env_flag\n"
+        "\n"
+        "def debug_enabled():\n"
+        "    return env_flag(os.environ.get(\"REPRO_DEBUG\"),\n"
+        "                    name=\"REPRO_DEBUG\")\n"
+    )
+
+    def test_fires_once(self):
+        assert_fires_once("RH006", self.BAD, "repro/wormhole/flags.py")
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/wormhole/flags.py")
+
+    def test_comparison_against_boolean_spellings(self):
+        source = (
+            "import os\n"
+            "\n"
+            "def native_on():\n"
+            "    return os.environ.get(\"REPRO_NATIVE\", \"1\") != \"0\"\n"
+        )
+        diag = assert_fires_once(
+            "RH006", source, "repro/wormhole/flags.py"
+        )
+        assert "spelling-sensitive" in diag.message
+
+    def test_config_layer_is_exempt(self):
+        """config *implements* env_flag: it must touch the raw value."""
+        assert_clean(self.BAD, "repro/config.py")
+
+    def test_non_boolean_env_string_read_is_fine(self):
+        source = (
+            "import os\n"
+            "\n"
+            "def trace_path():\n"
+            "    return os.environ.get(\"REPRO_TRACE\", \"\").strip()\n"
+        )
+        assert_clean(source, "repro/wormhole/flags.py")
+
+
+class TestRH007DurableWrite:
+    BAD = (
+        "def append(path, line):\n"
+        "    with open(path, \"a\") as fh:\n"
+        "        fh.write(line)\n"
+    )
+    GOOD = (
+        "import os\n"
+        "\n"
+        "def append(path, line):\n"
+        "    with open(path, \"a\") as fh:\n"
+        "        fh.write(line)\n"
+        "        fh.flush()\n"
+        "        os.fsync(fh.fileno())\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once(
+            "RH007", self.BAD, "repro/telemetry/journal.py"
+        )
+        assert "flush" in diag.message and "fsync" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/telemetry/journal.py")
+
+    def test_read_mode_is_not_durability_critical(self):
+        source = (
+            "def read(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert_clean(source, "repro/telemetry/journal.py")
+
+
+class TestRH008SilentExcept:
+    BAD = (
+        "def tolerant(fn):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    GOOD = (
+        "def tolerant(fn, log):\n"
+        "    try:\n"
+        "        fn()\n"
+        "    except ValueError:\n"
+        "        pass\n"
+        "    except Exception as exc:\n"
+        "        log.warning(\"fn failed: %s\", exc)\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once("RH008", self.BAD, "repro/core/guard.py")
+        assert diag.severity is Severity.WARNING
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/core/guard.py")
+
+    def test_bare_except_without_reraise(self):
+        source = (
+            "def tolerant(fn):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except:\n"
+            "        print(\"oops\")\n"
+        )
+        assert_fires_once("RH008", source, "repro/core/guard.py")
+
+    def test_bare_except_that_reraises_is_clean(self):
+        source = (
+            "def cleanup_then_raise(fn, undo):\n"
+            "    try:\n"
+            "        fn()\n"
+            "    except:\n"
+            "        undo()\n"
+            "        raise\n"
+        )
+        assert_clean(source, "repro/core/guard.py")
+
+
+class TestRH009Layering:
+    BAD = (
+        "from ..service import JobServer\n"
+        "\n"
+        "def dispatch(spec):\n"
+        "    return JobServer(spec)\n"
+    )
+    GOOD = (
+        "from ..errors import ReproError\n"
+        "\n"
+        "def dispatch(spec):\n"
+        "    raise ReproError(str(spec))\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once(
+            "RH009", self.BAD, "repro/wormhole/bad_import.py"
+        )
+        assert "'wormhole' imports 'service'" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/wormhole/bad_import.py")
+
+    def test_cli_is_exempt(self):
+        source = "from .service import JobServer\n"
+        assert_clean(source, "repro/cli.py")
+
+
+class TestRH010WorkerGlobalMutation:
+    BAD = (
+        "_CACHE = {}\n"
+        "\n"
+        "def remember(key, value):\n"
+        "    _CACHE[key] = value\n"
+    )
+    GOOD = (
+        "class Cache:\n"
+        "    def __init__(self):\n"
+        "        self._data = {}\n"
+        "\n"
+        "    def remember(self, key, value):\n"
+        "        self._data[key] = value\n"
+    )
+
+    def test_fires_once_in_worker_layer(self):
+        diag = assert_fires_once(
+            "RH010", self.BAD, "repro/backends/cache.py"
+        )
+        assert diag.severity is Severity.WARNING
+        assert "_CACHE" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/backends/cache.py")
+
+    def test_non_worker_layer_is_not_flagged(self):
+        assert_clean(self.BAD, "repro/observability/cache.py")
+
+    def test_mutating_method_call_is_flagged(self):
+        source = (
+            "_SEEN = set()\n"
+            "\n"
+            "def mark(item):\n"
+            "    _SEEN.add(item)\n"
+        )
+        assert_fires_once("RH010", source, "repro/backends/cache.py")
+
+
+class TestRH011DanglingTask:
+    BAD = (
+        "import asyncio\n"
+        "\n"
+        "async def kick(coro):\n"
+        "    asyncio.create_task(coro)\n"
+    )
+    GOOD = (
+        "import asyncio\n"
+        "\n"
+        "async def kick(coro):\n"
+        "    task = asyncio.create_task(coro)\n"
+        "    await task\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once(
+            "RH011", self.BAD, "repro/service/tasks.py"
+        )
+        assert "garbage-collected" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/service/tasks.py")
+
+
+class TestRH012LockLifecycle:
+    BAD = (
+        "def locked_update(lock, fn):\n"
+        "    lock.acquire()\n"
+        "    fn()\n"
+        "    lock.release()\n"
+    )
+    GOOD = (
+        "def locked_update(lock, fn):\n"
+        "    lock.acquire()\n"
+        "    try:\n"
+        "        fn()\n"
+        "    finally:\n"
+        "        lock.release()\n"
+        "\n"
+        "def with_statement(lock, fn):\n"
+        "    with lock:\n"
+        "        fn()\n"
+    )
+
+    def test_fires_once(self):
+        diag = assert_fires_once(
+            "RH012", self.BAD, "repro/core/locks.py"
+        )
+        assert "finally" in diag.message
+
+    def test_clean_after_fix(self):
+        assert_clean(self.GOOD, "repro/core/locks.py")
+
+
+class TestSeverities:
+    @pytest.mark.parametrize("rule,severity", [
+        ("RH001", Severity.ERROR),
+        ("RH002", Severity.ERROR),
+        ("RH003", Severity.ERROR),
+        ("RH004", Severity.WARNING),
+        ("RH005", Severity.ERROR),
+        ("RH006", Severity.ERROR),
+        ("RH007", Severity.ERROR),
+        ("RH008", Severity.WARNING),
+        ("RH009", Severity.ERROR),
+        ("RH010", Severity.WARNING),
+        ("RH011", Severity.ERROR),
+        ("RH012", Severity.ERROR),
+    ])
+    def test_per_rule_severity(self, rule, severity):
+        assert host_rules()[rule].severity is severity

@@ -198,7 +198,11 @@ class TestReportMechanics:
             Diagnostic("WH999", Severity.ERROR, "nope")
 
     def test_rule_catalogue_is_complete(self):
-        assert set(RULES) == {f"WH{i:03d}" for i in range(1, 12)}
+        device = {r for r in RULES if r.startswith("WH")}
+        host = {r for r in RULES if r.startswith("RH")}
+        assert device == {f"WH{i:03d}" for i in range(1, 12)}
+        assert host == {f"RH{i:03d}" for i in range(1, 13)}
+        assert device | host == set(RULES)
 
     def test_core_aggregation(self):
         # the same missing arg on 4 cores folds into one diagnostic

@@ -1,0 +1,127 @@
+"""``repro-lint`` CLI: device and host passes share one exit-code contract.
+
+Exit 0 means clean, 1 means findings, 2 means the invocation itself was
+wrong (unknown rule, missing baseline file, bad flags) or the linter
+failed internally — so CI can tell "the code is bad" from "the gate is
+broken".
+"""
+
+import json
+
+import pytest
+
+from repro.cli import lint_main, main
+
+BAD = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "repro" / "cpuref"
+    pkg.mkdir(parents=True)
+    (pkg / "noise.py").write_text(BAD)
+    return pkg
+
+
+class TestHostExitCodes:
+    def test_clean_repo_exits_0(self, capsys):
+        assert main(["lint", "--host"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, bad_tree, capsys):
+        rc = main(["lint", "--host", "--paths", str(bad_tree)])
+        assert rc == 1
+        assert "RH003" in capsys.readouterr().out
+
+    def test_warning_findings_exit_0_unless_escalated(self, tmp_path,
+                                                      capsys):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "order.py").write_text(
+            "def collect(items):\n"
+            "    return [i for i in set(items)]\n"
+        )
+        assert main(["lint", "--host", "--paths", str(pkg)]) == 0
+        assert main(["lint", "--host", "--paths", str(pkg),
+                     "--warnings-as-errors"]) == 1
+        assert "RH004" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_2_without_traceback(self, capsys):
+        rc = main(["lint", "--host", "--rules", "RH999"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "unknown host lint rule" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        rc = main(["lint", "--host",
+                   "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        rc = main(["lint", "--host", "--write-baseline"])
+        assert rc == 2
+        assert "--write-baseline requires" in capsys.readouterr().err
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--engine", "warp"])
+        assert excinfo.value.code == 2
+
+    def test_rules_flag_restricts_the_pass(self, bad_tree, capsys):
+        rc = main(["lint", "--host", "--paths", str(bad_tree),
+                   "--rules", "RH004"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestHostBaselineFlow:
+    def test_write_then_gate_round_trip(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        rc = main(["lint", "--host", "--paths", str(bad_tree),
+                   "--baseline", str(baseline), "--write-baseline"])
+        assert rc == 0
+        assert "wrote 1 baseline entry" in capsys.readouterr().out
+
+        rc = main(["lint", "--host", "--paths", str(bad_tree),
+                   "--baseline", str(baseline)])
+        assert rc == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_json_report_shape(self, bad_tree, capsys):
+        rc = main(["lint", "--host", "--paths", str(bad_tree), "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts"]["errors"] == 1
+        finding = payload["findings"][0]
+        assert finding["rule"] == "RH003"
+        assert finding["path"].endswith("noise.py")
+        assert finding["line"] == 4
+
+
+class TestDeviceExitCodes:
+    def test_clean_device_programs_exit_0(self, capsys):
+        rc = main(["lint", "--n", "512", "--cores", "2"])
+        assert rc == 0
+        assert "WH" not in capsys.readouterr().out.replace("WH001", "")
+
+    def test_internal_error_exits_2_without_traceback(self, capsys):
+        rc = main(["lint", "--n", "-5", "--cores", "2"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "repro-lint: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestLintMainEntryPoint:
+    def test_forwards_to_lint_subcommand(self, bad_tree, capsys):
+        rc = lint_main(["--host", "--paths", str(bad_tree)])
+        assert rc == 1
+        assert "RH003" in capsys.readouterr().out

@@ -1,11 +1,13 @@
 """Import-graph test enforcing the layer map in docs/ARCHITECTURE.md.
 
-Walks every module under ``src/repro`` with :mod:`ast` (no imports are
-executed) and checks that each package only imports from the packages
-the architecture document allows.  If this test fails you either added
-an import that violates the layering — move the shared code down a
-layer instead — or you deliberately changed the architecture, in which
-case update ``ALLOWED_DEPS`` *and* docs/ARCHITECTURE.md together.
+The edge list itself lives in :mod:`repro.analysis.hostlint.layering` —
+the same ``ALLOWED_DEPS`` / ``EXEMPT`` the static ``RH009`` host-lint
+rule enforces, so this test and ``repro-lint --host`` can never disagree
+about which cross-layer imports are legal.  If this test fails you
+either added an import that violates the layering — move the shared code
+down a layer instead — or you deliberately changed the architecture, in
+which case update the shared edge list *and* docs/ARCHITECTURE.md
+together.
 """
 
 from __future__ import annotations
@@ -13,111 +15,45 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
+from repro.analysis.hostlint import HostLinter
+from repro.analysis.hostlint.layering import (
+    ALLOWED_DEPS,
+    EXEMPT,
+    imported_packages,
+    package_of,
+)
+
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: package -> intra-repro packages it may import from.  Top-level
-#: modules (config, errors, simclock) count as packages of their own
-#: name; the aggregation surfaces (``cli``, ``bench`` and the package
-#: ``__init__``) may import anything and are exempted below.
-ALLOWED_DEPS: dict[str, set[str]] = {
-    "errors": set(),
-    "config": {"errors"},
-    "simclock": {"errors"},
-    "observability": {"errors"},
-    "core": {"errors", "observability", "backends"},
-    "wormhole": {"errors"},
-    "analysis": {"errors", "wormhole"},
-    "metalium": {"errors", "wormhole", "analysis"},
-    "cpuref": {"errors", "core", "backends"},
-    "nbody_tt": {"errors", "core", "wormhole", "metalium", "backends"},
-    # The backends layer: its protocol module sits *below* core (core
-    # re-exports ForceBackend/ForceEvaluation from it), while the
-    # registry/sharded/runspec modules aggregate the competitors above
-    # it via lazy imports.  The AST walk counts both directions, hence
-    # the mutual core <-> backends allowance.
-    "backends": {
-        "errors", "config", "observability", "core", "wormhole",
-        "metalium", "cpuref", "nbody_tt",
-    },
-    "telemetry": {
-        "errors", "simclock", "core", "cpuref", "nbody_tt", "wormhole",
-        "backends",
-    },
-    # The job server executes RunSpecs either as modelled campaign
-    # replays (telemetry, lazily) or real integrations (core, lazily).
-    "service": {"errors", "backends", "observability", "telemetry", "core"},
-}
 
-#: Modules allowed to import from any layer: the user-facing
-#: aggregation points, by design at the top of the stack.
-EXEMPT = {"cli", "bench", "__init__"}
-
-
-def _package_of(path: Path) -> str:
-    """The layer name a source file belongs to."""
-    rel = path.relative_to(SRC)
-    if len(rel.parts) == 1:
-        return rel.stem            # top-level module: config.py, cli.py...
-    return rel.parts[0]            # subpackage: core/, wormhole/...
-
-
-def _imported_packages(path: Path) -> set[str]:
-    """Intra-repro packages imported by one module (static analysis)."""
-    tree = ast.parse(path.read_text())
-    rel = path.relative_to(SRC)
-    targets: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            module = node.module or ""
-            if node.level == 0:
-                if module == "repro" or module.startswith("repro."):
-                    parts = module.split(".")
-                    targets.add(parts[1] if len(parts) > 1 else "__init__")
-                continue
-            # Relative import: resolve against this file's location.
-            # depth = how many package levels up `level` dots reach.
-            depth = len(rel.parts) - 1 - (node.level - 1)
-            if depth <= 0:
-                # Climbed to the repro package root (or its top-level
-                # modules): `from ..errors import ...` etc.
-                parts = module.split(".") if module else []
-                if parts:
-                    targets.add(parts[0])
-                else:
-                    # `from .. import x` — names are top-level modules
-                    # or subpackages.
-                    targets.update(alias.name for alias in node.names)
-            # depth > 0 means a sibling import inside the same
-            # package — always allowed.
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "repro" or alias.name.startswith("repro."):
-                    parts = alias.name.split(".")
-                    targets.add(parts[1] if len(parts) > 1 else "__init__")
-    return targets
+def _rel_parts(path: Path) -> tuple[str, ...]:
+    return path.relative_to(SRC).parts
 
 
 def test_every_package_is_in_the_layer_map():
     packages = {
-        _package_of(p) for p in SRC.rglob("*.py")
+        package_of(_rel_parts(p)) for p in SRC.rglob("*.py")
     } - EXEMPT
     unmapped = packages - set(ALLOWED_DEPS)
     assert not unmapped, (
-        f"packages missing from ALLOWED_DEPS (add them here and to "
-        f"docs/ARCHITECTURE.md): {sorted(unmapped)}"
+        f"packages missing from ALLOWED_DEPS (add them to "
+        f"repro/analysis/hostlint/layering.py and docs/ARCHITECTURE.md): "
+        f"{sorted(unmapped)}"
     )
 
 
 def test_layering():
     violations = []
     for path in sorted(SRC.rglob("*.py")):
-        package = _package_of(path)
-        if package in EXEMPT or path.name == "__init__.py" and len(
-            path.relative_to(SRC).parts
-        ) == 1:
+        rel_parts = _rel_parts(path)
+        package = package_of(rel_parts)
+        if package in EXEMPT or (
+            path.name == "__init__.py" and len(rel_parts) == 1
+        ):
             continue
         allowed = ALLOWED_DEPS[package]
-        for target in sorted(_imported_packages(path)):
+        tree = ast.parse(path.read_text())
+        for target, _lineno in imported_packages(tree, rel_parts):
             if target == package or target == "__init__":
                 continue
             if target not in allowed:
@@ -125,7 +61,18 @@ def test_layering():
                     f"{path.relative_to(SRC.parent)}: layer '{package}' "
                     f"imports '{target}' (allowed: {sorted(allowed)})"
                 )
-    assert not violations, "\n".join(violations)
+    assert not violations, "\n".join(sorted(set(violations)))
+
+
+def test_rh009_agrees_with_this_test():
+    """The static RH009 rule and this test share one edge list.
+
+    A clean tree must be clean under both; the linter restricted to
+    RH009 over the real sources is the cross-check.
+    """
+    linter = HostLinter(rules=["RH009"])
+    report = linter.lint_paths([SRC])
+    assert not report.diagnostics, report.format()
 
 
 def test_architecture_doc_lists_every_layer():
