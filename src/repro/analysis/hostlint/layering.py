@@ -39,6 +39,11 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "metalium": {"errors", "wormhole", "analysis"},
     "cpuref": {"errors", "core", "backends"},
     "nbody_tt": {"errors", "core", "wormhole", "metalium", "backends"},
+    # The far-field port: PM mesh/Poisson numerics plus the Metalium FFT
+    # kernel set; reuses nbody_tt's tiling assignment and op-mix pricing.
+    "nbody_pm": {
+        "errors", "core", "wormhole", "metalium", "backends", "nbody_tt",
+    },
     # The backends layer: its protocol module sits *below* core (core
     # re-exports ForceBackend/ForceEvaluation from it), while the
     # registry/sharded/runspec modules aggregate the competitors above
@@ -46,7 +51,7 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     # mutual core <-> backends allowance.
     "backends": {
         "errors", "config", "observability", "core", "wormhole",
-        "metalium", "cpuref", "nbody_tt",
+        "metalium", "cpuref", "nbody_tt", "nbody_pm",
     },
     "telemetry": {
         "errors", "simclock", "core", "cpuref", "nbody_tt", "wormhole",

@@ -33,7 +33,7 @@ __all__ = ["Finding", "HostRule", "register_rule", "host_rules"]
 #: a pure function of the performance model.
 MODELLED_TIME_PACKAGES = frozenset({
     "simclock", "core", "wormhole", "observability", "telemetry",
-    "metalium", "nbody_tt", "cpuref", "backends",
+    "metalium", "nbody_tt", "nbody_pm", "cpuref", "backends",
 })
 
 #: Layers whose code runs inside shard-executor workers (threads or

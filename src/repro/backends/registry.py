@@ -286,6 +286,26 @@ def _make_tt_matmul(*, softening: float, cores: int) -> ForceBackend:
     return MatmulVariantBackend(softening=softening, n_cores=cores)
 
 
+def _make_tt_pm(*, mesh: int, cutoff: float, softening: float,
+                cores: int) -> ForceBackend:
+    from ..metalium.host_api import CreateDevice
+    from ..nbody_pm.backend import PMForceBackend
+
+    return PMForceBackend(
+        CreateDevice(0), mesh=mesh, cutoff=cutoff, softening=softening,
+        cores=cores,
+    )
+
+
+def _make_cpu_pm(*, mesh: int, cutoff: float, softening: float
+                 ) -> ForceBackend:
+    from ..nbody_pm.backend import PMForceBackend
+
+    return PMForceBackend(
+        mesh=mesh, cutoff=cutoff, softening=softening,
+    )
+
+
 #: Options shared by the Wormhole-offload family.  ``cores`` defaults to 8
 #: — the single source of truth the CLI and every benchmark now share
 #: (`repro simulate --cores` used 8 while benchmarks ranged 2..64).
@@ -341,6 +361,31 @@ register_backend(
         _SOFTENING,
         OptionSpec("cores", int, 8, "Tensix cores the cost model assumes"),
     ),
+)
+#: Options shared by the particle-mesh family.  ``cutoff`` is in units of
+#: the mesh spacing; 0 disables the short-range correction (pure PM, for
+#: collisionless far-field runs).
+_PM_OPTIONS = (
+    OptionSpec("mesh", int, 32,
+               "PM grid cells per axis (power of two in [32, 256])"),
+    OptionSpec("cutoff", float, 5.0,
+               "short-range cutoff in mesh spacings (0 = pure PM)"),
+    _SOFTENING,
+)
+
+register_backend(
+    "tt-pm", _make_tt_pm,
+    description="particle-mesh far field on the Metalium FFT kernel set "
+                "+ screened direct near field",
+    options=_PM_OPTIONS + (
+        OptionSpec("cores", int, 8, "Tensix cores per FFT pass"),
+    ),
+)
+register_backend(
+    "cpu-pm", _make_cpu_pm,
+    description="particle-mesh reference: same split and grids, "
+                "host-modelled FFT time",
+    options=_PM_OPTIONS,
 )
 register_backend(
     "tt-matmul", _make_tt_matmul,

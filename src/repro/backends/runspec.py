@@ -38,7 +38,8 @@ __all__ = ["RunSpec"]
 #: single carrier, injected by :meth:`RunSpec.make_backend`.
 _CLI_OPTION_NAMES = {"cores": "cores", "threads": "threads",
                      "cards": "cards", "format": "fmt",
-                     "workers": "workers"}
+                     "workers": "workers", "mesh": "mesh",
+                     "cutoff": "cutoff"}
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "REPRO_SHARD_WORKERS or thread)")
     sim.add_argument("--threads", type=int, default=None,
                      help="OpenMP threads (cpu backend; registry default 32)")
+    sim.add_argument("--mesh", type=int, default=None,
+                     help="PM grid cells per axis (pm backends; "
+                          "registry default 32)")
+    sim.add_argument("--cutoff", type=float, default=None,
+                     help="PM short-range cutoff in mesh spacings "
+                          "(pm backends; 0 = pure PM; registry default 5)")
     sim.add_argument("--softening", type=float, default=0.0)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--snapshot", type=str, default=None,
@@ -225,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--workers", default=None,
                      choices=("serial", "thread", "process"))
     sbm.add_argument("--threads", type=int, default=None)
+    sbm.add_argument("--mesh", type=int, default=None)
+    sbm.add_argument("--cutoff", type=float, default=None)
     sbm.add_argument("--softening", type=float, default=0.0)
     sbm.add_argument("--seed", type=int, default=0)
     sbm.add_argument("--follow", action="store_true",
@@ -338,12 +346,15 @@ def _residency_lines(backend) -> list[str]:
     if counters_fn is None:
         return []
     counters = counters_fn()
-    return [
-        "Residency (cumulative across timesteps): "
-        f"tilize cache {counters['tilize_cache_hits']} hits / "
-        f"{counters['tilize_cache_misses']} misses, "
-        f"{counters['upload_skipped_bytes']} upload bytes skipped"
-    ]
+    if "tilize_cache_hits" in counters:
+        return [
+            "Residency (cumulative across timesteps): "
+            f"tilize cache {counters['tilize_cache_hits']} hits / "
+            f"{counters['tilize_cache_misses']} misses, "
+            f"{counters['upload_skipped_bytes']} upload bytes skipped"
+        ]
+    body = ", ".join(f"{k} {v}" for k, v in sorted(counters.items()))
+    return [f"Residency (cumulative across timesteps): {body}"]
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -607,6 +618,25 @@ def _cmd_lint_device(args: argparse.Namespace) -> int:
                 failed += 1
     finally:
         CloseDevice(device)
+
+    pm = make_backend("tt-pm", cores=args.cores)
+    pm_device = pm.devices[0]
+    try:
+        pm._ensure_buffers()
+        linter = ProgramLinter()
+        for src, dst, kspace in (("R0", "R1", False), ("R1", "W0", True)):
+            label = "k-space" if kspace else "fft pass"
+            program = pm._program(src, dst, kspace=kspace)
+            report = linter.lint(program, device=pm_device)
+            print(f"program: pm {label}, float32, {args.cores} cores, "
+                  f"mesh {pm.mesh}")
+            print(report.format())
+            if not report.ok:
+                failed += 1
+            elif args.warnings_as_errors and report.warnings:
+                failed += 1
+    finally:
+        CloseDevice(pm_device)
     return 1 if failed else 0
 
 

@@ -1,0 +1,62 @@
+"""The particle-mesh far-field port (``tt-pm`` / ``cpu-pm``).
+
+The direct-summation backends pay O(N^2) per evaluation; this package
+trades the smooth far field for an O(N + M^3 log M) particle-mesh solve
+built on a Metalium FFT kernel set, keeping a screened O(N) direct
+correction for near pairs.  The layers: mesh geometry and CIC transfer
+(:mod:`~repro.nbody_pm.mesh`), the near/far force split
+(:mod:`~repro.nbody_pm.splitting`), the isolated-boundary k-space solve
+(:mod:`~repro.nbody_pm.poisson`), the cell-list short-range correction
+(:mod:`~repro.nbody_pm.shortrange`), the tile-granular FFT/k-space
+device programs (:mod:`~repro.nbody_pm.fft_kernel`), and the
+:class:`~repro.nbody_pm.backend.PMForceBackend` that prices the
+pipeline through the Metalium layer (``tt-pm``) or a host model
+(``cpu-pm``), with :class:`~repro.nbody_pm.backend.PMDeviceModel` as
+the analytic twin.  See docs/FARFIELD.md for the executed walkthrough.
+"""
+
+from .backend import PM_HOST_PER_PARTICLE_S, PMDeviceModel, PMForceBackend
+from .fft_kernel import (
+    BUTTERFLY_OPS,
+    CB_IN,
+    CB_OUT,
+    KSPACE_OPS,
+    build_fft_pass_program,
+    build_kspace_program,
+    charge_fft_batch,
+    charge_kspace_batch,
+    fft_batch_tile_ops,
+    fft_batches_per_pass,
+    fft_stages,
+    tiles_per_batch,
+)
+from .mesh import MeshSpec, cic_deposit, cic_gather
+from .poisson import PoissonSolver
+from .shortrange import near_field_correction
+from .splitting import erf, erfc, split_weights
+
+__all__ = [
+    "PM_HOST_PER_PARTICLE_S",
+    "PMDeviceModel",
+    "PMForceBackend",
+    "BUTTERFLY_OPS",
+    "CB_IN",
+    "CB_OUT",
+    "KSPACE_OPS",
+    "build_fft_pass_program",
+    "build_kspace_program",
+    "charge_fft_batch",
+    "charge_kspace_batch",
+    "fft_batch_tile_ops",
+    "fft_batches_per_pass",
+    "fft_stages",
+    "tiles_per_batch",
+    "MeshSpec",
+    "cic_deposit",
+    "cic_gather",
+    "PoissonSolver",
+    "near_field_correction",
+    "erf",
+    "erfc",
+    "split_weights",
+]

@@ -1,0 +1,125 @@
+"""Isolated-boundary k-space Poisson solve for the PM far field.
+
+An N-body cluster is a *vacuum* problem — a periodic FFT solve would
+surround it with phantom images.  :class:`PoissonSolver` uses Hockney's
+doubled-grid trick: the mass grid is zero-padded into a ``2M``-cube, the
+smoothed Green's function is sampled in real space with min-image
+wraparound on the doubled grid, and the circular convolution the FFT
+computes then equals the open-boundary convolution on the original
+``M``-cube corner.
+
+The Green's function is the *far-field* kernel of the split
+(:mod:`repro.nbody_pm.splitting`)::
+
+    g(r) = -G erf(r / 2a) / r,     g(0) = -G / (a sqrt(pi))
+
+so the mesh carries exactly the smooth component and the short-range
+correction supplies the rest.  Its transform — divided once by the
+squared CIC window for deposit+gather deconvolution — is cached keyed on
+``(size, box_length, split_scale)``; :meth:`MeshSpec.fit`'s power-of-two
+box keeps that key stable across timesteps, and the backend surfaces the
+hit/miss counts as residency counters.
+
+Accelerations come from the spectral gradient: ``a_c = F^-1[-i k_c
+phi_hat]`` — three inverse FFTs, no finite-difference dispersion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.units import G_NBODY
+from .mesh import MeshSpec
+from .splitting import erf
+
+__all__ = ["PoissonSolver"]
+
+
+class PoissonSolver:
+    """Far-field acceleration grids from a deposited mass grid."""
+
+    def __init__(self, G: float = G_NBODY) -> None:
+        self.G = G
+        self._green_cache: dict[tuple[int, float, float], np.ndarray] = {}
+        self.green_cache_hits = 0
+        self.green_cache_misses = 0
+
+    # -- Green's function -------------------------------------------------
+
+    def _green_hat(self, spec: MeshSpec, split_scale: float) -> np.ndarray:
+        """rfftn of the smoothed, CIC-deconvolved Green's function.
+
+        Real-space sampling (not the analytic k-space kernel) is what
+        makes the doubled-grid convolution *exactly* the open-boundary
+        sum over cell centres — the FFT is used only as a fast convolver.
+        """
+        key = (spec.size, spec.box_length, split_scale)
+        cached = self._green_cache.get(key)
+        if cached is not None:
+            self.green_cache_hits += 1
+            return cached
+        self.green_cache_misses += 1
+
+        m2 = 2 * spec.size
+        h = spec.spacing
+        idx = np.arange(m2)
+        # Min-image signed lag per axis on the doubled grid.
+        lag = np.where(idx <= m2 // 2, idx, idx - m2).astype(np.float64) * h
+        r = np.sqrt(
+            lag[:, None, None] ** 2
+            + lag[None, :, None] ** 2
+            + lag[None, None, :] ** 2
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            g = -self.G * erf(r / (2.0 * split_scale)) / r
+        g[0, 0, 0] = -self.G / (split_scale * np.sqrt(np.pi))
+
+        g_hat = np.fft.rfftn(g)
+        # Deconvolve the CIC window twice (deposit + gather).  The
+        # per-axis window is sinc^2(k h / 2); np.sinc(x) = sin(pi x)/(pi x)
+        # so the argument is k h / (2 pi).
+        k_full = 2.0 * np.pi * np.fft.fftfreq(m2, d=h)
+        k_half = 2.0 * np.pi * np.fft.rfftfreq(m2, d=h)
+        wx = np.sinc(k_full * h / (2.0 * np.pi)) ** 2
+        wz = np.sinc(k_half * h / (2.0 * np.pi)) ** 2
+        window = (
+            wx[:, None, None] * wx[None, :, None] * wz[None, None, :]
+        )
+        g_hat = g_hat / window**2
+        self._green_cache[key] = g_hat
+        return g_hat
+
+    # -- solve ------------------------------------------------------------
+
+    def accelerations(
+        self, mass_grid: np.ndarray, spec: MeshSpec, split_scale: float
+    ) -> np.ndarray:
+        """(3, M, M, M) far-field acceleration grids for a mass grid."""
+        m2 = 2 * spec.size
+        rho = np.zeros((m2,) * 3, dtype=np.float64)
+        rho[: spec.size, : spec.size, : spec.size] = mass_grid
+
+        g_hat = self._green_hat(spec, split_scale)
+        phi_hat = np.fft.rfftn(rho) * g_hat
+
+        k_full = 2.0 * np.pi * np.fft.fftfreq(m2, d=spec.spacing)
+        k_half = 2.0 * np.pi * np.fft.rfftfreq(m2, d=spec.spacing)
+        # Zero the gradient at the Nyquist mode: fftfreq carries it with
+        # one sign only, which would make the difference operator lose
+        # its oddness — and with it, exact pairwise antisymmetry
+        # (momentum conservation) of the mesh force.
+        k_full = k_full.copy()
+        k_half = k_half.copy()
+        k_full[m2 // 2] = 0.0
+        k_half[-1] = 0.0
+        acc = np.empty((3, spec.size, spec.size, spec.size),
+                       dtype=np.float64)
+        for axis, k_axis in enumerate((
+            k_full[:, None, None],
+            k_full[None, :, None],
+            k_half[None, None, :],
+        )):
+            acc_hat = -1j * k_axis * phi_hat
+            full = np.fft.irfftn(acc_hat, s=(m2,) * 3, axes=(0, 1, 2))
+            acc[axis] = full[: spec.size, : spec.size, : spec.size]
+        return acc

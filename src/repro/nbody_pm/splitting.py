@@ -1,0 +1,73 @@
+r"""The near/far force split underlying the particle-mesh backend.
+
+The PM far field can only resolve structure at the mesh scale, so the
+``1/r`` kernel is split Ewald-style at a smoothing scale ``a``::
+
+    1/r  =  erf(r / 2a) / r   +   erfc(r / 2a) / r
+            \__ far (mesh) _/     \_ near (direct) _/
+
+The far term is the potential of a Gaussian cloud of width ``a`` — smooth
+on the mesh, so the grid can represent it — and the near term decays like
+``erfc`` and is negligible beyond a few ``a``, so the direct correction
+only needs pairs inside a short cutoff.  Summing the two pieces recovers
+the exact Newtonian force; the *same* ``erf`` approximation is used on
+both sides so the split cancels to machine precision of the
+approximation, not of the analytic function.
+
+SciPy is deliberately not required: :func:`erf`/:func:`erfc` implement
+Abramowitz & Stegun 7.1.26 (max abs error 1.5e-7, far below the 1%
+accuracy gate) with NumPy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["erf", "erfc", "split_weights"]
+
+# Abramowitz & Stegun 7.1.26 rational-approximation constants.
+_A1 = 0.254829592
+_A2 = -0.284496736
+_A3 = 1.421413741
+_A4 = -1.453152027
+_A5 = 1.061405429
+_P = 0.3275911
+
+
+def erfc(x: np.ndarray) -> np.ndarray:
+    """Complementary error function, vectorised (A&S 7.1.26).
+
+    Accurate to 1.5e-7 absolute; odd symmetry extends it to x < 0.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    z = np.abs(x)
+    t = 1.0 / (1.0 + _P * z)
+    poly = t * (_A1 + t * (_A2 + t * (_A3 + t * (_A4 + t * _A5))))
+    result = poly * np.exp(-z * z)
+    return np.where(x >= 0.0, result, 2.0 - result)
+
+
+def erf(x: np.ndarray) -> np.ndarray:
+    """Error function, vectorised: ``1 - erfc(x)``."""
+    return 1.0 - erfc(x)
+
+
+def split_weights(r: np.ndarray, a: float) -> tuple[np.ndarray, np.ndarray]:
+    """Near-field screening factor ``s(r)`` and its derivative ``s'(r)``.
+
+    With ``x = r / 2a``, the near-field pair force is the full Newtonian
+    force scaled by::
+
+        s(r)  = erfc(x) + (2x / sqrt(pi)) exp(-x^2)
+        s'(r) = -(r^2 / (2 a^3 sqrt(pi))) exp(-r^2 / 4a^2)
+
+    ``s -> 1`` as ``r -> 0`` (the mesh contributes nothing at zero lag)
+    and ``s -> 0`` beyond a few ``a`` (the mesh carries the whole force).
+    ``s'`` feeds the exact near-field jerk.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    x = r / (2.0 * a)
+    gauss = np.exp(-x * x)
+    s = erfc(x) + (2.0 / np.sqrt(np.pi)) * x * gauss
+    sp = -(r * r) / (2.0 * a**3 * np.sqrt(np.pi)) * gauss
+    return s, sp

@@ -22,6 +22,12 @@ PARITY_N = {
     "tt-matmul": 1024,
 }
 
+#: The particle-mesh backends approximate the far field, so the paper's
+#: direct-summation gates (0.05% / 0.2% per component) do not apply to
+#: them; their own accuracy gate — RMS force error vs direct summation —
+#: lives in tests/nbody_pm/test_accuracy.py.
+PM_BACKENDS = {"tt-pm", "cpu-pm"}
+
 
 @pytest.mark.parametrize("name", sorted(PARITY_N))
 def test_backend_passes_paper_gates(name):
@@ -35,10 +41,12 @@ def test_backend_passes_paper_gates(name):
 
 
 def test_parity_table_covers_every_registered_backend():
-    """New registry entries must join the parity matrix above."""
+    """New registry entries must join the parity matrix above (or the
+    PM carve-out, which has its own accuracy gate)."""
     from repro.backends import backend_names
 
-    assert set(PARITY_N) == set(backend_names())
+    assert set(PARITY_N) | PM_BACKENDS == set(backend_names())
+    assert not set(PARITY_N) & PM_BACKENDS
 
 
 def test_sharded_passes_paper_gates():

@@ -27,6 +27,7 @@ DOCUMENTS = [
     "docs/OBSERVABILITY.md",
     "docs/PORTING.md",
     "docs/ARCHITECTURE.md",
+    "docs/FARFIELD.md",
 ]
 
 _FENCE = re.compile(

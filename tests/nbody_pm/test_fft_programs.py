@@ -1,0 +1,93 @@
+"""The FFT kernel set: lint/sanitizer cleanliness and model pinning."""
+
+import pytest
+
+from repro.analysis import ProgramLinter, SanitizerContext
+from repro.core import uniform_sphere
+from repro.metalium import CloseDevice, CreateDevice
+from repro.nbody_pm import (
+    PMDeviceModel,
+    PMForceBackend,
+    fft_batch_tile_ops,
+    fft_batches_per_pass,
+    fft_stages,
+    tiles_per_batch,
+)
+
+
+@pytest.fixture
+def device():
+    dev = CreateDevice(0)
+    yield dev
+    if dev.is_open:
+        CloseDevice(dev)
+
+
+def test_fft_geometry():
+    assert fft_stages(64) == 6
+    assert tiles_per_batch(64) == 2
+    assert fft_batches_per_pass(64) == 128
+    assert fft_batch_tile_ops(64) == 6 * 1
+
+
+@pytest.mark.parametrize("kspace", [False, True], ids=["pass", "kspace"])
+def test_pm_programs_lint_clean(device, kspace):
+    backend = PMForceBackend(device, mesh=32, cores=4)
+    backend._ensure_buffers()
+    src, dst = ("R1", "W0") if kspace else ("R0", "R1")
+    program = backend._program(src, dst, kspace=kspace)
+    report = ProgramLinter().lint(program, device=device)
+    assert len(report) == 0, report.format()
+
+
+def test_pm_eval_runs_sanitized_clean(device):
+    with SanitizerContext(halt=False) as ctx:
+        backend = PMForceBackend(device, mesh=32, cores=4)
+        system = uniform_sphere(256, seed=3)
+        backend.compute(system.pos, system.vel, system.mass)
+    assert ctx.report.ok, ctx.report.format()
+
+
+def test_device_model_matches_charged_pass(device):
+    """PMDeviceModel's closed form must equal the cycles the charged
+    program actually accumulates — the same pinning contract
+    DeviceTimeModel has with the force kernels."""
+    backend = PMForceBackend(device, mesh=32, cores=4)
+    backend._ensure_buffers()
+    program = backend._program("R0", "R1")
+    for buf in backend._buffers["R0"]:   # prime, as the real eval does
+        backend.queues[0].charge_write_buffer(buf)
+    device.clear_counters()
+    backend.queues[0].enqueue_program(program)
+    worst = max(c.counter.compute_cycles for c in device.cores)
+    assert worst == pytest.approx(backend.model.pass_compute_cycles())
+
+
+def test_device_model_matches_charged_kspace(device):
+    backend = PMForceBackend(device, mesh=32, cores=4)
+    backend._ensure_buffers()
+    program = backend._program("R1", "W0", kspace=True)
+    for buf in backend._buffers["R1"]:   # prime, as the real eval does
+        backend.queues[0].charge_write_buffer(buf)
+    device.clear_counters()
+    backend.queues[0].enqueue_program(program)
+    worst = max(c.counter.compute_cycles for c in device.cores)
+    assert worst == pytest.approx(backend.model.kspace_compute_cycles())
+
+
+def test_model_eval_covers_whole_pipeline():
+    model = PMDeviceModel(mesh=64, n_cores=8)
+    n = 10_000
+    total = model.eval_seconds(n, n_pairs=5000)
+    assert total > model.host_cic_seconds(n)
+    assert total > model.fft_device_seconds()
+    assert model.near_field_seconds(0) == 0.0
+
+
+def test_device_segments_match_model(device):
+    """The summed device segments of a real eval equal the model."""
+    backend = PMForceBackend(device, mesh=32, cores=4, cutoff=0.0)
+    system = uniform_sphere(256, seed=5)
+    ev = backend.compute(system.pos, system.vel, system.mass)
+    device_s = sum(s.seconds for s in ev.segments if s.tag == "device")
+    assert device_s == pytest.approx(backend.model.fft_device_seconds())

@@ -1,0 +1,128 @@
+"""Mesh geometry, CIC transfer, and the force-split primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nbody_pm import (
+    MeshSpec,
+    cic_deposit,
+    cic_gather,
+    erf,
+    erfc,
+    split_weights,
+)
+
+
+class TestMeshSpec:
+    def test_fit_is_power_of_two_box(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(-1.3, 1.3, size=(100, 3))
+        spec = MeshSpec.fit(pos, 32)
+        assert spec.size == 32
+        assert math.log2(spec.box_length) == round(math.log2(spec.box_length))
+
+    def test_fit_leaves_cic_safe_margin(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(-5.0, 5.0, size=(1000, 3))
+        spec = MeshSpec.fit(pos, 64)
+        u = spec.cell_coordinates(pos)
+        base = np.floor(u)
+        assert (base >= 0).all() and (base <= spec.size - 2).all()
+
+    def test_fit_key_stable_under_small_excursions(self):
+        """The cloud breathing a little must not change the box length
+        (that would thrash the Green's-function cache)."""
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(-1.0, 1.0, size=(500, 3))
+        a = MeshSpec.fit(pos, 32)
+        b = MeshSpec.fit(pos * 1.05, 32)
+        assert a.box_length == b.box_length
+
+    def test_fit_rejects_bad_sizes(self):
+        pos = np.zeros((4, 3))
+        with pytest.raises(ConfigurationError):
+            MeshSpec.fit(pos, 48)
+        with pytest.raises(ConfigurationError):
+            MeshSpec.fit(pos, 8)
+
+    def test_deposit_outside_mesh_raises(self):
+        spec = MeshSpec(32, 1.0, (0.0, 0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            cic_deposit(np.array([[100.0, 0.0, 0.0]]), np.ones(1), spec)
+
+
+class TestCIC:
+    def test_deposit_conserves_mass(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(-1, 1, size=(300, 3))
+        mass = rng.uniform(0.5, 2.0, size=300)
+        spec = MeshSpec.fit(pos, 32)
+        grid = cic_deposit(pos, mass, spec)
+        assert grid.sum() == pytest.approx(mass.sum(), rel=1e-12)
+
+    def test_gather_inverts_constant_field(self):
+        """A constant grid must interpolate to exactly that constant."""
+        rng = np.random.default_rng(6)
+        pos = rng.uniform(-1, 1, size=(200, 3))
+        spec = MeshSpec.fit(pos, 32)
+        grid = np.full((32, 32, 32), 7.25)
+        np.testing.assert_allclose(
+            cic_gather(grid, pos, spec), 7.25, rtol=1e-14
+        )
+
+    def test_particle_on_cell_centre_touches_one_cell(self):
+        spec = MeshSpec(32, 0.5, (0.0, 0.0, 0.0))
+        pos = np.array([[2.0, 3.0, 1.5]])  # exactly cell (4, 6, 3)
+        grid = cic_deposit(pos, np.array([3.0]), spec)
+        assert grid[4, 6, 3] == 3.0
+        assert grid.sum() == 3.0
+        assert np.count_nonzero(grid) == 1
+
+    def test_deposit_is_deterministic(self):
+        rng = np.random.default_rng(7)
+        pos = rng.uniform(-1, 1, size=(5000, 3))
+        mass = rng.uniform(0.1, 1.0, size=5000)
+        spec = MeshSpec.fit(pos, 32)
+        a = cic_deposit(pos, mass, spec)
+        b = cic_deposit(pos, mass, spec)
+        assert np.array_equal(a, b)
+
+
+class TestSplit:
+    def test_erfc_matches_series_values(self):
+        # Reference values from the A&S tables.
+        assert erfc(np.array([0.0]))[0] == pytest.approx(1.0, abs=2e-7)
+        assert erfc(np.array([0.5]))[0] == pytest.approx(0.4795001, abs=2e-7)
+        assert erfc(np.array([2.0]))[0] == pytest.approx(0.0046777, abs=2e-7)
+
+    def test_erf_odd_symmetry(self):
+        # exact except at x = 0, where the A&S polynomial is off by ~1e-9
+        # (within its documented 1.5e-7 accuracy)
+        x = np.linspace(-3, 3, 61)
+        np.testing.assert_allclose(erf(-x), -erf(x), atol=5e-9)
+
+    def test_split_sums_to_unity(self):
+        """erf + erfc = 1 exactly, so far + near recovers the full force."""
+        x = np.linspace(0, 5, 101)
+        np.testing.assert_allclose(erf(x) + erfc(x), 1.0, atol=1e-15)
+
+    def test_screen_limits(self):
+        s0, _ = split_weights(np.array([1e-12]), 0.5)
+        s_far, _ = split_weights(np.array([10.0]), 0.5)
+        assert s0[0] == pytest.approx(1.0, abs=1e-9)
+        assert s_far[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_screen_derivative_by_finite_difference(self):
+        a = 0.37
+        r = np.linspace(0.05, 3.0, 40)
+        eps = 1e-6
+        s_hi, _ = split_weights(r + eps, a)
+        s_lo, _ = split_weights(r - eps, a)
+        _, sp = split_weights(r, a)
+        # rtol bounded by the A&S approximation's local slope error, not
+        # by the finite-difference step
+        np.testing.assert_allclose(sp, (s_hi - s_lo) / (2 * eps),
+                                   rtol=1e-3, atol=1e-9)
