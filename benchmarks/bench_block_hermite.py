@@ -1,0 +1,193 @@
+"""Block timesteps vs shared-step Hermite on the accelerator backend.
+
+The production claim behind ROADMAP item 4: on a clustered system with a
+hard central binary, individual block timesteps deliver an order of
+magnitude fewer pairwise force evaluations *per unit of physical time*
+than the paper's shared-step scheme, at matched energy error — because
+only the binary members step at the deep levels while the field stars
+stay shallow.  Both schemes run through the integrator registry on the
+``tt`` backend, so the block scheme's subset evaluations exercise
+``compute_on_targets`` i-tile dispatch end to end.
+
+Script mode measures the gate configuration (``cluster_with_binary`` at
+N = 8192) and records it in ``BENCH_integrators.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_block_hermite.py
+
+Pytest collection re-checks the committed JSON and re-runs the gate live
+at a scaled-down N, mirroring the ``BENCH_shards.json`` arrangement.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+from repro.backends import BackendSpec, RunSpec
+from repro.bench import ExperimentReport
+from repro.core import energy_report
+
+N_GATE = 8192
+T_END_GATE = 0.002           # physical window at the gate size
+N_SMOKE = 512
+T_END_SMOKE = 0.02           # longer window: small N, cheap cycles
+ETA = 0.01                   # same accuracy parameter for both schemes
+DT_MAX = 0.0625
+SEED = 9
+N_CORES = 8
+
+#: gate: block-Hermite must do >= 5x fewer pair evaluations per unit
+#: physical time than shared-step Hermite ...
+GATE_PAIR_RATIO = 5.0
+#: ... at matched energy error: within this factor of the shared drift
+#: (floored, so two schemes both at the conservation floor compare equal).
+MATCH_FACTOR = 25.0
+DRIFT_FLOOR = 1e-9
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_integrators.json"
+
+
+def _base_spec(n: int, dt: float) -> RunSpec:
+    return RunSpec(
+        n=n, dt=dt, seed=SEED,
+        backend=BackendSpec("tt", {"cores": N_CORES}),
+        scenario="cluster_with_binary",
+    )
+
+
+def measure(n: int = N_GATE, t_end: float = T_END_GATE) -> dict:
+    """Pairwise-evaluation rate and energy drift for both schemes.
+
+    Returns per-scheme ``pairs`` / ``t`` / ``drift`` plus the derived
+    ``pair_ratio`` (shared rate over block rate) and ``drift_matched``.
+    """
+    # -- shared-step (adaptive) Hermite: everyone at the binary's pace --
+    shared_spec = replace(
+        _base_spec(n, t_end).with_integrator(
+            "hermite", eta=ETA, eta_start=ETA / 2
+        ),
+        adaptive=True,
+    )
+    sim = shared_spec.make_simulation()
+    system = sim.system
+    initial = energy_report(system)
+    cycles = 0
+    while system.time < t_end:
+        sim.run(1)
+        cycles += 1
+    shared = {
+        "cycles": cycles,
+        "pairs": (cycles + 1) * n * n,
+        "t": float(system.time),
+        "drift": float(energy_report(system).drift_from(initial)),
+    }
+
+    # -- block-Hermite: subset force evaluations per active block --------
+    block_spec = _base_spec(n, t_end).with_integrator(
+        "block-hermite", eta=ETA, dt_max=DT_MAX
+    )
+    sim = block_spec.make_simulation()
+    system = sim.system
+    initial = energy_report(system)
+    sim.run(1)                       # one chunk = t_end of physical time
+    stats = sim.stats
+    block = {
+        "block_steps": int(stats.block_steps),
+        "particle_updates": int(stats.particle_updates),
+        "pairs": int(stats.force_pair_evaluations),
+        "t": float(system.time),
+        "drift": float(energy_report(system).drift_from(initial)),
+    }
+
+    pair_ratio = (shared["pairs"] / shared["t"]) / (
+        block["pairs"] / block["t"]
+    )
+    drift_matched = bool(
+        block["drift"] <= MATCH_FACTOR * max(shared["drift"], DRIFT_FLOOR)
+    )
+    return {
+        "n": n,
+        "t_end": t_end,
+        "shared": shared,
+        "block": block,
+        "pair_ratio": round(pair_ratio, 2),
+        "drift_matched": drift_matched,
+    }
+
+
+def report(results: dict) -> ExperimentReport:
+    rep = ExperimentReport(
+        "INTEGRATORS", "block vs shared Hermite on the tt backend"
+    )
+    shared, block = results["shared"], results["block"]
+    rep.add(
+        f"N={results['n']} shared-step pair rate",
+        "the paper's scheme",
+        f"{shared['pairs'] / shared['t']:.3e} pairs per time unit "
+        f"(|dE/E| = {shared['drift']:.1e})",
+    )
+    rep.add(
+        f"N={results['n']} block-timestep pair rate",
+        f">= {GATE_PAIR_RATIO}x fewer at matched energy error",
+        f"{block['pairs'] / block['t']:.3e} pairs per time unit "
+        f"({results['pair_ratio']}x fewer, |dE/E| = {block['drift']:.1e})",
+    )
+    rep.note("both schemes share eta; the block scheme reaches the "
+             "device through compute_on_targets i-tile subset dispatch")
+    return rep
+
+
+def test_committed_gate_passed():
+    """The committed BENCH_integrators.json must carry a passing gate."""
+    payload = json.loads(BENCH_JSON.read_text())
+    gate = payload["gate"]
+    assert gate["n"] == N_GATE
+    assert gate["scenario"] == "cluster_with_binary"
+    assert gate["required_pair_ratio"] == GATE_PAIR_RATIO
+    assert gate["measured_pair_ratio"] >= GATE_PAIR_RATIO
+    assert gate["drift_matched"] is True
+    assert gate["passed"] is True
+
+
+def test_pair_rate_gate_live_scaled():
+    """Re-run the gate live at a scaled-down N: same shape, same gate."""
+    results = measure(n=N_SMOKE, t_end=T_END_SMOKE)
+    report(results).print()
+    assert results["pair_ratio"] >= GATE_PAIR_RATIO, results
+    assert results["drift_matched"], results
+
+
+def main() -> None:
+    results = measure()
+    report(results).print()
+    payload = {
+        "benchmark": "bench_block_hermite",
+        "config": {
+            "scenario": "cluster_with_binary",
+            "backend": "tt",
+            "n_cores": N_CORES,
+            "eta": ETA,
+            "dt_max": DT_MAX,
+            "seed": SEED,
+            "note": "pairwise force evaluations per unit physical time, "
+                    "shared-step adaptive Hermite vs individual block "
+                    "timesteps, both through the integrator registry on "
+                    "the functional tt backend",
+        },
+        "results": results,
+        "gate": {
+            "n": N_GATE,
+            "scenario": "cluster_with_binary",
+            "required_pair_ratio": GATE_PAIR_RATIO,
+            "measured_pair_ratio": results["pair_ratio"],
+            "drift_matched": results["drift_matched"],
+            "passed": (results["pair_ratio"] >= GATE_PAIR_RATIO
+                       and results["drift_matched"]),
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+
+if __name__ == "__main__":
+    main()

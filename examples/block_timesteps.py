@@ -5,10 +5,16 @@ The paper's representative benchmark advances all particles with shared
 "time cycles", but production direct N-body codes assign each particle its
 own power-of-two timestep so that a tight binary does not force the whole
 cluster onto its microscopic step.  This example integrates the same
-binary-hosting cluster two ways:
+binary-hosting cluster two ways — both declared as a
+:class:`repro.backends.RunSpec` and realised through the integrator and
+scenario registries, with forces on the simulated Wormhole (``tt``)
+backend:
 
-1. shared adaptive timestep (everyone steps at the binary's pace);
-2. individual block timesteps (only the binary members take tiny steps);
+1. ``integrator="hermite"`` (adaptive): everyone steps at the binary's
+   pace;
+2. ``integrator="block-hermite"``: only the binary members take tiny
+   steps, and each block evaluates forces on just its active subset via
+   ``compute_on_targets``;
 
 and compares accuracy and the number of pairwise force evaluations — the
 quantity the Wormhole offload accelerates.
@@ -16,60 +22,64 @@ quantity the Wormhole offload accelerates.
 Run:  python examples/block_timesteps.py
 """
 
+from dataclasses import replace
+
 import numpy as np
 
-from repro.core import (
-    BlockHermiteIntegrator,
-    ReferenceBackend,
-    SharedTimestep,
-    Simulation,
-    cluster_with_binary,
-    energy_report,
-)
+from repro.backends import BackendSpec, RunSpec
+from repro.core import energy_report
 
-N_BACKGROUND = 254          # +2 binary members = 256 particles
+N = 256                     # 254 background stars + the binary pair
 SEMI_MAJOR_AXIS = 0.005
-T_END = 0.05
+DT = 0.0125                 # one run() chunk; T_END = 4 chunks
+CHUNKS = 4
+T_END = CHUNKS * DT
+
+BASE = RunSpec(
+    n=N,
+    dt=DT,
+    seed=5,
+    backend=BackendSpec("tt", {"cores": 8}),
+    scenario={"name": "cluster_with_binary",
+              "options": {"semi_major_axis": SEMI_MAJOR_AXIS}},
+)
 
 
 def main() -> None:
-    print(f"Cluster of {N_BACKGROUND + 2} particles hosting a hard binary "
-          f"(a = {SEMI_MAJOR_AXIS})\n")
+    print(f"Cluster of {N} particles hosting a hard binary "
+          f"(a = {SEMI_MAJOR_AXIS}), forces on the tt backend\n")
 
     # --- shared adaptive steps --------------------------------------------
-    shared_system = cluster_with_binary(
-        N_BACKGROUND, seed=5, semi_major_axis=SEMI_MAJOR_AXIS
+    shared_spec = replace(
+        BASE.with_integrator(
+            "hermite", eta=0.01, eta_start=0.005, dt_min=1e-9
+        ),
+        adaptive=True,
     )
+    shared_sim = shared_spec.make_simulation()
+    shared_system = shared_sim.system
     e0 = energy_report(shared_system)
-    sim = Simulation(
-        shared_system,
-        ReferenceBackend(),
-        timestep=SharedTimestep(eta=0.01, eta_start=0.005, dt_min=1e-9),
-    )
     shared_cycles = 0
     while shared_system.time < T_END:
-        sim.run(1)
+        shared_sim.run(1)
         shared_cycles += 1
-    n = shared_system.n
-    shared_pairs = (shared_cycles + 1) * n * n
+    shared_pairs = (shared_cycles + 1) * N * N
     shared_drift = energy_report(shared_system).drift_from(e0)
-    print("Shared adaptive timestep:")
+    print("Shared adaptive timestep (integrator=hermite, adaptive):")
     print(f"  cycles to t = {T_END}: {shared_cycles}")
     print(f"  pairwise force evaluations: {shared_pairs:,}")
     print(f"  energy drift: {shared_drift:.2e}\n")
 
     # --- individual block timesteps ----------------------------------------
-    block_system = cluster_with_binary(
-        N_BACKGROUND, seed=5, semi_major_axis=SEMI_MAJOR_AXIS
+    block_spec = BASE.with_integrator(
+        "block-hermite", eta=0.01, dt_max=0.0625
     )
-    integ = BlockHermiteIntegrator(
-        block_system, eta=0.01, eta_start=0.005, dt_max=0.0625
-    )
-    integ.run_until(T_END)
-    integ.synchronise()
+    block_sim = block_spec.make_simulation()
+    block_system = block_sim.system
+    block_sim.run(CHUNKS)
     block_drift = energy_report(block_system).drift_from(e0)
-    stats = integ.stats
-    print("Individual block timesteps:")
+    stats = block_sim.stats
+    print("Individual block timesteps (integrator=block-hermite):")
     print(f"  block steps: {stats.block_steps}, particle updates: "
           f"{stats.particle_updates:,}")
     print(f"  pairwise force evaluations: {stats.force_pair_evaluations:,}")

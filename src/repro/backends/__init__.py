@@ -3,8 +3,10 @@
 Three pieces:
 
 * :mod:`~repro.backends.protocol` — :class:`ForceBackend`,
-  :class:`ForceEvaluation`, :class:`TimelineSegment` and the explicit
-  tracing contract.  The *floor* of the layer: dependency-free, imported
+  :class:`ForceEvaluation`, :class:`TimelineSegment`, the explicit
+  tracing contract, and the target-subset contract
+  (:class:`TargetedForceBackend`, :func:`compute_on_targets`) used by
+  block timestep schemes to evaluate forces on just the active block.  The *floor* of the layer: dependency-free, imported
   by ``repro.core`` and both competitors (and re-exported from
   ``repro.core.simulation`` for compatibility).
 * :mod:`~repro.backends.registry` — :class:`BackendSpec`,
@@ -23,9 +25,13 @@ Three pieces:
 from .protocol import (
     ForceBackend,
     ForceEvaluation,
+    TargetedForceBackend,
     TimelineSegment,
     TracedForceBackend,
     accepts_trace,
+    compute_on_targets,
+    normalize_targets,
+    supports_targets,
 )
 from .registry import (
     BackendSpec,
@@ -45,9 +51,13 @@ from .variants import DSVariantBackend, MatmulVariantBackend
 __all__ = [
     "ForceBackend",
     "ForceEvaluation",
+    "TargetedForceBackend",
     "TimelineSegment",
     "TracedForceBackend",
     "accepts_trace",
+    "compute_on_targets",
+    "normalize_targets",
+    "supports_targets",
     "BackendSpec",
     "OptionSpec",
     "RegisteredBackend",

@@ -40,12 +40,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class OptionSpec:
-    """One typed option a registered backend accepts."""
+    """One typed option a registered backend (or integrator) accepts.
+
+    ``validate`` is an optional domain check run *after* type coercion:
+    it receives the coerced value and returns an error message (or
+    ``None`` when the value is acceptable).  This is how per-option
+    invariants — e.g. the block-Hermite ``dt_max`` must be a power of
+    two — fail at spec-resolution time, before any simulation state is
+    built.
+    """
 
     name: str
     type: type
     default: Any
     help: str = ""
+    validate: Callable[[Any], str | None] | None = None
 
     def coerce(self, value: Any) -> Any:
         """Validate (and gently coerce) one user-supplied option value.
@@ -54,6 +63,16 @@ class OptionSpec:
         for numeric and boolean options so env/CLI round-trips work; any
         other mismatch is a :class:`ConfigurationError`.
         """
+        coerced = self._coerce_type(value)
+        if coerced is not None and self.validate is not None:
+            problem = self.validate(coerced)
+            if problem:
+                raise ConfigurationError(
+                    f"option {self.name!r} {problem}, got {coerced!r}"
+                )
+        return coerced
+
+    def _coerce_type(self, value: Any) -> Any:
         if value is None or isinstance(value, self.type):
             # bool is an int subclass: don't let True sneak into int options
             if not (self.type is int and isinstance(value, bool)):

@@ -17,6 +17,16 @@ path:
 * :meth:`RunSpec.environ_updates` is the inverse: the env-var settings a
   runner must export so the Metalium layer honours the spec's lint and
   sanitize choices.
+
+A spec also names its *integrator* (:class:`~repro.core.integrators.
+IntegratorSpec`) and *scenario* (:class:`~repro.core.scenarios.
+ScenarioSpec`), both registry-addressable: :meth:`RunSpec.make_system`
+realises the scenario for ``(n, seed)`` and :meth:`RunSpec.make_simulation`
+builds the named integration scheme over the named backend.  The core
+registries are imported lazily (``repro.core`` sits *above* this layer),
+and the all-default spellings — hermite over a Plummer sphere — are
+omitted from :meth:`canonical_dict` so pre-existing cached identities
+survive the fields' introduction.
 """
 
 from __future__ import annotations
@@ -41,6 +51,40 @@ _CLI_OPTION_NAMES = {"cores": "cores", "threads": "threads",
                      "workers": "workers", "mesh": "mesh",
                      "cutoff": "cutoff"}
 
+#: CLI argument -> integrator option name.  Filtered against the chosen
+#: integrator's declared :class:`OptionSpec` table the same way backend
+#: flags are: ``--dt-max`` reaches block-hermite but never leapfrog.
+_CLI_INTEGRATOR_OPTION_NAMES = {"eta": "eta", "dt_max": "dt_max",
+                                "block_levels": "block_levels"}
+
+
+def _as_integrator_spec(value):
+    """Coerce a name / dict / spec into an ``IntegratorSpec`` (lazy)."""
+    from ..core.integrators import IntegratorSpec
+
+    if isinstance(value, IntegratorSpec):
+        return value
+    if isinstance(value, (str, Mapping)):
+        return IntegratorSpec.from_dict(value)
+    raise ConfigurationError(
+        f"integrator must be a name, spec dict, or IntegratorSpec, "
+        f"got {value!r}"
+    )
+
+
+def _as_scenario_spec(value):
+    """Coerce a name / dict / spec into a ``ScenarioSpec`` (lazy)."""
+    from ..core.scenarios import ScenarioSpec
+
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, (str, Mapping)):
+        return ScenarioSpec.from_dict(value)
+    raise ConfigurationError(
+        f"scenario must be a name, spec dict, or ScenarioSpec, "
+        f"got {value!r}"
+    )
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -53,6 +97,12 @@ class RunSpec:
     softening: float = 0.0
     seed: int = 0
     backend: BackendSpec = field(default_factory=lambda: BackendSpec("tt"))
+    #: Integration scheme (name, dict, or ``IntegratorSpec``) — normalised
+    #: to an :class:`~repro.core.integrators.IntegratorSpec` on construction.
+    integrator: Any = "hermite"
+    #: Initial conditions (name, dict, or ``ScenarioSpec``) — normalised
+    #: to a :class:`~repro.core.scenarios.ScenarioSpec` on construction.
+    scenario: Any = "plummer"
     #: Scope trace output path (``None``: tracing off) — ``REPRO_TRACE``.
     trace_path: str | None = None
     #: pre-dispatch lint mode: off | warn | error — ``REPRO_LINT``.
@@ -61,6 +111,12 @@ class RunSpec:
     sanitize: bool = False
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "integrator", _as_integrator_spec(self.integrator)
+        )
+        object.__setattr__(
+            self, "scenario", _as_scenario_spec(self.scenario)
+        )
         if self.n < 1:
             raise ConfigurationError(f"n must be positive, got {self.n}")
         if self.cycles < 0:
@@ -83,6 +139,8 @@ class RunSpec:
             "softening": self.softening,
             "seed": self.seed,
             "backend": self.backend.to_dict(),
+            "integrator": self.integrator.to_dict(),
+            "scenario": self.scenario.to_dict(),
             "trace_path": self.trace_path,
             "lint": self.lint,
             "sanitize": self.sanitize,
@@ -130,14 +188,48 @@ class RunSpec:
         ``lint``/``sanitize`` stay in: they change how the run executes
         (checked vs unchecked), and a result cache must not serve a
         sanitized request from an unsanitized run.
+
+        The ``integrator``/``scenario`` entries are likewise resolved
+        through their registries — defaults filled in, values coerced —
+        and then *omitted entirely* when they resolve to the historical
+        behaviour (shared-step hermite over a default Plummer sphere), so
+        every pre-existing cached identity survives the introduction of
+        the two fields.
         """
+        from ..core.integrators import integrator_entry
+        from ..core.scenarios import scenario_entry
+
         entry = backend_entry(self.backend.name)
         data = self.to_dict()
         del data["trace_path"]
+        del data["integrator"]
+        del data["scenario"]
         data["backend"] = {
             "name": entry.name,
             "options": entry.resolve_options(self.backend.options),
         }
+        ient = integrator_entry(self.integrator.name)
+        resolved_i = {
+            "name": ient.name,
+            "options": ient.resolve_options(self.integrator.options),
+        }
+        default_i = {
+            "name": "hermite",
+            "options": integrator_entry("hermite").resolve_options({}),
+        }
+        if resolved_i != default_i:
+            data["integrator"] = resolved_i
+        sent = scenario_entry(self.scenario.name)
+        resolved_s = {
+            "name": sent.name,
+            "options": sent.resolve_options(self.scenario.options),
+        }
+        default_s = {
+            "name": "plummer",
+            "options": scenario_entry("plummer").resolve_options({}),
+        }
+        if resolved_s != default_s:
+            data["scenario"] = resolved_s
         return data
 
     def canonical_hash(self) -> str:
@@ -166,6 +258,9 @@ class RunSpec:
         never reaches the device backend, ``--cores`` never reaches the
         CPU one), so one flat CLI surface serves every registered backend.
         """
+        from ..core.integrators import integrator_entry
+        from ..core.scenarios import scenario_entry
+
         name = getattr(args, "backend", "tt")
         declared = {o.name for o in backend_entry(name).options}
         options: dict[str, Any] = {}
@@ -173,6 +268,20 @@ class RunSpec:
             value = getattr(args, arg_name, None)
             if value is not None and option_name in declared:
                 options[option_name] = value
+        integrator_name = getattr(args, "integrator", None) or "hermite"
+        integrator_declared = {
+            o.name for o in integrator_entry(integrator_name).options
+        }
+        integrator_options: dict[str, Any] = {}
+        for arg_name, option_name in _CLI_INTEGRATOR_OPTION_NAMES.items():
+            value = getattr(args, arg_name, None)
+            if value is not None and option_name in integrator_declared:
+                integrator_options[option_name] = value
+        # fail fast at the CLI boundary: unknown scenario names and
+        # out-of-domain integrator options (e.g. a non-power-of-two
+        # --dt-max) should exit 2, not traceback mid-run
+        integrator_entry(integrator_name).resolve_options(integrator_options)
+        scenario_entry(getattr(args, "scenario", None) or "plummer")
         spec = cls(
             n=getattr(args, "n", cls.n),
             cycles=getattr(args, "cycles", cls.cycles),
@@ -181,6 +290,9 @@ class RunSpec:
             softening=getattr(args, "softening", cls.softening),
             seed=getattr(args, "seed", cls.seed),
             backend=BackendSpec(name, options),
+            integrator={"name": integrator_name,
+                        "options": integrator_options},
+            scenario=getattr(args, "scenario", None) or "plummer",
             **overrides,
         )
         return spec.resolved_from_env(env) if env is not None else spec
@@ -227,23 +339,33 @@ class RunSpec:
             extra.setdefault("softening", self.softening)
         return make_backend(self.backend, **extra)
 
-    def make_system(self):
-        """The Plummer initial conditions this spec describes."""
-        from ..core import plummer
+    def with_integrator(self, name: str, **options: Any) -> "RunSpec":
+        return replace(self, integrator={"name": name, "options": options})
 
-        return plummer(self.n, seed=self.seed)
+    def with_scenario(self, name: str, **options: Any) -> "RunSpec":
+        return replace(self, scenario={"name": name, "options": options})
+
+    def make_system(self):
+        """The initial conditions this spec describes, via the registry."""
+        from ..core.scenarios import make_scenario
+
+        return make_scenario(self.scenario, self.n, self.seed)
 
     def make_simulation(self, system=None, backend=None, *, trace=None,
                         host_cost=None):
-        """A ready-to-run :class:`~repro.core.Simulation` for this spec."""
-        from ..core import SharedTimestep, Simulation
+        """The named integration scheme, realised and ready to run.
+
+        Returns an object satisfying the
+        :class:`~repro.core.integrators.Integrator` protocol —
+        ``initialise()`` plus ``run(n_cycles)`` — built by
+        :func:`~repro.core.integrators.make_integrator` from this spec's
+        integrator name and options over this spec's backend.
+        """
+        from ..core.integrators import make_integrator
 
         system = system if system is not None else self.make_system()
         backend = backend if backend is not None else self.make_backend()
-        kwargs: dict[str, Any] = (
-            {"timestep": SharedTimestep()} if self.adaptive
-            else {"dt": self.dt}
+        return make_integrator(
+            self.integrator, system, backend, dt=self.dt,
+            adaptive=self.adaptive, host_cost=host_cost, trace=trace,
         )
-        if host_cost is not None:
-            kwargs["host_cost"] = host_cost
-        return Simulation(system, backend, trace=trace, **kwargs)

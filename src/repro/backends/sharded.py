@@ -250,20 +250,26 @@ class ShardedTTBackend:
 
     # -- main entry --------------------------------------------------------
 
-    def compute(self, pos: np.ndarray, vel: np.ndarray,
-                mass: np.ndarray) -> ForceEvaluation:
-        """Evaluate all forces: shard i-tiles, compute per card, gather.
+    def _evaluate_tiles(self, pos, vel, mass, tile_list, n_tiles,
+                        detail="force"):
+        """Shard a global i-tile list across cards and merge the partials.
 
-        Each card tilizes through its own caches and evaluates its shard
-        under the configured executor; the merge below always walks cards
-        in ascending index order, so segments, costs and result bits are
-        independent of executor scheduling.
+        The common engine under :meth:`compute` (all tiles) and
+        :meth:`compute_on_targets` (the active block's covering tiles):
+        ``tile_list`` is split contiguously across cards, each card
+        tilizes through its own caches and evaluates its shard under the
+        configured executor, and the merge below always walks cards in
+        ascending index order — so segments, costs and result bits are
+        independent of executor scheduling and of which subset is asked
+        for.  Returns the globally-indexed result tiles plus the merged
+        timeline segments.
         """
-        from ..nbody_tt.tiling import OUT_QUANTITIES, ParticleTiles
+        from ..nbody_tt.tiling import OUT_QUANTITIES
 
-        n = mass.shape[0]
-        n_tiles = max(1, tiles_needed(n))
-        shards = shard_tiles(n_tiles, self.n_cards)
+        shards = [
+            [tile_list[k] for k in positions]
+            for positions in shard_tiles(len(tile_list), self.n_cards)
+        ]
         results = {q: [None] * n_tiles for q in OUT_QUANTITIES}
         segments: list[TimelineSegment] = []
         card_costs: list[CardCost] = []
@@ -319,7 +325,7 @@ class ShardedTTBackend:
             ))
 
         # cards run concurrently: the evaluation is bound by the slowest
-        segments.append(TimelineSegment("device", worst_device_s, "force"))
+        segments.append(TimelineSegment("device", worst_device_s, detail))
 
         # ring allgather of the per-card partials; each step is paced by
         # the largest contribution travelling the ring
@@ -335,8 +341,47 @@ class ShardedTTBackend:
         # stable reporting order regardless of executor scheduling
         card_costs.sort(key=lambda c: c.card)
         self.last_card_costs = card_costs
+        self._sync_residency_metrics()
+        return results, segments
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        """Evaluate all forces: shard i-tiles, compute per card, gather."""
+        from ..nbody_tt.tiling import OUT_QUANTITIES, ParticleTiles
+
+        n = mass.shape[0]
+        n_tiles = max(1, tiles_needed(n))
+        results, segments = self._evaluate_tiles(
+            pos, vel, mass, list(range(n_tiles)), n_tiles
+        )
         acc, jerk = ParticleTiles.results_to_arrays(
             {q: results[q] for q in OUT_QUANTITIES}, n
         )
-        self._sync_residency_metrics()
+        return ForceEvaluation(acc, jerk, segments=tuple(segments))
+
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation: shard the active block's covering i-tiles.
+
+        The tiles covering ``targets`` are split contiguously across the
+        cards exactly as a full evaluation splits the whole tile range,
+        so each card's per-tile accumulation — and therefore the merged
+        result — is bit-identical to a full :meth:`compute` sliced at the
+        targets, under every executor.  Device time, per-card costs and
+        the ring allgather are priced for the subset actually shipped.
+        """
+        from .protocol import normalize_targets
+
+        n = mass.shape[0]
+        idx = normalize_targets(targets, n)
+        n_tiles = max(1, tiles_needed(n))
+        needed = sorted({int(t) // TILE_ELEMENTS for t in idx})
+        results, segments = self._evaluate_tiles(
+            pos, vel, mass, needed, n_tiles,
+            detail=f"force-subset[{len(needed)}t]",
+        )
+        from ..nbody_tt.tiling import subset_rows_from_tiles
+
+        acc, jerk = subset_rows_from_tiles(results, idx)
         return ForceEvaluation(acc, jerk, segments=tuple(segments))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .protocol import ForceEvaluation, TimelineSegment
+from .protocol import ForceEvaluation, TimelineSegment, normalize_targets
 
 __all__ = ["DSVariantBackend", "MatmulVariantBackend"]
 
@@ -93,6 +93,32 @@ class DSVariantBackend:
             TimelineSegment("device", device_s, "force (double-single)"),
         ))
 
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation for the double-single ablation.
+
+        The DS kernel's j-reduction (``sum(axis=1)``) is independent per
+        receiver row, so slicing a full evaluation is bit-identical to a
+        native row-subset dispatch; the modelled device time is what that
+        dispatch would cost — the full-evaluation time scaled by the
+        active-row fraction (the op-mix multiplier is per pair).
+        """
+        from ..nbody_tt.ds_variant import ds_accel_jerk
+
+        n = mass.shape[0]
+        idx = normalize_targets(targets, n)
+        acc, jerk = ds_accel_jerk(pos, vel, mass, softening=self.softening)
+        device_s = (
+            self.cost_model.device_eval_seconds(n, self.n_cores)
+            * (idx.size / n)
+        )
+        return ForceEvaluation(acc[idx], jerk[idx], segments=(
+            TimelineSegment(
+                "device", device_s, f"force (double-single, {idx.size} rows)"
+            ),
+        ))
+
 
 class MatmulVariantBackend:
     """Pair distances via tensor-FPU Gram matmuls, force chain in FP32 (E9).
@@ -133,12 +159,18 @@ class MatmulVariantBackend:
         mass_p[:n] = mass
         return pos_p, vel_p, mass_p
 
-    def compute(self, pos: np.ndarray, vel: np.ndarray,
-                mass: np.ndarray) -> ForceEvaluation:
+    def _evaluate_blocks(self, pos, vel, mass, i_blocks):
+        """Padded acc/jerk for the given i-block indices, plus block count.
+
+        The outer i-block loop is fully independent across blocks (each
+        ``acc[si]`` row is accumulated only within its own iteration), so
+        running any subset of blocks yields rows bit-identical to the
+        full evaluation.  ``bi`` stays the *global* block index so the
+        diagonal Gram mask lands on the true self-pairs.
+        """
         from ..nbody_tt.matmul_variant import gram_r2_block
         from ..wormhole.fpu import Fpu
 
-        n = mass.shape[0]
         pos_p, vel_p, mass_p = self._padded(pos, vel, mass)
         n_pad = mass_p.shape[0]
         n_blocks = n_pad // _MATMUL_BLOCK
@@ -153,7 +185,7 @@ class MatmulVariantBackend:
         jerk = np.zeros((n_pad, 3), dtype=np.float32)
         fpu = Fpu()
 
-        for bi in range(n_blocks):
+        for bi in i_blocks:
             si = slice(bi * _MATMUL_BLOCK, (bi + 1) * _MATMUL_BLOCK)
             i_arrs = [c[si] for c in cols]
             for bj in range(n_blocks):
@@ -171,16 +203,53 @@ class MatmulVariantBackend:
                 for k in range(3):
                     acc[si, k] += prods[k].sum(axis=1)
                     jerk[si, k] += prods[3 + k].sum(axis=1)
+        return acc, jerk, n_blocks
 
+    def _device_seconds(self, n_i_blocks: int, n_blocks: int) -> float:
         # block pairs split across cores; the worst core paces the device
-        worst_pairs = -(-n_blocks * n_blocks // self.n_cores)
-        device_s = (
+        worst_pairs = -(-n_i_blocks * n_blocks // self.n_cores)
+        return (
             self.model.total_cycles_per_tile_pair() * worst_pairs
             / self.model.chip.clock_hz
         )
+
+    def compute(self, pos: np.ndarray, vel: np.ndarray,
+                mass: np.ndarray) -> ForceEvaluation:
+        n = mass.shape[0]
+        n_blocks = -(-n // _MATMUL_BLOCK)
+        acc, jerk, n_blocks = self._evaluate_blocks(
+            pos, vel, mass, range(n_blocks)
+        )
+        device_s = self._device_seconds(n_blocks, n_blocks)
         return ForceEvaluation(
             acc[:n].astype(np.float64), jerk[:n].astype(np.float64),
             segments=(
                 TimelineSegment("device", device_s, "force (gram matmul)"),
+            ),
+        )
+
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation: only the Gram i-blocks covering ``targets``.
+
+        Work (and the modelled device time) scales with the number of
+        1024-particle i-blocks the active set touches, against the full
+        j-stream; rows come out bit-identical to :meth:`compute`.
+        """
+        n = mass.shape[0]
+        idx = normalize_targets(targets, n)
+        i_blocks = sorted({int(t) // _MATMUL_BLOCK for t in idx})
+        acc, jerk, n_blocks = self._evaluate_blocks(
+            pos, vel, mass, i_blocks
+        )
+        device_s = self._device_seconds(len(i_blocks), n_blocks)
+        return ForceEvaluation(
+            acc[idx].astype(np.float64), jerk[idx].astype(np.float64),
+            segments=(
+                TimelineSegment(
+                    "device", device_s,
+                    f"force (gram matmul, {len(i_blocks)} i-blocks)",
+                ),
             ),
         )

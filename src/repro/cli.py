@@ -38,7 +38,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     from .backends import backend_choices_help, backend_names
 
-    sim = sub.add_parser("simulate", help="integrate a Plummer cluster")
+    def add_integrator_flags(parser: argparse.ArgumentParser) -> None:
+        """The registry-addressable scheme/scenario surface, shared by
+        ``simulate`` and ``submit`` so specs round-trip identically."""
+        from .core.integrators import (
+            integrator_choices_help, integrator_names,
+        )
+        from .core.scenarios import scenario_choices_help, scenario_names
+
+        # like --backend: no argparse choices=, the registries are open
+        parser.add_argument(
+            "--integrator", default=None,
+            help="registered integration scheme, one of: "
+                 f"{', '.join(integrator_names())} "
+                 f"({integrator_choices_help()})")
+        parser.add_argument(
+            "--scenario", default=None,
+            help="registered initial conditions, one of: "
+                 f"{', '.join(scenario_names())} "
+                 f"({scenario_choices_help()})")
+        parser.add_argument(
+            "--eta", type=float, default=None,
+            help="timestep accuracy parameter (hermite/block-hermite)")
+        parser.add_argument(
+            "--dt-max", type=float, default=None,
+            help="top of the block-timestep hierarchy; must be a power "
+                 "of two (block-hermite; registry default 0.0625)")
+        parser.add_argument(
+            "--block-levels", type=int, default=None,
+            help="depth of the block-timestep hierarchy (block-hermite)")
+
+    sim = sub.add_parser("simulate",
+                         help="integrate a registered scenario")
     sim.add_argument("--n", type=int, default=2048, help="particle count")
     sim.add_argument("--cycles", type=int, default=10, help="Hermite cycles")
     sim.add_argument("--dt", type=float, default=1e-3, help="fixed timestep")
@@ -70,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(pm backends; 0 = pure PM; registry default 5)")
     sim.add_argument("--softening", type=float, default=0.0)
     sim.add_argument("--seed", type=int, default=0)
+    add_integrator_flags(sim)
     sim.add_argument("--snapshot", type=str, default=None,
                      help="write the final state to this .npz path")
     sim.add_argument("--profile", action="store_true",
@@ -235,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     sbm.add_argument("--cutoff", type=float, default=None)
     sbm.add_argument("--softening", type=float, default=0.0)
     sbm.add_argument("--seed", type=int, default=0)
+    add_integrator_flags(sbm)
     sbm.add_argument("--follow", action="store_true",
                      help="stream the job's progress events (NDJSON)")
     sbm.add_argument("--no-wait", action="store_true",
@@ -362,13 +395,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     from .backends import RunSpec
     from .core import energy_report, save_npz
-    from .errors import UnknownBackendError
+    from .errors import ConfigurationError
     from .observability import Trace
 
     try:
         spec = RunSpec.from_cli(args, os.environ)
         backend = spec.make_backend()
-    except UnknownBackendError as exc:
+    except ConfigurationError as exc:
         print(f"repro simulate: {exc}", file=sys.stderr)
         return 2
 
@@ -382,6 +415,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         _write_trace_outputs(trace, spec.trace_path)
 
     print(f"backend: {backend.name}")
+    print(f"integrator: {spec.integrator.name}, "
+          f"scenario: {spec.scenario.name}")
     print(f"N = {spec.n}, cycles = {spec.cycles}, t = {system.time:.6f}")
     print(f"energy drift |dE/E0| = {final.drift_from(initial):.3e}")
     if result.model_seconds > 0:
@@ -683,10 +718,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     import os
 
     from .backends import RunSpec
-    from .errors import QuotaExceededError, ServiceError
+    from .errors import ConfigurationError, QuotaExceededError, ServiceError
     from .service import ServiceClient
 
-    spec = RunSpec.from_cli(args, env=os.environ)
+    try:
+        spec = RunSpec.from_cli(args, env=os.environ)
+    except ConfigurationError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
     client = ServiceClient(args.url)
     try:
         job = client.submit(spec, tenant=args.tenant)

@@ -29,6 +29,18 @@ from .forces import (
     potential_reference,
 )
 from .hermite import HermiteStepResult, correct, hermite_step, predict
+from .integrators import (
+    BlockHermiteDriver,
+    Integrator,
+    IntegratorSpec,
+    LeapfrogDriver,
+    RegisteredIntegrator,
+    integrator_choices_help,
+    integrator_entry,
+    integrator_names,
+    make_integrator,
+    register_integrator,
+)
 from .leapfrog import LeapfrogSimulation, leapfrog_step
 from .initial_conditions import (
     binary,
@@ -47,10 +59,20 @@ from .orbit import (
 )
 from .particles import ParticleSystem
 from .profiles import HernquistProfile, PlummerProfile, UniformSphereProfile
+from .scenarios import (
+    RegisteredScenario,
+    ScenarioSpec,
+    make_scenario,
+    register_scenario,
+    scenario_choices_help,
+    scenario_entry,
+    scenario_names,
+)
 from .simulation import (
     CycleRecord,
     ForceBackend,
     ForceEvaluation,
+    HermiteIntegrator,
     HostCostModel,
     ReferenceBackend,
     Simulation,
@@ -105,6 +127,23 @@ __all__ = [
     "correct",
     "hermite_step",
     "predict",
+    "BlockHermiteDriver",
+    "Integrator",
+    "IntegratorSpec",
+    "LeapfrogDriver",
+    "RegisteredIntegrator",
+    "integrator_choices_help",
+    "integrator_entry",
+    "integrator_names",
+    "make_integrator",
+    "register_integrator",
+    "RegisteredScenario",
+    "ScenarioSpec",
+    "make_scenario",
+    "register_scenario",
+    "scenario_choices_help",
+    "scenario_entry",
+    "scenario_names",
     "binary",
     "cluster_with_binary",
     "hernquist",
@@ -114,6 +153,7 @@ __all__ = [
     "CycleRecord",
     "ForceBackend",
     "ForceEvaluation",
+    "HermiteIntegrator",
     "HostCostModel",
     "ReferenceBackend",
     "Simulation",

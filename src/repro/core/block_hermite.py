@@ -26,6 +26,7 @@ double-precision golden reference.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -74,16 +75,30 @@ class BlockHermiteIntegrator:
         eta_start: float = 0.01,
         dt_max: float = 0.0625,
         softening: float = 0.0,
+        block_levels: int = MAX_LEVEL,
         partial_force: Callable | None = None,
     ) -> None:
         if not (0 < eta and 0 < eta_start):
             raise ConfigurationError("eta values must be positive")
         if dt_max <= 0:
             raise ConfigurationError(f"dt_max must be positive, got {dt_max}")
+        if math.frexp(dt_max)[0] != 0.5:
+            # every block time is dt_max / 2^k; a non-power-of-two root
+            # puts the whole hierarchy off the representable dyadic grid
+            # and the _divides alignment test silently degrades
+            raise ConfigurationError(
+                f"dt_max must be a power of two (the hierarchy is "
+                f"dt_max / 2^k), got {dt_max}"
+            )
+        if not (1 <= block_levels <= MAX_LEVEL):
+            raise ConfigurationError(
+                f"block_levels must be in [1, {MAX_LEVEL}], got {block_levels}"
+            )
         self.system = system
         self.eta = eta
         self.eta_start = eta_start
         self.dt_max = dt_max
+        self.block_levels = block_levels
         self.softening = softening
         self._force = partial_force if partial_force is not None else (
             lambda pos, vel, mass, targets: accel_jerk_on_targets(
@@ -116,9 +131,9 @@ class BlockHermiteIntegrator:
             raise IntegratorError("non-positive or non-finite timestep")
         k = np.ceil(np.log2(self.dt_max / dt))
         k = np.maximum(k, 0).astype(np.intp)
-        if np.any(k > MAX_LEVEL):
+        if np.any(k > self.block_levels):
             raise IntegratorError(
-                f"timestep collapsed below dt_max/2^{MAX_LEVEL}"
+                f"timestep collapsed below dt_max/2^{self.block_levels}"
             )
         # growth limit: at most one level up (dt at most doubles)
         k = np.maximum(k, current_level - 1)
@@ -148,7 +163,7 @@ class BlockHermiteIntegrator:
         dt = np.minimum(dt, self.dt_max)
         k = np.ceil(np.log2(self.dt_max / dt))
         self._level = np.maximum(k, 0).astype(np.intp)
-        if np.any(self._level > MAX_LEVEL):
+        if np.any(self._level > self.block_levels):
             raise IntegratorError("initial timestep below the hierarchy floor")
         self._t = np.full(s.n, s.time)
         self._initialised = True

@@ -47,6 +47,7 @@ __all__ = [
     "HostCostModel",
     "CycleRecord",
     "SimulationResult",
+    "HermiteIntegrator",
     "Simulation",
 ]
 
@@ -66,6 +67,22 @@ class ReferenceBackend:
 
         acc, jerk = accel_jerk_reference(
             pos, vel, mass, softening=self.softening, G=self.G
+        )
+        return ForceEvaluation(acc, jerk)
+
+    def compute_on_targets(self, pos, vel, mass, targets) -> ForceEvaluation:
+        """Subset evaluation: float64 rows for ``targets`` only.
+
+        ``accel_jerk_on_targets`` accumulates each target row over the same
+        j-blocking as the full evaluation, so the rows are bit-identical to
+        a full :meth:`compute` sliced at ``targets``.
+        """
+        from ..backends.protocol import normalize_targets
+        from .forces import accel_jerk_on_targets
+
+        idx = normalize_targets(targets, mass.shape[0])
+        acc, jerk = accel_jerk_on_targets(
+            pos, vel, mass, idx, softening=self.softening, G=self.G
         )
         return ForceEvaluation(acc, jerk)
 
@@ -126,8 +143,13 @@ class SimulationResult:
         return out
 
 
-class Simulation:
-    """Hermite integration of a particle system over a force backend.
+class HermiteIntegrator:
+    """Shared-step Hermite integration of a particle system over a backend.
+
+    This is the loop that historically *was* :class:`Simulation`; it is
+    registered as ``"hermite"`` in :mod:`repro.core.integrators`, and
+    :class:`Simulation` now resolves any registered integrator and
+    delegates here by default.
 
     Parameters
     ----------
@@ -150,6 +172,8 @@ class Simulation:
         per-core device spans underneath ``force``).  ``None`` (the
         default) costs the run nothing.
     """
+
+    name = "hermite"
 
     def __init__(
         self,
@@ -326,3 +350,110 @@ class Simulation:
                 )
             )
         return timeline, records
+
+
+class Simulation:
+    """A thin driver over the integrator registry.
+
+    ``Simulation(system, backend, dt=...)`` behaves exactly as it always
+    did (shared-step Hermite), but the loop itself now lives in
+    :class:`HermiteIntegrator` and ``integrator=`` selects any scheme
+    registered in :mod:`repro.core.integrators` — a name
+    (``"block-hermite"``) or an
+    :class:`~repro.core.integrators.IntegratorSpec` with options.  The
+    chosen integrator is built once in the constructor; ``initialise``
+    and ``run`` delegate to it.
+
+    ``timestep=`` (an explicit :class:`SharedTimestep` object) cannot
+    travel through the registry's typed options, so it remains a direct
+    path to the Hermite scheme and is rejected for any other integrator.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        backend: ForceBackend,
+        *,
+        dt: float | None = None,
+        timestep: SharedTimestep | None = None,
+        host_cost: HostCostModel = HostCostModel(),
+        trace: "Trace | None" = None,
+        integrator: "object | str | None" = None,
+    ) -> None:
+        # lazy: integrators imports this module (HermiteIntegrator)
+        from .integrators import IntegratorSpec, make_integrator
+
+        if integrator is None:
+            name = "hermite"
+            spec: IntegratorSpec | str = "hermite"
+        elif isinstance(integrator, str):
+            name = integrator
+            spec = integrator
+        elif isinstance(integrator, IntegratorSpec):
+            name = integrator.name
+            spec = integrator
+        else:
+            raise ConfigurationError(
+                f"integrator must be a name or IntegratorSpec, "
+                f"got {integrator!r}"
+            )
+        if timestep is not None:
+            if name != "hermite":
+                raise ConfigurationError(
+                    "timestep= is only valid with the hermite integrator"
+                )
+            # HermiteIntegrator itself enforces dt/timestep exclusivity
+            self._impl = HermiteIntegrator(
+                system, backend, dt=dt, timestep=timestep,
+                host_cost=host_cost, trace=trace,
+            )
+        else:
+            self._impl = make_integrator(
+                spec, system, backend, dt=dt, adaptive=False,
+                host_cost=host_cost, trace=trace,
+            )
+
+    @property
+    def system(self) -> ParticleSystem:
+        """The particle system being integrated."""
+        return self._impl.system
+
+    @property
+    def backend(self) -> ForceBackend:
+        """The force backend the integrator evaluates on."""
+        return self._impl.backend
+
+    @property
+    def trace(self):
+        """The attached Scope trace, or None."""
+        return self._impl.trace
+
+    @property
+    def host_cost(self) -> HostCostModel:
+        """The host-side cost model charged per cycle."""
+        return self._impl.host_cost
+
+    @property
+    def integrator_name(self) -> str:
+        """Registry name of the scheme this driver delegates to."""
+        return self._impl.name
+
+    # snapshot-resume contract: a system reloaded with its acc/jerk
+    # arrays must be able to skip the initial force evaluation (the
+    # stored acc is the predictor-stage value, so re-evaluating would
+    # not be bit-identical) — the flag lives on the inner driver
+    @property
+    def _initialised(self) -> bool:
+        return self._impl._initialised
+
+    @_initialised.setter
+    def _initialised(self, value: bool) -> None:
+        self._impl._initialised = value
+
+    def initialise(self) -> list[TimelineSegment]:
+        """Initial force evaluation (and host init cost)."""
+        return self._impl.initialise()
+
+    def run(self, n_cycles: int) -> SimulationResult:
+        """Advance ``n_cycles`` cycles and return the result."""
+        return self._impl.run(n_cycles)

@@ -79,6 +79,20 @@ class OpenMPModel:
             + self.n_threads * self.costs.sync_seconds_per_thread
         )
 
+    def subset_eval_seconds(self, n_targets: int, n: int) -> float:
+        """Wall time of a target-subset evaluation: n_targets rows x n sources.
+
+        Same static-scheduling model as :meth:`force_eval_seconds`, with
+        the i-loop shrunk to the active block; the per-thread sync cost
+        does not shrink (every thread still joins the barrier).
+        """
+        chunks = chunk_ranges(n_targets, self.effective_threads)
+        worst = max((c.stop - c.start) for c in chunks) * n
+        return (
+            worst * self.costs.seconds_per_interaction
+            + self.n_threads * self.costs.sync_seconds_per_thread
+        )
+
     def serial_seconds(self, n: int) -> float:
         """Per-cycle serial section (predictor/corrector, bookkeeping)."""
         return (

@@ -99,6 +99,41 @@ class CPUForceBackend:
             segments=(TimelineSegment("host", seconds, "force-omp"),),
         )
 
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation: the active block's rows only, priced as such.
+
+        The OpenMP decomposition chunks the *target vector* across
+        threads; since every row accumulates over the identical j-block
+        stream, each target row is bit-identical to the same row of a
+        full :meth:`compute`.  Modelled wall time shrinks with the active
+        block (``subset_eval_seconds``) under the same per-job noise
+        factor.
+        """
+        from ..backends.protocol import normalize_targets
+
+        n = mass.shape[0]
+        idx = normalize_targets(targets, n)
+        acc = np.empty((idx.size, 3))
+        jerk = np.empty((idx.size, 3))
+        for chunk in chunk_ranges(idx.size, self.omp.effective_threads):
+            if chunk.stop == chunk.start:
+                continue
+            a, j = simd_accel_jerk(
+                pos, vel, mass,
+                softening=self.softening, G=self.G, targets=idx[chunk],
+            )
+            acc[chunk] = a
+            jerk[chunk] = j
+        seconds = self.omp.subset_eval_seconds(idx.size, n) * self._noise
+        return ForceEvaluation(
+            acc, jerk,
+            segments=(TimelineSegment(
+                "host", seconds, f"force-omp-subset[{idx.size}]"
+            ),),
+        )
+
     # -- campaign support --------------------------------------------------
 
     def job_model_seconds(self, n: int, n_cycles: int) -> float:

@@ -42,21 +42,34 @@ def simd_accel_jerk(
     G: float = 1.0,
     j_block: int = DEFAULT_J_BLOCK,
     i_slice: slice | None = None,
+    targets: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Acceleration and jerk with float32 pairwise math, float64 accumulation.
 
     ``i_slice`` restricts the output to a contiguous range of target
     particles — the unit of work the OpenMP scheduler hands to a thread
-    (and an MPI rank hands to itself).  All source particles j always
-    participate.
+    (and an MPI rank hands to itself).  ``targets`` is the general form:
+    an arbitrary index vector of receivers (the active block of a
+    block-timestep integrator); mutually exclusive with ``i_slice``.  All
+    source particles j always participate, in the same j-block order, so
+    a subset row is bit-identical to the same row of a full evaluation.
     """
     n = mass.shape[0]
     if pos.shape != (n, 3) or vel.shape != (n, 3):
         raise NBodyError("pos/vel shapes do not match the mass vector")
     if softening < 0:
         raise NBodyError(f"softening must be non-negative, got {softening}")
-    sl = i_slice if i_slice is not None else slice(0, n)
-    targets = range(*sl.indices(n))
+    if targets is not None and i_slice is not None:
+        raise NBodyError("i_slice and targets are mutually exclusive")
+    if targets is not None:
+        idx = np.asarray(targets, dtype=np.intp)
+        if idx.ndim != 1 or idx.size == 0:
+            raise NBodyError("targets must be a non-empty index vector")
+        if idx.min() < 0 or idx.max() >= n:
+            raise NBodyError(f"target indices out of range [0, {n})")
+    else:
+        sl = i_slice if i_slice is not None else slice(0, n)
+        idx = np.arange(*sl.indices(n), dtype=np.intp)
 
     # Single-precision copies of the full source set (what the real code
     # converts once per evaluation before entering the vector loop).
@@ -65,11 +78,11 @@ def simd_accel_jerk(
     mass32 = mass.astype(np.float32)
     eps2 = np.float32(softening * softening)
 
-    n_i = len(targets)
+    n_i = idx.size
     acc = np.zeros((n_i, 3))
     jerk = np.zeros((n_i, 3))
-    pos_i = pos32[sl]
-    vel_i = vel32[sl]
+    pos_i = pos32[idx]
+    vel_i = vel32[idx]
 
     for j0 in range(0, n, j_block):
         j1 = min(j0 + j_block, n)
@@ -85,13 +98,11 @@ def simd_accel_jerk(
             inv_s = np.float32(1.0) / s
             inv_r = np.sqrt(inv_s).astype(np.float32)
             inv_r3 = (inv_s * inv_r).astype(np.float32)
-        # self-interaction mask for the overlapping diagonal
-        lo = max(sl.indices(n)[0], j0)
-        hi = min(sl.indices(n)[1], j1)
-        if lo < hi:
-            ii = np.arange(lo, hi)
-            inv_r3[ii - sl.indices(n)[0], ii - j0] = np.float32(0.0)
-            inv_s[ii - sl.indices(n)[0], ii - j0] = np.float32(0.0)
+        # self-interaction mask: each target that falls inside this j-block
+        rows = np.nonzero((idx >= j0) & (idx < j1))[0]
+        if rows.size:
+            inv_r3[rows, idx[rows] - j0] = np.float32(0.0)
+            inv_s[rows, idx[rows] - j0] = np.float32(0.0)
         if eps2 == np.float32(0.0) and not np.all(np.isfinite(inv_r3)):
             raise NBodyError(
                 "coincident particles with zero softening produce a "

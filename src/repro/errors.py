@@ -28,6 +28,16 @@ class UnknownBackendError(ConfigurationError):
     """
 
 
+class UnknownIntegratorError(ConfigurationError):
+    """An integrator name that is not in the :mod:`repro.core.integrators`
+    registry; the message carries the registered names."""
+
+
+class UnknownScenarioError(ConfigurationError):
+    """A scenario name that is not in the :mod:`repro.core.scenarios`
+    registry; the message carries the registered names."""
+
+
 # --------------------------------------------------------------------------
 # Device / simulator faults
 # --------------------------------------------------------------------------

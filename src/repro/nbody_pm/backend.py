@@ -25,7 +25,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..backends.protocol import ForceEvaluation, TimelineSegment
+from ..backends.protocol import (
+    ForceEvaluation,
+    TimelineSegment,
+    normalize_targets,
+)
 from ..errors import ConfigurationError, HostApiError
 from ..metalium.buffer import DramBuffer
 from ..metalium.command_queue import CommandQueue
@@ -171,6 +175,17 @@ class PMDeviceModel:
     def host_cic_seconds(self, n: int) -> float:
         """Host CIC work (deposit + 3-component gather) per evaluation."""
         return n * PM_HOST_PER_PARTICLE_S
+
+    def host_cic_subset_seconds(self, n: int, n_active: int) -> float:
+        """Host CIC work when only ``n_active`` rows are gathered.
+
+        The deposit still touches every particle (the mesh sources from
+        the full mass distribution) but the three force gathers only
+        visit the active rows.  Of the four 8-corner passes, one is the
+        deposit and three are gathers, hence the 1/4 : 3/4 split of the
+        per-particle coefficient.
+        """
+        return PM_HOST_PER_PARTICLE_S * (0.25 * n + 0.75 * n_active)
 
     def host_fft_seconds(self) -> float:
         """``cpu-pm``: the four host FFTs at the assumed sustained rate."""
@@ -321,8 +336,15 @@ class PMForceBackend:
 
     # -- evaluation ---------------------------------------------------------
 
-    def _solve(self, pos, vel, mass):
-        """The shared numerical path: far-field grids + near correction."""
+    def _solve(self, pos, vel, mass, targets=None):
+        """The shared numerical path: far-field grids + near correction.
+
+        With ``targets`` the mesh side still deposits the full mass
+        distribution and runs the full Poisson solve (the far field
+        sources from everyone), but the force gathers and the near-field
+        correction touch only the target rows; the returned arrays hold
+        just those rows, bit-identical to the same rows of a full solve.
+        """
         spec = MeshSpec.fit(pos, self.mesh)
         r_cut = self.cutoff * spec.spacing
         split_scale = (
@@ -330,8 +352,10 @@ class PMForceBackend:
         )
         grid = cic_deposit(pos, mass, spec)
         acc_grids = self.solver.accelerations(grid, spec, split_scale)
+        gather_pos = pos if targets is None else pos[targets]
         acc = np.stack(
-            [cic_gather(acc_grids[c], pos, spec) for c in range(3)], axis=1
+            [cic_gather(acc_grids[c], gather_pos, spec) for c in range(3)],
+            axis=1,
         )
         # The mesh resolves the smooth far field only: its jerk share is
         # below the force error floor, so the far-field jerk is zero and
@@ -341,8 +365,11 @@ class PMForceBackend:
         if r_cut > 0.0:
             acc_near, jerk_near, n_pairs = near_field_correction(
                 pos, vel, mass, r_cut=r_cut, split_scale=split_scale,
-                softening=self.softening,
+                softening=self.softening, targets=targets,
             )
+            if targets is not None:
+                acc_near = acc_near[targets]
+                jerk_near = jerk_near[targets]
             acc += acc_near
             jerk += jerk_near
         self.last_mesh_spec = spec
@@ -357,6 +384,29 @@ class PMForceBackend:
         n = len(pos)
         acc, jerk, n_pairs = self._solve(pos, vel, mass)
         cic_s = self.model.host_cic_seconds(n)
+        near_s_device = self.model.near_field_seconds(n_pairs)
+        if self.devices:
+            segments = self._charge_device(cic_s, near_s_device, n_pairs)
+        else:
+            segments = self._charge_host(cic_s, n_pairs)
+        self._sync_residency_metrics()
+        return ForceEvaluation(acc, jerk, segments=tuple(segments))
+
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation: full-mesh far field, target-only near field.
+
+        The deposit and FFT pipeline run (and are charged) in full — the
+        far field sources from the whole mass distribution regardless of
+        who is being advanced — while the CIC gathers visit only the
+        target rows and the near-field correction evaluates only the
+        pairs those rows see, with both priced accordingly.
+        """
+        n = len(pos)
+        idx = normalize_targets(targets, n)
+        acc, jerk, n_pairs = self._solve(pos, vel, mass, targets=idx)
+        cic_s = self.model.host_cic_subset_seconds(n, idx.size)
         near_s_device = self.model.near_field_seconds(n_pairs)
         if self.devices:
             segments = self._charge_device(cic_s, near_s_device, n_pairs)

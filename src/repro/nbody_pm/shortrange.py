@@ -49,11 +49,19 @@ def near_field_correction(
     split_scale: float,
     softening: float = 0.0,
     G: float = G_NBODY,
+    targets: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Screened direct sum over pairs within ``r_cut``.
 
     Returns ``(acc, jerk, n_pairs)`` where ``n_pairs`` counts *ordered*
     pairs actually evaluated (the device-time model prices them).
+
+    With ``targets``, only receiver rows in the target set accumulate
+    (other rows stay zero) and ``n_pairs`` counts just the pairs those
+    rows see.  Filtering happens per offset batch *before* the pair
+    expansion, so each surviving row processes the identical j-sequence
+    in the identical ``np.add.at`` order — its values are bit-identical
+    to the same row of an unfiltered call.
     """
     pos = np.asarray(pos, dtype=np.float64)
     vel = np.asarray(vel, dtype=np.float64)
@@ -63,6 +71,10 @@ def near_field_correction(
     jerk = np.zeros((n, 3), dtype=np.float64)
     if n < 2 or r_cut <= 0.0:
         return acc, jerk, 0
+    target_mask = None
+    if targets is not None:
+        target_mask = np.zeros(n, dtype=bool)
+        target_mask[np.asarray(targets, dtype=np.intp)] = True
 
     # Bin into r_cut cells; argsort(kind="stable") fixes iteration order.
     lo = pos.min(axis=0)
@@ -87,6 +99,10 @@ def near_field_correction(
             neighbour[:, 0] * dims[1] + neighbour[:, 1]
         ) * dims[2] + neighbour[:, 2]
         i_idx = np.nonzero(valid)[0]
+        if target_mask is not None:
+            i_idx = i_idx[target_mask[i_idx]]
+            if i_idx.size == 0:
+                continue
         lookup = np.array(
             [first_of.get(int(c), (0, 0)) for c in nb_id[i_idx]],
             dtype=np.int64,

@@ -20,7 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..backends.protocol import ForceEvaluation, TimelineSegment
+from ..backends.protocol import (
+    ForceEvaluation,
+    TimelineSegment,
+    normalize_targets,
+)
 from ..errors import ConfigurationError, HostApiError, NBodyError
 from ..metalium.buffer import DramBuffer
 from ..metalium.command_queue import CommandQueue
@@ -49,6 +53,7 @@ from .tiling import (
     ParticleTiles,
     TilizeCache,
     assign_tiles_to_cores,
+    subset_rows_from_tiles,
 )
 
 __all__ = ["TTForceBackend", "DeviceTimeModel"]
@@ -58,6 +63,13 @@ __all__ = ["TTForceBackend", "DeviceTimeModel"]
 #: program in charge-only mode (bit-identical values, identical charges,
 #: much faster wall clock); "per-block" is the original fully in-band path.
 _ENGINES = ("batched", "per-block")
+
+#: Compiled-program cache ceiling.  A block-timestep integrator dispatches
+#: a different i-tile subset nearly every block, and each subset compiles
+#: (and caches) its own program; past this many entries the cache is
+#: cleared wholesale — recompiling is cheap in the simulator and the real
+#: SDK bounds its kernel cache the same way.
+_PROGRAM_CACHE_MAX = 256
 
 
 def _make_read_kernel(in_bufs, my_tiles, n_tiles, *, charge_only=False,
@@ -331,6 +343,8 @@ class TTForceBackend:
         cached = self._programs.get(cache_key)
         if cached is not None:
             return cached
+        if len(self._programs) >= _PROGRAM_CACHE_MAX:
+            self._programs.clear()
         program = Program(core_range=CoreRange(0, self.n_cores))
         program.add_cb(
             CBConfig(CB_J_IN, self.cb_buffering * len(J_QUANTITIES), self.fmt)
@@ -485,6 +499,51 @@ class TTForceBackend:
         acc, jerk = ParticleTiles.results_to_arrays(
             {q: results[q] for q in OUT_QUANTITIES}, tiles.n
         )
+        self._sync_residency_metrics()
+        return ForceEvaluation(acc, jerk, segments=tuple(segments))
+
+    def compute_on_targets(self, pos: np.ndarray, vel: np.ndarray,
+                           mass: np.ndarray,
+                           targets: np.ndarray) -> ForceEvaluation:
+        """Subset evaluation: dispatch only the i-tiles covering ``targets``.
+
+        The device-side unit of work is the 1024-element i-tile, so the
+        active block maps to its covering tile set, which goes through
+        :meth:`compute_partial` exactly as a sharded composite's shard
+        would — the full replicated j-stream (tilize and upload caches
+        hit for unchanged source columns), a per-tile accumulation order
+        that never depends on which subset a tile arrives in, and cost
+        accounting for the tiles actually dispatched.  Rows are then
+        extracted per target, bit-identical to a full :meth:`compute`.
+        """
+        n = mass.shape[0]
+        idx = normalize_targets(targets, n)
+        tiles = ParticleTiles.from_arrays(
+            pos, vel, mass, self.fmt, cache=self._tilize_cache,
+            generation=self.data_generation,
+        )
+        needed = sorted({int(t) // TILE_ELEMENTS for t in idx})
+        results, segments, worst_device_s = self.compute_partial(
+            tiles, needed
+        )
+        segments.append(TimelineSegment(
+            "device", worst_device_s, f"force-subset[{len(needed)}t]"
+        ))
+        if len(self.devices) > 1:
+            result_bytes = (
+                len(needed) * TILE_ELEMENTS * 4 * len(OUT_QUANTITIES)
+            )
+            gather_s = self.fabric.allgather_seconds(
+                result_bytes // len(self.devices)
+            )
+            segments.append(TimelineSegment("device", gather_s, "allgather"))
+            if self._trace is not None:
+                self._trace.add_span(
+                    "allgather", gather_s, category="device",
+                    bytes=result_bytes // len(self.devices),
+                    n_devices=len(self.devices),
+                )
+        acc, jerk = subset_rows_from_tiles(results, idx)
         self._sync_residency_metrics()
         return ForceEvaluation(acc, jerk, segments=tuple(segments))
 

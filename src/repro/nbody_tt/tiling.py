@@ -26,7 +26,13 @@ from ..errors import NBodyError
 from ..wormhole.dtypes import DataFormat
 from ..wormhole.tile import TILE_ELEMENTS, Tile, tiles_needed, tilize_1d, untilize_1d
 
-__all__ = ["PAD_OFFSET", "ParticleTiles", "TilizeCache", "assign_tiles_to_cores"]
+__all__ = [
+    "PAD_OFFSET",
+    "ParticleTiles",
+    "TilizeCache",
+    "assign_tiles_to_cores",
+    "subset_rows_from_tiles",
+]
 
 #: Base sentinel coordinate for phantom lanes in the last position tile.
 #: Phantom k sits at ((PAD_OFFSET + k), 2*(PAD_OFFSET + k), 3*(PAD_OFFSET + k)):
@@ -182,6 +188,38 @@ class ParticleTiles:
         acc = np.column_stack([cols["ax"], cols["ay"], cols["az"]])
         jerk = np.column_stack([cols["jx"], cols["jy"], cols["jz"]])
         return acc, jerk
+
+
+def subset_rows_from_tiles(
+    tiles_by_quantity: dict[str, list[Tile | None]], targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-target (acc, jerk) rows from a partially-populated tile grid.
+
+    ``tiles_by_quantity`` is the :meth:`TTForceBackend.compute_partial`
+    result shape — globally-indexed tile lists with ``None`` outside the
+    evaluated subset.  Every tile covering a target must be present.
+    Values pass through as float64 exactly as
+    :meth:`ParticleTiles.results_to_arrays` would produce them, so a
+    subset row is bit-identical to the full untilized array's row.
+    """
+    targets = np.asarray(targets, dtype=np.intp)
+    tile_idx = targets // TILE_ELEMENTS
+    lane_idx = targets % TILE_ELEMENTS
+    cols = {}
+    for q in OUT_QUANTITIES:
+        tiles = tiles_by_quantity[q]
+        out = np.empty(targets.size, dtype=np.float64)
+        for k, (it, lane) in enumerate(zip(tile_idx, lane_idx)):
+            tile = tiles[it]
+            if tile is None:
+                raise NBodyError(
+                    f"result tile {it} for quantity {q!r} was not evaluated"
+                )
+            out[k] = tile.data[lane]
+        cols[q] = out
+    acc = np.column_stack([cols["ax"], cols["ay"], cols["az"]])
+    jerk = np.column_stack([cols["jx"], cols["jy"], cols["jz"]])
+    return acc, jerk
 
 
 def assign_tiles_to_cores(n_tiles: int, n_cores: int) -> list[list[int]]:

@@ -96,6 +96,10 @@ class JobSpec:
     active_device: int = 3   # the device of the paper's Fig. 4 run
     n_cores: int = 64
     n_devices: int = 1
+    #: registered integration scheme (the paper's campaign ran "hermite")
+    integrator: str = "hermite"
+    #: registered initial conditions (the paper's campaign ran "plummer")
+    scenario: str = "plummer"
 
     @classmethod
     def paper_accelerated(cls, **overrides) -> "JobSpec":
@@ -125,6 +129,8 @@ class JobSpec:
             })
         else:
             backend = BackendSpec("cpu", {"threads": self.n_threads})
+        overrides.setdefault("integrator", self.integrator)
+        overrides.setdefault("scenario", self.scenario)
         return RunSpec(
             n=self.n_particles, cycles=self.n_cycles, backend=backend,
             **overrides,
@@ -154,7 +160,9 @@ class JobSpec:
                 n_threads=options.get("threads", 32),
             )
         fields.update(
-            n_particles=spec.n, n_cycles=spec.cycles, **overrides
+            n_particles=spec.n, n_cycles=spec.cycles,
+            integrator=spec.integrator.name, scenario=spec.scenario.name,
+            **overrides,
         )
         return cls(**fields)
 

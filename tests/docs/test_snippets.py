@@ -28,6 +28,7 @@ DOCUMENTS = [
     "docs/PORTING.md",
     "docs/ARCHITECTURE.md",
     "docs/FARFIELD.md",
+    "docs/INTEGRATORS.md",
 ]
 
 _FENCE = re.compile(
